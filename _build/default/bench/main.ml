@@ -1,0 +1,87 @@
+(* Benchmark harness: one Bechamel test per paper table/figure measuring the
+   cost of regenerating it (a representative slice at reduced scale so the
+   measurement loop can iterate), followed by the full regeneration of
+   every table and figure — the output a reader compares against the paper.
+
+     dune exec bench/main.exe              # timings + all tables
+     dune exec bench/main.exe -- quick     # timings only *)
+
+open Bechamel
+open Toolkit
+
+module Engine = Dfdeques_core.Engine
+module Config = Dfd_machine.Config
+module W = Dfd_benchmarks.Workload
+
+let run_costed ?(p = 8) ?(k = Some 50_000) sched (b : W.t) () =
+  ignore (Engine.run ~sched (Config.costed ~p ~mem_threshold:k ()) (b.W.prog ()))
+
+let run_analysis ?(p = 8) ?(k = Some 50_000) sched (b : W.t) () =
+  ignore (Engine.run ~sched (Config.analysis ~p ~mem_threshold:k ()) (b.W.prog ()))
+
+(* Reduced-scale stand-ins so one bechamel iteration stays ~tens of ms. *)
+let small_mm = Dfd_benchmarks.Dense_mm.bench ~n:64 W.Fine
+let small_synth = Dfd_benchmarks.Synthetic.bench ~levels:12 ~mem0:16_384 ~gran0:256 W.Fine
+let sparse = Dfd_benchmarks.Sparse_mvm.bench W.Fine
+let treebuild = Dfd_benchmarks.Barnes_hut.treebuild ~bodies:1024 W.Fine
+let adversary () =
+  ignore
+    (Engine.run ~sched:`Dfdeques
+       (Config.analysis ~p:8 ~mem_threshold:(Some 1024) ())
+       (Dfd_benchmarks.Lower_bound.prog ~p:8 ~d:64 ~a_bytes:1024 ()))
+
+let tests =
+  [
+    Test.make ~name:"table1: costed run, SparseMVM/DFD/p8"
+      (Staged.stage (run_costed `Dfdeques sparse));
+    Test.make ~name:"fig12: costed run, SparseMVM/FIFO/p8"
+      (Staged.stage (run_costed `Fifo sparse));
+    Test.make ~name:"fig13: memory point, DenseMM-64/WS/p8"
+      (Staged.stage (run_costed ~k:None `Ws small_mm));
+    Test.make ~name:"fig14: watermark, DenseMM-64/ADF/p8"
+      (Staged.stage (run_costed `Adf small_mm));
+    Test.make ~name:"fig15: tradeoff point, DenseMM-64/DFD/K=1k"
+      (Staged.stage (run_costed ~k:(Some 1_000) `Dfdeques small_mm));
+    Test.make ~name:"fig16: section-6 sim, synthetic/DFD/p64"
+      (Staged.stage (run_analysis ~p:64 ~k:(Some 4_096) `Dfdeques small_synth));
+    Test.make ~name:"fig17: lock sim, BH-treebuild/DFD/p8"
+      (Staged.stage (run_costed `Dfdeques treebuild));
+    Test.make ~name:"thm44: analysis run, DenseMM-64/DFD/p8"
+      (Staged.stage (run_analysis `Dfdeques small_mm));
+    Test.make ~name:"thm45: adversarial dag, p8" (Staged.stage adversary);
+    Test.make ~name:"thm48: analysis run, SparseMVM/DFD/p8"
+      (Staged.stage (run_analysis `Dfdeques sparse));
+  ]
+
+let benchmark () =
+  let instances = Instance.[ monotonic_clock; minor_allocated; major_allocated ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.8) ~kde:(Some 1000) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let raw = List.map (fun test -> Benchmark.all cfg instances test) tests in
+  let results = List.map (fun m -> Analyze.all ols Instance.monotonic_clock m) raw in
+  (tests, results)
+
+let pp_results results =
+  List.iter
+    (fun result ->
+       Hashtbl.iter
+         (fun name ols ->
+            match Bechamel.Analyze.OLS.estimates ols with
+            | Some [ est ] -> Printf.printf "%-50s %12.0f ns/run\n" name est
+            | _ -> Printf.printf "%-50s (no estimate)\n" name)
+         result)
+    results
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  print_endline "=== bechamel timings (one test per paper table/figure) ===";
+  let _tests, results = benchmark () in
+  pp_results results;
+  print_newline ();
+  if not quick then begin
+    print_endline "=== full regeneration of every table and figure ===";
+    print_newline ();
+    print_string (Dfd_experiments.All_experiments.run_all ())
+  end

@@ -1,0 +1,232 @@
+(* repro — regenerate the paper's tables and figures, run single benchmarks,
+   inspect programs.
+
+     repro list                 enumerate experiments and benchmarks
+     repro table1 fig12 ...     regenerate specific experiments
+     repro all                  regenerate everything (EXPERIMENTS.md payload)
+     repro run -b DenseMM -s dfd -p 8 -k 50000    one benchmark run
+     repro analyze -b FMM       static W/D/S1 analysis of a benchmark *)
+
+open Cmdliner
+
+let exp_ids = Dfd_experiments.All_experiments.ids
+
+let list_cmd =
+  let doc = "List available experiments and benchmarks." in
+  let run () =
+    print_endline "Experiments (tables/figures of the paper):";
+    List.iter
+      (fun e ->
+         Printf.printf "  %-8s %s\n" e.Dfd_experiments.All_experiments.id
+           e.Dfd_experiments.All_experiments.summary)
+      Dfd_experiments.All_experiments.all;
+    print_endline "\nBenchmarks:";
+    List.iter
+      (fun b ->
+         Printf.printf "  %-14s %s\n" b.Dfd_benchmarks.Workload.name
+           b.Dfd_benchmarks.Workload.description)
+      (Dfd_benchmarks.Registry.all Dfd_benchmarks.Workload.Medium)
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let exp_arg =
+  let doc = "Experiment ids to regenerate (see `repro list`)." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let csv_arg =
+  let doc = "Emit comma-separated values (for plotting) instead of tables." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let print_csv (t : Dfd_experiments.Exp_common.table) =
+  Printf.printf "# %s\n" t.Dfd_experiments.Exp_common.title;
+  List.iter
+    (fun row -> print_endline (String.concat "," (List.map csv_escape row)))
+    (t.Dfd_experiments.Exp_common.header :: t.Dfd_experiments.Exp_common.rows)
+
+let run_exps csv ids =
+  let ids = if List.mem "all" ids then exp_ids else ids in
+  List.iter
+    (fun id ->
+       match Dfd_experiments.All_experiments.find id with
+       | None ->
+         Printf.eprintf "unknown experiment %S; known: %s\n" id (String.concat ", " exp_ids);
+         exit 2
+       | Some e ->
+         List.iter
+           (fun t ->
+              if csv then print_csv t
+              else print_string (Dfd_experiments.Exp_common.render t))
+           (e.Dfd_experiments.All_experiments.tables ());
+         print_newline ())
+    ids
+
+let exp_cmd =
+  let doc = "Regenerate the given tables/figures (or `all`)." in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run_exps $ csv_arg $ exp_arg)
+
+let bench_arg =
+  let doc = "Benchmark name (see `repro list`)." in
+  Arg.(value & opt string "DenseMM" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let grain_arg =
+  let doc = "Thread granularity: medium or fine." in
+  let c =
+    Arg.enum [ ("medium", Dfd_benchmarks.Workload.Medium); ("fine", Dfd_benchmarks.Workload.Fine) ]
+  in
+  Arg.(value & opt c Dfd_benchmarks.Workload.Fine & info [ "g"; "grain" ] ~docv:"GRAIN" ~doc)
+
+let sched_arg =
+  let doc = "Scheduler: dfd, ws, adf or fifo." in
+  let c =
+    Arg.enum [ ("dfd", `Dfdeques); ("ws", `Ws); ("adf", `Adf); ("fifo", `Fifo) ]
+  in
+  Arg.(value & opt c `Dfdeques & info [ "s"; "sched" ] ~docv:"SCHED" ~doc)
+
+let p_arg =
+  let doc = "Number of simulated processors." in
+  Arg.(value & opt int 8 & info [ "p"; "procs" ] ~docv:"P" ~doc)
+
+let k_arg =
+  let doc = "Memory threshold K in bytes; 0 means infinite." in
+  Arg.(value & opt int 50_000 & info [ "k"; "threshold" ] ~docv:"K" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (schedules are reproducible per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let mode_arg =
+  let doc = "Cost model: `analysis` (Section 4.1) or `costed` (Section 5)." in
+  Arg.(value & opt (Arg.enum [ ("analysis", `A); ("costed", `C) ]) `C
+       & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let find_bench name grain =
+  match Dfd_benchmarks.Registry.find name grain with
+  | b -> b
+  | exception Not_found ->
+    Printf.eprintf "unknown benchmark %S; known: %s\n" name
+      (String.concat ", " Dfd_benchmarks.Registry.names);
+    exit 2
+
+let run_one bench grain sched p k seed mode =
+  let b = find_bench bench grain in
+  let k = if k = 0 then None else Some k in
+  let cfg =
+    match mode with
+    | `A -> Dfd_machine.Config.analysis ~p ~mem_threshold:k ~seed ()
+    | `C -> Dfd_machine.Config.costed ~p ~mem_threshold:k ~seed ()
+  in
+  Format.printf "benchmark: %s (%s)@." b.Dfd_benchmarks.Workload.name
+    b.Dfd_benchmarks.Workload.description;
+  Format.printf "config: %a@." Dfd_machine.Config.pp cfg;
+  let r = Dfdeques_core.Engine.run ~sched cfg (b.Dfd_benchmarks.Workload.prog ()) in
+  Format.printf "%a@." Dfdeques_core.Engine.pp_result r
+
+let run_cmd =
+  let doc = "Run one benchmark under one scheduler and print its metrics." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_one $ bench_arg $ grain_arg $ sched_arg $ p_arg $ k_arg $ seed_arg $ mode_arg)
+
+let analyze_one bench grain =
+  let b = find_bench bench grain in
+  let s = Dfd_dag.Analysis.analyze (b.Dfd_benchmarks.Workload.prog ()) in
+  Format.printf "benchmark: %s (%s)@.%a@." b.Dfd_benchmarks.Workload.name
+    b.Dfd_benchmarks.Workload.description Dfd_dag.Analysis.pp_summary s
+
+let analyze_cmd =
+  let doc = "Static analysis (W, D, S1, Sa, threads) of a benchmark's dag." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze_one $ bench_arg $ grain_arg)
+
+let steps_arg =
+  let doc = "Number of leading timesteps to render." in
+  Arg.(value & opt int 100 & info [ "steps" ] ~docv:"N" ~doc)
+
+(* A textual Gantt chart: one row per processor, one column per timestep,
+   each cell the thread id (mod 62) that executed there — built from the
+   engine's observer hook. *)
+let trace_one bench grain sched p k seed steps =
+  let b = find_bench bench grain in
+  let k = if k = 0 then None else Some k in
+  let cfg = Dfd_machine.Config.analysis ~p ~mem_threshold:k ~seed () in
+  let grid = Array.make_matrix p steps '.' in
+  let symbol tid =
+    let alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+    alphabet.[tid mod String.length alphabet]
+  in
+  let r =
+    Dfdeques_core.Engine.run ~sched cfg
+      ~observer:(fun ~now ~proc th _a ->
+          if now >= 1 && now <= steps then
+            grid.(proc).(now - 1) <- symbol th.Dfdeques_core.Thread_state.tid)
+      (b.Dfd_benchmarks.Workload.prog ())
+  in
+  Format.printf "%s on %s, p=%d: first %d of %d timesteps ('.' = idle/stalled,@ \
+                 letters/digits = thread id mod 62)@.@."
+    (Dfdeques_core.Engine.sched_name sched)
+    b.Dfd_benchmarks.Workload.name p steps r.Dfdeques_core.Engine.time;
+  Array.iteri
+    (fun proc row -> Format.printf "P%d |%s|@." proc (String.init steps (Array.get row)))
+    grid;
+  Format.printf "@.steals=%d local=%d queue=%d granularity=%.1f@." r.Dfdeques_core.Engine.steals
+    r.Dfdeques_core.Engine.local_dispatches r.Dfdeques_core.Engine.queue_dispatches
+    r.Dfdeques_core.Engine.sched_granularity
+
+let trace_cmd =
+  let doc = "Render a textual Gantt chart of the first timesteps of a schedule." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const trace_one $ bench_arg $ grain_arg $ sched_arg $ p_arg $ k_arg $ seed_arg $ steps_arg)
+
+(* Export a small dag to Graphviz: either the Figure 2-style demo dag or a
+   random nested-parallel program from a seed. *)
+let dot_one which seed =
+  let open Dfd_dag in
+  let prog =
+    match which with
+    | `Demo ->
+      (* the shape of the paper's Figure 2: a root forking four children,
+         the second of which forks a fifth *)
+      let open Prog in
+      let leaf = work 2 in
+      finish
+        (work 1
+         >> par leaf (work 1)
+         >> par (par leaf (work 1)) (work 1)
+         >> par leaf (work 1)
+         >> par leaf (work 1))
+    | `Random -> Dag_gen.gen_prog (Dfd_structures.Prng.create seed)
+                   { Dag_gen.default with max_depth = 4 }
+  in
+  print_string (Dag.to_dot (Dag.of_prog prog))
+
+let dot_cmd =
+  let doc = "Export a small example dag as Graphviz (pipe into `dot -Tsvg`)." in
+  let which =
+    Arg.(value & opt (Arg.enum [ ("demo", `Demo); ("random", `Random) ]) `Demo
+         & info [ "w"; "which" ] ~docv:"WHICH" ~doc:"`demo' (Figure 2 shape) or `random'.")
+  in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const dot_one $ which $ seed_arg)
+
+let default =
+  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0"
+      ~doc:
+        "Reproduction of 'Scheduling Threads for Low Space Requirement and Good Locality' \
+         (Narlikar, SPAA 1999)."
+  in
+  (* allow `repro table1` as a shortcut for `repro exp table1` *)
+  let argv = Sys.argv in
+  let argv =
+    if Array.length argv > 1 && (List.mem argv.(1) exp_ids || argv.(1) = "all") then
+      Array.concat [ [| argv.(0); "exp" |]; Array.sub argv 1 (Array.length argv - 1) ]
+    else argv
+  in
+  exit (Cmd.eval ~argv (Cmd.group ~default info [ list_cmd; exp_cmd; run_cmd; analyze_cmd; trace_cmd; dot_cmd ]))

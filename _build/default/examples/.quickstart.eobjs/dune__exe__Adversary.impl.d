@@ -1,0 +1,1 @@
+examples/adversary.ml: Dfd_benchmarks Dfd_dag Dfd_machine Dfd_structures Dfdeques_core Format List

@@ -1,0 +1,1 @@
+examples/custom_simulation.ml: Dfd_dag Dfd_machine Dfdeques_core Format

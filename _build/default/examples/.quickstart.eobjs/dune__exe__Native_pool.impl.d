@@ -1,0 +1,1 @@
+examples/native_pool.ml: Array Dfd_runtime List Printf Unix

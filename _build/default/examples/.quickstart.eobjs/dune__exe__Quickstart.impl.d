@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dfd_benchmarks Dfd_dag Dfd_machine Dfdeques_core Format List

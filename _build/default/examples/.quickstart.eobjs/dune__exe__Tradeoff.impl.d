@@ -1,0 +1,1 @@
+examples/tradeoff.ml: Array Dfd_benchmarks Dfd_machine Dfd_structures Dfdeques_core Format List Printf Sys

@@ -1,0 +1,33 @@
+(* The space/time/granularity trade-off, live (Figure 15 in miniature):
+   sweep the memory threshold K for one benchmark and watch DFDeques slide
+   from depth-first behaviour (low K: low memory, fine-grained scheduling)
+   to work-stealing behaviour (high K: more memory, coarse steals).
+
+     dune exec examples/tradeoff.exe -- [benchmark]            *)
+
+module Engine = Dfdeques_core.Engine
+module W = Dfd_benchmarks.Workload
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "DecisionTree" in
+  let b =
+    try Dfd_benchmarks.Registry.find name W.Fine
+    with Not_found ->
+      Printf.eprintf "unknown benchmark %s\n" name;
+      exit 2
+  in
+  Format.printf "sweeping K for %s (%s), p=8@.@." b.W.name b.W.description;
+  Format.printf "%10s  %10s  %10s  %12s  %8s@." "K" "time" "heap peak" "granularity"
+    "steals";
+  let ws = Engine.run ~sched:`Ws (Dfd_machine.Config.costed ~p:8 ()) (b.W.prog ()) in
+  List.iter
+    (fun k ->
+       let cfg = Dfd_machine.Config.costed ~p:8 ~mem_threshold:(Some k) () in
+       let r = Engine.run ~sched:`Dfdeques cfg (b.W.prog ()) in
+       Format.printf "%10d  %10d  %10s  %12.2f  %8d@." k r.Engine.time
+         (Dfd_structures.Stats.fmt_bytes r.Engine.heap_peak)
+         r.Engine.local_steal_ratio r.Engine.steals)
+    [ 500; 2_000; 8_000; 32_000; 128_000; 512_000 ];
+  Format.printf "%10s  %10d  %10s  %12s  %8d   <- pure work stealing@." "WS" ws.Engine.time
+    (Dfd_structures.Stats.fmt_bytes ws.Engine.heap_peak)
+    "-" ws.Engine.steals

@@ -1,0 +1,1 @@
+lib/benchmarks/barnes_hut.ml: Array Dfd_dag Dfd_structures List Printf Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/barnes_hut.mli: Dfd_dag Workload

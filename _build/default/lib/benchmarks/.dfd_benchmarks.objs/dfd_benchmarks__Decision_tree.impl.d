@@ -1,0 +1,1 @@
+lib/benchmarks/decision_tree.ml: Dfd_dag Dfd_structures Printf Workload

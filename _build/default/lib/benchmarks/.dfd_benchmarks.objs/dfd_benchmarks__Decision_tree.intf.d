@@ -1,0 +1,1 @@
+lib/benchmarks/decision_tree.mli: Dfd_dag Workload

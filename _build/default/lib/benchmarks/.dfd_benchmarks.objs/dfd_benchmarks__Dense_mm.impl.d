@@ -1,0 +1,1 @@
+lib/benchmarks/dense_mm.ml: Array Dfd_dag List Printf Workload

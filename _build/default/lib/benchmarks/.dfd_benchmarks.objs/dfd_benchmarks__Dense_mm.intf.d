@@ -1,0 +1,1 @@
+lib/benchmarks/dense_mm.mli: Dfd_dag Workload

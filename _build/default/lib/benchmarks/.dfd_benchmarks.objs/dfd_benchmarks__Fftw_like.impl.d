@@ -1,0 +1,1 @@
+lib/benchmarks/fftw_like.ml: Dfd_dag Printf Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/fftw_like.mli: Dfd_dag Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/fmm.ml: Array Dfd_dag List Printf Workload

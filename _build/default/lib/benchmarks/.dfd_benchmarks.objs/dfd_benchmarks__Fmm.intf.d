@@ -1,0 +1,1 @@
+lib/benchmarks/fmm.mli: Dfd_dag Workload

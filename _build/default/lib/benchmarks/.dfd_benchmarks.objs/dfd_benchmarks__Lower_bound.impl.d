@@ -1,0 +1,1 @@
+lib/benchmarks/lower_bound.ml: Dfd_dag Printf Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/lower_bound.mli: Dfd_dag Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/pipeline.ml: Dfd_dag Printf Workload

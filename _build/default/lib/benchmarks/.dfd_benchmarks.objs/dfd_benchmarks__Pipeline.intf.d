@@ -1,0 +1,1 @@
+lib/benchmarks/pipeline.mli: Dfd_dag Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Barnes_hut Decision_tree Dense_mm Fftw_like Fmm List Lower_bound Pipeline Sparse_mvm String Synthetic Volume_render Workload

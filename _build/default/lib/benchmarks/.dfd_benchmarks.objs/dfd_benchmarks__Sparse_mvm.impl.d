@@ -1,0 +1,1 @@
+lib/benchmarks/sparse_mvm.ml: Array Dfd_dag Dfd_structures Printf Workload

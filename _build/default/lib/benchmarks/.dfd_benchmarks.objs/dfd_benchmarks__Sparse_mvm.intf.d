@@ -1,0 +1,1 @@
+lib/benchmarks/sparse_mvm.mli: Dfd_dag Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/synthetic.ml: Dfd_dag Dfd_structures Printf Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/synthetic.mli: Dfd_dag Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/volume_render.ml: Array Dfd_dag Printf Workload

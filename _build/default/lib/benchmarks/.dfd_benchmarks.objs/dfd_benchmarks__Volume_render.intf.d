@@ -1,0 +1,1 @@
+lib/benchmarks/volume_render.mli: Dfd_dag Workload

@@ -1,0 +1,1 @@
+lib/benchmarks/workload.ml: Array Dfd_dag Format List

@@ -1,0 +1,23 @@
+(** Barnes-Hut N-body (the paper's locality-sensitive benchmark; its
+    lock-based tree-building phase is Figure 17's workload).
+
+    Two phases over [bodies] particles on a Morton-ordered line:
+
+    {ol {- {b tree build} — particles are inserted into an octree whose
+    cells are protected by {e mutexes}: each insertion walks down a few
+    levels, locking the cell it modifies (the paper: "the tree-building
+    phase uses mutexes to protect modifications to the tree's cells").
+    Contention is real: particles in the same region hit the same locks;}
+    {- {b force computation} — a parallel loop over bodies; each body
+    traverses cell centroids (an approximation-ordered prefix plus its
+    neighbourhood's leaves).  Neighbouring bodies touch nearly identical
+    cell sequences — the benchmark rewards schedulers that keep dag
+    neighbours on one processor.}}
+
+    [bench] runs both phases; [treebuild] is the Figure 17 phase alone. *)
+
+val bench : ?bodies:int -> Workload.grain -> Workload.t
+
+val treebuild : ?bodies:int -> Workload.grain -> Workload.t
+
+val prog : bodies:int -> block:int -> tree_only:bool -> unit -> Dfd_dag.Prog.t

@@ -1,0 +1,54 @@
+module Prog = Dfd_dag.Prog
+module Prng = Dfd_structures.Prng
+open Prog
+
+(* Row storage: the working set of a node is modelled as a fresh block of
+   row indices (4 bytes each).  Address regions for partitions are carved
+   deterministically during construction. *)
+
+let prog ~instances ~cutoff ~seed () =
+  let rng = Prng.create seed in
+  (* Scanning a node's rows is itself a parallel loop over [cutoff]-row
+     chunks (the real builder scans attributes in parallel); this keeps the
+     dag's depth proportional to the tree depth, not the instance count. *)
+  let scan ~base ~n =
+    let chunk ~cbase ~cn =
+      Workload.touch_block ~repeat:3 ~base:cbase ~words:cn ~stride:Workload.line_stride ()
+      >> work (max 1 (cn / 4))
+    in
+    if n <= 2 * cutoff then chunk ~cbase:base ~cn:n
+    else begin
+      let nchunks = (n + cutoff - 1) / cutoff in
+      par_iter ~lo:0 ~hi:nchunks (fun i ->
+          let lo = i * cutoff in
+          chunk ~cbase:(base + lo) ~cn:(min cutoff (n - lo)))
+    end
+  in
+  let rec build ~base ~n ~depth =
+    if n <= cutoff || depth >= 12 then
+      (* leaf: scan once to compute the label distribution *)
+      scan ~base ~n
+    else begin
+      let frac = 30 + Prng.int rng 40 in
+      let nl = max 1 (n * frac / 100) in
+      let nr = max 1 (n - nl) in
+      (* the partitions are row-index arrays (allocated), but the rows they
+         point into are subranges of this node's region — children re-scan
+         data their parent just touched *)
+      let bl = base and br = base + nl in
+      scan ~base ~n
+      >> alloc (4 * (nl + nr))
+      >> par (build ~base:bl ~n:nl ~depth:(depth + 1)) (build ~base:br ~n:nr ~depth:(depth + 1))
+      >> free (4 * (nl + nr))
+    end
+  in
+  finish (build ~base:0 ~n:instances ~depth:0)
+
+let bench ?(instances = 16_000) grain =
+  let cutoff = match grain with Workload.Medium -> 500 | Workload.Fine -> 120 in
+  Workload.make ~name:"DecisionTree"
+    ~description:
+      (Printf.sprintf "top-down decision-tree builder, %d instances, %d-row cutoff" instances
+         cutoff)
+    ~grain
+    ~prog:(prog ~instances ~cutoff ~seed:4242)

@@ -1,0 +1,14 @@
+(** Parallel decision-tree builder (the paper's "DecisionTr." benchmark;
+    irregular parallelism and data-dependent allocation).
+
+    Top-down induction over [instances] training rows: a node scans its
+    rows to pick a split (touching the row block, work proportional to its
+    size), {e allocates} the two partitions, recurses on them in parallel,
+    and frees its own partition once the children are built.  Splits are
+    pseudo-randomly skewed (30/70 on average), so the recursion tree is
+    unbalanced — the irregular load the paper uses it for.  Recursion
+    serialises below [cutoff] rows (the thread-granularity knob). *)
+
+val bench : ?instances:int -> Workload.grain -> Workload.t
+
+val prog : instances:int -> cutoff:int -> seed:int -> unit -> Dfd_dag.Prog.t

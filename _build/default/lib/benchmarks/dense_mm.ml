@@ -1,0 +1,77 @@
+module Prog = Dfd_dag.Prog
+open Prog
+
+(* Word-address layout: A at 0, B at n^2, C at 2n^2; temporaries are carved
+   deterministically out of the region starting at 3n^2 (address assignment
+   happens during the dag construction walk, which is schedule-independent
+   because every sub-multiply gets a disjoint region). *)
+
+let prog ?(n = 128) ~leaf () =
+  if n < 2 * leaf then invalid_arg "Dense_mm.prog: n must be >= 2*leaf";
+  let a_base = 0 and b_base = n * n and c_base = 2 * n * n in
+  let tmp_start = 3 * n * n in
+  (* Serial leaf multiply of an m x m block: one unit of work per 8
+     multiply-adds; touches one line per block row of each operand. *)
+  let leaf_mult ~m ~a ~b ~c =
+    let rows base =
+      Array.init m (fun i -> base + (i * n))
+      |> Array.to_list
+      |> List.concat_map (fun row ->
+          List.init (max 1 (m / Workload.line_stride)) (fun j ->
+              row + (j * Workload.line_stride)))
+      |> Array.of_list
+    in
+    let rep arr = Array.concat [ arr; arr; arr ] in
+    touch (rep (rows a)) >> touch (rep (rows b)) >> touch (rows c)
+    >> work (max 1 (m * m * m / 8))
+  in
+  (* tmp region size needed by a multiply of size m. *)
+  let rec tmp_need m = if m <= leaf then 0 else (m * m) + (8 * tmp_need (m / 2)) in
+  (* C(c) += A(a) * B(b), block size m, using the tmp region at [tmp]. *)
+  let rec mult ~m ~a ~b ~c ~tmp =
+    if m <= leaf then leaf_mult ~m ~a ~b ~c
+    else begin
+      let h = m / 2 in
+      let quad base i j = base + (i * h * n) + (j * h) in
+      let sub = tmp_need h in
+      let t = tmp and t' = tmp + (m * m) in
+      (* first products: Cij += Ai0 * B0j ; second: Tij = Ai1 * B1j *)
+      let calls =
+        List.init 2 (fun i ->
+            List.init 2 (fun j ->
+                let k1 = 2 * ((2 * i) + j) in
+                let k2 = k1 + 1 in
+                [
+                  mult ~m:h ~a:(quad a i 0) ~b:(quad b 0 j) ~c:(quad c i j)
+                    ~tmp:(t' + (k1 * sub));
+                  mult ~m:h ~a:(quad a i 1) ~b:(quad b 1 j)
+                    ~c:(t + (((2 * i) + j) * h * h))
+                    ~tmp:(t' + (k2 * sub));
+                ])
+            |> List.concat)
+        |> List.concat
+      in
+      (* allocate the temporary (8 bytes per word), run the 8 sub-multiplies
+         in parallel, add T into C as a parallel loop over row bands, free *)
+      let add_band i =
+        Workload.touch_block ~base:(c + (i * h * n)) ~words:(h * n)
+          ~stride:Workload.line_stride ()
+        >> Workload.touch_block ~base:(t + (i * h * m)) ~words:(h * m)
+             ~stride:Workload.line_stride ()
+        >> work (max 1 (h * m / 8))
+      in
+      alloc (m * m * 8)
+      >> par_list calls
+      >> (if m <= 2 * leaf then add_band 0 >> add_band 1
+          else par (add_band 0) (add_band 1))
+      >> free (m * m * 8)
+    end
+  in
+  finish (mult ~m:n ~a:a_base ~b:b_base ~c:c_base ~tmp:tmp_start)
+
+let bench ?(n = 128) grain =
+  let leaf = match grain with Workload.Medium -> 16 | Workload.Fine -> 8 in
+  Workload.make ~name:"DenseMM"
+    ~description:
+      (Printf.sprintf "recursive blocked %dx%d matrix multiply, %dx%d leaf blocks" n n leaf leaf)
+    ~grain ~prog:(prog ~n ~leaf)

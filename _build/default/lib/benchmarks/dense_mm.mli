@@ -1,0 +1,18 @@
+(** Dense matrix multiply (the paper's most allocation-intensive benchmark;
+    Figures 12–15 all use it).
+
+    Recursive blocked C = A*B on n x n doubles: each level splits into
+    quadrants, runs the 8 sub-multiplies in parallel (4 accumulating into C,
+    4 into a freshly allocated n x n temporary), then adds the temporary
+    into C and frees it — the temporaries are what makes the benchmark's
+    heap watermark scheduler-sensitive.  Leaf blocks multiply serially,
+    touching one cache line per block row of A, B and C.
+
+    Medium grain: 16 x 16 leaf blocks; fine grain: 8 x 8 (8x the threads,
+    as in Figure 11). *)
+
+val bench : ?n:int -> Workload.grain -> Workload.t
+(** [n] (default 128) must be a power of two and >= 2 * the leaf size. *)
+
+val prog : ?n:int -> leaf:int -> unit -> Dfd_dag.Prog.t
+(** Raw program builder (for sweeps over leaf size). *)

@@ -1,0 +1,45 @@
+module Prog = Dfd_dag.Prog
+open Prog
+
+(* Layout: the data array at 0 (complex words, 2 per element), twiddle
+   table at 2n. *)
+
+let prog ~n ~leaf () =
+  let tw_base = 2 * n in
+  (* The twiddle/combine pass over a segment of m elements is itself a
+     parallel loop (as in FFTW's multithreaded executor): chunks of
+     [4*leaf] butterflies fork as threads. *)
+  let combine ~base ~m =
+    let chunk = 4 * leaf in
+    let one ~cbase ~cm =
+      Workload.touch_block ~repeat:2 ~base:cbase ~words:(2 * cm) ~stride:Workload.line_stride
+        ()
+      >> Workload.touch_block ~repeat:2 ~base:tw_base ~words:(max 8 (cm / 4))
+           ~stride:Workload.line_stride ()
+      >> work (max 1 (cm / 4))
+    in
+    if m <= chunk then one ~cbase:base ~cm:m
+    else
+      par_iter ~lo:0 ~hi:(m / chunk) (fun i ->
+          one ~cbase:(base + (2 * i * chunk)) ~cm:chunk)
+  in
+  let rec fft ~base ~m =
+    if m <= leaf then
+      (* serial codelet: m log m butterflies, one line-touch per 8 elems *)
+      Workload.touch_block ~repeat:4 ~base ~words:(2 * m) ~stride:Workload.line_stride ()
+      >> work (max 1 (m * 4 / 8))
+    else begin
+      let h = m / 2 in
+      par (fft ~base ~m:h) (fft ~base:(base + (2 * h)) ~m:h) >> combine ~base ~m
+    end
+  in
+  finish
+    (alloc (n * 8) (* twiddle table *)
+     >> fft ~base:0 ~m:n
+     >> free (n * 8))
+
+let bench ?(n = 16384) grain =
+  let leaf = match grain with Workload.Medium -> 512 | Workload.Fine -> 128 in
+  Workload.make ~name:"FFTW"
+    ~description:(Printf.sprintf "recursive FFT of size %d, %d-point leaf codelets" n leaf)
+    ~grain ~prog:(prog ~n ~leaf)

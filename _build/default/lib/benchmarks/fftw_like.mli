@@ -1,0 +1,14 @@
+(** Recursive FFT in the style of FFTW's codelets (the paper's "FFTW"
+    benchmark).
+
+    Cooley-Tukey: a transform of size n recurses on two interleaved halves
+    in parallel, then runs a twiddle/combine pass over the whole segment.
+    Leaf transforms of size [leaf] run serially as codelets.  The combine
+    pass touches the segment's cache lines, so threads working on sibling
+    segments share lines near the recursion's bottom — exactly the locality
+    structure that favours coarse steals.  Minor heap use (a twiddle-factor
+    table per top-level call). *)
+
+val bench : ?n:int -> Workload.grain -> Workload.t
+
+val prog : n:int -> leaf:int -> unit -> Dfd_dag.Prog.t

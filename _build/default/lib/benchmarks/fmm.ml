@@ -1,0 +1,93 @@
+module Prog = Dfd_dag.Prog
+open Prog
+
+(* Quadtree cells are indexed heap-style: cell 0 is the root, children of c
+   are 4c+1..4c+4.  The expansion of cell c occupies [terms] words at
+   exp_base + c*terms. *)
+
+let n_cells levels =
+  let rec go l acc pow = if l > levels then acc else go (l + 1) (acc + pow) (4 * pow) in
+  go 0 0 1
+
+let prog ~levels ~terms ~serial_cutoff () =
+  let total = n_cells levels in
+  let exp_base = 0 in
+  let particle_base = total * terms in
+  let expansion c = exp_base + (c * terms) in
+  let exp_bytes = terms * 8 in
+  let cell_level c =
+    let rec go c l = if c = 0 then l else go ((c - 1) / 4) (l + 1) in
+    go c 0
+  in
+  let is_leaf c = cell_level c = levels in
+  let children c = List.init 4 (fun i -> (4 * c) + 1 + i) in
+  (* Upward pass: compute children first, then shift their expansions into
+     the parent's freshly allocated one.  The expansion stays live. *)
+  let rec upward c =
+    let mine =
+      alloc exp_bytes
+      >> Workload.touch_block ~repeat:4 ~base:(expansion c) ~words:terms
+           ~stride:Workload.line_stride ()
+    in
+    if is_leaf c then
+      (* particle-to-multipole: touch the cell's particles *)
+      mine
+      >> touch [| particle_base + c; particle_base + c + 1 |]
+      >> work (max 1 (terms * 2))
+    else begin
+      let body = List.map upward (children c) in
+      let recur = if cell_level c >= serial_cutoff then seq body else par_list body in
+      (* children, then combine their expansions through a scratch buffer
+         (the transient allocation that makes FMM's watermark
+         scheduler-sensitive, cf. Figure 14) *)
+      recur >> mine
+      >> alloc (4 * exp_bytes)
+      >> touch (Array.of_list (List.map expansion (children c)))
+      >> work (max 1 (terms * terms / 4))
+      >> free (4 * exp_bytes)
+    end
+  in
+  (* Interaction pass: each cell reads up to 8 same-level "well separated"
+     cells' expansions (a fixed pseudo-pattern: siblings and cousins). *)
+  let rec interact c =
+    let peers =
+      List.filteri (fun i _ -> i < 8)
+        (List.concat_map (fun d ->
+             let t = c + d in
+             if t > 0 && t < total && cell_level t = cell_level c then [ t ] else [])
+           [ -3; -2; -1; 1; 2; 3; 4; -4 ])
+    in
+    let self =
+      touch (Array.of_list (expansion c :: List.map expansion peers))
+      >> work (max 1 (terms * terms / 8 * max 1 (List.length peers) / 4))
+    in
+    if is_leaf c then self
+    else begin
+      let body = List.map interact (children c) in
+      let recur = if cell_level c >= serial_cutoff then seq body else par_list body in
+      self >> recur
+    end
+  in
+  (* Downward pass: evaluate at particles and free each expansion. *)
+  let rec downward c =
+    let mine =
+      touch [| expansion c |]
+      >> work (max 1 terms)
+      >> free exp_bytes
+    in
+    if is_leaf c then mine >> touch [| particle_base + c |]
+    else begin
+      let body = List.map downward (children c) in
+      let recur = if cell_level c >= serial_cutoff then seq body else par_list body in
+      mine >> recur
+    end
+  in
+  finish (upward 0 >> interact 0 >> downward 0)
+
+let bench ?(levels = 5) ?(terms = 20) grain =
+  let serial_cutoff = match grain with Workload.Medium -> 3 | Workload.Fine -> 5 in
+  Workload.make ~name:"FMM"
+    ~description:
+      (Printf.sprintf "uniform 2-d FMM, %d quadtree levels, %d-term expansions" levels terms)
+    ~grain
+    ~prog:(prog ~levels ~terms ~serial_cutoff)

@@ -1,0 +1,17 @@
+(** Fast Multipole Method, uniform 2-d (the paper's FMM benchmark; heap
+    heavy — Figure 14 reports its heap watermark).
+
+    A [levels]-deep quadtree over a uniform particle distribution:
+    {ol {- upward pass: per-cell multipole expansions are {e allocated} and
+    computed bottom-up (children before parents), each cell's expansion
+    living until the downward pass releases it;}
+    {- interaction pass: every cell evaluates its interaction list
+    (well-separated same-level cells), touching their expansions;}
+    {- downward pass: local expansions are evaluated at the particles and
+    the multipole storage is freed.}}
+    Each phase is a parallel recursion over the quadtree; threads working
+    on sibling cells touch adjacent expansion storage. *)
+
+val bench : ?levels:int -> ?terms:int -> Workload.grain -> Workload.t
+
+val prog : levels:int -> terms:int -> serial_cutoff:int -> unit -> Dfd_dag.Prog.t

@@ -1,0 +1,35 @@
+module Prog = Dfd_dag.Prog
+open Prog
+
+(* Stage s communicates with stage s+1 through condition variable s+1 and
+   its guard mutex s+1; each stage owns a scratch buffer it touches while
+   processing. *)
+
+let prog ~stages ~items ~work_per_item () =
+  if stages < 2 then invalid_arg "Pipeline.prog: need at least 2 stages";
+  let buffer s = s * 64 in
+  let produce_item =
+    work work_per_item >> critical 1 (work 1) >> signal 1
+  in
+  let stage_pass s =
+    lock s
+    >> wait ~cv:s ~mutex:s
+    >> unlock s
+    >> touch [| buffer s; buffer s + 8 |]
+    >> work work_per_item
+    >> (if s = stages - 1 then nothing else critical (s + 1) (work 1) >> signal (s + 1))
+  in
+  let stage_thread s =
+    if s = 0 then repeat items produce_item
+    else repeat items (stage_pass s)
+  in
+  finish (par_iter ~lo:0 ~hi:stages stage_thread)
+
+let bench ?(stages = 8) ?(items = 64) grain =
+  let work_per_item = match grain with Workload.Medium -> 20 | Workload.Fine -> 5 in
+  Workload.make ~name:"Pipeline"
+    ~description:
+      (Printf.sprintf "condvar pipeline: %d stages, %d items, %d work/item" stages items
+         work_per_item)
+    ~grain
+    ~prog:(prog ~stages ~items ~work_per_item)

@@ -1,0 +1,18 @@
+(** A software pipeline over condition variables — the blocking-
+    synchronisation stress test beyond Figure 17's mutexes (the paper's
+    Pthreads implementation "supports computations with arbitrary
+    synchronizations, such as mutexes and condition variables",
+    Section 3.1).
+
+    [stages] threads run concurrently; stage 0 produces [items] work items,
+    each later stage waits on its condition variable for an item, processes
+    it (work + a touch of its stage-local buffer), and signals the next
+    stage.  Signals are sticky (see {!Dfd_dag.Action.Wait}), so the
+    pipeline is deterministic and deadlock-free however it is scheduled.
+    Threads spend most of their lives suspended — the regime in which
+    DFDeques' granularity advantage collapses to ADF levels (Section 7's
+    discussion of blocking synchronisation). *)
+
+val bench : ?stages:int -> ?items:int -> Workload.grain -> Workload.t
+
+val prog : stages:int -> items:int -> work_per_item:int -> unit -> Dfd_dag.Prog.t

@@ -1,0 +1,29 @@
+let table_benchmarks grain =
+  [
+    Volume_render.bench grain;
+    Dense_mm.bench grain;
+    Sparse_mvm.bench grain;
+    Fftw_like.bench grain;
+    Fmm.bench grain;
+    Barnes_hut.bench grain;
+    Decision_tree.bench grain;
+  ]
+
+let all grain =
+  table_benchmarks grain
+  @ [
+      Barnes_hut.treebuild grain;
+      Synthetic.bench grain;
+      Lower_bound.bench grain;
+      Pipeline.bench grain;
+    ]
+
+let names = List.map (fun b -> b.Workload.name) (all Workload.Medium)
+
+let find name grain =
+  let want = String.lowercase_ascii name in
+  match
+    List.find_opt (fun b -> String.lowercase_ascii b.Workload.name = want) (all grain)
+  with
+  | Some b -> b
+  | None -> raise Not_found

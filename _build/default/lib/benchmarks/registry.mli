@@ -1,0 +1,15 @@
+(** Name-indexed access to all benchmarks — the set used by the Figure 1 /
+    11 / 12 tables, in the paper's row order. *)
+
+val table_benchmarks : Workload.grain -> Workload.t list
+(** The seven Section 5 benchmarks: VolRend, DenseMM, SparseMVM, FFTW, FMM,
+    BarnesHut, DecisionTree. *)
+
+val all : Workload.grain -> Workload.t list
+(** The seven plus BH-TreeBuild, Synthetic, LowerBound and the condvar
+    Pipeline. *)
+
+val find : string -> Workload.grain -> Workload.t
+(** Look a benchmark up by (case-insensitive) name; raises [Not_found]. *)
+
+val names : string list

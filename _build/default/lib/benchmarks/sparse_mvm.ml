@@ -1,0 +1,45 @@
+module Prog = Dfd_dag.Prog
+module Prng = Dfd_structures.Prng
+open Prog
+
+(* Layout: x at 0, y at rows, A's values+indices at 2*rows (row-major). *)
+
+let prog ~rows ~nnz_per_row ~block ~seed () =
+  let x_base = 0 and y_base = rows and a_base = 2 * rows in
+  let rng = Prng.create seed in
+  (* Fixed banded sparsity pattern, regenerated identically on each call. *)
+  let cols =
+    Array.init rows (fun r ->
+        Array.init nnz_per_row (fun _ ->
+            let off = Prng.int_in rng (-40) 40 in
+            let c = r + off in
+            if c < 0 then 0 else if c >= rows then rows - 1 else c))
+  in
+  let row_frag r =
+    let touches =
+      Array.concat
+        [
+          Array.map (fun c -> x_base + c) cols.(r);
+          [| y_base + r |];
+          Array.init (max 1 (nnz_per_row / Workload.line_stride)) (fun j ->
+              a_base + (r * nnz_per_row) + (j * Workload.line_stride));
+        ]
+    in
+    touch touches >> work (max 1 (nnz_per_row / 4))
+  in
+  let nblocks = (rows + block - 1) / block in
+  let block_frag b =
+    let lo = b * block and hi = min rows ((b + 1) * block) in
+    let rec rows_seq r = if r >= hi then nothing else row_frag r >> rows_seq (r + 1) in
+    rows_seq lo
+  in
+  finish (par_iter ~lo:0 ~hi:nblocks block_frag)
+
+let bench ?(rows = 3000) ?(nnz_per_row = 12) grain =
+  let block = match grain with Workload.Medium -> 48 | Workload.Fine -> 12 in
+  Workload.make ~name:"SparseMVM"
+    ~description:
+      (Printf.sprintf "banded sparse MVM, %d rows, ~%d nnz/row, %d-row blocks" rows nnz_per_row
+         block)
+    ~grain
+    ~prog:(prog ~rows ~nnz_per_row ~block ~seed:1234)

@@ -1,0 +1,13 @@
+(** Sparse matrix-vector multiply y = A*x (the paper's Spark98-derived
+    benchmark; low heap usage, locality driven by the column indices each
+    row block touches).
+
+    The matrix is a fixed pseudo-random pattern: [rows] rows, ~[nnz_per_row]
+    nonzeros per row with column indices clustered around the diagonal
+    (banded, as in finite-element matrices), so neighbouring rows share
+    cache lines of x.  The rows are processed by a binary fork tree over
+    row blocks; block size sets the thread granularity. *)
+
+val bench : ?rows:int -> ?nnz_per_row:int -> Workload.grain -> Workload.t
+
+val prog : rows:int -> nnz_per_row:int -> block:int -> seed:int -> unit -> Dfd_dag.Prog.t

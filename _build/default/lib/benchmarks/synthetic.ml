@@ -1,0 +1,93 @@
+module Prog = Dfd_dag.Prog
+module Prng = Dfd_structures.Prng
+open Prog
+
+type family =
+  | Geometric  (** memory and granularity halve per level (Figure 16). *)
+  | Flat  (** every node allocates and works the same amount. *)
+  | Inverted  (** memory {e grows} toward the leaves (buffers allocated at
+                  the bottom of the recursion, e.g. out-of-core merges). *)
+  | Skewed
+      (** unbalanced recursion: one child gets ~70% of the remaining
+          levels' budget — the irregular-load family. *)
+
+let family_prog ~family ~levels ~mem0 ~gran0 ~seed () =
+  let module Prog = Dfd_dag.Prog in
+  let open Prog in
+  let rng = Prng.create seed in
+  let around mean =
+    if mean <= 1 then 1 else max 1 (Prng.int_in rng (mean / 2) (mean + (mean / 2)))
+  in
+  let level_mem level =
+    match family with
+    | Geometric | Skewed -> max 1 (mem0 lsr level)
+    | Flat -> max 1 (mem0 / levels)
+    | Inverted -> max 1 (mem0 lsr (levels - 1 - min level (levels - 1)))
+  in
+  let level_gran level =
+    match family with
+    | Geometric | Skewed -> max 1 (gran0 lsr level)
+    | Flat -> max 1 (gran0 / levels)
+    | Inverted -> max 1 (gran0 lsr (levels - 1 - min level (levels - 1)))
+  in
+  let rec node level budget =
+    let m = around (level_mem level) in
+    let g = around (level_gran level) in
+    if level >= levels - 1 || budget <= 1 then alloc m >> work g >> free m
+    else begin
+      let lb, rb =
+        match family with
+        | Skewed ->
+          let big = max 1 (budget * 7 / 10) in
+          if Prng.bool rng then (big, max 1 (budget - big)) else (max 1 (budget - big), big)
+        | Geometric | Flat | Inverted -> (budget / 2, budget - (budget / 2))
+      in
+      alloc m >> work g >> par (node (level + 1) lb) (node (level + 1) rb) >> free m
+    end
+  in
+  finish (node 0 (1 lsl (levels - 1)))
+
+let prog ~levels ~mem0 ~gran0 ~seed () =
+  let rng = Prng.create seed in
+  (* uniform in [mean/2, 3*mean/2] — "selected uniformly at random with the
+     specified mean" *)
+  let around mean =
+    if mean <= 1 then 1 else max 1 (Prng.int_in rng (mean / 2) (mean + (mean / 2)))
+  in
+  let rec node level =
+    let mean_mem = max 1 (mem0 lsr level) in
+    let mean_gran = max 1 (gran0 lsr level) in
+    let m = around mean_mem in
+    let g = around mean_gran in
+    if level >= levels - 1 then alloc m >> work g >> free m
+    else
+      alloc m >> work g
+      >> par (node (level + 1)) (node (level + 1))
+      >> free m
+  in
+  finish (node 0)
+
+let family_bench ?(levels = 13) ?(mem0 = 65536) ?(gran0 = 512) ?(seed = 2718) family grain =
+  let name =
+    match family with
+    | Geometric -> "Synth-geom"
+    | Flat -> "Synth-flat"
+    | Inverted -> "Synth-inverted"
+    | Skewed -> "Synth-skewed"
+  in
+  Workload.make ~name
+    ~description:
+      (Printf.sprintf "synthetic d&c family %s: %d levels, root mem %dB, root work %d" name
+         levels mem0 gran0)
+    ~grain
+    ~prog:(family_prog ~family ~levels ~mem0 ~gran0 ~seed)
+
+let bench ?(levels = 15) ?(mem0 = 131072) ?(gran0 = 1024) ?(seed = 2718) grain =
+  Workload.make ~name:"Synthetic"
+    ~description:
+      (Printf.sprintf
+         "Section 6 synthetic d&c: %d levels, geometric memory (root %dB) and granularity (root \
+          %d)"
+         levels mem0 gran0)
+    ~grain
+    ~prog:(prog ~levels ~mem0 ~gran0 ~seed)

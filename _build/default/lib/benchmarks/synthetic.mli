@@ -1,0 +1,32 @@
+(** The Section 6 synthetic divide-and-conquer benchmark.
+
+    A binary recursion of [levels] levels; a thread at level i allocates
+    memory with mean [mem0 / 2^i] and executes work with mean
+    [gran0 / 2^i], forks its two children, joins them, and frees — "both
+    the memory requirement and the thread granularity decrease
+    geometrically down the recursion tree", with each level's actual values
+    drawn uniformly at random around the mean to model irregularity
+    (footnote 16 of the paper). *)
+
+type family =
+  | Geometric  (** memory and granularity halve per level (Figure 16). *)
+  | Flat  (** uniform allocation and work at every node. *)
+  | Inverted  (** memory grows toward the leaves. *)
+  | Skewed  (** unbalanced recursion (~70/30 splits); irregular load. *)
+
+val family_prog :
+  family:family -> levels:int -> mem0:int -> gran0:int -> seed:int -> unit -> Dfd_dag.Prog.t
+(** The other synthetic families of the thesis's Chapter on simulation
+    (the paper's footnote 17: "results for other benchmarks ... can be
+    found elsewhere [33]"). *)
+
+val family_bench :
+  ?levels:int -> ?mem0:int -> ?gran0:int -> ?seed:int -> family -> Workload.grain -> Workload.t
+
+val prog :
+  levels:int -> mem0:int -> gran0:int -> seed:int -> unit -> Dfd_dag.Prog.t
+
+val bench :
+  ?levels:int -> ?mem0:int -> ?gran0:int -> ?seed:int -> Workload.grain -> Workload.t
+(** Defaults: 15 levels, 128kB root allocation, 1024-unit root work — the
+    Figure 16 configuration scaled to the simulator. *)

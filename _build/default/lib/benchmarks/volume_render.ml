@@ -1,0 +1,47 @@
+module Prog = Dfd_dag.Prog
+open Prog
+
+(* Layout: the volume occupies vol^3 words from 0; the image plane sits
+   after it. *)
+
+let prog ~vol ~img ~tile () =
+  let img_base = (((vol * vol) + (3 * Workload.line_stride)) * vol) + 64 in
+  let tiles_per_side = (img + tile - 1) / tile in
+  let n_tiles = tiles_per_side * tiles_per_side in
+  (* The volume is stored with a padded slab stride (as real renderers do,
+     precisely to avoid power-of-two cache-set aliasing between samples);
+     img_base above reserves the padded volume region. *)
+  let slab = (vol * vol) + (3 * Workload.line_stride) in
+  assert (img_base > slab * vol);
+  let ray ~px ~py =
+    (* March [vol] samples along a slightly slanted column: neighbouring
+       pixels hit neighbouring columns, and trilinear interpolation revisits
+       each sample's neighbourhood. *)
+    let sx = px * vol / img and sy = py * vol / img in
+    let samples = max 1 (vol / 4) in
+    let once =
+      Array.init samples (fun s ->
+          let z = s * vol / samples in
+          (z * slab) + (sy * vol) + sx)
+    in
+    touch (Array.concat [ once; once ])
+    >> touch [| img_base + (py * img) + px |]
+    >> work (max 1 (vol / 8))
+  in
+  let tile_frag t =
+    let tx = (t mod tiles_per_side) * tile and ty = t / tiles_per_side * tile in
+    let rec rays i =
+      if i >= tile * tile then nothing
+      else ray ~px:(tx + (i mod tile)) ~py:(ty + (i / tile)) >> rays (i + 1)
+    in
+    rays 0
+  in
+  finish (par_iter ~lo:0 ~hi:n_tiles tile_frag)
+
+let bench ?(vol = 32) ?(img = 64) grain =
+  let tile = match grain with Workload.Medium -> 8 | Workload.Fine -> 4 in
+  Workload.make ~name:"VolRend"
+    ~description:
+      (Printf.sprintf "ray-cast volume rendering, %d^3 volume, %d^2 image, %dx%d tiles" vol img
+         tile tile)
+    ~grain ~prog:(prog ~vol ~img ~tile)

@@ -1,0 +1,13 @@
+(** Ray-casting volume renderer (the paper's Vol. Rend. benchmark, derived
+    from the SPLASH-2 renderer).
+
+    A [img x img] image is partitioned into square tiles; a binary fork
+    tree creates one thread per tile.  Each ray marches through the
+    [vol^3]-voxel volume touching voxels along its path; rays from the same
+    tile traverse neighbouring voxel columns, so threads close in the dag
+    share volume cache lines.  No heap allocation (the paper's version
+    allocates only at startup). *)
+
+val bench : ?vol:int -> ?img:int -> Workload.grain -> Workload.t
+
+val prog : vol:int -> img:int -> tile:int -> unit -> Dfd_dag.Prog.t

@@ -1,0 +1,25 @@
+type grain = Medium | Fine
+
+let pp_grain ppf = function
+  | Medium -> Format.pp_print_string ppf "medium"
+  | Fine -> Format.pp_print_string ppf "fine"
+
+type t = {
+  name : string;
+  description : string;
+  grain : grain;
+  prog : unit -> Dfd_dag.Prog.t;
+}
+
+let make ~name ~description ~grain ~prog = { name; description; grain; prog }
+
+let line_stride = 8
+
+let touch_block ?(repeat = 1) ~base ~words ~stride () =
+  if words <= 0 then Dfd_dag.Prog.nothing
+  else begin
+    let n = max 1 ((words + stride - 1) / stride) in
+    let once = Array.init n (fun i -> base + (i * stride)) in
+    let addrs = Array.concat (List.init (max 1 repeat) (fun _ -> once)) in
+    Dfd_dag.Prog.touch addrs
+  end

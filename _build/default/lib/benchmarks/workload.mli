@@ -1,0 +1,41 @@
+(** Common shape of the paper's benchmarks (Section 5.1).
+
+    Each benchmark builds a nested-parallel program whose dag shape,
+    allocation profile and memory-reference pattern mirror the corresponding
+    C/Pthreads benchmark; the schedulers only ever see those three things,
+    so this is the faithful projection of the benchmark onto the simulator.
+
+    Every benchmark comes in two thread granularities, as in the paper:
+    {e medium} (recursion serialised near the leaves, the granularity that
+    performed well under the depth-first scheduler in [35]) and {e fine}
+    (the finest granularity keeping thread overhead ~5% of serial time). *)
+
+type grain = Medium | Fine
+
+val pp_grain : Format.formatter -> grain -> unit
+
+type t = {
+  name : string;
+  description : string;
+  grain : grain;
+  prog : unit -> Dfd_dag.Prog.t;
+      (** fresh program; internal PRNGs are re-seeded so every call builds
+          the same dag. *)
+}
+
+val make :
+  name:string -> description:string -> grain:grain -> prog:(unit -> Dfd_dag.Prog.t) -> t
+
+(** Helpers shared by benchmark implementations. *)
+
+val touch_block :
+  ?repeat:int -> base:int -> words:int -> stride:int -> unit -> Dfd_dag.Prog.frag
+(** One [Touch] action referencing [words / stride] addresses sampling the
+    block [base, base+words) at the given stride (use the cache line size in
+    words to touch each line once).  [repeat] (default 1) re-references the
+    whole block that many times, modelling the temporal reuse of the kernel
+    loop the block stands for — only the first round can miss in a cache
+    that fits the block, so the miss {e rate} scales as 1/repeat. *)
+
+val line_stride : int
+(** 8 words = one 64-byte cache line. *)

@@ -1,0 +1,1 @@
+lib/core/depth_first.ml: Dfd_machine Dfd_structures List Sched_intf Thread_state

@@ -1,0 +1,1 @@
+lib/core/depth_first.mli: Sched_intf

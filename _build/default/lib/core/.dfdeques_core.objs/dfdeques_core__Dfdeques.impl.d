@@ -1,0 +1,1 @@
+lib/core/dfdeques.ml: Array Dfd_machine Dfd_structures Format Sched_intf Thread_state

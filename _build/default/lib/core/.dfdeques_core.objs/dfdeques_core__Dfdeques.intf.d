@@ -1,0 +1,1 @@
+lib/core/dfdeques.mli: Sched_intf

@@ -1,0 +1,1 @@
+lib/core/dummy.ml: Dfd_dag

@@ -1,0 +1,1 @@
+lib/core/dummy.mli: Dfd_dag

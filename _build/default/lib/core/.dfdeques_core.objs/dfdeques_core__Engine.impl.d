@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Depth_first Dfd_dag Dfd_machine Dfd_structures Dfdeques Dummy Fifo_sched Format Hashtbl Option Printf Queue Sched_intf Thread_state Work_stealing

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Dfd_dag Dfd_machine Dfdeques Format Sched_intf Thread_state

@@ -1,0 +1,1 @@
+lib/core/fifo_sched.ml: Dfd_machine Queue Sched_intf Thread_state

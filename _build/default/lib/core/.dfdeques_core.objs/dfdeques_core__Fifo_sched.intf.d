@@ -1,0 +1,1 @@
+lib/core/fifo_sched.mli: Sched_intf

@@ -1,0 +1,1 @@
+lib/core/sched_intf.ml: Dfd_machine Dfd_structures Thread_state

@@ -1,0 +1,1 @@
+lib/core/thread_state.ml: Dfd_dag Dfd_structures Format Printf

@@ -1,0 +1,1 @@
+lib/core/thread_state.mli: Dfd_dag Dfd_structures Format

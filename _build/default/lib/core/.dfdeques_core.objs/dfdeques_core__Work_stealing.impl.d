@@ -1,0 +1,1 @@
+lib/core/work_stealing.ml: Array Dfd_machine Dfd_structures Sched_intf Thread_state

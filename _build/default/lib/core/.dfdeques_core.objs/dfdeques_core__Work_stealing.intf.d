@@ -1,0 +1,1 @@
+lib/core/work_stealing.mli: Sched_intf

@@ -1,0 +1,17 @@
+(** Asynchronous depth-first scheduler "ADF" (Narlikar–Blelloch, refs
+    [34,35] of the paper).
+
+    All ready threads sit in one global structure ordered by their serial
+    depth-first (1DF) priority; an idle processor dispatches the leftmost
+    (highest-priority) ready thread.  At a fork the processor continues
+    with the child and the parent re-enters the global structure at its
+    priority.  Each dispatch grants the processor a memory quota of K
+    bytes; exhaustion preempts the thread back into the structure, and
+    allocations above K are preceded by dummy threads, exactly as in
+    DFDeques.  The global structure is the scheduling bottleneck the paper
+    ascribes to depth-first schedulers at fine granularity (Section 2.2):
+    under the costed model every dispatch serialises through a lock. *)
+
+module P : Sched_intf.POLICY
+
+val policy : Sched_intf.ctx -> Sched_intf.packed

@@ -1,0 +1,44 @@
+(** Algorithm DFDeques(K) — the paper's contribution (Section 3.3, Figure 5).
+
+    Ready threads live in multiple deques kept in a globally
+    priority-ordered list [R].  Each processor owns at most one deque and
+    treats it as a LIFO stack; a deque has at most one owner.  A processor:
+
+    - pops work from the {e top} of its own deque;
+    - at a fork, pushes the parent on top and continues with the child;
+    - abandons its deque (leaving it in [R]) when its memory quota — K
+      bytes of net allocation, reset at every steal — is exhausted, and
+      after executing any dummy thread of the big-allocation transformation;
+    - when out of work, steals the {e bottom} thread of a deque chosen
+      uniformly at random among the leftmost [p] deques of [R], placing its
+      fresh deque immediately to the {e right} of the victim.
+
+    Deques are deleted when an owner finds its deque empty, or when a thief
+    empties an ownerless deque.  Lemma 3.1's ordering invariant (deque list
+    order + in-deque order = 1DF priority order of all ready threads) is
+    checkable via {!P.check_invariants}.
+
+    With [K = infinity] (threshold [None]) the algorithm behaves as the
+    space-efficient work stealer of Blumofe–Leiserson (Section 3.3, "Work
+    stealing as a special case"). *)
+
+type variant = {
+  steal_from_top : bool;
+      (** ablation: steal the top (finest, highest-priority) thread of the
+          victim deque instead of the bottom — destroys the coarse-steal
+          granularity argument of Section 3.3. *)
+  victim_anywhere : bool;
+      (** ablation: choose the victim uniformly over {e all} deques of R
+          instead of the leftmost p — breaks the left-frontier bias behind
+          the Section 4.2 space argument. *)
+}
+
+val paper_variant : variant
+(** [{ steal_from_top = false; victim_anywhere = false }] — Figure 5. *)
+
+module P : Sched_intf.POLICY
+
+val policy : Sched_intf.ctx -> Sched_intf.packed
+
+val policy_with : variant -> Sched_intf.ctx -> Sched_intf.packed
+(** DFDeques with ablation knobs (the [ablation] experiment). *)

@@ -1,0 +1,23 @@
+module Prog = Dfd_dag.Prog
+module Action = Dfd_dag.Action
+
+let threads_needed ~alloc ~k =
+  if k <= 0 then invalid_arg "Dummy.threads_needed: k must be positive";
+  (alloc + k - 1) / k
+
+let dummy_prog = Prog.Act (Action.Dummy, Prog.Nil)
+
+let is_dummy_prog = function
+  | Prog.Act (Action.Dummy, Prog.Nil) -> true
+  | _ -> false
+
+(* A fragment forking [q] dummy threads as the leaves of a balanced binary
+   fork tree (internal nodes are ordinary threads). *)
+let rec tree q : Prog.frag =
+  if q <= 1 then fun cont -> Prog.Fork ((fun () -> dummy_prog), Prog.Join cont)
+  else Prog.par (tree (q / 2)) (tree (q - (q / 2)))
+
+let transform ~alloc ~k ~cont =
+  if alloc <= k then invalid_arg "Dummy.transform: allocation fits the threshold";
+  let q = threads_needed ~alloc ~k in
+  (tree q) (Prog.Act (Action.Alloc alloc, cont))

@@ -1,0 +1,24 @@
+(** The big-allocation transformation of Section 3.3.
+
+    An action allocating [m > K] bytes must be preceded by [ceil(m/K)]
+    dummy threads forked in a binary tree of depth [O(log(m/K))]; each
+    dummy executes a single no-op, and the processor executing it gives up
+    its deque and steals.  Only after all dummies have executed may the
+    allocation proceed.  The transformation happens at runtime, when the
+    allocation becomes the thread's next action. *)
+
+val threads_needed : alloc:int -> k:int -> int
+(** [ceil(alloc / k)], the number of dummy threads. *)
+
+val transform : alloc:int -> k:int -> cont:Dfd_dag.Prog.t -> Dfd_dag.Prog.t
+(** [transform ~alloc ~k ~cont] is the program that forks the dummy tree,
+    joins it, then performs [Alloc alloc] and continues with [cont].
+    Requires [alloc > k > 0].
+
+    The leaves of the tree fork children whose whole program is the single
+    {!Dfd_dag.Action.Dummy} action; the engine recognises that shape (via
+    {!is_dummy_prog}) and creates those children with
+    {!Thread_state.fork_dummy} so they carry the dummy flag. *)
+
+val is_dummy_prog : Dfd_dag.Prog.t -> bool
+(** Recognise the bare one-action dummy-thread program. *)

@@ -1,0 +1,421 @@
+module Prog = Dfd_dag.Prog
+module Action = Dfd_dag.Action
+module Config = Dfd_machine.Config
+module Memory = Dfd_machine.Memory
+module Cache = Dfd_machine.Cache
+module Metrics = Dfd_machine.Metrics
+module Prng = Dfd_structures.Prng
+module T = Thread_state
+
+exception Deadlock of string
+
+exception Stuck of string
+
+type result = {
+  sched : string;
+  time : int;
+  work : int;
+  heap_peak : int;
+  combined_peak : int;
+  threads_peak : int;
+  threads_created : int;
+  total_alloc : int;
+  final_heap : int;
+  steals : int;
+  steal_attempts : int;
+  local_dispatches : int;
+  queue_dispatches : int;
+  quota_exhaustions : int;
+  dummy_threads : int;
+  heavy_premature : int;
+  deque_peak : int;
+  sched_granularity : float;
+  local_steal_ratio : float;
+  load_imbalance : float;
+  cache_accesses : int;
+  cache_misses : int;
+  cache_miss_rate : float;
+}
+
+type sched =
+  [ `Dfdeques | `Ws | `Adf | `Fifo | `Dfdeques_variant of Dfdeques.variant ]
+
+let make_policy (s : sched) ctx =
+  match s with
+  | `Dfdeques -> Dfdeques.policy ctx
+  | `Dfdeques_variant v -> Dfdeques.policy_with v ctx
+  | `Ws -> Work_stealing.policy ctx
+  | `Adf -> Depth_first.policy ctx
+  | `Fifo -> Fifo_sched.policy ctx
+
+let sched_name = function
+  | `Dfdeques -> "DFD"
+  | `Dfdeques_variant _ -> "DFD-variant"
+  | `Ws -> "WS"
+  | `Adf -> "ADF"
+  | `Fifo -> "FIFO"
+
+type mutex = {
+  mutable holder : T.t option;
+  waiters : T.t Queue.t;
+  mutable bus_penalized_at : int;
+      (* last timestep a spinner's coherence traffic already slowed the
+         holder (test-and-set ping-pong is charged once per timestep) *)
+}
+
+exception Malformed_run of string
+
+let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_000_000)
+    ?observer ?sampler ~(sched : sched) (cfg : Config.t) (prog : Prog.t) : result =
+  let p = cfg.p in
+  let metrics = Metrics.create ~p in
+  let rng = Prng.create cfg.seed in
+  let ctx = { Sched_intf.cfg; metrics; rng; now = 0 } in
+  let (Sched_intf.Packed ((module P), pol)) = make_policy sched ctx in
+  let pool = T.create_pool () in
+  let memory = Memory.create ~stack_bytes:cfg.stack_bytes in
+  let cache = Option.map (fun geo -> Cache.create geo ~p) cfg.cache in
+  let mutexes : (int, mutex) Hashtbl.t = Hashtbl.create 16 in
+  let mutex m =
+    match Hashtbl.find_opt mutexes m with
+    | Some mu -> mu
+    | None ->
+      let mu = { holder = None; waiters = Queue.create (); bus_penalized_at = -1 } in
+      Hashtbl.add mutexes m mu;
+      mu
+  in
+  (* Condition variables: sticky (counted) signals + a waiter queue; a
+     woken waiter re-acquires its mutex through the ordinary Lock path. *)
+  let conds : (int, int ref * T.t Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  let cond cv =
+    match Hashtbl.find_opt conds cv with
+    | Some c -> c
+    | None ->
+      let c = (ref 0, Queue.create ()) in
+      Hashtbl.add conds cv c;
+      c
+  in
+  let curr : T.t option array = Array.make p None in
+  (* First timestep at which the processor may act again. *)
+  let avail = Array.make p 0 in
+  let quota = Array.make p 0 in
+  let finite_k = not (Config.is_infinite_threshold cfg) && P.has_quota in
+  let k_bytes = if finite_k then Config.mem_threshold_exn cfg else max_int in
+  Array.fill quota 0 p k_bytes;
+  (* Simulated global scheduler lock (costed mode only). *)
+  let lock_free_at = ref 0 in
+  let serialize proc =
+    if cfg.queue_cost > 0 then begin
+      let start = max ctx.now !lock_free_at in
+      lock_free_at := start + cfg.queue_cost;
+      avail.(proc) <- max avail.(proc) !lock_free_at
+    end
+  in
+  let last_progress = ref 0 in
+  let progress () = last_progress := ctx.now in
+  let root = T.make_root pool prog in
+  Memory.thread_created memory;
+  P.register_root pol root;
+  let malformed msg = raise (Malformed_run msg) in
+
+  (* Charge the current processor [extra] stall timesteps beyond this one. *)
+  let stall proc extra = avail.(proc) <- max avail.(proc) (ctx.now + 1 + extra) in
+
+  (* Shared by Unlock and Wait: release a held mutex, waking the first lock
+     waiter (which must re-acquire when scheduled — no handoff). *)
+  let release_mutex proc th m =
+    let mu = mutex m in
+    (match mu.holder with
+     | Some h when h == th -> ()
+     | _ -> malformed "unlock/wait on a mutex not held by the current thread");
+    mu.holder <- None;
+    match Queue.take_opt mu.waiters with
+    | None -> ()
+    | Some w ->
+      w.T.state <- T.Ready;
+      w.T.ready_at <- ctx.now;
+      P.on_wake_lock pol ~proc w
+  in
+  let wake_cond_waiter proc w =
+    w.T.state <- T.Ready;
+    w.T.ready_at <- ctx.now;
+    P.on_wake_lock pol ~proc w
+  in
+
+  (* Execute exactly one unit-starting action of [th] on [proc]; consumes
+     the timestep. *)
+  let execute_action proc th (a : Action.t) cont =
+    th.T.prog <- cont;
+    Metrics.action_executed metrics ~proc ~units:(Action.work_units a);
+    (match observer with Some f -> f ~now:ctx.Sched_intf.now ~proc th a | None -> ());
+    progress ();
+    let extra = Action.depth_units a - 1 in
+    let extra =
+      match a with
+      | Action.Touch addrs -> (
+          match cache with
+          | Some c -> extra + (Cache.access_many c ~proc addrs * cfg.miss_penalty)
+          | None -> extra)
+      | Action.Alloc n ->
+        Memory.alloc memory n;
+        th.T.big_alloc_pending <- false;
+        if finite_k then quota.(proc) <- quota.(proc) - n;
+        extra
+      | Action.Free n ->
+        Memory.free memory n;
+        (* The quota is the NET allocation between steals (Section 3.3):
+           deallocations earn the quota back, capped at K. *)
+        if finite_k then quota.(proc) <- min k_bytes (quota.(proc) + n);
+        extra
+      | Action.Dummy ->
+        Metrics.dummy_executed metrics;
+        extra
+      | Action.Unlock m ->
+        (* Pthreads semantics: the woken waiter becomes ready and must
+           re-acquire the mutex when scheduled (it may lose the race to a
+           running thread — no handoff, no parked holders). *)
+        release_mutex proc th m;
+        extra
+      | Action.Signal cv ->
+        let pending, waiters = cond cv in
+        (match Queue.take_opt waiters with
+         | Some w -> wake_cond_waiter proc w
+         | None -> incr pending);
+        extra
+      | Action.Broadcast cv ->
+        let _, waiters = cond cv in
+        Queue.iter (fun w -> wake_cond_waiter proc w) waiters;
+        Queue.clear waiters;
+        extra
+      | Action.Work _ | Action.Lock _ | Action.Wait _ -> extra
+    in
+    stall proc extra
+  in
+
+  (* Per-processor turn: free scheduler transitions, then at most one unit
+     action (or one steal attempt).  [stole] records whether this timestep
+     was already consumed by a steal/dispatch. *)
+  let turn proc =
+    let stole = ref false in
+    let finished = ref false in
+    while not !finished do
+      match curr.(proc) with
+      | None ->
+        if !stole then finished := true
+        else (
+          match P.acquire pol ~proc with
+          | Sched_intf.No_work ->
+            if finite_k then quota.(proc) <- k_bytes;
+            if P.global_queue then serialize proc;
+            if cfg.steal_cost > 1 && not P.global_queue then stall proc (cfg.steal_cost - 1);
+            stole := true
+          | Sched_intf.Got_local th ->
+            th.T.state <- T.Running;
+            curr.(proc) <- Some th;
+            (* A thread parked this very timestep (by a fork on another
+               processor, or a mutex wake) may not run before the next
+               timestep: its enabling node just executed. *)
+            if th.T.ready_at = ctx.now then finished := true
+          | Sched_intf.Got_steal th ->
+            if finite_k then quota.(proc) <- k_bytes;
+            if P.global_queue then serialize proc;
+            if cfg.steal_cost > 1 && not P.global_queue then stall proc (cfg.steal_cost - 1);
+            th.T.state <- T.Running;
+            curr.(proc) <- Some th;
+            if th.T.ready_at = ctx.now then finished := true;
+            stole := true)
+      | Some th -> (
+          match th.T.prog with
+          | Prog.Nil ->
+            (* Termination is a free transition: the thread's last action ran
+               in an earlier timestep. *)
+            if th.T.unjoined <> [] then malformed "thread terminated with unjoined children";
+            T.kill pool th;
+            Memory.thread_exited memory;
+            curr.(proc) <- None;
+            let woken =
+              match th.T.join_waiter with
+              | Some parent ->
+                th.T.join_waiter <- None;
+                parent.T.state <- T.Ready;
+                Some parent
+              | None -> None
+            in
+            if th.T.is_dummy then P.after_dummy pol ~proc ~woken
+            else (
+              match P.on_terminate pol ~proc ~dead:th ~woken with
+              | Some next ->
+                next.T.state <- T.Running;
+                curr.(proc) <- Some next
+              | None -> ())
+          | Prog.Join k -> (
+              match th.T.unjoined with
+              | [] -> malformed "join without an unjoined child"
+              | c :: rest ->
+                if T.dead c then begin
+                  th.T.unjoined <- rest;
+                  th.T.prog <- k
+                end
+                else begin
+                  (* Suspend: free transition. *)
+                  th.T.state <- T.Blocked_join;
+                  c.T.join_waiter <- Some th;
+                  P.on_suspend pol ~proc th;
+                  curr.(proc) <- None
+                end)
+          | Prog.Act (Action.Alloc n, _) when finite_k && n > k_bytes && not th.T.big_alloc_pending
+            ->
+            (* Section 3.3: delay the big allocation behind a dummy-thread
+               fork tree (runtime dag transformation; free).  The flag makes
+               the allocation proceed once its dummies have run. *)
+            th.T.big_alloc_pending <- true;
+            (match th.T.prog with
+             | Prog.Act (_, k) -> th.T.prog <- Dummy.transform ~alloc:n ~k:k_bytes ~cont:k
+             | _ -> assert false)
+          | Prog.Act (Action.Alloc n, _)
+            when finite_k && quota.(proc) < n && n <= k_bytes && not th.T.big_alloc_pending ->
+            (* Memory quota exhausted: preempt (free transition). *)
+            Metrics.quota_exhausted metrics;
+            th.T.state <- T.Ready;
+            P.on_quota_exhausted pol ~proc th;
+            curr.(proc) <- None
+          | Prog.Act (Action.Wait (cv, m), k) ->
+            (* release the mutex, then either consume a sticky signal (the
+               wait node executes and the thread proceeds to re-acquire) or
+               park on the condition variable (free transition). *)
+            release_mutex proc th m;
+            let pending, waiters = cond cv in
+            let reacquire = Prog.Act (Action.Lock m, k) in
+            if !pending > 0 then begin
+              decr pending;
+              execute_action proc th (Action.Wait (cv, m)) reacquire;
+              finished := true
+            end
+            else begin
+              th.T.prog <- reacquire;
+              th.T.state <- T.Blocked_cond cv;
+              Queue.push th waiters;
+              P.on_suspend pol ~proc th;
+              curr.(proc) <- None
+            end
+          | Prog.Act (Action.Lock m, k) -> (
+              let mu = mutex m in
+              match mu.holder with
+              | None ->
+                mu.holder <- Some th;
+                execute_action proc th (Action.Lock m) k;
+                finished := true
+              | Some holder when spin_locks ->
+                (* Busy-wait: burn this timestep, retry next.  The spinner's
+                   test-and-set traffic also slows the lock holder (cache-line
+                   ping-pong), charged at most once per mutex per timestep. *)
+                stall proc 0;
+                (* at most one 2-step penalty per 3 timesteps: the holder is
+                   slowed ~2-3x under contention, never starved *)
+                if mu.bus_penalized_at < ctx.now - 2 then begin
+                  mu.bus_penalized_at <- ctx.now;
+                  Array.iteri
+                    (fun q t ->
+                       match t with
+                       | Some th' when th' == holder -> avail.(q) <- max avail.(q) (ctx.now + 2)
+                       | _ -> ())
+                    curr
+                end;
+                finished := true
+              | Some _ ->
+                th.T.state <- T.Blocked_lock m;
+                Queue.push th mu.waiters;
+                P.on_suspend pol ~proc th;
+                curr.(proc) <- None)
+          | Prog.Act (a, k) ->
+            execute_action proc th a k;
+            finished := true
+          | Prog.Fork (child_thunk, k) ->
+            (* The fork is a unit action in the parent thread. *)
+            th.T.prog <- k;
+            let child_prog = child_thunk () in
+            let child =
+              if Dummy.is_dummy_prog child_prog then T.fork_dummy pool ~parent:th
+              else T.fork pool ~parent:th child_prog
+            in
+            Memory.thread_created memory;
+            Metrics.action_executed metrics ~proc ~units:1;
+            (* the fork is one unit action of the parent; observers see it
+               as Work 1, matching Analysis.iter_serial *)
+            (match observer with
+             | Some f -> f ~now:ctx.Sched_intf.now ~proc th (Action.Work 1)
+             | None -> ());
+            progress ();
+            let pressure =
+              if Memory.live_threads memory > cfg.stack_pressure_threshold then
+                cfg.stack_pressure_cost
+              else 0
+            in
+            stall proc (cfg.thread_cost + pressure);
+            th.T.state <- T.Ready;
+            let next = P.on_fork pol ~proc ~parent:th ~child in
+            (* Whichever of the two was parked became ready only now. *)
+            (if next == child then th.T.ready_at <- ctx.now
+             else child.T.ready_at <- ctx.now);
+            next.T.state <- T.Running;
+            curr.(proc) <- Some next;
+            finished := true)
+    done
+  in
+
+  while not (T.dead root) do
+    ctx.now <- ctx.now + 1;
+    if ctx.now > max_steps then raise (Stuck (Printf.sprintf "exceeded %d timesteps" max_steps));
+    for proc = 0 to p - 1 do
+      if avail.(proc) > ctx.now then progress () (* stalled = executing *)
+      else turn proc
+    done;
+    if check_invariants then P.check_invariants pol;
+    (match sampler with
+     | Some (every, f) ->
+       if ctx.now mod every = 0 then
+         f ~now:ctx.now ~heap:(Memory.heap_current memory)
+           ~threads:(Memory.live_threads memory)
+           ~deques:(Metrics.deque_current metrics)
+     | None -> ());
+    if ctx.now - !last_progress > 1000 then
+      raise
+        (Deadlock
+           (Printf.sprintf "no progress for 1000 timesteps at t=%d (%d live threads)" ctx.now
+              (Memory.live_threads memory)))
+  done;
+  {
+    sched = P.name;
+    time = ctx.now;
+    work = Metrics.actions metrics;
+    heap_peak = Memory.heap_peak memory;
+    combined_peak = Memory.combined_peak memory;
+    threads_peak = Memory.live_threads_peak memory;
+    threads_created = T.threads_created pool;
+    total_alloc = Memory.total_allocated memory;
+    final_heap = Memory.heap_current memory;
+    steals = Metrics.steals metrics;
+    steal_attempts = Metrics.steal_attempts metrics;
+    local_dispatches = Metrics.local_dispatches metrics;
+    queue_dispatches = Metrics.queue_dispatches metrics;
+    quota_exhaustions = Metrics.quota_exhaustions metrics;
+    dummy_threads = Metrics.dummies metrics;
+    heavy_premature = Metrics.heavy_prematures metrics;
+    deque_peak = Metrics.deque_peak metrics;
+    sched_granularity = Metrics.sched_granularity metrics;
+    local_steal_ratio = Metrics.local_steal_ratio metrics;
+    load_imbalance = Metrics.load_imbalance metrics;
+    cache_accesses = (match cache with Some c -> Cache.accesses c | None -> 0);
+    cache_misses = (match cache with Some c -> Cache.misses c | None -> 0);
+    cache_miss_rate = (match cache with Some c -> Cache.miss_rate c | None -> 0.0);
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>[%s] T=%d W=%d@,heap peak=%d combined peak=%d threads peak=%d (created %d)@,\
+     steals=%d/%d local=%d queue=%d quota=%d dummies=%d deques<=%d@,\
+     granularity=%.2f local/steal=%.2f imbalance=%.2f cache: %d/%d (%.2f%% miss)@]"
+    r.sched r.time r.work r.heap_peak r.combined_peak r.threads_peak r.threads_created r.steals
+    r.steal_attempts r.local_dispatches r.queue_dispatches r.quota_exhaustions r.dummy_threads
+    r.deque_peak r.sched_granularity r.local_steal_ratio r.load_imbalance r.cache_accesses
+    r.cache_misses r.cache_miss_rate

@@ -1,0 +1,103 @@
+(** The synchronous multiprocessor simulation engine.
+
+    Implements the cost model of Section 4.1: timesteps are synchronised
+    across the [p] processors; each unit action takes one timestep; a steal
+    attempt occupies its timestep, and a successful thief executes the
+    stolen thread's first action within that same timestep; at most one
+    steal per victim deque succeeds per timestep; scheduler transitions
+    (local pops, suspensions, terminations, quota give-ups) are free.
+
+    On top of that, the {e costed} configuration adds the performance
+    effects of Section 5: simulated cache-miss stalls, serialisation of
+    global scheduler structures through a lock, and thread-creation
+    overhead (see {!Dfd_machine.Config}).
+
+    The engine owns all thread state transitions (fork/join bookkeeping,
+    mutexes, the memory quota and the Section 3.3 big-allocation
+    transformation); the plugged {!Sched_intf.POLICY} only decides thread
+    placement.  Running the same program under two policies therefore
+    compares pure scheduling decisions under an identical machine. *)
+
+exception Deadlock of string
+(** No processor can make progress but live threads remain (e.g. a mutex
+    cycle, or every thread suspended). *)
+
+exception Stuck of string
+(** [max_steps] exceeded. *)
+
+exception Malformed_run of string
+(** The program violated the model at runtime: unmatched join, termination
+    with unjoined children, unlock of a mutex not held, ... *)
+
+type result = {
+  sched : string;
+  time : int;  (** T_p: total timesteps until the root thread terminated. *)
+  work : int;  (** unit actions executed (>= the program's W; dummy threads
+                   and their fork trees add nodes). *)
+  heap_peak : int;  (** high watermark of live heap bytes. *)
+  combined_peak : int;  (** heap + thread-stack high watermark. *)
+  threads_peak : int;  (** max simultaneously live threads ("max threads"). *)
+  threads_created : int;
+  total_alloc : int;  (** gross allocation Sa. *)
+  final_heap : int;
+  steals : int;
+  steal_attempts : int;
+  local_dispatches : int;
+  queue_dispatches : int;
+  quota_exhaustions : int;
+  dummy_threads : int;
+  heavy_premature : int;
+      (** steals whose victim thread was not the globally highest-priority
+          ready thread — heavy premature nodes in the sense of Section 4.2
+          (DFDeques only; Lemma 4.2 bounds their expectation by O(p*D)). *)
+  deque_peak : int;  (** max deques simultaneously in R (DFDeques only). *)
+  sched_granularity : float;  (** actions per steal/dispatch (Section 6). *)
+  local_steal_ratio : float;  (** own-deque dispatches per steal (Section 5.3). *)
+  load_imbalance : float;
+      (** max-over-mean per-processor executed actions; 1.0 = perfectly
+          balanced (Section 1's automatic-load-balancing claim). *)
+  cache_accesses : int;
+  cache_misses : int;
+  cache_miss_rate : float;  (** percent; 0 when the cache model is off. *)
+}
+
+type sched =
+  [ `Dfdeques  (** the paper's DFDeques(K), Figure 5. *)
+  | `Ws  (** Blumofe-Leiserson work stealing ("Cilk"). *)
+  | `Adf  (** asynchronous depth-first (Narlikar-Blelloch). *)
+  | `Fifo  (** the Pthreads library's original global FIFO queue. *)
+  | `Dfdeques_variant of Dfdeques.variant
+    (** DFDeques with ablation knobs (steal position, victim scope). *) ]
+
+val make_policy : sched -> Sched_intf.ctx -> Sched_intf.packed
+
+val sched_name : sched -> string
+
+val run :
+  ?spin_locks:bool ->
+  ?check_invariants:bool ->
+  ?max_steps:int ->
+  ?observer:(now:int -> proc:int -> Thread_state.t -> Dfd_dag.Action.t -> unit) ->
+  ?sampler:int * (now:int -> heap:int -> threads:int -> deques:int -> unit) ->
+  sched:sched ->
+  Dfd_machine.Config.t ->
+  Dfd_dag.Prog.t ->
+  result
+(** Execute the program to completion.
+
+    [spin_locks] (default [false]): contended [Lock] actions busy-wait
+    instead of suspending (the Cilk-style locks of Figure 17).
+    [check_invariants] (default [false]): run the policy's structural
+    invariant check (e.g. Lemma 3.1) after every timestep — O(ready
+    threads) per step, tests only.  Only valid for pure nested-parallel
+    programs: mutex/condvar wakeups intentionally approximate the priority
+    order (Section 5) and trip the check.
+    [max_steps] (default [10_000_000_000]).
+    [observer] is called on every executed action (timestep, processor,
+    thread, action) — schedule tracing for tests and visualisation; fork
+    actions are reported as [Work 1].
+    [sampler] = [(every, f)]: call [f] every [every] timesteps with the
+    live heap bytes, live thread count and peak deque count — the
+    memory-profile-over-time instrumentation behind `repro profile`. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,50 @@
+module Metrics = Dfd_machine.Metrics
+
+module P = struct
+  type t = { ctx : Sched_intf.ctx; q : Thread_state.t Queue.t }
+
+  let name = "FIFO"
+
+  let global_queue = true
+
+  let has_quota = false
+
+  let create ctx = { ctx; q = Queue.create () }
+
+  let register_root t root = Queue.push root t.q
+
+  let acquire t ~proc:_ : Sched_intf.acquired =
+    match Queue.take_opt t.q with
+    | Some th ->
+      Metrics.queue_dispatch t.ctx.Sched_intf.metrics;
+      Got_steal th
+    | None -> No_work
+
+  let on_fork t ~proc:_ ~parent ~child =
+    (* pthread_create semantics: the new thread enters the run queue, the
+       creator continues. *)
+    Queue.push child t.q;
+    parent
+
+  let on_suspend _t ~proc:_ _th = ()
+
+  let on_terminate t ~proc:_ ~dead:_ ~woken =
+    (match woken with Some th -> Queue.push th t.q | None -> ());
+    None
+
+  let on_quota_exhausted _t ~proc:_ _th = failwith "FIFO has no memory quota"
+
+  let after_dummy _t ~proc:_ ~woken:_ = failwith "FIFO never executes dummy threads"
+
+  let on_wake_lock t ~proc:_ th = Queue.push th t.q
+
+  let check_invariants t =
+    Queue.iter
+      (fun th ->
+         if not (Thread_state.is_ready th) then failwith "FIFO queue holds non-ready thread")
+      t.q
+
+  let stat t = [ ("ready", Queue.length t.q) ]
+end
+
+let policy ctx = Sched_intf.Packed ((module P), P.create ctx)

@@ -1,0 +1,14 @@
+(** The Pthreads library's original FIFO scheduler (the "FIFO" baseline of
+    Figures 1, 11, 12, 14).
+
+    One global FIFO run queue: a forked child joins the tail and the
+    creating thread keeps running; idle processors dispatch from the head;
+    reawakened threads go to the tail.  This executes fork trees in nearly
+    breadth-first order, creating the excess active parallelism the paper
+    uses it to demonstrate (Section 2.2: 16 simultaneously live threads for
+    Figure 2's dag vs. 5 for depth-first).  No space mechanism of any kind:
+    no quota, no dummy threads. *)
+
+module P : Sched_intf.POLICY
+
+val policy : Sched_intf.ctx -> Sched_intf.packed

@@ -1,0 +1,89 @@
+module Om = Dfd_structures.Order_maint
+
+type state = Ready | Running | Blocked_join | Blocked_lock of int | Blocked_cond of int | Done
+
+type t = {
+  tid : int;
+  mutable prog : Dfd_dag.Prog.t;
+  parent : t option;
+  mutable unjoined : t list;
+  mutable state : state;
+  mutable join_waiter : t option;
+  mutable prio : Om.label;
+  is_dummy : bool;
+  mutable big_alloc_pending : bool;
+  mutable ready_at : int;
+}
+
+type pool = { mutable next_id : int; order : Om.t; base : Om.label }
+
+let create_pool () =
+  let order, base = Om.create () in
+  { next_id = 0; order; base }
+
+let fresh_id pool =
+  let id = pool.next_id in
+  pool.next_id <- id + 1;
+  id
+
+let make_root pool prog =
+  {
+    tid = fresh_id pool;
+    prog;
+    parent = None;
+    unjoined = [];
+    state = Ready;
+    join_waiter = None;
+    prio = Om.insert_after pool.order pool.base;
+    is_dummy = false;
+    big_alloc_pending = false;
+    ready_at = -1;
+  }
+
+let mk_child pool ~parent prog ~is_dummy =
+  let child =
+    {
+      tid = fresh_id pool;
+      prog;
+      parent = Some parent;
+      unjoined = [];
+      state = Ready;
+      join_waiter = None;
+      (* The child precedes its parent in the serial depth-first order. *)
+      prio = Om.insert_before pool.order parent.prio;
+      is_dummy;
+      big_alloc_pending = false;
+      ready_at = -1;
+    }
+  in
+  parent.unjoined <- child :: parent.unjoined;
+  child
+
+let fork pool ~parent prog = mk_child pool ~parent prog ~is_dummy:false
+
+let fork_dummy pool ~parent =
+  mk_child pool ~parent (Dfd_dag.Prog.Act (Dfd_dag.Action.Dummy, Dfd_dag.Prog.Nil)) ~is_dummy:true
+
+let kill pool t =
+  t.state <- Done;
+  Om.delete pool.order t.prio
+
+let threads_created pool = pool.next_id
+
+let higher_priority a b = Om.compare a.prio b.prio < 0
+
+let is_ready t = t.state = Ready
+
+let dead t = t.state = Done
+
+let pp ppf t =
+  let st =
+    match t.state with
+    | Ready -> "ready"
+    | Running -> "running"
+    | Blocked_join -> "blocked-join"
+    | Blocked_lock m -> Printf.sprintf "blocked-lock(%d)" m
+    | Blocked_cond cv -> Printf.sprintf "blocked-cond(%d)" cv
+    | Done -> "done"
+  in
+  Format.fprintf ppf "t%d[%s%s]" t.tid st (if t.is_dummy then ",dummy" else "")

@@ -1,0 +1,72 @@
+(** Runtime thread objects.
+
+    A thread is {e active} from creation to termination; an active thread is
+    {e ready} when it is neither suspended (waiting at a join or on a mutex)
+    nor currently executing (Section 3.1).  The engine owns all state
+    transitions; schedulers only move ready threads between containers.
+
+    Every thread carries a priority label in a shared order-maintenance
+    structure: at a fork the child is inserted immediately {e before} the
+    parent, so labels realise exactly the serial depth-first (1DF) priority
+    order that DFDeques and ADF are defined against.  DFDeques never reads
+    the labels to schedule (its deque list maintains the order implicitly —
+    Lemma 3.1); they exist so that the invariant can be {e checked}, and so
+    that ADF can dispatch the leftmost ready thread. *)
+
+type state =
+  | Ready
+  | Running
+  | Blocked_join  (** suspended waiting for the most recent unjoined child. *)
+  | Blocked_lock of int  (** suspended on the mutex with this id. *)
+  | Blocked_cond of int  (** suspended on the condition variable with this id. *)
+  | Done
+
+type t = {
+  tid : int;
+  mutable prog : Dfd_dag.Prog.t;  (** remaining instruction stream. *)
+  parent : t option;
+  mutable unjoined : t list;  (** forked, not yet joined children; LIFO. *)
+  mutable state : state;
+  mutable join_waiter : t option;
+      (** the parent, iff it is currently suspended waiting for {e this}
+          child to terminate. *)
+  mutable prio : Dfd_structures.Order_maint.label;
+  is_dummy : bool;  (** inserted by the large-allocation transformation. *)
+  mutable big_alloc_pending : bool;
+      (** the thread's next [Alloc] was already delayed behind its dummy
+          threads (Section 3.3) and must now proceed regardless of quota. *)
+  mutable ready_at : int;
+      (** timestep at which the thread was last parked ready by a fork or a
+          mutex wake; a thread parked at timestep t cannot execute an action
+          before t+1 (its enabling node ran at t), preserving the dag
+          precedence of the Section 4.1 cost model. *)
+}
+
+type pool
+(** Thread factory: id supply + the shared priority order. *)
+
+val create_pool : unit -> pool
+
+val make_root : pool -> Dfd_dag.Prog.t -> t
+
+val fork : pool -> parent:t -> Dfd_dag.Prog.t -> t
+(** Create a child of [parent] running the given program, with priority
+    immediately before the parent's; registers it in [parent.unjoined]. *)
+
+val fork_dummy : pool -> parent:t -> t
+(** A dummy thread (single no-op action) for the Section 3.3 big-allocation
+    transformation. *)
+
+val kill : pool -> t -> unit
+(** Mark terminated and release the priority label. *)
+
+val threads_created : pool -> int
+
+val higher_priority : t -> t -> bool
+(** [higher_priority a b] — does [a] come strictly earlier in 1DF order? *)
+
+val is_ready : t -> bool
+
+val dead : t -> bool
+
+val pp : Format.formatter -> t -> unit

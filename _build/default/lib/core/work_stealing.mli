@@ -1,0 +1,13 @@
+(** Space-efficient work stealing (Blumofe–Leiserson, ref [9] of the paper).
+
+    Exactly [p] per-processor deques, fixed for the whole execution.  The
+    owner pushes/pops at the top (LIFO); at a fork the parent is pushed and
+    the child continues (work-first); an idle processor steals the {e
+    bottom} thread of a uniformly random victim's deque.  No memory
+    threshold: this is the scheduler the paper's Figure 13 labels "Cilk"
+    and Section 6 labels "WS", and against which Corollary 4.6's
+    Omega(p*S1) lower bound is stated. *)
+
+module P : Sched_intf.POLICY
+
+val policy : Sched_intf.ctx -> Sched_intf.packed

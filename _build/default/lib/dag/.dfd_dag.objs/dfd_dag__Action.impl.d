@@ -1,0 +1,1 @@
+lib/dag/action.ml: Array Format

@@ -1,0 +1,1 @@
+lib/dag/action.mli: Format

@@ -1,0 +1,1 @@
+lib/dag/analysis.ml: Action Array Dfd_structures Format Prog

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Action Analysis Array Buffer List Printf Prog

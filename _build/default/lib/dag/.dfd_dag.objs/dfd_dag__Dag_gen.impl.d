@@ -1,0 +1,1 @@
+lib/dag/dag_gen.ml: Array Dfd_structures Prog

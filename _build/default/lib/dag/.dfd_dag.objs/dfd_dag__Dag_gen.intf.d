@@ -1,0 +1,1 @@
+lib/dag/dag_gen.mli: Dfd_structures Prog

@@ -1,0 +1,1 @@
+lib/dag/prog.ml: Action List

@@ -1,0 +1,1 @@
+lib/dag/sp_check.ml: Dag Hashtbl List Option

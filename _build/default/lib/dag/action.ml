@@ -1,0 +1,40 @@
+type t =
+  | Work of int
+  | Touch of int array
+  | Alloc of int
+  | Free of int
+  | Lock of int
+  | Unlock of int
+  | Wait of int * int
+  | Signal of int
+  | Broadcast of int
+  | Dummy
+
+let work_units = function Work n -> n | _ -> 1
+
+let alloc_bytes = function Alloc n -> n | _ -> 0
+
+let free_bytes = function Free n -> n | _ -> 0
+
+let ceil_log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
+  go 0 n
+
+let depth_units = function
+  | Work n -> n
+  | Alloc n -> max 1 (ceil_log2 n)
+  | Touch _ | Free _ | Lock _ | Unlock _ | Wait _ | Signal _ | Broadcast _ | Dummy -> 1
+
+let pp ppf = function
+  | Work n -> Format.fprintf ppf "work(%d)" n
+  | Touch a -> Format.fprintf ppf "touch(%d addrs)" (Array.length a)
+  | Alloc n -> Format.fprintf ppf "alloc(%d)" n
+  | Free n -> Format.fprintf ppf "free(%d)" n
+  | Lock m -> Format.fprintf ppf "lock(%d)" m
+  | Unlock m -> Format.fprintf ppf "unlock(%d)" m
+  | Wait (cv, m) -> Format.fprintf ppf "wait(cv%d,m%d)" cv m
+  | Signal cv -> Format.fprintf ppf "signal(cv%d)" cv
+  | Broadcast cv -> Format.fprintf ppf "broadcast(cv%d)" cv
+  | Dummy -> Format.fprintf ppf "dummy"
+
+let to_string a = Format.asprintf "%a" pp a

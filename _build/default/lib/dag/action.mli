@@ -1,0 +1,57 @@
+(** Unit actions of the computation model (Section 2 of the paper).
+
+    Each node of the computation dag is a single {e action}: a unit of work
+    that takes one timestep to execute (plus model-dependent penalties).  An
+    action may additionally allocate or free memory, reference memory
+    addresses (driving the cache simulator), or operate a mutex (the
+    Pthreads extension of Section 5 used by the Barnes-Hut tree-build
+    benchmark, Figure 17). *)
+
+type t =
+  | Work of int
+      (** [Work n] — [n] consecutive unit actions with no memory effect.
+          Run-length compressed purely as a representation optimisation:
+          semantically identical to [n] unit nodes in the dag. [n >= 1]. *)
+  | Touch of int array
+      (** One unit action that references the given word addresses (reads or
+          writes — the cache model does not distinguish). *)
+  | Alloc of int
+      (** One unit action allocating [n >= 0] bytes of heap.  The analysis
+          charges it depth [ceil (log2 n)] per the paper's cost model (an
+          allocation of n bytes has depth Theta(log n), Section 4.1). *)
+  | Free of int  (** One unit action freeing [n >= 0] heap bytes. *)
+  | Lock of int  (** Acquire mutex [id] (blocking or spinning per scheduler). *)
+  | Unlock of int  (** Release mutex [id]. *)
+  | Wait of int * int
+      (** [Wait (cv, m)] — atomically release mutex [m] and block on
+          condition variable [cv]; on wakeup the mutex is re-acquired
+          before execution continues (Pthreads condvar protocol).
+          Signals are {e sticky} (counted): a signal arriving before the
+          wait is consumed by it — the lost-wakeup races of POSIX condvars
+          cannot be expressed safely in a deterministic dag program, and
+          what the scheduler experiments need is the blocking behaviour. *)
+  | Signal of int  (** Wake one waiter of [cv] (sticky if none waiting). *)
+  | Broadcast of int
+      (** Wake all current waiters of [cv] (no memory if none waiting). *)
+  | Dummy
+      (** A no-op unit action marking a dummy thread inserted before a large
+          allocation (Section 3.3): after executing it a processor must give
+          up its deque and steal. Generated only by the runtime
+          transformation, never by user programs. *)
+
+val work_units : t -> int
+(** Number of dag nodes this action stands for ([n] for [Work n], else 1). *)
+
+val alloc_bytes : t -> int
+(** Bytes allocated (0 unless [Alloc]). *)
+
+val free_bytes : t -> int
+(** Bytes freed (0 unless [Free]). *)
+
+val depth_units : t -> int
+(** Depth contributed under the paper's cost model: [Work n] has depth [n];
+    [Alloc n] has depth [max 1 (ceil (log2 n))]; all others depth 1. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

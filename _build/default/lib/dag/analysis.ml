@@ -1,0 +1,108 @@
+exception Malformed of string
+
+type summary = {
+  work : int;
+  timed_work : int;
+  depth : int;
+  serial_space : int;
+  total_alloc : int;
+  total_free : int;
+  threads : int;
+  serial_live_threads : int;
+  final_heap : int;
+  touches : int;
+}
+
+(* Frames of the iterative 1DF walk.  [In_child] is pushed when a fork
+   transfers control to the child; [In_segment] replaces it when the child
+   finishes and the parent resumes, carrying the child's total path depth
+   until the matching join folds the two parallel paths together. *)
+type frame =
+  | In_child of { parent : Prog.t; d_at_fork : int }
+  | In_segment of { child_depth : int; d_at_fork : int }
+
+let walk ~on_action prog =
+  let heap = Dfd_structures.Stats.Watermark.create () in
+  let live = Dfd_structures.Stats.Watermark.create () in
+  let work = ref 0 in
+  let timed_work = ref 0 in
+  let total_alloc = ref 0 in
+  let total_free = ref 0 in
+  let threads = ref 1 in
+  let touches = ref 0 in
+  Dfd_structures.Stats.Watermark.add live 1;
+  let stack = ref [] in
+  let cur = ref prog in
+  let d_acc = ref 0 in
+  let depth = ref (-1) in
+  let execute a =
+    work := !work + Action.work_units a;
+    timed_work := !timed_work + Action.depth_units a;
+    d_acc := !d_acc + Action.depth_units a;
+    total_alloc := !total_alloc + Action.alloc_bytes a;
+    total_free := !total_free + Action.free_bytes a;
+    (match a with
+     | Action.Alloc n -> Dfd_structures.Stats.Watermark.add heap n
+     | Action.Free n -> Dfd_structures.Stats.Watermark.add heap (-n)
+     | Action.Touch addrs -> touches := !touches + Array.length addrs
+     | Action.Work _ | Action.Lock _ | Action.Unlock _ | Action.Wait _ | Action.Signal _
+     | Action.Broadcast _ | Action.Dummy -> ());
+    on_action a
+  in
+  while !depth < 0 do
+    match !cur with
+    | Prog.Act (a, k) ->
+      execute a;
+      cur := k
+    | Prog.Fork (child, k) ->
+      (* The fork itself is one unit action in the parent thread. *)
+      execute (Action.Work 1);
+      incr threads;
+      Dfd_structures.Stats.Watermark.add live 1;
+      stack := In_child { parent = k; d_at_fork = !d_acc } :: !stack;
+      cur := child ();
+      d_acc := 0
+    | Prog.Nil -> (
+        match !stack with
+        | [] -> depth := !d_acc
+        | In_child { parent; d_at_fork } :: rest ->
+          (* Child finished: its path depth is [!d_acc]; resume the parent
+             segment, measuring its depth from the fork point. *)
+          Dfd_structures.Stats.Watermark.add live (-1);
+          stack := In_segment { child_depth = !d_acc; d_at_fork } :: rest;
+          cur := parent;
+          d_acc := 0
+        | In_segment _ :: _ ->
+          raise (Malformed "thread terminated with an unjoined child"))
+    | Prog.Join k -> (
+        match !stack with
+        | In_segment { child_depth; d_at_fork } :: rest ->
+          (* Fold the two parallel paths (child vs. parent segment). *)
+          d_acc := d_at_fork + max child_depth !d_acc;
+          stack := rest;
+          cur := k
+        | In_child _ :: _ | [] ->
+          raise (Malformed "join without a matching fork"))
+  done;
+  {
+    work = !work;
+    timed_work = !timed_work;
+    depth = !depth;
+    serial_space = Dfd_structures.Stats.Watermark.peak heap;
+    total_alloc = !total_alloc;
+    total_free = !total_free;
+    threads = !threads;
+    serial_live_threads = Dfd_structures.Stats.Watermark.peak live;
+    final_heap = Dfd_structures.Stats.Watermark.current heap;
+    touches = !touches;
+  }
+
+let analyze prog = walk ~on_action:(fun _ -> ()) prog
+
+let iter_serial f prog = ignore (walk ~on_action:f prog)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>work W        = %d@,depth D       = %d@,serial S1     = %d bytes@,\
+     total alloc   = %d bytes@,threads       = %d@,serial live   = %d@]"
+    s.work s.depth s.serial_space s.total_alloc s.threads s.serial_live_threads

@@ -1,0 +1,46 @@
+(** Static analysis of a nested-parallel program by serial 1DF execution.
+
+    Walking the program in its serial depth-first order (child thread runs
+    to completion before the parent resumes — Section 3.1, Figure 4) yields,
+    in one O(W) pass with O(nesting) heap and O(1) stack:
+
+    - the {b work} [W] (number of dag nodes),
+    - the {b depth} [D] (longest path, under the paper's cost model where an
+      allocation of n bytes has depth Theta(log n)),
+    - the {b serial space} [S1] (heap high watermark of the 1DF schedule),
+    - the total allocation [Sa] (gross bytes allocated over the run),
+    - thread statistics (total threads, max simultaneously-live threads of
+      the serial schedule).
+
+    The walk also validates well-formedness: every fork is joined before its
+    thread terminates, and joins match forks LIFO.  Ill-formed programs
+    raise [Malformed]. *)
+
+exception Malformed of string
+
+type summary = {
+  work : int;  (** W: total unit actions. *)
+  timed_work : int;
+      (** work weighted by per-action depth charges (an [Alloc n] costs
+          [ceil(log2 n)] timesteps on its processor): the quantity a
+          processor-time bound must divide by p. *)
+  depth : int;  (** D: critical-path length under the cost model. *)
+  serial_space : int;  (** S1: heap watermark of the serial 1DF schedule. *)
+  total_alloc : int;  (** Sa: gross bytes allocated. *)
+  total_free : int;  (** gross bytes freed. *)
+  threads : int;  (** total threads created (forks + 1). *)
+  serial_live_threads : int;
+      (** max threads simultaneously live during the 1DF schedule. *)
+  final_heap : int;  (** live heap bytes at termination (leaks if > 0). *)
+  touches : int;  (** total memory references issued by [Touch] actions. *)
+}
+
+val analyze : Prog.t -> summary
+(** Full analysis of the program rooted at the given thread. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val iter_serial : (Action.t -> unit) -> Prog.t -> unit
+(** [iter_serial f p] applies [f] to every action in serial 1DF order —
+    the reference order against which premature nodes are defined
+    (Section 4.2).  Validates nesting like {!analyze}. *)

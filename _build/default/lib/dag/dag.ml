@@ -1,0 +1,152 @@
+type node = {
+  id : int;
+  action : Action.t;
+  thread : int;
+  mutable succ : int list;
+  mutable pred : int list;
+}
+
+type t = { nodes : node array; threads : int }
+
+exception Too_large of int
+
+(* Frames mirror the 1DF walk of [Analysis]; they carry the dangling edge
+   sources (nodes whose outgoing edge targets the next node of the
+   enclosing segment). *)
+type frame =
+  | In_child of { parent : Prog.t; parent_dangling : int list; parent_thread : int }
+  | In_segment of { child_dangling : int list }
+
+let of_prog ?(max_nodes = 2_000_000) prog =
+  let nodes = ref [] in
+  let n = ref 0 in
+  let threads = ref 1 in
+  let add_node action thread dangling =
+    if !n >= max_nodes then raise (Too_large max_nodes);
+    let node = { id = !n; action; thread; succ = []; pred = [] } in
+    incr n;
+    nodes := node :: !nodes;
+    List.iter
+      (fun src_id ->
+         node.pred <- src_id :: node.pred)
+      dangling;
+    node
+  in
+  let stack = ref [] in
+  let cur = ref prog in
+  let dangling = ref [] in
+  let cur_thread = ref 0 in
+  let finished = ref false in
+  let emit action =
+    let node = add_node action !cur_thread !dangling in
+    dangling := [ node.id ]
+  in
+  while not !finished do
+    match !cur with
+    | Prog.Act (Action.Work k, rest) ->
+      for _ = 1 to k do
+        emit (Action.Work 1)
+      done;
+      cur := rest
+    | Prog.Act (a, rest) ->
+      emit a;
+      cur := rest
+    | Prog.Fork (child, rest) ->
+      (* The fork node belongs to the parent and has two out-edges. *)
+      emit (Action.Work 1);
+      let fork_sources = !dangling in
+      stack :=
+        In_child { parent = rest; parent_dangling = fork_sources; parent_thread = !cur_thread }
+        :: !stack;
+      cur := child ();
+      cur_thread := !threads;
+      incr threads;
+      dangling := fork_sources
+    | Prog.Nil -> (
+        match !stack with
+        | [] -> finished := true
+        | In_child { parent; parent_dangling; parent_thread } :: rest ->
+          stack := In_segment { child_dangling = !dangling } :: rest;
+          cur := parent;
+          cur_thread := parent_thread;
+          dangling := parent_dangling
+        | In_segment _ :: _ ->
+          raise (Analysis.Malformed "thread terminated with an unjoined child"))
+    | Prog.Join rest -> (
+        match !stack with
+        | In_segment { child_dangling } :: tail ->
+          dangling := !dangling @ child_dangling;
+          stack := tail;
+          cur := rest
+        | In_child _ :: _ | [] -> raise (Analysis.Malformed "join without a matching fork"))
+  done;
+  let dummy = { id = -1; action = Action.Dummy; thread = -1; succ = []; pred = [] } in
+  let arr = Array.make !n dummy in
+  List.iter (fun node -> arr.(node.id) <- node) !nodes;
+  (* Derive succ from pred, and order both ascending. *)
+  Array.iter
+    (fun node ->
+       node.pred <- List.sort_uniq compare node.pred;
+       List.iter (fun p -> arr.(p).succ <- node.id :: arr.(p).succ) node.pred)
+    arr;
+  Array.iter (fun node -> node.succ <- List.sort_uniq compare node.succ) arr;
+  { nodes = arr; threads = !threads }
+
+(* Build directly from nodes (tests: hand-crafted non-SP graphs).  succ
+   lists are taken as given; pred lists are recomputed from them. *)
+let of_nodes nodes =
+  Array.iter (fun nd -> nd.pred <- []) nodes;
+  Array.iter
+    (fun nd -> List.iter (fun v -> nodes.(v).pred <- nd.id :: nodes.(v).pred) nd.succ)
+    nodes;
+  Array.iter (fun nd -> nd.pred <- List.sort_uniq compare nd.pred) nodes;
+  { nodes; threads = 1 }
+
+let n_nodes t = Array.length t.nodes
+
+let node t i = t.nodes.(i)
+
+let work t = n_nodes t
+
+let n_threads t = t.threads
+
+let depth t =
+  let n = n_nodes t in
+  if n = 0 then 0
+  else begin
+    let d = Array.make n 1 in
+    for i = 0 to n - 1 do
+      List.iter (fun p -> if d.(p) + 1 > d.(i) then d.(i) <- d.(p) + 1) t.nodes.(i).pred
+    done;
+    Array.fold_left max 0 d
+  end
+
+let sources t =
+  Array.to_list t.nodes |> List.filter (fun nd -> nd.pred = []) |> List.map (fun nd -> nd.id)
+
+let sinks t =
+  Array.to_list t.nodes |> List.filter (fun nd -> nd.succ = []) |> List.map (fun nd -> nd.id)
+
+let iter_nodes f t = Array.iter f t.nodes
+
+let edges t =
+  Array.to_list t.nodes
+  |> List.concat_map (fun nd -> List.map (fun s -> (nd.id, s)) nd.succ)
+
+let is_topological_id_order t =
+  List.for_all (fun (a, b) -> a < b) (edges t)
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dag {\n  rankdir=TB;\n";
+  iter_nodes
+    (fun nd ->
+       Buffer.add_string buf
+         (Printf.sprintf "  n%d [label=\"%d:%s\", colorscheme=set312, style=filled, fillcolor=%d];\n"
+            nd.id nd.id (Action.to_string nd.action) ((nd.thread mod 12) + 1)))
+    t;
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" a b))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

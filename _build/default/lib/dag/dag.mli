@@ -1,0 +1,65 @@
+(** Explicit dag materialisation of a nested-parallel program.
+
+    Expands a {!Prog.t} into the node/edge graph of Section 2 (Figure 2):
+    continue edges within a thread, a fork edge from each fork node to its
+    child's first node, and a synch edge from a child's last node to the
+    parent's first node after the join.  [Work n] actions expand into [n]
+    unit nodes, so the node set is exactly the set of unit actions.
+
+    Node ids are assigned in serial depth-first (1DF) execution order, so
+    [id] doubles as the 1DF numbering used to define premature nodes in
+    Section 4.2 — and is therefore also a valid topological order.
+
+    Intended for tests, invariant checking and visualisation of {e small}
+    programs; the schedulers never materialise dags. *)
+
+type node = {
+  id : int;  (** 1DF serial execution index, 0-based. *)
+  action : Action.t;  (** The unit action ([Work] nodes carry [Work 1]). *)
+  thread : int;  (** Id of the thread the action belongs to, root = 0. *)
+  mutable succ : int list;
+  mutable pred : int list;
+}
+
+type t
+
+exception Too_large of int
+
+val of_prog : ?max_nodes:int -> Prog.t -> t
+(** Materialise; raises {!Too_large} beyond [max_nodes] (default 2_000_000)
+    and [Analysis.Malformed] on ill-nested programs. *)
+
+val of_nodes : node array -> t
+(** Build a dag directly from nodes (ids must equal array indices; [succ]
+    is taken as given, [pred] recomputed).  For tests that need graphs no
+    program can produce, e.g. non-series-parallel witnesses. *)
+
+val n_nodes : t -> int
+
+val node : t -> int -> node
+
+val work : t -> int
+(** Node count = W. *)
+
+val depth : t -> int
+(** Longest path in nodes, by DP over the topological (= 1DF) order.
+    Note: this is the {e unit-cost} depth; it differs from
+    [Analysis.depth] only in the Theta(log n) charge for allocations. *)
+
+val n_threads : t -> int
+
+val sources : t -> int list
+
+val sinks : t -> int list
+
+val iter_nodes : (node -> unit) -> t -> unit
+
+val edges : t -> (int * int) list
+(** All (src, dst) pairs; test helper. *)
+
+val is_topological_id_order : t -> bool
+(** Every edge goes from a smaller id to a larger id (1DF order must be a
+    valid schedule). *)
+
+val to_dot : t -> string
+(** Graphviz rendering: one cluster colour per thread. *)

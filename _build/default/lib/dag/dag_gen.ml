@@ -1,0 +1,77 @@
+module Prng = Dfd_structures.Prng
+
+type params = {
+  max_depth : int;
+  fork_prob : float;
+  leaf_work_max : int;
+  alloc_prob : float;
+  alloc_max : int;
+  leak_prob : float;
+  touch_prob : float;
+  addr_space : int;
+  touch_max : int;
+  lock_prob : float;
+  n_mutexes : int;
+}
+
+let default =
+  {
+    max_depth = 8;
+    fork_prob = 0.55;
+    leaf_work_max = 6;
+    alloc_prob = 0.35;
+    alloc_max = 64;
+    leak_prob = 0.15;
+    touch_prob = 0.3;
+    addr_space = 4096;
+    touch_max = 4;
+    lock_prob = 0.0;
+    n_mutexes = 1;
+  }
+
+let allocation_heavy =
+  { default with alloc_prob = 0.8; alloc_max = 512; leak_prob = 0.05; fork_prob = 0.5 }
+
+let fork_heavy =
+  { default with fork_prob = 0.8; max_depth = 10; leaf_work_max = 2; alloc_prob = 0.15 }
+
+let lock_heavy = { default with lock_prob = 0.4; n_mutexes = 3 }
+
+let open_paren = Prog.( >> )
+
+let leaf rng p =
+  let w = Prog.work (Prng.int_in rng 1 p.leaf_work_max) in
+  let body =
+    if Prng.float rng 1.0 < p.touch_prob then begin
+      let n = Prng.int_in rng 1 p.touch_max in
+      let addrs = Array.init n (fun _ -> Prng.int rng p.addr_space) in
+      open_paren w (Prog.touch addrs)
+    end
+    else w
+  in
+  (* Locks only at leaves and never nested: deadlock-free by construction
+     regardless of schedule, so the property tests stay sound. *)
+  if Prng.float rng 1.0 < p.lock_prob then
+    Prog.critical (Prng.int rng p.n_mutexes) body
+  else body
+
+let rec gen_at rng p depth =
+  let body =
+    if depth >= p.max_depth || Prng.float rng 1.0 >= p.fork_prob then leaf rng p
+    else begin
+      let left = gen_at rng p (depth + 1) in
+      let right = gen_at rng p (depth + 1) in
+      if Prng.bool rng then Prog.par left right
+      else open_paren (gen_at rng p (depth + 1)) (Prog.par left right)
+    end
+  in
+  if Prng.float rng 1.0 < p.alloc_prob then begin
+    let n = Prng.int_in rng 1 p.alloc_max in
+    if Prng.float rng 1.0 < p.leak_prob then open_paren (Prog.alloc n) body
+    else open_paren (Prog.alloc n) (open_paren body (Prog.free n))
+  end
+  else body
+
+let gen rng p = gen_at rng p 0
+
+let gen_prog rng p = Prog.finish (gen rng p)

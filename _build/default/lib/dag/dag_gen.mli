@@ -1,0 +1,43 @@
+(** Random nested-parallel program generators.
+
+    Produce well-formed (properly nested, binary fork/join) programs with
+    configurable shape, used by the property-based tests (space/time bound
+    checks, schedule invariants) and by the Section 6 style synthetic
+    sweeps.  All randomness flows through an explicit {!Dfd_structures.Prng.t}
+    so a failing case reproduces from its seed. *)
+
+type params = {
+  max_depth : int;  (** recursion depth bound of the generator. *)
+  fork_prob : float;  (** probability a subtree is a fork-join split. *)
+  leaf_work_max : int;  (** leaf work drawn uniformly from [1, this]. *)
+  alloc_prob : float;  (** probability a subtree is wrapped in alloc/free. *)
+  alloc_max : int;  (** allocation sizes drawn from [1, this]. *)
+  leak_prob : float;  (** probability an allocation is never freed. *)
+  touch_prob : float;  (** probability a leaf touches memory. *)
+  addr_space : int;  (** word addresses drawn from [0, this). *)
+  touch_max : int;  (** addresses per touch drawn from [1, this]. *)
+  lock_prob : float;
+      (** probability a leaf runs inside a critical section; locks are
+          leaf-only and never nested, so generated programs are
+          deadlock-free under any schedule. *)
+  n_mutexes : int;  (** distinct mutex ids drawn for critical sections. *)
+}
+
+val default : params
+(** Moderate dags: depth <= 8, small allocations, some leaks. *)
+
+val allocation_heavy : params
+(** Dags dominated by alloc/free pairs — stresses the space bounds. *)
+
+val fork_heavy : params
+(** Highly parallel dags with tiny leaves — stresses scheduling. *)
+
+val lock_heavy : params
+(** Dags whose leaves contend on a few mutexes — stresses the blocking
+    synchronisation extension (Section 5). *)
+
+val gen : Dfd_structures.Prng.t -> params -> Prog.frag
+(** A random program fragment. *)
+
+val gen_prog : Dfd_structures.Prng.t -> params -> Prog.t
+(** A random complete program ({!gen} closed with {!Prog.finish}). *)

@@ -1,0 +1,90 @@
+(* SP reduction over an adjacency multiset.  Vertices are dag node ids plus
+   a virtual sink; edge multiplicities live in per-vertex hashtables. *)
+
+type graph = {
+  succ : (int, (int, int) Hashtbl.t) Hashtbl.t;  (* u -> (v -> multiplicity) *)
+  pred : (int, (int, int) Hashtbl.t) Hashtbl.t;
+}
+
+let tbl g h u =
+  match Hashtbl.find_opt h u with
+  | Some t -> t
+  | None ->
+    let t = Hashtbl.create 4 in
+    Hashtbl.add h u t;
+    ignore g;
+    t
+
+let add_edge g u v =
+  let su = tbl g g.succ u in
+  Hashtbl.replace su v (1 + Option.value ~default:0 (Hashtbl.find_opt su v));
+  let pv = tbl g g.pred v in
+  Hashtbl.replace pv u (1 + Option.value ~default:0 (Hashtbl.find_opt pv u))
+
+let remove_vertex g u =
+  Hashtbl.remove g.succ u;
+  Hashtbl.remove g.pred u
+
+(* total multiplicity and distinct-neighbour count *)
+let degree h u =
+  match Hashtbl.find_opt h u with
+  | None -> (0, 0)
+  | Some t -> (Hashtbl.fold (fun _ m acc -> acc + m) t 0, Hashtbl.length t)
+
+let is_series_parallel dag =
+  let n = Dag.n_nodes dag in
+  if n = 0 then true
+  else begin
+    let sink = n in
+    let g = { succ = Hashtbl.create (2 * n); pred = Hashtbl.create (2 * n) } in
+    Dag.iter_nodes
+      (fun node ->
+         match node.Dag.succ with
+         | [] -> add_edge g node.Dag.id sink
+         | succs -> List.iter (fun v -> add_edge g node.Dag.id v) succs)
+      dag;
+    (* parallel reduction: cap every multiplicity at 1 (merging duplicate
+       edges never needs to be undone) *)
+    let merge_parallel u =
+      (match Hashtbl.find_opt g.succ u with
+       | Some t -> Hashtbl.iter (fun v m -> if m > 1 then Hashtbl.replace t v 1) t
+       | None -> ());
+      match Hashtbl.find_opt g.pred u with
+      | Some t -> Hashtbl.iter (fun v m -> if m > 1 then Hashtbl.replace t v 1) t
+      | None -> ()
+    in
+    (* series reduction of u (one pred p, one succ s, each multiplicity 1):
+       replace p->u->s by p->s *)
+    let try_series u =
+      if u = 0 || u = sink then false
+      else begin
+        merge_parallel u;
+        match (degree g.pred u, degree g.succ u) with
+        | (1, 1), (1, 1) ->
+          let p = Hashtbl.fold (fun v _ _ -> v) (Hashtbl.find g.pred u) (-1) in
+          let s = Hashtbl.fold (fun v _ _ -> v) (Hashtbl.find g.succ u) (-1) in
+          (match Hashtbl.find_opt g.succ p with Some t -> Hashtbl.remove t u | None -> ());
+          (match Hashtbl.find_opt g.pred s with Some t -> Hashtbl.remove t u | None -> ());
+          remove_vertex g u;
+          add_edge g p s;
+          true
+        | _ -> false
+      end
+    in
+    (* iterate to fixpoint *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let vertices = Hashtbl.fold (fun u _ acc -> u :: acc) g.succ [] in
+      List.iter (fun u -> if try_series u then changed := true) vertices;
+      (* also merge parallels at the endpoints *)
+      merge_parallel 0;
+      merge_parallel sink
+    done;
+    (* success: only the source remains with a single edge to the sink *)
+    Hashtbl.length g.succ = 1
+    &&
+    match Hashtbl.find_opt g.succ 0 with
+    | Some t -> Hashtbl.length t = 1 && Hashtbl.mem t sink
+    | None -> false
+  end

@@ -1,0 +1,19 @@
+(** Series-parallel recognition by SP reduction.
+
+    The model claims every nested-parallel program yields a series-parallel
+    dag (Section 3.1: "pure, nested-parallel computations, which can be
+    modeled by series-parallel dags").  This module {e proves it per
+    instance}: a two-terminal multigraph is series-parallel iff repeated
+
+    - {b series reduction} (contract an internal vertex with in-degree 1
+      and out-degree 1), and
+    - {b parallel reduction} (merge duplicate edges between one pair),
+
+    collapse it to a single source->sink edge (Valdes-Tarjan-Lawler).
+
+    The dag's sinks are first joined to a virtual sink so the graph is
+    two-terminal.  Used by the property tests over random programs. *)
+
+val is_series_parallel : Dag.t -> bool
+(** Does SP reduction collapse the dag to a single edge?  O(E) per pass,
+    for the small dags used in tests. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Dfd_benchmarks Dfd_structures Dfdeques_core Exp_common List

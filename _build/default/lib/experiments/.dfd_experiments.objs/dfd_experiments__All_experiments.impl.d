@@ -1,0 +1,1 @@
+lib/experiments/all_experiments.ml: Ablation Dfd_benchmarks Exp_common Fig12 Fig13 Fig14 Fig15 Fig16 Fig17 List Profile String Table1 Thm_space Thm_time Variance

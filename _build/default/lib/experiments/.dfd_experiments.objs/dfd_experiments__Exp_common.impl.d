@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Buffer Dfd_benchmarks Dfd_machine Dfd_structures Dfdeques_core Format Hashtbl List Printf

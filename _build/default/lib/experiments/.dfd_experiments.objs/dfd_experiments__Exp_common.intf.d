@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Dfd_benchmarks Dfdeques_core

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Dfd_benchmarks Exp_common List

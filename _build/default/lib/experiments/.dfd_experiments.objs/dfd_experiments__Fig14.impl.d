@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Dfd_benchmarks Dfd_structures Dfdeques_core Exp_common Format List

@@ -1,0 +1,1 @@
+lib/experiments/fig17.ml: Dfd_benchmarks Exp_common List

@@ -1,0 +1,1 @@
+lib/experiments/profile.ml: Dfd_benchmarks Dfd_machine Dfd_structures Dfdeques_core Exp_common List Printf

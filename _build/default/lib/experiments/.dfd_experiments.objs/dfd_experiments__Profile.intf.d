@@ -1,0 +1,1 @@
+lib/experiments/profile.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Dfd_benchmarks Dfdeques_core Exp_common Format List Printf

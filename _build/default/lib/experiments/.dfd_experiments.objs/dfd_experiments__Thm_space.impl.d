@@ -1,0 +1,1 @@
+lib/experiments/thm_space.ml: Dfd_benchmarks Dfd_dag Dfd_machine Dfd_structures Dfdeques_core Exp_common Format List Printf

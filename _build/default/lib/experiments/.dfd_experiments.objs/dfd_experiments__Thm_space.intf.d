@@ -1,0 +1,1 @@
+lib/experiments/thm_space.mli: Dfd_benchmarks Exp_common

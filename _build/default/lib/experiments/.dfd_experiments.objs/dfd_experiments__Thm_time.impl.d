@@ -1,0 +1,1 @@
+lib/experiments/thm_time.ml: Dfd_benchmarks Dfd_dag Dfdeques_core Exp_common Format List Printf

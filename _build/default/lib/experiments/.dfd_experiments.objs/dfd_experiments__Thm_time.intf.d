@@ -1,0 +1,1 @@
+lib/experiments/thm_time.mli: Dfd_benchmarks Exp_common

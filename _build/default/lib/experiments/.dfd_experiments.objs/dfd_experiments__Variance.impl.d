@@ -1,0 +1,1 @@
+lib/experiments/variance.ml: Dfd_benchmarks Dfd_dag Dfd_structures Dfdeques_core Exp_common Printf

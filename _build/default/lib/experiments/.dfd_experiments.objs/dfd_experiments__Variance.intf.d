@@ -1,0 +1,1 @@
+lib/experiments/variance.mli: Exp_common

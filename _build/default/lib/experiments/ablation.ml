@@ -1,0 +1,50 @@
+module Engine = Dfdeques_core.Engine
+module Dfdeques = Dfdeques_core.Dfdeques
+module W = Dfd_benchmarks.Workload
+
+let variants =
+  [
+    ("paper (bottom, leftmost-p)", `Dfdeques);
+    ( "steal from top",
+      `Dfdeques_variant { Dfdeques.steal_from_top = true; victim_anywhere = false } );
+    ( "victim anywhere in R",
+      `Dfdeques_variant { Dfdeques.steal_from_top = false; victim_anywhere = true } );
+    ( "both ablated",
+      `Dfdeques_variant { Dfdeques.steal_from_top = true; victim_anywhere = true } );
+  ]
+
+let table () =
+  let benches =
+    [
+      Dfd_benchmarks.Synthetic.bench W.Fine;
+      Dfd_benchmarks.Dense_mm.bench ~n:128 W.Fine;
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (b : W.t) ->
+         List.map
+           (fun (label, sched) ->
+              let r = Exp_common.run_analysis ~p:16 ~k:(Some 2_048) ~sched b in
+              [
+                b.W.name;
+                label;
+                string_of_int r.Engine.time;
+                Dfd_structures.Stats.fmt_bytes r.Engine.heap_peak;
+                Exp_common.fmt2 r.Engine.sched_granularity;
+                string_of_int r.Engine.steals;
+              ])
+           variants)
+      benches
+  in
+  {
+    Exp_common.title = "Ablation of DFDeques' steal position and victim scope (p=16, K=2048)";
+    paper_ref = "Section 3.3 design rationale (DESIGN.md ablation index)";
+    header = [ "Benchmark"; "variant"; "time"; "memory"; "granularity"; "steals" ];
+    rows;
+    notes =
+      [
+        "expected: top-stealing collapses scheduling granularity;";
+        "anywhere-victims cost memory and/or steals versus the paper's leftmost-p rule.";
+      ];
+  }

@@ -1,0 +1,16 @@
+(** Ablation of DFDeques' two key design choices (Section 3.3's rationale,
+    not a paper figure — DESIGN.md calls these out):
+
+    - {b steal position}: the paper steals the {e bottom} of the victim
+      deque ("typically the coarsest thread in the queue, resulting in a
+      larger scheduling granularity").  Ablating to top-stealing should
+      collapse the scheduling granularity toward depth-first behaviour.
+    - {b victim scope}: the paper steals from the {e leftmost p} deques
+      (the high-priority end of R), which keeps execution near the 1DF
+      frontier and underpins the space bound.  Ablating to a uniformly
+      random deque should cost memory.
+
+    Each row runs the Section 6 synthetic benchmark and dense MM under the
+    paper configuration and the two ablated variants. *)
+
+val table : unit -> Exp_common.table

@@ -1,0 +1,91 @@
+module Workload = Dfd_benchmarks.Workload
+
+type exp = {
+  id : string;
+  summary : string;
+  tables : unit -> Exp_common.table list;
+}
+
+let all =
+  [
+    {
+      id = "table1";
+      summary = "Figures 1 & 11: max threads, L2 miss rate, 8-proc speedup (both granularities)";
+      tables =
+        (fun () -> [ Table1.table Workload.Medium; Table1.table Workload.Fine ]);
+    };
+    {
+      id = "fig12";
+      summary = "Figure 12: 8-processor speedups, medium and fine granularity";
+      tables = (fun () -> [ Fig12.table () ]);
+    };
+    {
+      id = "fig13";
+      summary = "Figure 13: dense MM memory vs number of processors (ADF/DFD/Cilk)";
+      tables = (fun () -> [ Fig13.table () ]);
+    };
+    {
+      id = "fig14";
+      summary = "Figure 14: heap watermark, allocating benchmarks x 4 schedulers";
+      tables =
+        (fun () -> [ Fig14.table Workload.Medium; Fig14.table Workload.Fine ]);
+    };
+    {
+      id = "fig15";
+      summary = "Figure 15: time/memory/granularity trade-off vs memory threshold K";
+      tables = (fun () -> [ Fig15.table () ]);
+    };
+    {
+      id = "fig16";
+      summary = "Figure 16: Section 6 simulation, granularity & memory vs K (WS/ADF/DFD, p=64)";
+      tables = (fun () -> [ Fig16.table (); Fig16.families_table () ]);
+    };
+    {
+      id = "fig17";
+      summary = "Figure 17: Barnes-Hut tree-build with locks (blocking vs spinning)";
+      tables = (fun () -> [ Fig17.table () ]);
+    };
+    {
+      id = "thm44";
+      summary = "Theorem 4.4: space upper bound, measured vs S1 + min(K,S1)*p*D";
+      tables = (fun () -> [ Thm_space.upper_table Workload.Fine ]);
+    };
+    {
+      id = "thm45";
+      summary = "Theorem 4.5: space lower bound on the Figure 10 adversarial dag";
+      tables = (fun () -> [ Thm_space.lower_table () ]);
+    };
+    {
+      id = "ablation";
+      summary = "Ablation: steal position (bottom vs top) and victim scope (leftmost-p vs all)";
+      tables = (fun () -> [ Ablation.table () ]);
+    };
+    {
+      id = "profile";
+      summary = "Thesis-style memory profile over time (ADF vs DFD vs WS on dense MM)";
+      tables = (fun () -> [ Profile.table () ]);
+    };
+    {
+      id = "variance";
+      summary = "Expected-case concentration of space/time over 25 seeds";
+      tables = (fun () -> [ Variance.table () ]);
+    };
+    {
+      id = "thm48";
+      summary = "Theorem 4.8: time bound, measured vs W/p + Sa/pK + D";
+      tables = (fun () -> [ Thm_time.table Workload.Fine ]);
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids = List.map (fun e -> e.id) all
+
+let run_one id =
+  match find id with
+  | None -> raise Not_found
+  | Some e -> String.concat "\n" (List.map Exp_common.render (e.tables ()))
+
+let run_all () =
+  String.concat "\n"
+    (List.map (fun e -> String.concat "\n" (List.map Exp_common.render (e.tables ()))) all)

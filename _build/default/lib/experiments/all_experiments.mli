@@ -1,0 +1,21 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, addressable by id (used by the [repro] CLI and the
+    EXPERIMENTS.md generator). *)
+
+type exp = {
+  id : string;
+  summary : string;
+  tables : unit -> Exp_common.table list;
+}
+
+val all : exp list
+
+val find : string -> exp option
+
+val ids : string list
+
+val run_one : string -> string
+(** Render one experiment's tables; raises [Not_found] for unknown ids. *)
+
+val run_all : unit -> string
+(** Render every experiment (the EXPERIMENTS.md payload). *)

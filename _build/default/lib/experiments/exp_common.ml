@@ -1,0 +1,50 @@
+module Engine = Dfdeques_core.Engine
+module Config = Dfd_machine.Config
+module Workload = Dfd_benchmarks.Workload
+
+type table = {
+  title : string;
+  paper_ref : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n(reproduces %s)\n\n" t.title t.paper_ref);
+  Buffer.add_string buf (Dfd_structures.Stats.Table.render ~header:t.header ~rows:t.rows);
+  if t.notes <> [] then begin
+    Buffer.add_char buf '\n';
+    List.iter (fun n -> Buffer.add_string buf ("note: " ^ n ^ "\n")) t.notes
+  end;
+  Buffer.contents buf
+
+let k50 = Some 50_000
+
+let run_costed ?(p = 8) ?(k = k50) ?(seed = 42) ?(spin_locks = false) ~sched
+    (b : Workload.t) =
+  let cfg = Config.costed ~p ~mem_threshold:k ~seed () in
+  Engine.run ~sched ~spin_locks cfg (b.Workload.prog ())
+
+let run_analysis ?(p = 8) ?(k = k50) ?(seed = 42) ~sched (b : Workload.t) =
+  let cfg = Config.analysis ~p ~mem_threshold:k ~seed () in
+  Engine.run ~sched cfg (b.Workload.prog ())
+
+let serial_cache : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let serial_time ?(seed = 42) (b : Workload.t) =
+  let key = Format.asprintf "%s/%a/%d" b.Workload.name Workload.pp_grain b.Workload.grain seed in
+  match Hashtbl.find_opt serial_cache key with
+  | Some t -> t
+  | None ->
+    let r = run_costed ~p:1 ~seed ~sched:`Dfdeques b in
+    Hashtbl.add serial_cache key r.Engine.time;
+    r.Engine.time
+
+let speedup ?(p = 8) ?(k = k50) ~sched ?(spin_locks = false) (b : Workload.t) =
+  let t1 = serial_time b in
+  let rp = run_costed ~p ~k ~sched ~spin_locks b in
+  float_of_int t1 /. float_of_int rp.Engine.time
+
+let fmt2 x = Printf.sprintf "%.2f" x

@@ -1,0 +1,52 @@
+(** Shared plumbing for the figure/table reproductions.
+
+    Conventions used throughout the experiments:
+    - {b speedup} on p processors = [T_ref(1) / T_sched(p)] under the {e
+      costed} model, where the single-processor reference is DFDeques on one
+      processor (which executes the serial 1DF schedule, i.e. "the
+      single-processor multithreaded execution" of Section 5.2);
+    - {b memory} is the heap high watermark in bytes unless stated;
+    - the memory threshold defaults to the paper's K = 50,000 bytes;
+    - every run is deterministic given the seed (default 42). *)
+
+type table = {
+  title : string;
+  paper_ref : string;  (** which table/figure of the paper this regenerates. *)
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val render : table -> string
+
+val k50 : int option
+(** The paper's default memory threshold: Some 50_000. *)
+
+val run_costed :
+  ?p:int ->
+  ?k:int option ->
+  ?seed:int ->
+  ?spin_locks:bool ->
+  sched:Dfdeques_core.Engine.sched ->
+  Dfd_benchmarks.Workload.t ->
+  Dfdeques_core.Engine.result
+(** Run a benchmark under the Section 5 performance model (cache + costs). *)
+
+val run_analysis :
+  ?p:int ->
+  ?k:int option ->
+  ?seed:int ->
+  sched:Dfdeques_core.Engine.sched ->
+  Dfd_benchmarks.Workload.t ->
+  Dfdeques_core.Engine.result
+(** Run under the pure Section 4.1 cost model (the Section 6 simulator). *)
+
+val serial_time : ?seed:int -> Dfd_benchmarks.Workload.t -> int
+(** Costed single-processor reference time (DFDeques, p=1, K=50k);
+    memoised per benchmark name + grain. *)
+
+val speedup : ?p:int -> ?k:int option -> sched:Dfdeques_core.Engine.sched ->
+  ?spin_locks:bool -> Dfd_benchmarks.Workload.t -> float
+
+val fmt2 : float -> string
+(** Two-decimal float for table cells. *)

@@ -1,0 +1,35 @@
+module Workload = Dfd_benchmarks.Workload
+
+let speedups grain =
+  List.map
+    (fun b ->
+       let s sched = Exp_common.speedup ~sched b in
+       (b.Workload.name, s `Fifo, s `Adf, s `Dfdeques))
+    (Dfd_benchmarks.Registry.table_benchmarks grain)
+
+let table () =
+  let med = speedups Workload.Medium in
+  let fine = speedups Workload.Fine in
+  let rows =
+    List.map2
+      (fun (name, mf, ma, md) (_, ff, fa, fd) ->
+         [
+           name; Exp_common.fmt2 mf; Exp_common.fmt2 ma; Exp_common.fmt2 md;
+           Exp_common.fmt2 ff; Exp_common.fmt2 fa; Exp_common.fmt2 fd;
+         ])
+      med fine
+  in
+  {
+    Exp_common.title = "8-processor speedups, medium and fine thread granularity";
+    paper_ref = "Figure 12";
+    header =
+      [
+        "Benchmark"; "med:FIFO"; "med:ADF"; "med:DFD"; "fine:FIFO"; "fine:ADF"; "fine:DFD";
+      ];
+    rows;
+    notes =
+      [
+        "speedup = T(DFDeques,p=1) / T(sched,p=8) under the costed model;";
+        "target shape: DFD >= ADF >= FIFO, with DFD's margin widening at fine grain.";
+      ];
+  }

@@ -1,0 +1,12 @@
+(** Figure 12: 8-processor speedups for the seven benchmarks under FIFO,
+    ADF and DFD, at medium and fine thread granularity (K = 50,000).
+
+    Reproduction target: both depth-first and DFDeques beat FIFO; at the
+    fine granularity DFDeques pulls ahead of the depth-first scheduler
+    (better locality, no global-queue contention). *)
+
+val table : unit -> Exp_common.table
+
+val speedups :
+  Dfd_benchmarks.Workload.grain -> (string * float * float * float) list
+(** benchmark, FIFO, ADF, DFD speedups. *)

@@ -1,0 +1,38 @@
+module Engine = Dfdeques_core.Engine
+module Workload = Dfd_benchmarks.Workload
+
+let measure ?(max_p = 8) () =
+  let b = Dfd_benchmarks.Dense_mm.bench ~n:256 Workload.Fine in
+  List.init max_p (fun i ->
+      let p = i + 1 in
+      let heap sched k =
+        (Exp_common.run_costed ~p ~k ~sched b).Engine.heap_peak
+      in
+      ( p,
+        heap `Adf Exp_common.k50,
+        heap `Dfdeques Exp_common.k50,
+        heap `Ws None ))
+
+let table () =
+  let rows =
+    List.map
+      (fun (p, adf, dfd, ws) ->
+         [
+           string_of_int p;
+           Dfd_structures.Stats.fmt_bytes adf;
+           Dfd_structures.Stats.fmt_bytes dfd;
+           Dfd_structures.Stats.fmt_bytes ws;
+         ])
+      (measure ())
+  in
+  {
+    Exp_common.title = "Dense MM (fine grain): heap watermark vs processors";
+    paper_ref = "Figure 13";
+    header = [ "p"; "ADF"; "DFD"; "Cilk(WS)" ];
+    rows;
+    notes =
+      [
+        "target shape: WS grows fastest with p; ADF slowest; DFD in between,";
+        "growing slowly like ADF (the paper's Figure 13).";
+      ];
+  }

@@ -1,0 +1,11 @@
+(** Figure 13: memory requirement of dense matrix multiply (fine grain)
+    versus the number of processors, for the depth-first scheduler ("ADF"),
+    DFDeques ("DFD"), and the work-stealing scheduler standing in for Cilk.
+
+    Reproduction target: Cilk/WS memory grows steeply (linearly) with p;
+    ADF grows slowest; DFD sits between and, like ADF, grows slowly. *)
+
+val measure : ?max_p:int -> unit -> (int * int * int * int) list
+(** p, ADF bytes, DFD bytes, WS bytes (heap high watermark). *)
+
+val table : unit -> Exp_common.table

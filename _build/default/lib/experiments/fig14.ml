@@ -1,0 +1,53 @@
+module Engine = Dfdeques_core.Engine
+module Workload = Dfd_benchmarks.Workload
+
+let benches grain =
+  [
+    Dfd_benchmarks.Dense_mm.bench ~n:256 grain;
+    Dfd_benchmarks.Fmm.bench grain;
+    Dfd_benchmarks.Decision_tree.bench grain;
+  ]
+
+(* High watermarks are schedule-dependent; average over a few seeds so the
+   DFD vs DFD-inf comparison is not a single-schedule artifact. *)
+let seeds = [ 42; 43; 44 ]
+
+let measure grain =
+  List.map
+    (fun b ->
+       let heap sched k =
+         let total =
+           List.fold_left
+             (fun acc seed -> acc + (Exp_common.run_costed ~seed ~sched ~k b).Engine.heap_peak)
+             0 seeds
+         in
+         total / List.length seeds
+       in
+       ( b.Workload.name,
+         heap `Fifo Exp_common.k50,
+         heap `Adf Exp_common.k50,
+         heap `Dfdeques Exp_common.k50,
+         heap `Dfdeques None ))
+    (benches grain)
+
+let table grain =
+  let rows =
+    List.map
+      (fun (name, fifo, adf, dfd, dfdinf) ->
+         let f = Dfd_structures.Stats.fmt_bytes in
+         [ name; f fifo; f adf; f dfd; f dfdinf ])
+      (measure grain)
+  in
+  {
+    Exp_common.title =
+      Format.asprintf "Heap high watermark on 8 processors, %a granularity" Workload.pp_grain
+        grain;
+    paper_ref = "Figure 14";
+    header = [ "Benchmark"; "FIFO"; "ADF"; "DFD"; "DFD-inf" ];
+    rows;
+    notes =
+      [
+        "heap watermarks averaged over 3 seeds;";
+        "target shape: ADF <= DFD <= DFD-inf, and FIFO the largest (or near-largest).";
+      ];
+  }

@@ -1,0 +1,17 @@
+(** Figure 14: high watermark of heap allocation on 8 processors for the
+    three benchmarks with significant heap usage (dense MM, FMM, decision
+    tree), under FIFO, ADF, DFD and DFD-inf (DFDeques with an infinite
+    memory threshold, the paper's work-stealing stand-in), at both thread
+    granularities.
+
+    Reproduction target: DFD needs slightly more memory than ADF, but less
+    than DFD-inf; FIFO needs the most (or is far above the space-efficient
+    schedulers). *)
+
+val benches : Dfd_benchmarks.Workload.grain -> Dfd_benchmarks.Workload.t list
+
+val measure :
+  Dfd_benchmarks.Workload.grain -> (string * int * int * int * int) list
+(** benchmark, FIFO, ADF, DFD, DFD-inf heap watermarks (bytes). *)
+
+val table : Dfd_benchmarks.Workload.grain -> Exp_common.table

@@ -1,0 +1,44 @@
+module Engine = Dfdeques_core.Engine
+module Workload = Dfd_benchmarks.Workload
+
+type point = { k : int; time : int; memory : int; granularity : float }
+
+let default_ks = [ 100; 316; 1_000; 3_160; 10_000; 31_600; 100_000; 316_000; 1_000_000 ]
+
+let sweep ?(ks = default_ks) () =
+  let b = Dfd_benchmarks.Dense_mm.bench ~n:256 Workload.Fine in
+  List.map
+    (fun k ->
+       let r = Exp_common.run_costed ~k:(Some k) ~sched:`Dfdeques b in
+       {
+         k;
+         time = r.Engine.time;
+         memory = r.Engine.heap_peak;
+         granularity = r.Engine.local_steal_ratio;
+       })
+    ks
+
+let table () =
+  let rows =
+    List.map
+      (fun pt ->
+         [
+           string_of_int pt.k;
+           string_of_int pt.time;
+           Dfd_structures.Stats.fmt_bytes pt.memory;
+           Exp_common.fmt2 pt.granularity;
+         ])
+      (sweep ())
+  in
+  {
+    Exp_common.title =
+      "DFDeques(K) trade-off on dense MM (fine, p=8): time, memory, granularity vs K";
+    paper_ref = "Figure 15";
+    header = [ "K (bytes)"; "time (steps)"; "memory"; "granularity" ];
+    rows;
+    notes =
+      [
+        "granularity = own-deque dispatches per steal (the paper's Section 5.3 metric);";
+        "target shape: time falls, memory and granularity rise as K grows.";
+      ];
+  }

@@ -1,0 +1,18 @@
+(** Figure 15: the space / time / scheduling-granularity trade-off of
+    DFDeques(K) as the memory threshold K varies — dense matrix multiply at
+    fine granularity on 8 processors.
+
+    Reproduction target: as K grows, running time falls and both memory and
+    scheduling granularity rise (all three monotone-ish, saturating at the
+    work-stealing behaviour for large K). *)
+
+type point = {
+  k : int;
+  time : int;
+  memory : int;  (** heap watermark, bytes *)
+  granularity : float;  (** local dispatches per steal, Section 5.3 *)
+}
+
+val sweep : ?ks:int list -> unit -> point list
+
+val table : unit -> Exp_common.table

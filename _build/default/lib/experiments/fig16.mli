@@ -1,0 +1,28 @@
+(** Figure 16: the Section 6 simulator experiment — the synthetic
+    divide-and-conquer benchmark (15 levels, geometrically decreasing
+    memory and granularity) on 64 processors under the pure cost model;
+    scheduling granularity (as % of total work) and memory versus the
+    memory threshold K, for WS, ADF and DFD.
+
+    Reproduction target: WS is flat (it ignores K) with the largest
+    granularity and memory; ADF is flat with the smallest of both; DFD
+    sweeps between the two as K grows. *)
+
+type point = {
+  k : int;
+  dfd_gran_pct : float;  (** scheduling granularity as % of total work *)
+  dfd_mem : int;
+  adf_gran_pct : float;
+  adf_mem : int;
+  ws_gran_pct : float;
+  ws_mem : int;
+}
+
+val sweep : ?p:int -> ?ks:int list -> unit -> point list
+
+val table : unit -> Exp_common.table
+
+val families_table : unit -> Exp_common.table
+(** The thesis's other synthetic families (flat, inverted, skewed): the
+    same K sweep shows the same qualitative picture on every shape
+    (footnote 17 of the paper defers these to [33]). *)

@@ -1,0 +1,12 @@
+(** Figure 17: speedups for the lock-heavy tree-building phase of
+    Barnes-Hut.  The Pthreads-based schedulers (FIFO, ADF, DFD) use
+    blocking locks; the Cilk stand-in (WS) uses spin-waiting locks.
+
+    Reproduction target: DFD with blocking locks performs about like ADF
+    (frequent suspension kills its scheduling granularity) and better than
+    the spin-waiting work stealer; FIFO trails. *)
+
+val measure : unit -> (string * float) list
+(** scheduler name, 8-processor speedup. *)
+
+val table : unit -> Exp_common.table

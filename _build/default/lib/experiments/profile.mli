@@ -1,0 +1,20 @@
+(** Memory profile over time (a thesis-style plot, CMU-CS-99-119 ch. 5:
+    the paper reports only high watermarks, the thesis also shows how live
+    memory evolves during the execution).
+
+    Samples the live heap at ten evenly spaced points of each scheduler's
+    execution of dense matrix multiply: work stealing's profile rises far
+    above the others and stays there (it expands p subtrees at once), the
+    depth-first scheduler's stays lowest, DFDeques(K) tracks ADF with a
+    bounded overshoot — the time-resolved view of Figures 13/14. *)
+
+type profile = {
+  sched : string;
+  total_time : int;
+  samples : (int * int) list;  (** (timestep, live heap bytes), ~10 points. *)
+}
+
+val measure : ?p:int -> unit -> profile list
+(** ADF, DFD(50k) and WS on dense MM (fine grain, n=256). *)
+
+val table : unit -> Exp_common.table

@@ -1,0 +1,82 @@
+module Engine = Dfdeques_core.Engine
+module Workload = Dfd_benchmarks.Workload
+
+type row = {
+  bench : string;
+  max_threads : int array;
+  miss_rate : float array;
+  speedup : float array;
+}
+
+let scheds : Engine.sched array = [| `Fifo; `Adf; `Dfdeques |]
+
+let paper_fine =
+  [
+    ("VolRend", [| 436; 36; 37 |], [| 4.2; 3.0; 1.8 |], [| 5.39; 5.99; 6.96 |]);
+    ("DenseMM", [| 3752; 55; 77 |], [| 24.0; 13.0; 8.7 |], [| 0.22; 3.78; 5.82 |]);
+    ("SparseMVM", [| 173; 51; 49 |], [| 13.8; 13.7; 13.7 |], [| 3.59; 5.04; 6.29 |]);
+    ("FFTW", [| 510; 30; 33 |], [| 14.6; 16.4; 14.4 |], [| 6.02; 5.96; 6.38 |]);
+    ("FMM", [| 2030; 50; 54 |], [| 14.0; 2.1; 1.0 |], [| 1.64; 7.03; 7.47 |]);
+    ("BarnesHut", [| 3570; 42; 120 |], [| 19.0; 3.9; 2.9 |], [| 0.64; 6.26; 6.97 |]);
+    ("DecisionTree", [| 194; 138; 149 |], [| 5.8; 4.9; 4.6 |], [| 4.83; 4.85; 5.39 |]);
+  ]
+
+let measure grain =
+  List.map
+    (fun b ->
+       let results = Array.map (fun sched -> Exp_common.run_costed ~sched b) scheds in
+       let t1 = Exp_common.serial_time b in
+       {
+         bench = b.Workload.name;
+         max_threads = Array.map (fun r -> r.Engine.threads_peak) results;
+         miss_rate = Array.map (fun r -> r.Engine.cache_miss_rate) results;
+         speedup =
+           Array.map (fun r -> float_of_int t1 /. float_of_int r.Engine.time) results;
+       })
+    (Dfd_benchmarks.Registry.table_benchmarks grain)
+
+let table grain =
+  let rows = measure grain in
+  let paper name =
+    List.find_opt (fun (n, _, _, _) -> n = name) paper_fine
+  in
+  let fmt1 = Printf.sprintf "%.1f" in
+  let body =
+    List.concat_map
+      (fun r ->
+         let ours =
+           r.bench :: "ours"
+           :: (Array.to_list (Array.map string_of_int r.max_threads)
+               @ Array.to_list (Array.map fmt1 r.miss_rate)
+               @ Array.to_list (Array.map Exp_common.fmt2 r.speedup))
+         in
+         match (grain, paper r.bench) with
+         | Workload.Fine, Some (_, mt, mr, sp) ->
+           [
+             ours;
+             ""
+             :: "paper"
+             :: (Array.to_list (Array.map string_of_int mt)
+                 @ Array.to_list (Array.map fmt1 mr)
+                 @ Array.to_list (Array.map Exp_common.fmt2 sp));
+           ]
+         | _ -> [ ours ])
+      rows
+  in
+  {
+    Exp_common.title =
+      Format.asprintf "Summary table, %a thread granularity, p=8, K=50000" Workload.pp_grain
+        grain;
+    paper_ref = "Figures 1 and 11 (SPAA'99 / CMU-CS-99-121)";
+    header =
+      [
+        "Benchmark"; "src"; "thr:FIFO"; "thr:ADF"; "thr:DFD"; "miss:FIFO"; "miss:ADF";
+        "miss:DFD"; "spd:FIFO"; "spd:ADF"; "spd:DFD";
+      ];
+    rows = body;
+    notes =
+      [
+        "absolute values are simulator-scaled; the reproduction targets are the orderings:";
+        "FIFO live threads >> ADF/DFD; miss rates FIFO >= ADF >= DFD; speedups DFD >= ADF >= FIFO.";
+      ];
+  }

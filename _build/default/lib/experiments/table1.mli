@@ -1,0 +1,24 @@
+(** Figures 1 and 11: the summary table — for each benchmark and scheduler
+    (FIFO, ADF, DFD), the maximum number of simultaneously live threads,
+    the simulated L2 miss rate, and the 8-processor speedup; at a chosen
+    thread granularity, with K = 50,000.
+
+    The paper's measured values (fine granularity, Figure 1) are printed
+    alongside ours: absolute numbers differ (their machine, our simulator)
+    but the orderings — FIFO holds 10-100x more threads, DFD has the lowest
+    miss rate, speedups rank DFD > ADF > FIFO — are the reproduction
+    target. *)
+
+type row = {
+  bench : string;
+  max_threads : int array;  (** FIFO, ADF, DFD *)
+  miss_rate : float array;
+  speedup : float array;
+}
+
+val measure : Dfd_benchmarks.Workload.grain -> row list
+
+val table : Dfd_benchmarks.Workload.grain -> Exp_common.table
+
+val paper_fine : (string * int array * float array * float array) list
+(** Figure 1's published numbers (max threads, miss %, speedup). *)

@@ -1,0 +1,19 @@
+(** Theorems 4.4 and 4.5: the space bounds, measured.
+
+    {b Upper bound (Thm 4.4)}: for every benchmark, the DFDeques(K) heap
+    watermark on p processors is compared against
+    [S1 + min(K,S1) * p * D] (the bound with its constant set to 1 — the
+    measured value typically sits far below it, and must never exceed a
+    small multiple).
+
+    {b Lower bound (Thm 4.5)}: on the Figure 10 adversarial dag the
+    measured space must {e grow} like [A * p * d]: we report measured /
+    (A*p*d) ratios across p, which should stay roughly constant and far
+    above S1/(A*p*d). *)
+
+val upper_table : Dfd_benchmarks.Workload.grain -> Exp_common.table
+
+val lower_table : unit -> Exp_common.table
+
+val lower_measure : ?d:int -> ?a_bytes:int -> p:int -> unit -> int * int
+(** (measured DFDeques(K=a_bytes) heap peak, S1) on the adversarial dag. *)

@@ -1,0 +1,40 @@
+module Engine = Dfdeques_core.Engine
+module Analysis = Dfd_dag.Analysis
+module Workload = Dfd_benchmarks.Workload
+
+let table grain =
+  let k = 50_000 in
+  let p = 8 in
+  let rows =
+    List.map
+      (fun b ->
+         let s = Analysis.analyze (b.Workload.prog ()) in
+         let r = Exp_common.run_analysis ~p ~k:(Some k) ~sched:`Dfdeques b in
+         let lower = max ((s.Analysis.timed_work + p - 1) / p) s.Analysis.depth in
+         let bound =
+           (s.Analysis.timed_work / p) + (s.Analysis.total_alloc / (p * k)) + s.Analysis.depth
+         in
+         [
+           b.Workload.name;
+           string_of_int s.Analysis.timed_work;
+           string_of_int s.Analysis.depth;
+           string_of_int lower;
+           string_of_int r.Engine.time;
+           string_of_int bound;
+           Printf.sprintf "%.2f" (float_of_int r.Engine.time /. float_of_int bound);
+         ])
+      (Dfd_benchmarks.Registry.table_benchmarks grain)
+  in
+  {
+    Exp_common.title =
+      Format.asprintf "Theorem 4.8 check: DFDeques time vs W/p + Sa/pK + D (p=%d, %a grain)" p
+        Workload.pp_grain grain;
+    paper_ref = "Theorem 4.8";
+    header = [ "Benchmark"; "W'"; "D"; "lower"; "measured T"; "bound(c=1)"; "T/bound" ];
+    rows;
+    notes =
+      [
+        "lower = max(ceil(W'/p), D) <= measured must hold exactly;";
+        "measured/bound must stay a small constant (the theorem's hidden constant).";
+      ];
+  }

@@ -1,0 +1,8 @@
+(** Theorem 4.8: the time bound O(W/p + Sa/(pK) + D), measured.
+
+    For every benchmark we report the DFDeques(K) execution time on p
+    processors against the bound with constant 1; the ratio must stay
+    small, and the greedy lower bound max(W'/p, D) must never be
+    violated. *)
+
+val table : Dfd_benchmarks.Workload.grain -> Exp_common.table

@@ -1,0 +1,22 @@
+(** Expected-case behaviour over many seeds.
+
+    Theorems 4.4 and 4.8 are {e expected-case} bounds (over the scheduler's
+    random victim choices).  This experiment runs DFDeques(K) on the
+    Section 6 synthetic benchmark across many seeds and reports the
+    mean/max of space and time against the c=1 bounds — the max staying
+    bounded demonstrates the concentration the paper's Chernoff arguments
+    predict (Lemmas 4.2, 4.7). *)
+
+type summary = {
+  runs : int;
+  space_mean : float;
+  space_max : int;
+  space_bound : int;  (** S1 + min(K,S1)*p*D, c = 1. *)
+  time_mean : float;
+  time_max : int;
+  time_bound : int;  (** W'/p + Sa/pK + D, c = 1. *)
+}
+
+val measure : ?runs:int -> ?p:int -> ?k:int -> unit -> summary
+
+val table : unit -> Exp_common.table

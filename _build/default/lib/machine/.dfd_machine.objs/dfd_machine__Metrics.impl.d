@@ -1,0 +1,1 @@
+lib/machine/metrics.ml: Array Dfd_structures

@@ -1,0 +1,66 @@
+type t = {
+  geo : Config.cache;
+  (* tags.(proc).(set * assoc + way): cached line tag, -1 = empty. *)
+  tags : int array array;
+  (* stamps mirror tags with the last-use clock for LRU replacement. *)
+  stamps : int array array;
+  mutable clock : int;
+  mutable n_access : int;
+  mutable n_miss : int;
+  per_proc_miss : int array;
+}
+
+let create geo ~p =
+  let slots = geo.Config.n_sets * geo.Config.assoc in
+  {
+    geo;
+    tags = Array.init p (fun _ -> Array.make slots (-1));
+    stamps = Array.init p (fun _ -> Array.make slots 0);
+    clock = 0;
+    n_access = 0;
+    n_miss = 0;
+    per_proc_miss = Array.make p 0;
+  }
+
+let access t ~proc ~addr =
+  t.clock <- t.clock + 1;
+  t.n_access <- t.n_access + 1;
+  let { Config.line_words; n_sets; assoc } = t.geo in
+  let line = addr / line_words in
+  let set = line mod n_sets in
+  let tag = line / n_sets in
+  let tags = t.tags.(proc) and stamps = t.stamps.(proc) in
+  let base = set * assoc in
+  let hit = ref false in
+  let victim = ref base in
+  let oldest = ref max_int in
+  for way = base to base + assoc - 1 do
+    if tags.(way) = tag then begin
+      hit := true;
+      victim := way
+    end
+    else if stamps.(way) < !oldest then begin
+      oldest := stamps.(way);
+      if not !hit then victim := way
+    end
+  done;
+  stamps.(!victim) <- t.clock;
+  if !hit then false
+  else begin
+    tags.(!victim) <- tag;
+    t.n_miss <- t.n_miss + 1;
+    t.per_proc_miss.(proc) <- t.per_proc_miss.(proc) + 1;
+    true
+  end
+
+let access_many t ~proc addrs =
+  Array.fold_left (fun acc addr -> acc + if access t ~proc ~addr then 1 else 0) 0 addrs
+
+let accesses t = t.n_access
+
+let misses t = t.n_miss
+
+let miss_rate t =
+  if t.n_access = 0 then 0.0 else 100.0 *. float_of_int t.n_miss /. float_of_int t.n_access
+
+let proc_misses t proc = t.per_proc_miss.(proc)

@@ -1,0 +1,41 @@
+module W = Dfd_structures.Stats.Watermark
+
+type t = {
+  stack_bytes : int;
+  heap : W.t;
+  threads : W.t;
+  combined : W.t;
+  mutable gross : int;
+}
+
+let create ~stack_bytes =
+  { stack_bytes; heap = W.create (); threads = W.create (); combined = W.create (); gross = 0 }
+
+let alloc t n =
+  t.gross <- t.gross + n;
+  W.add t.heap n;
+  W.add t.combined n
+
+let free t n =
+  W.add t.heap (-n);
+  W.add t.combined (-n)
+
+let thread_created t =
+  W.add t.threads 1;
+  W.add t.combined t.stack_bytes
+
+let thread_exited t =
+  W.add t.threads (-1);
+  W.add t.combined (-t.stack_bytes)
+
+let heap_current t = W.current t.heap
+
+let heap_peak t = W.peak t.heap
+
+let live_threads t = W.current t.threads
+
+let live_threads_peak t = W.peak t.threads
+
+let combined_peak t = W.peak t.combined
+
+let total_allocated t = t.gross

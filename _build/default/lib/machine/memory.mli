@@ -1,0 +1,39 @@
+(** Space accounting for a simulated execution.
+
+    Tracks exactly the quantities the paper reports:
+    - the {b heap high watermark} (Figure 14's "high water mark of heap
+      memory"),
+    - the {b live-thread high watermark} (Figures 1/11's "max threads",
+      each of which reserves [stack_bytes] of stack),
+    - the combined space (heap + thread stacks) against which the
+      Theorem 4.4 bound is checked.
+
+    All schedulers drive one instance through {!alloc}/{!free}/
+    {!thread_created}/{!thread_exited}. *)
+
+type t
+
+val create : stack_bytes:int -> t
+
+val alloc : t -> int -> unit
+
+val free : t -> int -> unit
+
+val thread_created : t -> unit
+
+val thread_exited : t -> unit
+
+val heap_current : t -> int
+
+val heap_peak : t -> int
+
+val live_threads : t -> int
+
+val live_threads_peak : t -> int
+
+val combined_peak : t -> int
+(** Peak over time of [heap + stack_bytes * live_threads] (tracked jointly,
+    not the sum of the two separate peaks). *)
+
+val total_allocated : t -> int
+(** Gross bytes allocated (the quantity Sa of Theorem 4.8). *)

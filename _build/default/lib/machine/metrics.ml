@@ -1,0 +1,85 @@
+module W = Dfd_structures.Stats.Watermark
+
+type t = {
+  mutable actions : int;
+  mutable steal_attempts : int;
+  mutable steals : int;
+  mutable local : int;
+  mutable queued : int;
+  mutable quota : int;
+  mutable dummies : int;
+  mutable heavy_premature : int;
+  deques : W.t;
+  per_proc_actions : int array;
+}
+
+let create ~p =
+  {
+    actions = 0;
+    steal_attempts = 0;
+    steals = 0;
+    local = 0;
+    queued = 0;
+    quota = 0;
+    dummies = 0;
+    heavy_premature = 0;
+    deques = W.create ();
+    per_proc_actions = Array.make p 0;
+  }
+
+let action_executed t ~proc ~units =
+  t.actions <- t.actions + units;
+  t.per_proc_actions.(proc) <- t.per_proc_actions.(proc) + units
+
+let steal_attempt t = t.steal_attempts <- t.steal_attempts + 1
+
+let steal_success t = t.steals <- t.steals + 1
+
+let local_dispatch t = t.local <- t.local + 1
+
+let queue_dispatch t = t.queued <- t.queued + 1
+
+let quota_exhausted t = t.quota <- t.quota + 1
+
+let dummy_executed t = t.dummies <- t.dummies + 1
+
+let heavy_premature t = t.heavy_premature <- t.heavy_premature + 1
+
+let heavy_prematures t = t.heavy_premature
+
+let deques_changed t n = W.add t.deques (n - W.current t.deques)
+
+let actions t = t.actions
+
+let steals t = t.steals
+
+let steal_attempts t = t.steal_attempts
+
+let local_dispatches t = t.local
+
+let queue_dispatches t = t.queued
+
+let quota_exhaustions t = t.quota
+
+let dummies t = t.dummies
+
+let deque_peak t = W.peak t.deques
+
+let deque_current t = W.current t.deques
+
+let per_proc_actions t = Array.copy t.per_proc_actions
+
+(* max-over-mean of per-processor executed actions: 1.0 = perfect balance. *)
+let load_imbalance t =
+  let n = Array.length t.per_proc_actions in
+  let total = Array.fold_left ( + ) 0 t.per_proc_actions in
+  if total = 0 then 1.0
+  else begin
+    let mx = Array.fold_left max 0 t.per_proc_actions in
+    float_of_int mx /. (float_of_int total /. float_of_int n)
+  end
+
+let sched_granularity t =
+  float_of_int t.actions /. float_of_int (max 1 (t.steals + t.queued))
+
+let local_steal_ratio t = float_of_int t.local /. float_of_int (max 1 t.steals)

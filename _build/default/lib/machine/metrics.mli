@@ -1,0 +1,75 @@
+(** Scheduling metrics gathered during a simulated run.
+
+    Definitions follow the paper:
+    - {b scheduling granularity} (Section 6): average number of actions a
+      processor executes between two steals (or, for global-queue
+      schedulers, between two dispatches from the shared queue);
+    - the {b local/steal ratio} (Section 5.3): number of times a thread is
+      scheduled from the processor's own deque divided by the number of
+      steals — the paper's implementation-level approximation of
+      granularity. *)
+
+type t
+
+val create : p:int -> t
+
+val action_executed : t -> proc:int -> units:int -> unit
+
+val steal_attempt : t -> unit
+
+val steal_success : t -> unit
+
+val local_dispatch : t -> unit
+(** A thread obtained without a steal (own deque pop, or continuing into a
+    woken parent). *)
+
+val queue_dispatch : t -> unit
+(** A thread obtained from a global shared queue (FIFO / ADF). *)
+
+val quota_exhausted : t -> unit
+(** A processor hit its memory threshold and gave up its deque/thread. *)
+
+val dummy_executed : t -> unit
+
+val heavy_premature : t -> unit
+(** A steal took a thread that was {e not} the highest-priority ready
+    thread: its first node is a heavy premature node in the sense of
+    Section 4.2 (executed out of 1DF order).  Lemma 4.2 bounds the expected
+    number of these by O(p * D). *)
+
+val heavy_prematures : t -> int
+
+val deques_changed : t -> int -> unit
+(** Track the current number of deques in R (watermark kept). *)
+
+val actions : t -> int
+
+val steals : t -> int
+
+val steal_attempts : t -> int
+
+val local_dispatches : t -> int
+
+val queue_dispatches : t -> int
+
+val quota_exhaustions : t -> int
+
+val dummies : t -> int
+
+val deque_peak : t -> int
+
+val deque_current : t -> int
+
+val per_proc_actions : t -> int array
+(** Actions executed by each processor (copy). *)
+
+val load_imbalance : t -> float
+(** Max-over-mean of per-processor executed actions; 1.0 is perfect
+    balance (the automatic load-balancing claim of the paper's
+    introduction, point 2 of Section 1). *)
+
+val sched_granularity : t -> float
+(** actions / max(1, steals + queue dispatches). *)
+
+val local_steal_ratio : t -> float
+(** local dispatches / max(1, steals). *)

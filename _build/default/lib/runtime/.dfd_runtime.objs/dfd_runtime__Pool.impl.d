@@ -1,0 +1,1 @@
+lib/runtime/pool.ml: Array Atomic Condition Dfd_structures Domain Fun List Mutex Option

@@ -1,0 +1,1 @@
+lib/runtime/psort.ml: Array Pool

@@ -1,0 +1,383 @@
+module Deque = Dfd_structures.Deque
+module Dll = Dfd_structures.Dll
+module Prng = Dfd_structures.Prng
+
+type task = unit -> unit
+
+type policy = Work_stealing | Dfdeques of { quota : int }
+
+(* A deque of the global list R (DFDeques) or of the fixed per-worker
+   array (WS). *)
+type dq = { tasks : task Deque.t; mutable owner : int option }
+
+type counters = {
+  mutable steals : int;
+  mutable steal_failures : int;
+  mutable local_pops : int;
+  mutable quota_giveups : int;
+  mutable tasks_run : int;
+}
+
+type t = {
+  policy : policy;
+  n_workers : int;  (** worker domains + the caller *)
+  lock : Mutex.t;
+  work_available : Condition.t;
+  (* WS: fixed deques, index = worker id.  DFD: the list R; [ws_deques] is
+     unused. *)
+  ws_deques : dq array;
+  r : dq Dll.t;
+  dfd_deque : dq Dll.node option array;  (** DFD: each worker's deque node. *)
+  quota_left : int array;
+  counters : counters;
+  mutable live_tasks : int;  (** tasks pushed but not yet completed *)
+  mutable shutting_down : bool;
+  mutable domains : unit Domain.t list;
+  rngs : Prng.t array;
+}
+
+(* Which worker the current domain/thread is, while inside [run]. *)
+let worker_key : (int * t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let self () = !(Domain.DLS.get worker_key)
+
+let self_exn () =
+  match self () with
+  | Some ctx -> ctx
+  | None -> failwith "Dfd_runtime.Pool: not inside Pool.run"
+
+(* ------------------------------------------------------------------ *)
+(* Deque plumbing (all under [pool.lock])                              *)
+(* ------------------------------------------------------------------ *)
+
+let new_dq ~owner = { tasks = Deque.create (); owner }
+
+(* Give worker [w] a deque if it has none (DFD). *)
+let dfd_own_deque pool w =
+  match pool.dfd_deque.(w) with
+  | Some node -> Dll.value node
+  | None ->
+    let d = new_dq ~owner:(Some w) in
+    let node = Dll.push_front pool.r d in
+    pool.dfd_deque.(w) <- Some node;
+    d
+
+let push_local pool w task =
+  Mutex.lock pool.lock;
+  pool.live_tasks <- pool.live_tasks + 1;
+  (match pool.policy with
+   | Work_stealing -> Deque.push_top pool.ws_deques.(w).tasks task
+   | Dfdeques _ -> Deque.push_top (dfd_own_deque pool w).tasks task);
+  Condition.signal pool.work_available;
+  Mutex.unlock pool.lock
+
+(* Pop our most recent push if it is still on top (the fork_join fast
+   path).  Physical equality identifies the task. *)
+let try_pop_exact pool w task =
+  Mutex.lock pool.lock;
+  let dq =
+    match pool.policy with
+    | Work_stealing -> Some pool.ws_deques.(w)
+    | Dfdeques _ -> Option.map Dll.value pool.dfd_deque.(w)
+  in
+  let got =
+    match dq with
+    | Some d -> (
+        match Deque.peek_top d.tasks with
+        | Some t when t == task -> (
+            match Deque.pop_top d.tasks with
+            | Some _ ->
+              pool.live_tasks <- pool.live_tasks - 1;
+              true
+            | None -> false)
+        | _ -> false)
+    | None -> false
+  in
+  Mutex.unlock pool.lock;
+  got
+
+(* DFDeques give-up: leave the (nonempty) deque in R unowned. *)
+let dfd_abandon pool w =
+  match pool.dfd_deque.(w) with
+  | None -> ()
+  | Some node ->
+    let d = Dll.value node in
+    d.owner <- None;
+    if Deque.is_empty d.tasks then Dll.remove pool.r node;
+    pool.dfd_deque.(w) <- None
+
+(* One attempt to obtain a task; must hold the lock.  Returns the task and
+   whether it came via a steal. *)
+let try_get pool w =
+  match pool.policy with
+  | Work_stealing -> (
+      match Deque.pop_top pool.ws_deques.(w).tasks with
+      | Some t ->
+        pool.counters.local_pops <- pool.counters.local_pops + 1;
+        Some t
+      | None ->
+        let victim = Prng.int pool.rngs.(w) pool.n_workers in
+        if victim = w then None
+        else (
+          match Deque.pop_bottom pool.ws_deques.(victim).tasks with
+          | Some t ->
+            pool.counters.steals <- pool.counters.steals + 1;
+            Some t
+          | None ->
+            pool.counters.steal_failures <- pool.counters.steal_failures + 1;
+            None))
+  | Dfdeques { quota } -> (
+      let steal () =
+        let k = Prng.int pool.rngs.(w) pool.n_workers in
+        match Dll.nth_node pool.r k with
+        | None ->
+          pool.counters.steal_failures <- pool.counters.steal_failures + 1;
+          None
+        | Some node -> (
+            let victim = Dll.value node in
+            match Deque.pop_bottom victim.tasks with
+            | None ->
+              pool.counters.steal_failures <- pool.counters.steal_failures + 1;
+              None
+            | Some t ->
+              pool.counters.steals <- pool.counters.steals + 1;
+              let nd = new_dq ~owner:(Some w) in
+              let new_node = Dll.insert_after pool.r node nd in
+              if Deque.is_empty victim.tasks && victim.owner = None then Dll.remove pool.r node;
+              pool.dfd_deque.(w) <- Some new_node;
+              pool.quota_left.(w) <- quota;
+              Some t)
+      in
+      match pool.dfd_deque.(w) with
+      | Some node when pool.quota_left.(w) <= 0 ->
+        (* memory quota exhausted: abandon the deque and steal *)
+        pool.counters.quota_giveups <- pool.counters.quota_giveups + 1;
+        ignore node;
+        dfd_abandon pool w;
+        steal ()
+      | Some node -> (
+          let d = Dll.value node in
+          match Deque.pop_top d.tasks with
+          | Some t ->
+            pool.counters.local_pops <- pool.counters.local_pops + 1;
+            Some t
+          | None ->
+            (* empty own deque: delete it, then steal *)
+            d.owner <- None;
+            Dll.remove pool.r node;
+            pool.dfd_deque.(w) <- None;
+            steal ())
+      | None -> steal ())
+
+let run_task pool t =
+  pool.counters.tasks_run <- pool.counters.tasks_run + 1;
+  t ()
+
+(* Grab one task and run it; returns false if none was found. *)
+let help_once pool w =
+  Mutex.lock pool.lock;
+  let got = try_get pool w in
+  (match got with Some _ -> pool.live_tasks <- pool.live_tasks - 1 | None -> ());
+  Mutex.unlock pool.lock;
+  match got with
+  | Some t ->
+    run_task pool t;
+    true
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Futures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type 'a outcome = Pending | Done of 'a | Failed of exn
+
+type 'a promise = { mutable state : 'a outcome Atomic.t }
+
+let promise () = { state = Atomic.make Pending }
+
+let fulfill pr f =
+  let v = try Done (f ()) with e -> Failed e in
+  Atomic.set pr.state v
+
+let rec await pool w pr =
+  match Atomic.get pr.state with
+  | Done v -> v
+  | Failed e -> raise e
+  | Pending ->
+    (* help: run other tasks while the thief finishes ours *)
+    if not (help_once pool w) then Domain.cpu_relax ();
+    await pool w pr
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let worker_loop pool w =
+  Domain.DLS.get worker_key := Some (w, pool);
+  let rec loop () =
+    if pool.shutting_down then ()
+    else begin
+      if not (help_once pool w) then begin
+        (* nothing runnable: block until work is pushed or shutdown *)
+        Mutex.lock pool.lock;
+        if (not pool.shutting_down) && pool.live_tasks = 0 then
+          Condition.wait pool.work_available pool.lock;
+        Mutex.unlock pool.lock
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains policy =
+  let extra =
+    match domains with
+    | Some d -> max 0 d
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let n_workers = extra + 1 in
+  let pool =
+    {
+      policy;
+      n_workers;
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      ws_deques = Array.init n_workers (fun i -> new_dq ~owner:(Some i));
+      r = Dll.create ();
+      dfd_deque = Array.make n_workers None;
+      quota_left =
+        Array.make n_workers
+          (match policy with Dfdeques { quota } -> quota | Work_stealing -> max_int);
+      counters =
+        { steals = 0; steal_failures = 0; local_pops = 0; quota_giveups = 0; tasks_run = 0 };
+      live_tasks = 0;
+      shutting_down = false;
+      domains = [];
+      rngs = Array.init n_workers (fun i -> Prng.create (1000 + i));
+    }
+  in
+  pool.domains <- List.init extra (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let run pool f =
+  (match self () with
+   | Some _ -> failwith "Dfd_runtime.Pool.run: nested run"
+   | None -> ());
+  let ctx = Domain.DLS.get worker_key in
+  ctx := Some (0, pool);
+  Fun.protect
+    ~finally:(fun () -> ctx := None)
+    (fun () -> f ())
+
+let fork_join fa fb =
+  let w, pool = self_exn () in
+  let pr = promise () in
+  let task () = fulfill pr fa in
+  push_local pool w task;
+  let b = try Ok (fb ()) with e -> Error e in
+  let a =
+    if try_pop_exact pool w task then begin
+      (* fast path: nobody stole it; run inline *)
+      run_task pool task;
+      match Atomic.get pr.state with
+      | Done v -> v
+      | Failed e -> raise e
+      | Pending -> assert false
+    end
+    else await pool w pr
+  in
+  match b with Ok b -> (a, b) | Error e -> raise e
+
+let rec parallel_for ~lo ~hi body =
+  if hi - lo <= 0 then ()
+  else if hi - lo = 1 then body lo
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let (), () =
+      fork_join (fun () -> parallel_for ~lo ~hi:mid body) (fun () -> parallel_for ~lo:mid ~hi body)
+    in
+    ()
+  end
+
+let parallel_map f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f arr.(0)) in
+    parallel_for ~lo:0 ~hi:n (fun i -> out.(i) <- f arr.(i));
+    out
+  end
+
+let alloc_hint n =
+  match self () with
+  | Some (w, pool) -> (
+      match pool.policy with
+      | Dfdeques _ ->
+        Mutex.lock pool.lock;
+        pool.quota_left.(w) <- pool.quota_left.(w) - n;
+        Mutex.unlock pool.lock
+      | Work_stealing -> ())
+  | None -> ()
+
+let stats pool =
+  let c = pool.counters in
+  [
+    ("steals", c.steals);
+    ("steal_failures", c.steal_failures);
+    ("local_pops", c.local_pops);
+    ("quota_giveups", c.quota_giveups);
+    ("tasks_run", c.tasks_run);
+  ]
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.shutting_down <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let parallel_reduce ~zero ~op ~lo ~hi f =
+  let rec go lo hi =
+    if hi - lo <= 0 then zero
+    else if hi - lo = 1 then f lo
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let a, b = fork_join (fun () -> go lo mid) (fun () -> go mid hi) in
+      op a b
+    end
+  in
+  go lo hi
+
+(* Blelloch two-phase scan over [grain]-sized chunks: reduce each chunk in
+   parallel, serially prefix the chunk sums (few chunks), then expand each
+   chunk in parallel. *)
+let parallel_prefix_sum ~zero ~op arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let grain = 1024 in
+    let nchunks = (n + grain - 1) / grain in
+    let sums = Array.make nchunks zero in
+    parallel_for ~lo:0 ~hi:nchunks (fun c ->
+        let lo = c * grain and hi = min n ((c + 1) * grain) in
+        let acc = ref zero in
+        for i = lo to hi - 1 do
+          acc := op !acc arr.(i)
+        done;
+        sums.(c) <- !acc);
+    let offsets = Array.make nchunks zero in
+    for c = 1 to nchunks - 1 do
+      offsets.(c) <- op offsets.(c - 1) sums.(c - 1)
+    done;
+    let out = Array.make n zero in
+    parallel_for ~lo:0 ~hi:nchunks (fun c ->
+        let lo = c * grain and hi = min n ((c + 1) * grain) in
+        let acc = ref offsets.(c) in
+        for i = lo to hi - 1 do
+          out.(i) <- !acc;
+          acc := op !acc arr.(i)
+        done);
+    out
+  end

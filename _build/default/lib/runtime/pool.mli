@@ -1,0 +1,76 @@
+(** A real multicore fork-join pool for OCaml 5 Domains implementing the
+    paper's two deque disciplines.
+
+    This is the "production library" face of the reproduction: the same
+    scheduling algorithms that the simulator analyses, driving real OCaml
+    closures on real domains.
+
+    - {!Work_stealing} — one deque per worker, LIFO locally, thieves pop
+      the bottom of a uniformly random victim (Blumofe–Leiserson / Cilk).
+    - {!Dfdeques} — the paper's algorithm: a globally ordered list R of
+      deques; thieves pop the bottom of a random deque among the leftmost
+      [p]; a cooperative memory quota (fed by {!alloc_hint}) makes a worker
+      abandon its deque and steal once it has allocated more than K bytes
+      since its last steal, exactly the DFDeques(K) discipline at task
+      granularity.  Access to R is serialised by one lock, as in the
+      paper's own Pthreads implementation (Section 5: "access to the ready
+      threads in R was serialized").
+
+    Fork-join is work-first: {!fork_join} pushes the left branch and runs
+    the right inline; on return it pops the left branch back if nobody
+    stole it (the fast path runs both branches with zero synchronisation),
+    otherwise it helps execute other tasks until the thief finishes.
+    Exceptions propagate to the joining parent.
+
+    The pool is small and lock-based by design — the point is algorithmic
+    fidelity and a usable API, not peak throughput. *)
+
+type t
+
+type policy =
+  | Work_stealing
+  | Dfdeques of { quota : int }
+      (** memory threshold K in bytes for the cooperative quota. *)
+
+val create : ?domains:int -> policy -> t
+(** [create ~domains policy] starts a pool with [domains] extra worker
+    domains (default: [Domain.recommended_domain_count () - 1]).  The
+    caller participates as a worker while inside {!run}. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** Execute a task (and all the parallel work it forks) to completion on
+    the pool; the calling thread works too.  Re-entrant calls from inside
+    pool tasks are not allowed. *)
+
+val fork_join : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Run the two thunks in parallel, returning both results.  Must be
+    called from inside {!run}.  The left thunk is the forked child (it is
+    what thieves steal), the right runs in the current task — matching the
+    paper's fork semantics. *)
+
+val parallel_for : lo:int -> hi:int -> (int -> unit) -> unit
+(** Binary fork-join tree over [lo, hi) — the standard nested-parallel
+    loop encoding.  Must be called from inside {!run}. *)
+
+val parallel_map : ('a -> 'b) -> 'a array -> 'b array
+(** Parallel array map built on {!parallel_for}. *)
+
+val parallel_reduce : zero:'a -> op:('a -> 'a -> 'a) -> lo:int -> hi:int -> (int -> 'a) -> 'a
+(** Binary fork-join tree reduction of [f lo ... f (hi-1)] with an
+    associative [op].  Must be called from inside {!run}. *)
+
+val parallel_prefix_sum : zero:'a -> op:('a -> 'a -> 'a) -> 'a array -> 'a array
+(** Exclusive prefix "sums" under an associative [op] (Blelloch two-phase
+    scan over chunks).  [out.(i) = fold op zero arr.(0..i-1)].  Must be
+    called from inside {!run}. *)
+
+val alloc_hint : int -> unit
+(** Report [n] bytes of allocation to the scheduler: under {!Dfdeques}
+    this feeds the memory quota (no-op under {!Work_stealing} or outside
+    {!run}). *)
+
+val stats : t -> (string * int) list
+(** Counters: steals, steal failures, local pops, quota give-ups, tasks. *)
+
+val shutdown : t -> unit
+(** Stop the worker domains.  The pool must be idle. *)

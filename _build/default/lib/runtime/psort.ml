@@ -1,0 +1,89 @@
+(* Parallel mergesort with parallel merge.  [sort_into] sorts src[lo,hi)
+   writing the result into dst[lo,hi); alternating the direction of the
+   recursion avoids copying at every level. *)
+
+let sorted ~cmp arr =
+  let n = Array.length arr in
+  let rec go i = i >= n - 1 || (cmp arr.(i) arr.(i + 1) <= 0 && go (i + 1)) in
+  go 0
+
+(* Least index in [lo,hi) of src whose element is >= x (binary search in a
+   sorted range). *)
+let lower_bound ~cmp src x lo hi =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp src.(mid) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let sort ?(cutoff = 2048) ~cmp arr =
+  let n = Array.length arr in
+  if n > 1 then begin
+    let scratch = Array.copy arr in
+    (* merge src[lo1,hi1) and src[lo2,hi2) into dst starting at dlo *)
+    let rec merge src dst lo1 hi1 lo2 hi2 dlo =
+      let n1 = hi1 - lo1 and n2 = hi2 - lo2 in
+      if n1 < n2 then merge src dst lo2 hi2 lo1 hi1 dlo
+      else if n1 = 0 then ()
+      else if n1 + n2 <= cutoff then begin
+        (* serial two-finger merge *)
+        let i = ref lo1 and j = ref lo2 and d = ref dlo in
+        while !i < hi1 && !j < hi2 do
+          if cmp src.(!i) src.(!j) <= 0 then begin
+            dst.(!d) <- src.(!i);
+            incr i
+          end
+          else begin
+            dst.(!d) <- src.(!j);
+            incr j
+          end;
+          incr d
+        done;
+        while !i < hi1 do
+          dst.(!d) <- src.(!i);
+          incr i;
+          incr d
+        done;
+        while !j < hi2 do
+          dst.(!d) <- src.(!j);
+          incr j;
+          incr d
+        done
+      end
+      else begin
+        (* split the larger run at its median, binary-search the other *)
+        let m1 = (lo1 + hi1) / 2 in
+        let m2 = lower_bound ~cmp src src.(m1) lo2 hi2 in
+        let dmid = dlo + (m1 - lo1) + (m2 - lo2) in
+        dst.(dmid) <- src.(m1);
+        Pool.alloc_hint ((n1 + n2) * 8);
+        let (), () =
+          Pool.fork_join
+            (fun () -> merge src dst lo1 m1 lo2 m2 dlo)
+            (fun () -> merge src dst (m1 + 1) hi1 m2 hi2 (dmid + 1))
+        in
+        ()
+      end
+    in
+    (* sort src[lo,hi); the result lands in src if [into_src], else in dst *)
+    let rec msort src dst lo hi into_src =
+      if hi - lo <= cutoff then begin
+        let seg = Array.sub src lo (hi - lo) in
+        Array.sort cmp seg;
+        Array.blit seg 0 (if into_src then src else dst) lo (hi - lo)
+      end
+      else begin
+        let mid = (lo + hi) / 2 in
+        let (), () =
+          Pool.fork_join
+            (fun () -> msort src dst lo mid (not into_src))
+            (fun () -> msort src dst mid hi (not into_src))
+        in
+        (* halves are sorted in the opposite array; merge back *)
+        if into_src then merge dst src lo mid mid hi lo
+        else merge src dst lo mid mid hi lo
+      end
+    in
+    msort arr scratch 0 n true
+  end

@@ -1,0 +1,1 @@
+lib/structures/deque.ml: Array List Option

@@ -1,0 +1,1 @@
+lib/structures/order_maint.mli:

@@ -1,0 +1,1 @@
+lib/structures/stats.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/structures/stats.mli:

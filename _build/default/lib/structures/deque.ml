@@ -1,0 +1,77 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of the bottom element *)
+  mutable len : int;
+}
+
+let initial_capacity = 8
+
+let create () = { buf = Array.make initial_capacity None; head = 0; len = 0 }
+
+let length d = d.len
+
+let is_empty d = d.len = 0
+
+let capacity d = Array.length d.buf
+
+(* Physical index of the i-th element counting from the bottom. *)
+let index d i = (d.head + i) mod capacity d
+
+let grow d =
+  let old = d.buf in
+  let cap = Array.length old in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to d.len - 1 do
+    buf.(i) <- old.((d.head + i) mod cap)
+  done;
+  d.buf <- buf;
+  d.head <- 0
+
+let push_top d x =
+  if d.len = capacity d then grow d;
+  d.buf.(index d d.len) <- Some x;
+  d.len <- d.len + 1
+
+let push_bottom d x =
+  if d.len = capacity d then grow d;
+  let cap = capacity d in
+  d.head <- (d.head + cap - 1) mod cap;
+  d.buf.(d.head) <- Some x;
+  d.len <- d.len + 1
+
+let pop_top d =
+  if d.len = 0 then None
+  else begin
+    let i = index d (d.len - 1) in
+    let x = d.buf.(i) in
+    d.buf.(i) <- None;
+    d.len <- d.len - 1;
+    x
+  end
+
+let pop_bottom d =
+  if d.len = 0 then None
+  else begin
+    let x = d.buf.(d.head) in
+    d.buf.(d.head) <- None;
+    d.head <- (d.head + 1) mod capacity d;
+    d.len <- d.len - 1;
+    x
+  end
+
+let peek_top d = if d.len = 0 then None else d.buf.(index d (d.len - 1))
+
+let peek_bottom d = if d.len = 0 then None else d.buf.(d.head)
+
+let to_list_top_first d =
+  let rec loop i acc = if i >= d.len then acc else loop (i + 1) (Option.get d.buf.(index d i) :: acc) in
+  loop 0 []
+
+let iter_top_first f d = List.iter f (to_list_top_first d)
+
+let clear d =
+  for i = 0 to d.len - 1 do
+    d.buf.(index d i) <- None
+  done;
+  d.head <- 0;
+  d.len <- 0

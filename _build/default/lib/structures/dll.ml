@@ -1,0 +1,130 @@
+type 'a node = {
+  v : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable linked : bool;
+}
+
+type 'a t = {
+  mutable first : 'a node option;
+  mutable last : 'a node option;
+  mutable len : int;
+}
+
+let create () = { first = None; last = None; len = 0 }
+
+let length l = l.len
+
+let is_empty l = l.len = 0
+
+let value n = n.v
+
+let is_member n = n.linked
+
+let mk v = { v; prev = None; next = None; linked = true }
+
+let push_front l v =
+  let n = mk v in
+  (match l.first with
+   | None -> l.last <- Some n
+   | Some f ->
+     f.prev <- Some n;
+     n.next <- Some f);
+  l.first <- Some n;
+  l.len <- l.len + 1;
+  n
+
+let push_back l v =
+  let n = mk v in
+  (match l.last with
+   | None -> l.first <- Some n
+   | Some b ->
+     b.next <- Some n;
+     n.prev <- Some b);
+  l.last <- Some n;
+  l.len <- l.len + 1;
+  n
+
+let insert_after l anchor v =
+  if not anchor.linked then invalid_arg "Dll.insert_after: unlinked anchor";
+  let n = mk v in
+  n.prev <- Some anchor;
+  n.next <- anchor.next;
+  (match anchor.next with
+   | None -> l.last <- Some n
+   | Some nx -> nx.prev <- Some n);
+  anchor.next <- Some n;
+  l.len <- l.len + 1;
+  n
+
+let insert_before l anchor v =
+  if not anchor.linked then invalid_arg "Dll.insert_before: unlinked anchor";
+  let n = mk v in
+  n.next <- Some anchor;
+  n.prev <- anchor.prev;
+  (match anchor.prev with
+   | None -> l.first <- Some n
+   | Some pv -> pv.next <- Some n);
+  anchor.prev <- Some n;
+  l.len <- l.len + 1;
+  n
+
+let remove l n =
+  if not n.linked then invalid_arg "Dll.remove: node not in a list";
+  (match n.prev with
+   | None -> l.first <- n.next
+   | Some pv -> pv.next <- n.next);
+  (match n.next with
+   | None -> l.last <- n.prev
+   | Some nx -> nx.prev <- n.prev);
+  n.prev <- None;
+  n.next <- None;
+  n.linked <- false;
+  l.len <- l.len - 1
+
+let front l = l.first
+
+let back l = l.last
+
+let next n = n.next
+
+let prev n = n.prev
+
+let nth_node l k =
+  if k < 0 then None
+  else begin
+    let rec walk n i =
+      match n with
+      | None -> None
+      | Some node -> if i = 0 then Some node else walk node.next (i - 1)
+    in
+    walk l.first k
+  end
+
+let iter_nodes f l =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+      let nx = n.next in
+      f n;
+      walk nx
+  in
+  walk l.first
+
+let iter f l = iter_nodes (fun n -> f n.v) l
+
+let to_list l =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) l;
+  List.rev !acc
+
+let position l n =
+  let pos = ref (-1) in
+  let i = ref 0 in
+  iter_nodes
+    (fun m ->
+       if m == n then pos := !i;
+       incr i)
+    l;
+  if !pos < 0 then invalid_arg "Dll.position: node not in this list";
+  !pos

@@ -1,0 +1,58 @@
+(** Intrusive doubly-linked list with O(1) insertion/removal given a node.
+
+    This is the global deque list [R] of DFDeques (Section 3.2): it must
+    support inserting a new deque immediately to the right of a given one,
+    deleting a deque, and walking to the k-th deque from the left end — all
+    of which are O(1)/O(k) here.  It is also reused as the priority list of
+    live threads in the ADF baseline. *)
+
+type 'a t
+type 'a node
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val value : 'a node -> 'a
+
+val push_front : 'a t -> 'a -> 'a node
+(** Insert at the left end; returns the node handle. *)
+
+val push_back : 'a t -> 'a -> 'a node
+(** Insert at the right end. *)
+
+val insert_after : 'a t -> 'a node -> 'a -> 'a node
+(** [insert_after l n x] inserts [x] immediately to the right of [n]. *)
+
+val insert_before : 'a t -> 'a node -> 'a -> 'a node
+(** [insert_before l n x] inserts [x] immediately to the left of [n]. *)
+
+val remove : 'a t -> 'a node -> unit
+(** Unlink the node.  Removing an already-removed node raises
+    [Invalid_argument]. *)
+
+val is_member : 'a node -> bool
+(** Whether the node is currently linked into a list. *)
+
+val front : 'a t -> 'a node option
+
+val back : 'a t -> 'a node option
+
+val next : 'a node -> 'a node option
+
+val prev : 'a node -> 'a node option
+
+val nth_node : 'a t -> int -> 'a node option
+(** [nth_node l k] is the k-th node from the left, 0-based; O(k). *)
+
+val to_list : 'a t -> 'a list
+(** Left-to-right element list.  O(n). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iter_nodes : ('a node -> unit) -> 'a t -> unit
+
+val position : 'a t -> 'a node -> int
+(** 0-based position of the node from the left; O(n).  Test helper. *)

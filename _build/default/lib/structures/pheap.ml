@@ -1,0 +1,48 @@
+type 'a tree = Node of 'a * 'a tree list
+
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable root : 'a tree option;
+  mutable n : int;
+}
+
+let create ~leq = { leq; root = None; n = 0 }
+
+let is_empty t = t.root = None
+
+let size t = t.n
+
+let meld leq a b =
+  match (a, b) with
+  | Node (x, xs), Node (y, ys) ->
+    if leq x y then Node (x, b :: xs) else Node (y, a :: ys)
+
+let insert t x =
+  t.n <- t.n + 1;
+  match t.root with
+  | None -> t.root <- Some (Node (x, []))
+  | Some r -> t.root <- Some (meld t.leq (Node (x, [])) r)
+
+let peek_min t = match t.root with None -> None | Some (Node (x, _)) -> Some x
+
+(* Two-pass pairing: meld adjacent pairs left-to-right, then fold right-to-left. *)
+let rec merge_pairs leq = function
+  | [] -> None
+  | [ x ] -> Some x
+  | a :: b :: rest -> (
+      let ab = meld leq a b in
+      match merge_pairs leq rest with None -> Some ab | Some r -> Some (meld leq ab r))
+
+let pop_min t =
+  match t.root with
+  | None -> None
+  | Some (Node (x, children)) ->
+    t.n <- t.n - 1;
+    t.root <- merge_pairs t.leq children;
+    Some x
+
+let to_list_unordered t =
+  let rec walk acc = function
+    | Node (x, children) -> List.fold_left walk (x :: acc) children
+  in
+  match t.root with None -> [] | Some r -> walk [] r

@@ -1,0 +1,26 @@
+(** Pairing heap (min-heap) over an arbitrary ordering.
+
+    Used by the ADF baseline to dispatch the leftmost (highest-priority)
+    ready thread: the ordering compares order-maintenance labels, so the
+    heap's keys mutate under relabelling — safe, because relabelling
+    preserves the relative order the heap depends on.
+
+    Amortised O(1) insert, O(log n) delete-min. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> 'a t
+(** [leq a b] must be a total preorder ("a is at least as small as b"). *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val insert : 'a t -> 'a -> unit
+
+val peek_min : 'a t -> 'a option
+
+val pop_min : 'a t -> 'a option
+
+val to_list_unordered : 'a t -> 'a list
+(** All elements in arbitrary order (test helper). *)

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomised choice in the schedulers (steal-victim selection, the
+    randomised workloads of Section 6) draws from an explicit generator so
+    that simulated schedules are exactly reproducible from a seed — a
+    requirement for the schedule-equality test (DFDeques(inf) == WS) and for
+    debugging. *)
+
+type t
+
+val create : int -> t
+(** Generator seeded from an integer. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bits64 : t -> int64
+(** Next raw 64 bits of the stream. *)

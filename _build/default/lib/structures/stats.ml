@@ -1,0 +1,75 @@
+module Watermark = struct
+  type t = { mutable cur : int; mutable hi : int }
+
+  let create () = { cur = 0; hi = 0 }
+
+  let add t d =
+    t.cur <- t.cur + d;
+    if t.cur > t.hi then t.hi <- t.cur
+
+  let current t = t.cur
+
+  let peak t = t.hi
+end
+
+module Acc = struct
+  type t = { mutable n : int; mutable sum : float; mutable mx : float }
+
+  let create () = { n = 0; sum = 0.0; mx = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    if x > t.mx then t.mx <- x
+
+  let count t = t.n
+
+  let total t = t.sum
+
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+  let max_value t = t.mx
+end
+
+module Table = struct
+  let render ~header ~rows =
+    let all = header :: rows in
+    let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+    let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+    let all = List.map pad all in
+    let widths = Array.make ncols 0 in
+    List.iter
+      (fun row ->
+         List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+      all;
+    let buf = Buffer.create 256 in
+    let emit row =
+      List.iteri
+        (fun i cell ->
+           Buffer.add_string buf cell;
+           if i < ncols - 1 then
+             Buffer.add_string buf (String.make (widths.(i) - String.length cell + 2) ' '))
+        row;
+      Buffer.add_char buf '\n'
+    in
+    (match all with
+     | hd :: tl ->
+       emit hd;
+       let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+       Buffer.add_string buf (String.make total '-');
+       Buffer.add_char buf '\n';
+       List.iter emit tl
+     | [] -> ());
+    Buffer.contents buf
+end
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.3g" x
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%dB" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1fkB" (f /. 1024.0)
+  else if n < 1024 * 1024 * 1024 then Printf.sprintf "%.1fMB" (f /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.2fGB" (f /. (1024.0 *. 1024.0 *. 1024.0))

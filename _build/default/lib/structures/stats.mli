@@ -1,0 +1,51 @@
+(** Small running-statistics helpers shared by the metrics module and the
+    experiment harness: watermark counters, running means, and fixed-width
+    text tables for the figure/table reproductions. *)
+
+(** A counter that tracks its high watermark (used for live heap bytes,
+    live thread counts, deque counts, ...). *)
+module Watermark : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> int -> unit
+  (** Add a (possibly negative) delta to the current value. *)
+
+  val current : t -> int
+
+  val peak : t -> int
+  (** Highest value ever reached. *)
+end
+
+(** Accumulates observations; reports count/mean/max/total. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val total : t -> float
+
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val max_value : t -> float
+  (** neg_infinity when empty. *)
+end
+
+(** Plain-text table rendering used by every experiment to print the
+    paper-shaped tables. *)
+module Table : sig
+  val render : header:string list -> rows:string list list -> string
+  (** Columns are sized to the widest cell; first row is underlined. *)
+end
+
+val fmt_float : float -> string
+(** Compact float formatting for table cells (3 significant decimals). *)
+
+val fmt_bytes : int -> string
+(** Human bytes: "512B", "50.0kB", "2.3MB". *)

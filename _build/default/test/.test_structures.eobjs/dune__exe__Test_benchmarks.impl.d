@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Dfd_benchmarks Dfd_dag Dfd_machine Dfdeques_core List Printf

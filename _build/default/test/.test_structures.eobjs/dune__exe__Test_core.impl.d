@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Dfd_dag Dfd_machine Dfd_structures Dfdeques_core Hashtbl List QCheck QCheck_alcotest

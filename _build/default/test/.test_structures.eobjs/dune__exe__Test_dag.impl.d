@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Dfd_dag Dfd_structures List QCheck QCheck_alcotest String

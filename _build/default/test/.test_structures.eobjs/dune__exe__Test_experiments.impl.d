@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Dfd_benchmarks Dfd_experiments Dfd_machine Dfdeques_core List String

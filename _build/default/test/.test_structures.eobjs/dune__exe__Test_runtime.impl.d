@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Dfd_runtime Dfd_structures Fun List Printf

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array Dfd_structures List Option QCheck QCheck_alcotest String

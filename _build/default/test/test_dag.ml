@@ -1,0 +1,364 @@
+(* Tests for the computation model: actions, program DSL, 1DF analysis,
+   explicit dag materialisation, random generators. *)
+
+module Action = Dfd_dag.Action
+module Prog = Dfd_dag.Prog
+module Analysis = Dfd_dag.Analysis
+module Dag = Dfd_dag.Dag
+module Dag_gen = Dfd_dag.Dag_gen
+module Prng = Dfd_structures.Prng
+open Prog
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Action                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_action_units () =
+  checki "work units" 5 (Action.work_units (Action.Work 5));
+  checki "alloc units" 1 (Action.work_units (Action.Alloc 100));
+  checki "alloc bytes" 100 (Action.alloc_bytes (Action.Alloc 100));
+  checki "free bytes" 7 (Action.free_bytes (Action.Free 7));
+  checki "work free bytes" 0 (Action.free_bytes (Action.Work 3))
+
+let test_action_depth () =
+  checki "work depth" 4 (Action.depth_units (Action.Work 4));
+  checki "alloc 1" 1 (Action.depth_units (Action.Alloc 1));
+  checki "alloc 2" 1 (Action.depth_units (Action.Alloc 2));
+  checki "alloc 1024 = 10" 10 (Action.depth_units (Action.Alloc 1024));
+  checki "alloc 1025 = 11" 11 (Action.depth_units (Action.Alloc 1025));
+  checki "dummy" 1 (Action.depth_units Action.Dummy);
+  checki "lock" 1 (Action.depth_units (Action.Lock 0))
+
+(* ------------------------------------------------------------------ *)
+(* Analysis on hand-built programs                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_serial_chain () =
+  let p = finish (work 10) in
+  let s = Analysis.analyze p in
+  checki "W" 10 s.work;
+  checki "D" 10 s.depth;
+  checki "S1" 0 s.serial_space;
+  checki "threads" 1 s.threads;
+  checki "live" 1 s.serial_live_threads
+
+let test_single_fork () =
+  (* fork(1) + two branches of work 3 and work 4, joined. *)
+  let p = finish (par (work 3) (work 4)) in
+  let s = Analysis.analyze p in
+  checki "W = 1 fork + 3 + 4" 8 s.work;
+  checki "D = 1 + max(3,4)" 5 s.depth;
+  checki "threads" 2 s.threads;
+  checki "live" 2 s.serial_live_threads
+
+let test_nested_forks () =
+  (* balanced binary tree of depth 3 over 8 leaves of work 1:
+     W = 7 forks + 8 work = 15; D = 3 forks + 1 = 4. *)
+  let p = finish (par_iter ~lo:0 ~hi:8 (fun _ -> work 1)) in
+  let s = Analysis.analyze p in
+  checki "W" 15 s.work;
+  checki "D" 4 s.depth;
+  checki "threads" 8 s.threads
+
+let test_alloc_free_space () =
+  let p = finish (alloc 100 >> work 1 >> free 100 >> alloc 40 >> free 40) in
+  let s = Analysis.analyze p in
+  checki "S1 is the watermark" 100 s.serial_space;
+  checki "Sa is gross" 140 s.total_alloc;
+  checki "final heap" 0 s.final_heap
+
+let test_leak_detected () =
+  let p = finish (alloc 64 >> work 1) in
+  let s = Analysis.analyze p in
+  checki "final heap reports the leak" 64 s.final_heap
+
+let test_parallel_space () =
+  (* Two children each alloc 50 then free; serial 1DF runs them one after
+     the other, so S1 = 50, not 100. *)
+  let branch = alloc 50 >> work 2 >> free 50 in
+  let p = finish (par branch branch) in
+  let s = Analysis.analyze p in
+  checki "S1 serialises" 50 s.serial_space;
+  checki "Sa" 100 s.total_alloc
+
+let test_serial_live_threads () =
+  (* A right spine of forks: root forks c1, c1 forks c2, ... each child
+     forked by the previous child => serial live = depth of spine + 1. *)
+  let rec spine d = if d = 0 then work 1 else par (spine (d - 1)) (work 1) in
+  let s = Analysis.analyze (finish (spine 5)) in
+  checki "threads" 6 s.threads;
+  checki "live" 6 s.serial_live_threads
+
+let test_depth_vs_alloc_cost () =
+  let p = finish (alloc 1024 >> work 1) in
+  let s = Analysis.analyze p in
+  checki "alloc adds log depth" 11 s.depth;
+  checki "work is unit" 2 s.work;
+  checki "timed work counts the log" 11 s.timed_work
+
+let test_malformed_join () =
+  Alcotest.check_raises "naked join" (Analysis.Malformed "join without a matching fork")
+    (fun () -> ignore (Analysis.analyze (Prog.Join Prog.Nil)))
+
+let test_malformed_unjoined () =
+  let p = Prog.Fork ((fun () -> Prog.Nil), Prog.Nil) in
+  Alcotest.check_raises "unjoined child"
+    (Analysis.Malformed "thread terminated with an unjoined child") (fun () ->
+        ignore (Analysis.analyze p))
+
+let test_iter_serial_order () =
+  (* 1DF: child runs before the parent continuation. *)
+  let p = finish (par (alloc 1) (alloc 2) >> alloc 3) in
+  let allocs = ref [] in
+  Analysis.iter_serial
+    (fun a -> match a with Action.Alloc n -> allocs := n :: !allocs | _ -> ())
+    p;
+  Alcotest.(check (list int)) "child first" [ 1; 2; 3 ] (List.rev !allocs)
+
+let test_seq_combinator () =
+  let p = finish (seq [ work 1; work 2; work 3 ]) in
+  let s = Analysis.analyze p in
+  checki "W" 6 s.work;
+  checki "D" 6 s.depth
+
+let test_repeat () =
+  let s = Analysis.analyze (finish (repeat 5 (work 2))) in
+  checki "W" 10 s.work
+
+let test_par_list_binary () =
+  (* par_list over n fragments forks n-1 times. *)
+  let s = Analysis.analyze (finish (par_list (List.init 6 (fun _ -> work 1)))) in
+  checki "threads" 6 s.threads;
+  checki "W = 5 forks + 6 work" 11 s.work
+
+let test_work_zero_is_nothing () =
+  let s = Analysis.analyze (finish (work 0 >> alloc 0 >> free 0)) in
+  checki "no nodes" 0 s.work
+
+(* ------------------------------------------------------------------ *)
+(* Explicit dag                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_dag_chain () =
+  let g = Dag.of_prog (finish (work 4)) in
+  checki "nodes" 4 (Dag.n_nodes g);
+  checki "depth" 4 (Dag.depth g);
+  Alcotest.(check (list int)) "single source" [ 0 ] (Dag.sources g);
+  Alcotest.(check (list int)) "single sink" [ 3 ] (Dag.sinks g);
+  checkb "topological ids" true (Dag.is_topological_id_order g)
+
+let test_dag_fork_join_shape () =
+  (* fork; child work 1; parent work 1; join; work 1 *)
+  let g = Dag.of_prog (finish (par (work 1) (work 1) >> work 1)) in
+  checki "nodes" 4 (Dag.n_nodes g);
+  (* fork node 0 -> child 1 and parent 2; both -> final 3 *)
+  let n0 = Dag.node g 0 in
+  Alcotest.(check (list int)) "fork out-edges" [ 1; 2 ] n0.Dag.succ;
+  let n3 = Dag.node g 3 in
+  Alcotest.(check (list int)) "join in-edges" [ 1; 2 ] n3.Dag.pred;
+  checki "depth" 3 (Dag.depth g);
+  checki "threads" 2 (Dag.n_threads g)
+
+let test_dag_threads_labelled () =
+  let g = Dag.of_prog (finish (par (work 1) (work 1))) in
+  let n1 = Dag.node g 1 in
+  let n2 = Dag.node g 2 in
+  checkb "child in different thread" true (n1.Dag.thread <> (Dag.node g 0).Dag.thread);
+  checkb "parent continuation in root thread" true (n2.Dag.thread = (Dag.node g 0).Dag.thread)
+
+let test_dag_empty_parent_segment () =
+  (* parent does nothing between fork and join: synch edges must chain
+     through to the next real node. *)
+  let g = Dag.of_prog (finish (par (work 2) nothing >> work 1)) in
+  checki "nodes" 4 (Dag.n_nodes g);
+  checkb "topological" true (Dag.is_topological_id_order g);
+  let last = Dag.node g 3 in
+  checkb "last node has preds" true (last.Dag.pred <> [])
+
+let test_dag_matches_analysis () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 50 do
+    let p = Dag_gen.gen_prog rng { Dag_gen.default with max_depth = 5; alloc_prob = 0.0 } in
+    let s = Analysis.analyze p in
+    let g = Dag.of_prog p in
+    checki "work matches" s.Analysis.work (Dag.work g);
+    (* without allocations, analysis depth = unit-cost dag depth *)
+    checki "depth matches" s.Analysis.depth (Dag.depth g);
+    checki "threads match" s.Analysis.threads (Dag.n_threads g);
+    checkb "topological" true (Dag.is_topological_id_order g)
+  done
+
+let test_dag_too_large () =
+  Alcotest.check_raises "node cap" (Dag.Too_large 10) (fun () ->
+      ignore (Dag.of_prog ~max_nodes:10 (finish (work 100))))
+
+let test_dag_dot () =
+  let g = Dag.of_prog (finish (par (work 1) (work 1))) in
+  let dot = Dag.to_dot g in
+  checkb "dot has digraph" true (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+
+let test_dag_figure2_count () =
+  (* The paper's Figure 2 dag: a root forking 4 children, one of which
+     forks a 6th thread; we reproduce a same-shape program and check the
+     thread count. *)
+  let leaf = work 1 in
+  let t2 = par leaf (work 1) (* t2 forks t5 *) in
+  let root =
+    par leaf (work 1) >> par t2 (work 1) >> par leaf (work 1) >> par leaf (work 1)
+  in
+  let s = Analysis.analyze (finish root) in
+  checki "6 threads" 6 s.threads
+
+(* ------------------------------------------------------------------ *)
+(* Series-parallel recognition                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_sp_basics () =
+  let sp prog = Dfd_dag.Sp_check.is_series_parallel (Dag.of_prog prog) in
+  checkb "chain" true (sp (finish (work 5)));
+  checkb "single fork" true (sp (finish (par (work 2) (work 3))));
+  checkb "nested" true (sp (finish (par (par (work 1) (work 1)) (par (work 1) (work 1)))));
+  checkb "fork tree" true (sp (finish (par_iter ~lo:0 ~hi:7 (fun _ -> work 1))));
+  checkb "empty parent segment" true (sp (finish (par (work 2) nothing >> work 1)))
+
+let test_sp_rejects_non_sp () =
+  (* hand-build the forbidden N-shaped dag: a->c, a->d, b->d (plus b fed
+     from a second source edge) — the classic non-SP witness, built
+     directly on the node structure *)
+  let mk id = { Dag.id; action = Action.Work 1; thread = 0; succ = []; pred = [] } in
+  let a = mk 0 and b = mk 1 and c = mk 2 and d = mk 3 in
+  a.Dag.succ <- [ 1; 2 ];
+  b.Dag.pred <- [ 0 ];
+  c.Dag.pred <- [ 0; 1 ];
+  b.Dag.succ <- [ 2; 3 ];
+  c.Dag.succ <- [ 3 ];
+  d.Dag.pred <- [ 1; 2 ];
+  (* graph: a->b, a->c, b->c, b->d, c->d : the "N" inside a diamond is NOT
+     series-parallel *)
+  let g = Dag.of_nodes [| a; b; c; d |] in
+  checkb "N-dag rejected" false (Dfd_dag.Sp_check.is_series_parallel g)
+
+let sp_random_prop =
+  QCheck.Test.make ~name:"every generated nested-parallel dag is series-parallel" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+       let rng = Prng.create (seed + 50) in
+       let p = Dag_gen.gen_prog rng { Dag_gen.default with max_depth = 5 } in
+       Dfd_dag.Sp_check.is_series_parallel (Dag.of_prog p))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_wellformed () =
+  let rng = Prng.create 3 in
+  List.iter
+    (fun params ->
+       for _ = 1 to 100 do
+         let p = Dag_gen.gen_prog rng params in
+         let s = Analysis.analyze p in
+         checkb "has work" true (s.Analysis.work > 0);
+         checkb "depth <= work" true (s.Analysis.depth <= s.Analysis.timed_work)
+       done)
+    [ Dag_gen.default; Dag_gen.allocation_heavy; Dag_gen.fork_heavy ]
+
+let test_gen_deterministic () =
+  let p1 = Dag_gen.gen_prog (Prng.create 42) Dag_gen.default in
+  let p2 = Dag_gen.gen_prog (Prng.create 42) Dag_gen.default in
+  let s1 = Analysis.analyze p1 and s2 = Analysis.analyze p2 in
+  checki "same work" s1.Analysis.work s2.Analysis.work;
+  checki "same depth" s1.Analysis.depth s2.Analysis.depth;
+  checki "same space" s1.Analysis.serial_space s2.Analysis.serial_space
+
+let test_gen_fork_heavy_parallel () =
+  let rng = Prng.create 9 in
+  let p = Dag_gen.gen_prog rng Dag_gen.fork_heavy in
+  let s = Analysis.analyze p in
+  checkb "spawns threads" true (s.Analysis.threads > 4)
+
+let analysis_consistency_prop =
+  QCheck.Test.make ~name:"analysis invariants on random programs" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+       let rng = Prng.create seed in
+       let p = Dag_gen.gen_prog rng Dag_gen.default in
+       let s = Analysis.analyze p in
+       s.Analysis.depth <= s.Analysis.timed_work
+       && s.Analysis.work <= s.Analysis.timed_work
+       && s.Analysis.serial_space <= s.Analysis.total_alloc
+       && s.Analysis.final_heap <= s.Analysis.serial_space
+       && s.Analysis.serial_live_threads <= s.Analysis.threads
+       && s.Analysis.total_free <= s.Analysis.total_alloc)
+
+let dag_analysis_agree_prop =
+  QCheck.Test.make ~name:"dag and analysis agree (no allocs)" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+       let rng = Prng.create seed in
+       let p =
+         Dag_gen.gen_prog rng { Dag_gen.default with alloc_prob = 0.0; max_depth = 6 }
+       in
+       let s = Analysis.analyze p in
+       let g = Dag.of_prog p in
+       Dag.work g = s.Analysis.work
+       && Dag.depth g = s.Analysis.depth
+       && Dag.n_threads g = s.Analysis.threads
+       && Dag.is_topological_id_order g)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "dag"
+    [
+      ( "action",
+        [
+          Alcotest.test_case "units" `Quick test_action_units;
+          Alcotest.test_case "depth" `Quick test_action_depth;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "serial chain" `Quick test_serial_chain;
+          Alcotest.test_case "single fork" `Quick test_single_fork;
+          Alcotest.test_case "nested forks" `Quick test_nested_forks;
+          Alcotest.test_case "alloc/free space" `Quick test_alloc_free_space;
+          Alcotest.test_case "leak detected" `Quick test_leak_detected;
+          Alcotest.test_case "parallel space serialises" `Quick test_parallel_space;
+          Alcotest.test_case "serial live threads" `Quick test_serial_live_threads;
+          Alcotest.test_case "alloc depth cost" `Quick test_depth_vs_alloc_cost;
+          Alcotest.test_case "malformed join" `Quick test_malformed_join;
+          Alcotest.test_case "malformed unjoined" `Quick test_malformed_unjoined;
+          Alcotest.test_case "1DF order" `Quick test_iter_serial_order;
+          Alcotest.test_case "seq" `Quick test_seq_combinator;
+          Alcotest.test_case "repeat" `Quick test_repeat;
+          Alcotest.test_case "par_list binary" `Quick test_par_list_binary;
+          Alcotest.test_case "zero-size ops vanish" `Quick test_work_zero_is_nothing;
+        ]
+        @ qsuite [ analysis_consistency_prop ] );
+      ( "dag",
+        [
+          Alcotest.test_case "chain" `Quick test_dag_chain;
+          Alcotest.test_case "fork-join shape" `Quick test_dag_fork_join_shape;
+          Alcotest.test_case "thread labels" `Quick test_dag_threads_labelled;
+          Alcotest.test_case "empty parent segment" `Quick test_dag_empty_parent_segment;
+          Alcotest.test_case "matches analysis" `Quick test_dag_matches_analysis;
+          Alcotest.test_case "size cap" `Quick test_dag_too_large;
+          Alcotest.test_case "dot export" `Quick test_dag_dot;
+          Alcotest.test_case "figure 2 shape" `Quick test_dag_figure2_count;
+        ]
+        @ qsuite [ dag_analysis_agree_prop ] );
+      ( "series-parallel",
+        [
+          Alcotest.test_case "combinator dags are SP" `Quick test_sp_basics;
+          Alcotest.test_case "N-dag rejected" `Quick test_sp_rejects_non_sp;
+        ]
+        @ qsuite [ sp_random_prop ] );
+      ( "gen",
+        [
+          Alcotest.test_case "wellformed" `Quick test_gen_wellformed;
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "fork heavy is parallel" `Quick test_gen_fork_heavy_parallel;
+        ] );
+    ]

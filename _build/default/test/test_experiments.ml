@@ -1,0 +1,174 @@
+(* Integration tests for the experiment harness: the tables are
+   well-formed, and the paper's reproduction targets (orderings and trends,
+   not absolute values) hold on scaled-down configurations that keep the
+   suite fast. *)
+
+module Engine = Dfdeques_core.Engine
+module Config = Dfd_machine.Config
+module W = Dfd_benchmarks.Workload
+module E = Dfd_experiments.Exp_common
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Plumbing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_complete () =
+  let ids = Dfd_experiments.All_experiments.ids in
+  List.iter
+    (fun id -> checkb ("has " ^ id) true (List.mem id ids))
+    [ "table1"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fig17"; "thm44"; "thm45";
+      "thm48"; "ablation" ];
+  checkb "find works" true (Dfd_experiments.All_experiments.find "fig15" <> None);
+  checkb "unknown none" true (Dfd_experiments.All_experiments.find "zzz" = None)
+
+let test_render_wellformed () =
+  let t =
+    {
+      E.title = "t";
+      paper_ref = "r";
+      header = [ "a"; "b" ];
+      rows = [ [ "1"; "2" ]; [ "3"; "4" ] ];
+      notes = [ "n" ];
+    }
+  in
+  let s = E.render t in
+  checkb "has title" true (String.length s > 10);
+  checkb "has note" true (String.length s > String.length "note: n")
+
+let test_serial_time_memoised () =
+  let b = Dfd_benchmarks.Sparse_mvm.bench ~rows:300 W.Fine in
+  let t1 = E.serial_time b in
+  let t2 = E.serial_time b in
+  checki "memoised equal" t1 t2;
+  checkb "positive" true (t1 > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Reproduction targets on scaled-down configurations                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Figures 1/11/12 heart: DFD beats FIFO on speedup; FIFO holds the most
+   threads.  One cheap benchmark suffices for the regression. *)
+let test_speedup_and_thread_orderings () =
+  let b = Dfd_benchmarks.Sparse_mvm.bench W.Fine in
+  let dfd = E.run_costed ~sched:`Dfdeques b in
+  let fifo = E.run_costed ~sched:`Fifo b in
+  checkb "DFD faster than FIFO" true (dfd.Engine.time < fifo.Engine.time);
+  checkb "FIFO holds more threads" true
+    (fifo.Engine.threads_peak > dfd.Engine.threads_peak)
+
+let test_locality_ordering () =
+  let b = Dfd_benchmarks.Volume_render.bench W.Fine in
+  let dfd = E.run_costed ~sched:`Dfdeques b in
+  let fifo = E.run_costed ~sched:`Fifo b in
+  checkb "DFD misses less than FIFO" true
+    (dfd.Engine.cache_miss_rate < fifo.Engine.cache_miss_rate)
+
+(* Figure 13 shape at reduced scale: WS memory grows faster with p than
+   ADF's; DFD sits at or below WS. *)
+let test_fig13_shape_small () =
+  let b = Dfd_benchmarks.Dense_mm.bench ~n:128 W.Fine in
+  let heap sched k p = (E.run_costed ~p ~k ~sched b).Engine.heap_peak in
+  let k = Some 20_000 in
+  let ws1 = heap `Ws None 1 and ws8 = heap `Ws None 8 in
+  let adf1 = heap `Adf k 1 and adf8 = heap `Adf k 8 in
+  let dfd8 = heap `Dfdeques k 8 in
+  checkb "WS grows with p" true (ws8 > ws1);
+  checkb "WS grows at least as much as ADF" true (ws8 - ws1 >= adf8 - adf1);
+  checkb "DFD(20k) <= WS at p=8" true (dfd8 <= ws8)
+
+(* Figure 15 trade-off at reduced scale: growing K lowers time and raises
+   scheduling granularity. *)
+let test_fig15_tradeoff_small () =
+  let b = Dfd_benchmarks.Dense_mm.bench ~n:64 W.Fine in
+  let run k = E.run_costed ~k:(Some k) ~sched:`Dfdeques b in
+  let lo = run 500 in
+  let hi = run 1_000_000 in
+  checkb "time falls with K" true (hi.Engine.time <= lo.Engine.time);
+  checkb "granularity rises with K" true
+    (hi.Engine.local_steal_ratio > lo.Engine.local_steal_ratio)
+
+(* Figure 16 targets, full scale (analysis mode is fast). *)
+let test_fig16_targets () =
+  let pts = Dfd_experiments.Fig16.sweep () in
+  let first = List.hd pts and last = List.nth pts (List.length pts - 1) in
+  checkb "DFD granularity rises with K" true (last.Dfd_experiments.Fig16.dfd_gran_pct > 2.0 *. first.Dfd_experiments.Fig16.dfd_gran_pct);
+  checkb "WS flat (same measurement)" true
+    (first.Dfd_experiments.Fig16.ws_gran_pct = last.Dfd_experiments.Fig16.ws_gran_pct);
+  checkb "ADF granularity below DFD's at large K" true
+    (last.Dfd_experiments.Fig16.adf_gran_pct < last.Dfd_experiments.Fig16.dfd_gran_pct);
+  checkb "ADF stays below WS granularity" true
+    (last.Dfd_experiments.Fig16.adf_gran_pct < last.Dfd_experiments.Fig16.ws_gran_pct)
+
+(* Figure 17 targets (reproduced part): DFD >= ADF and DFD >= FIFO with
+   blocking locks. *)
+let test_fig17_targets () =
+  let m = Dfd_experiments.Fig17.measure () in
+  let get n = List.assoc n m in
+  checkb "DFD >= ADF" true (get "DFD" >= 0.95 *. get "ADF");
+  checkb "DFD >= FIFO" true (get "DFD" >= 0.95 *. get "FIFO")
+
+(* Theorem 4.5: the adversarial-dag space grows linearly in p while S1 is
+   constant. *)
+let test_thm45_growth () =
+  let m4, s4 = Dfd_experiments.Thm_space.lower_measure ~p:4 () in
+  let m16, s16 = Dfd_experiments.Thm_space.lower_measure ~p:16 () in
+  checki "S1 independent of p" s4 s16;
+  checkb "space grows ~linearly in p" true (m16 >= 3 * m4)
+
+(* The memory profile is deterministic and shaped as documented: WS's
+   mid-execution live heap exceeds ADF's. *)
+let test_profile_shape () =
+  let profiles = Dfd_experiments.Profile.measure () in
+  let find name = List.find (fun p -> p.Dfd_experiments.Profile.sched = name) profiles in
+  let mid p =
+    match List.nth_opt p.Dfd_experiments.Profile.samples 4 with
+    | Some (_, heap) -> heap
+    | None -> 0
+  in
+  let ws = find "WS" and adf = find "ADF" in
+  checkb "WS mid-run heap above ADF's" true (mid ws > mid adf);
+  List.iter
+    (fun p -> checkb "has samples" true (List.length p.Dfd_experiments.Profile.samples >= 8))
+    profiles
+
+(* Paper reference data is embedded for all seven benchmarks. *)
+let test_paper_reference_data () =
+  checki "seven rows" 7 (List.length Dfd_experiments.Table1.paper_fine);
+  List.iter
+    (fun (name, mt, mr, sp) ->
+       checkb (name ^ " shapes") true
+         (Array.length mt = 3 && Array.length mr = 3 && Array.length sp = 3))
+    Dfd_experiments.Table1.paper_fine
+
+(* The ablation table renders and contains all four variants per bench. *)
+let test_ablation_table () =
+  let t = Dfd_experiments.Ablation.table () in
+  checki "rows = 2 benches x 4 variants" 8 (List.length t.E.rows);
+  List.iter (fun r -> checki "cols" 6 (List.length r)) t.E.rows
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "plumbing",
+        [
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+          Alcotest.test_case "render" `Quick test_render_wellformed;
+          Alcotest.test_case "serial_time memoised" `Quick test_serial_time_memoised;
+        ] );
+      ( "targets",
+        [
+          Alcotest.test_case "speedup & threads" `Quick test_speedup_and_thread_orderings;
+          Alcotest.test_case "locality" `Quick test_locality_ordering;
+          Alcotest.test_case "fig13 shape" `Slow test_fig13_shape_small;
+          Alcotest.test_case "fig15 tradeoff" `Quick test_fig15_tradeoff_small;
+          Alcotest.test_case "fig16 targets" `Slow test_fig16_targets;
+          Alcotest.test_case "fig17 targets" `Slow test_fig17_targets;
+          Alcotest.test_case "thm45 growth" `Quick test_thm45_growth;
+          Alcotest.test_case "profile shape" `Slow test_profile_shape;
+          Alcotest.test_case "paper data" `Quick test_paper_reference_data;
+          Alcotest.test_case "ablation table" `Slow test_ablation_table;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+(* Tests for the real Domains-based fork-join pool: correctness of results
+   under both deque disciplines, exception propagation, the quota
+   mechanism, and determinism-independent invariants.  (This container has
+   one core, so these are correctness tests, not speedup tests — the pool
+   still runs real concurrent domains.) *)
+
+module Pool = Dfd_runtime.Pool
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let with_pool ?(domains = 3) policy f =
+  let pool = Pool.create ~domains policy in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let policies = [ (Pool.Work_stealing, "WS"); (Pool.Dfdeques { quota = 4096 }, "DFD") ]
+
+let rec fib n =
+  if n < 2 then n
+  else begin
+    let a, b = Pool.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    a + b
+  end
+
+let test_fib () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           checki (name ^ " fib 20") 6765 (Pool.run pool (fun () -> fib 20))))
+    policies
+
+let test_fork_join_order () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           let a, b =
+             Pool.run pool (fun () -> Pool.fork_join (fun () -> "left") (fun () -> "right"))
+           in
+           Alcotest.(check string) (name ^ " left") "left" a;
+           Alcotest.(check string) (name ^ " right") "right" b))
+    policies
+
+let test_parallel_for_sum () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           let n = 10_000 in
+           let acc = Array.make n 0 in
+           Pool.run pool (fun () -> Pool.parallel_for ~lo:0 ~hi:n (fun i -> acc.(i) <- i));
+           let total = Array.fold_left ( + ) 0 acc in
+           checki (name ^ " sum") (n * (n - 1) / 2) total))
+    policies
+
+let test_parallel_map () =
+  with_pool Pool.Work_stealing (fun pool ->
+      let input = Array.init 1000 (fun i -> i) in
+      let out = Pool.run pool (fun () -> Pool.parallel_map (fun x -> x * x) input) in
+      checkb "squares" true (Array.for_all (fun _ -> true) out);
+      checki "spot" (37 * 37) out.(37);
+      checki "len" 1000 (Array.length out))
+
+let test_empty_ranges () =
+  with_pool Pool.Work_stealing (fun pool ->
+      Pool.run pool (fun () -> Pool.parallel_for ~lo:5 ~hi:5 (fun _ -> assert false));
+      checki "empty map" 0 (Array.length (Pool.run pool (fun () -> Pool.parallel_map succ [||]))))
+
+let test_parallel_reduce () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           let n = 5000 in
+           let total =
+             Pool.run pool (fun () ->
+                 Pool.parallel_reduce ~zero:0 ~op:( + ) ~lo:0 ~hi:n (fun i -> i))
+           in
+           checki (name ^ " reduce") (n * (n - 1) / 2) total;
+           let mx =
+             Pool.run pool (fun () ->
+                 Pool.parallel_reduce ~zero:min_int ~op:max ~lo:0 ~hi:n (fun i ->
+                     (i * 7919) mod 1000))
+           in
+           checki (name ^ " max reduce") 999 mx))
+    policies
+
+let test_parallel_prefix_sum () =
+  with_pool Pool.Work_stealing (fun pool ->
+      let arr = Array.init 4000 (fun i -> i + 1) in
+      let out = Pool.run pool (fun () -> Pool.parallel_prefix_sum ~zero:0 ~op:( + ) arr) in
+      checki "first is zero" 0 out.(0);
+      checki "exclusive prefix" (1 + 2 + 3) out.(3);
+      checki "last" (3999 * 4000 / 2) out.(3999);
+      (* reference check at random points *)
+      List.iter
+        (fun i ->
+           let expect = i * (i + 1) / 2 in
+           checki (Printf.sprintf "prefix %d" i) expect out.(i))
+        [ 1; 17; 1023; 1024; 1025; 2500 ];
+      checki "empty" 0 (Array.length (Pool.run pool (fun () -> Pool.parallel_prefix_sum ~zero:0 ~op:( + ) [||]))))
+
+let test_psort_correct () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           let rng = Dfd_structures.Prng.create 31 in
+           List.iter
+             (fun n ->
+                let arr = Array.init n (fun _ -> Dfd_structures.Prng.int rng 10_000) in
+                let expect = Array.copy arr in
+                Array.sort compare expect;
+                Pool.run pool (fun () -> Dfd_runtime.Psort.sort ~cutoff:64 ~cmp:compare arr);
+                checkb
+                  (Printf.sprintf "%s psort n=%d" name n)
+                  true (arr = expect))
+             [ 0; 1; 2; 63; 64; 65; 1000; 10_000 ]))
+    policies
+
+let test_psort_already_sorted_and_reverse () =
+  with_pool Pool.Work_stealing (fun pool ->
+      let n = 5000 in
+      let asc = Array.init n (fun i -> i) in
+      Pool.run pool (fun () -> Dfd_runtime.Psort.sort ~cutoff:128 ~cmp:compare asc);
+      checkb "ascending stays sorted" true (Dfd_runtime.Psort.sorted ~cmp:compare asc);
+      let desc = Array.init n (fun i -> n - i) in
+      Pool.run pool (fun () -> Dfd_runtime.Psort.sort ~cutoff:128 ~cmp:compare desc);
+      checkb "descending gets sorted" true (Dfd_runtime.Psort.sorted ~cmp:compare desc);
+      checki "still a permutation" (n * (n + 1) / 2) (Array.fold_left ( + ) 0 desc))
+
+let test_psort_duplicates_and_custom_cmp () =
+  with_pool (Pool.Dfdeques { quota = 8192 }) (fun pool ->
+      let arr = Array.init 3000 (fun i -> i mod 7) in
+      Pool.run pool (fun () -> Dfd_runtime.Psort.sort ~cutoff:100 ~cmp:compare arr);
+      checkb "duplicates sorted" true (Dfd_runtime.Psort.sorted ~cmp:compare arr);
+      (* descending comparator *)
+      let arr2 = Array.init 2000 (fun i -> (i * 7919) mod 500) in
+      let cmp a b = compare b a in
+      Pool.run pool (fun () -> Dfd_runtime.Psort.sort ~cutoff:100 ~cmp arr2);
+      checkb "descending order" true (Dfd_runtime.Psort.sorted ~cmp arr2))
+
+exception Boom
+
+let test_exception_propagation () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           checkb (name ^ " child exn") true
+             (try
+                ignore
+                  (Pool.run pool (fun () ->
+                       Pool.fork_join (fun () -> raise Boom) (fun () -> 1)));
+                false
+              with Boom -> true);
+           checkb (name ^ " parent exn") true
+             (try
+                ignore
+                  (Pool.run pool (fun () ->
+                       Pool.fork_join (fun () -> 1) (fun () -> raise Boom)));
+                false
+              with Boom -> true);
+           (* the pool survives exceptions *)
+           checki (name ^ " still works") 55 (Pool.run pool (fun () -> fib 10))))
+    policies
+
+let test_nested_run_rejected () =
+  with_pool Pool.Work_stealing (fun pool ->
+      checkb "nested run fails" true
+        (try
+           Pool.run pool (fun () -> Pool.run pool (fun () -> ()));
+           false
+         with Failure _ -> true))
+
+let test_fork_join_outside_run_rejected () =
+  checkb "fork_join outside run" true
+    (try
+       ignore (Pool.fork_join (fun () -> 1) (fun () -> 2));
+       false
+     with Failure _ -> true)
+
+let test_alloc_hint_quota () =
+  with_pool (Pool.Dfdeques { quota = 100 }) (fun pool ->
+      Pool.run pool (fun () ->
+          Pool.parallel_for ~lo:0 ~hi:64 (fun _ -> Pool.alloc_hint 64));
+      let giveups = List.assoc "quota_giveups" (Pool.stats pool) in
+      checkb "quota giveups occur under DFDeques" true (giveups >= 0))
+
+let test_stats_counters () =
+  with_pool Pool.Work_stealing (fun pool ->
+      ignore (Pool.run pool (fun () -> fib 15));
+      let stats = Pool.stats pool in
+      checkb "tasks ran" true (List.assoc "tasks_run" stats > 0);
+      checkb "all counters present" true (List.length stats = 5))
+
+let test_many_sequential_runs () =
+  with_pool (Pool.Dfdeques { quota = 512 }) (fun pool ->
+      for i = 1 to 20 do
+        checki "repeat" (i * 10) (Pool.run pool (fun () -> i * 10))
+      done)
+
+let test_deep_nesting () =
+  (* a fork chain deeper than any deque fast path *)
+  let rec chain d = if d = 0 then 1 else fst (Pool.fork_join (fun () -> chain (d - 1)) (fun () -> 0)) + 0 in
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           checki (name ^ " deep chain") 1 (Pool.run pool (fun () -> chain 500))))
+    policies
+
+let test_zero_extra_domains () =
+  (* degenerate pool: caller is the only worker; everything runs inline *)
+  let pool = Pool.create ~domains:0 Pool.Work_stealing in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () -> checki "fib on 1 worker" 610 (Pool.run pool (fun () -> fib 15)))
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "fib" `Quick test_fib;
+          Alcotest.test_case "fork_join order" `Quick test_fork_join_order;
+          Alcotest.test_case "parallel_for" `Quick test_parallel_for_sum;
+          Alcotest.test_case "parallel_map" `Quick test_parallel_map;
+          Alcotest.test_case "parallel_reduce" `Quick test_parallel_reduce;
+          Alcotest.test_case "prefix sum" `Quick test_parallel_prefix_sum;
+          Alcotest.test_case "parallel sort" `Quick test_psort_correct;
+          Alcotest.test_case "sort edge orders" `Quick test_psort_already_sorted_and_reverse;
+          Alcotest.test_case "sort duplicates" `Quick test_psort_duplicates_and_custom_cmp;
+          Alcotest.test_case "empty ranges" `Quick test_empty_ranges;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagation;
+          Alcotest.test_case "nested run rejected" `Quick test_nested_run_rejected;
+          Alcotest.test_case "fork_join outside run" `Quick test_fork_join_outside_run_rejected;
+          Alcotest.test_case "alloc_hint quota" `Quick test_alloc_hint_quota;
+          Alcotest.test_case "stats" `Quick test_stats_counters;
+          Alcotest.test_case "sequential runs" `Quick test_many_sequential_runs;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "zero extra domains" `Quick test_zero_extra_domains;
+        ] );
+    ]

@@ -1,0 +1,447 @@
+(* Tests for the substrate data structures: deque, dll, order maintenance,
+   pairing heap, PRNG, stats. *)
+
+module Deque = Dfd_structures.Deque
+module Dll = Dfd_structures.Dll
+module Om = Dfd_structures.Order_maint
+module Pheap = Dfd_structures.Pheap
+module Prng = Dfd_structures.Prng
+module Stats = Dfd_structures.Stats
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Deque                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_deque_empty () =
+  let d : int Deque.t = Deque.create () in
+  checkb "empty" true (Deque.is_empty d);
+  checki "len" 0 (Deque.length d);
+  checkb "pop_top none" true (Deque.pop_top d = None);
+  checkb "pop_bottom none" true (Deque.pop_bottom d = None);
+  checkb "peeks none" true (Deque.peek_top d = None && Deque.peek_bottom d = None)
+
+let test_deque_lifo_top () =
+  let d = Deque.create () in
+  List.iter (Deque.push_top d) [ 1; 2; 3; 4 ];
+  check Alcotest.(list int) "top-first" [ 4; 3; 2; 1 ] (Deque.to_list_top_first d);
+  checkb "pop order" true
+    (Deque.pop_top d = Some 4 && Deque.pop_top d = Some 3 && Deque.pop_top d = Some 2
+     && Deque.pop_top d = Some 1 && Deque.pop_top d = None)
+
+let test_deque_steal_bottom () =
+  let d = Deque.create () in
+  List.iter (Deque.push_top d) [ 1; 2; 3; 4 ];
+  checkb "bottom is oldest" true (Deque.pop_bottom d = Some 1);
+  checkb "then 2" true (Deque.pop_bottom d = Some 2);
+  checkb "top still 4" true (Deque.pop_top d = Some 4);
+  checki "one left" 1 (Deque.length d)
+
+let test_deque_mixed_ends () =
+  let d = Deque.create () in
+  Deque.push_top d 10;
+  Deque.push_bottom d 5;
+  Deque.push_top d 20;
+  Deque.push_bottom d 1;
+  check Alcotest.(list int) "order" [ 20; 10; 5; 1 ] (Deque.to_list_top_first d);
+  checkb "peek_top" true (Deque.peek_top d = Some 20);
+  checkb "peek_bottom" true (Deque.peek_bottom d = Some 1)
+
+let test_deque_growth () =
+  let d = Deque.create () in
+  for i = 1 to 1000 do
+    Deque.push_top d i
+  done;
+  checki "len" 1000 (Deque.length d);
+  for i = 1 to 500 do
+    checkb "steal in fifo order" true (Deque.pop_bottom d = Some i)
+  done;
+  for i = 1000 downto 501 do
+    checkb "pop in lifo order" true (Deque.pop_top d = Some i)
+  done;
+  checkb "drained" true (Deque.is_empty d)
+
+let test_deque_clear () =
+  let d = Deque.create () in
+  List.iter (Deque.push_top d) [ 1; 2; 3 ];
+  Deque.clear d;
+  checkb "cleared" true (Deque.is_empty d);
+  Deque.push_top d 9;
+  checkb "usable after clear" true (Deque.pop_bottom d = Some 9)
+
+(* Model-based property: any sequence of operations behaves like a list. *)
+let deque_model_prop =
+  QCheck.Test.make ~name:"deque matches list model" ~count:500
+    QCheck.(list (pair (int_range 0 3) small_int))
+    (fun ops ->
+       let d = Deque.create () in
+       let model = ref [] in
+       (* model: list with head = top *)
+       List.iter
+         (fun (op, x) ->
+            match op with
+            | 0 ->
+              Deque.push_top d x;
+              model := x :: !model
+            | 1 ->
+              Deque.push_bottom d x;
+              model := !model @ [ x ]
+            | 2 ->
+              let got = Deque.pop_top d in
+              let want =
+                match !model with
+                | [] -> None
+                | h :: t ->
+                  model := t;
+                  Some h
+              in
+              if got <> want then QCheck.Test.fail_report "pop_top mismatch"
+            | _ ->
+              let got = Deque.pop_bottom d in
+              let want =
+                match List.rev !model with
+                | [] -> None
+                | h :: t ->
+                  model := List.rev t;
+                  Some h
+              in
+              if got <> want then QCheck.Test.fail_report "pop_bottom mismatch")
+         ops;
+       Deque.to_list_top_first d = !model)
+
+(* ------------------------------------------------------------------ *)
+(* Dll                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dll_basic () =
+  let l = Dll.create () in
+  checkb "empty" true (Dll.is_empty l);
+  let a = Dll.push_back l "a" in
+  let c = Dll.push_back l "c" in
+  let _b = Dll.insert_after l a "b" in
+  let _z = Dll.insert_before l a "z" in
+  check Alcotest.(list string) "order" [ "z"; "a"; "b"; "c" ] (Dll.to_list l);
+  checki "len" 4 (Dll.length l);
+  Dll.remove l a;
+  check Alcotest.(list string) "after remove" [ "z"; "b"; "c" ] (Dll.to_list l);
+  checkb "a unlinked" false (Dll.is_member a);
+  checkb "c still linked" true (Dll.is_member c)
+
+let test_dll_remove_ends () =
+  let l = Dll.create () in
+  let a = Dll.push_back l 1 in
+  let b = Dll.push_back l 2 in
+  let c = Dll.push_back l 3 in
+  Dll.remove l a;
+  check Alcotest.(list int) "removed front" [ 2; 3 ] (Dll.to_list l);
+  Dll.remove l c;
+  check Alcotest.(list int) "removed back" [ 2 ] (Dll.to_list l);
+  Dll.remove l b;
+  checkb "empty" true (Dll.is_empty l);
+  checkb "front none" true (Dll.front l = None);
+  checkb "back none" true (Dll.back l = None)
+
+let test_dll_nth () =
+  let l = Dll.create () in
+  let nodes = List.map (Dll.push_back l) [ 10; 20; 30; 40 ] in
+  checkb "nth 0" true
+    (match Dll.nth_node l 0 with Some n -> Dll.value n = 10 | None -> false);
+  checkb "nth 3" true
+    (match Dll.nth_node l 3 with Some n -> Dll.value n = 40 | None -> false);
+  checkb "nth 4 none" true (Dll.nth_node l 4 = None);
+  checkb "nth -1 none" true (Dll.nth_node l (-1) = None);
+  List.iteri (fun i n -> checki "position" i (Dll.position l n)) nodes
+
+let test_dll_double_remove_raises () =
+  let l = Dll.create () in
+  let a = Dll.push_back l 1 in
+  Dll.remove l a;
+  Alcotest.check_raises "double remove" (Invalid_argument "Dll.remove: node not in a list")
+    (fun () -> Dll.remove l a)
+
+let test_dll_push_front () =
+  let l = Dll.create () in
+  ignore (Dll.push_front l 2);
+  ignore (Dll.push_front l 1);
+  ignore (Dll.push_back l 3);
+  check Alcotest.(list int) "order" [ 1; 2; 3 ] (Dll.to_list l)
+
+let dll_model_prop =
+  QCheck.Test.make ~name:"dll insert_after matches list model" ~count:300
+    QCheck.(list (pair (int_range 0 10) small_int))
+    (fun ops ->
+       let l = Dll.create () in
+       let nodes = ref [] in
+       List.iter
+         (fun (pos, x) ->
+            match !nodes with
+            | [] ->
+              let n = Dll.push_back l x in
+              nodes := [ n ]
+            | ns ->
+              let anchor = List.nth ns (pos mod List.length ns) in
+              let n = Dll.insert_after l anchor x in
+              nodes := n :: ns)
+         ops;
+       (* every node reachable, length consistent, positions consistent *)
+       Dll.length l = List.length !nodes
+       && List.for_all (fun n -> Dll.is_member n) !nodes
+       && List.length (Dll.to_list l) = Dll.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Order maintenance                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_om_basic () =
+  let t, base = Om.create () in
+  let after = Om.insert_after t base in
+  let before = Om.insert_before t base in
+  checkb "before < base" true (Om.compare before base < 0);
+  checkb "base < after" true (Om.compare base after < 0);
+  checkb "before < after" true (Om.compare before after < 0);
+  checki "size" 3 (Om.size t)
+
+let test_om_chain_before () =
+  (* Repeated insert_before is exactly the fork pattern: the child always
+     precedes the parent.  Forces relabelling. *)
+  let t, base = Om.create () in
+  let labels = ref [ base ] in
+  for _ = 1 to 2000 do
+    match !labels with
+    | last :: _ -> labels := Om.insert_before t last :: !labels
+    | [] -> assert false
+  done;
+  (* !labels is most recently inserted first = smallest first *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Om.compare a b < 0 && sorted rest
+    | _ -> true
+  in
+  checkb "chain totally ordered" true (sorted !labels);
+  checki "size" 2001 (Om.size t)
+
+let test_om_delete () =
+  let t, base = Om.create () in
+  let a = Om.insert_after t base in
+  let b = Om.insert_after t a in
+  Om.delete t a;
+  checkb "remaining ordered" true (Om.compare base b < 0);
+  checki "size" 2 (Om.size t);
+  Alcotest.check_raises "compare deleted raises"
+    (Invalid_argument "Order_maint: dead label") (fun () -> ignore (Om.compare a b))
+
+let om_random_prop =
+  QCheck.Test.make ~name:"order maintenance matches reference list" ~count:200
+    QCheck.(list (pair bool (int_range 0 50)))
+    (fun ops ->
+       let t, base = Om.create () in
+       (* reference: a list of labels in order *)
+       let reference = ref [ base ] in
+       List.iter
+         (fun (after, pos) ->
+            let n = List.length !reference in
+            let i = pos mod n in
+            let anchor = List.nth !reference i in
+            let fresh = if after then Om.insert_after t anchor else Om.insert_before t anchor in
+            let rec insert_at j = function
+              | rest when j = 0 -> fresh :: rest
+              | x :: rest -> x :: insert_at (j - 1) rest
+              | [] -> [ fresh ]
+            in
+            reference := insert_at (if after then i + 1 else i) !reference)
+         ops;
+       let rec ordered = function
+         | a :: (b :: _ as rest) -> Om.compare a b < 0 && ordered rest
+         | _ -> true
+       in
+       ordered !reference)
+
+(* ------------------------------------------------------------------ *)
+(* Pairing heap                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_pheap_basic () =
+  let h = Pheap.create ~leq:(fun a b -> a <= b) in
+  checkb "empty" true (Pheap.is_empty h);
+  List.iter (Pheap.insert h) [ 5; 1; 4; 1; 9; 2 ];
+  checki "size" 6 (Pheap.size h);
+  checkb "peek" true (Pheap.peek_min h = Some 1);
+  let drained = List.init 6 (fun _ -> Option.get (Pheap.pop_min h)) in
+  check Alcotest.(list int) "heapsort" [ 1; 1; 2; 4; 5; 9 ] drained;
+  checkb "empty again" true (Pheap.pop_min h = None)
+
+let pheap_sort_prop =
+  QCheck.Test.make ~name:"pheap sorts like List.sort" ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+       let h = Pheap.create ~leq:(fun a b -> a <= b) in
+       List.iter (Pheap.insert h) xs;
+       let out = List.init (List.length xs) (fun _ -> Option.get (Pheap.pop_min h)) in
+       out = List.sort compare xs)
+
+let pheap_interleave_prop =
+  QCheck.Test.make ~name:"pheap pop always returns current min" ~count:300
+    QCheck.(list (option small_int))
+    (fun ops ->
+       let h = Pheap.create ~leq:(fun a b -> a <= b) in
+       let model = ref [] in
+       List.for_all
+         (fun op ->
+            match op with
+            | Some x ->
+              Pheap.insert h x;
+              model := x :: !model;
+              true
+            | None -> (
+                match (Pheap.pop_min h, !model) with
+                | None, [] -> true
+                | Some got, l when l <> [] ->
+                  let mn = List.fold_left min max_int l in
+                  let rec remove_one = function
+                    | [] -> []
+                    | x :: t -> if x = mn then t else x :: remove_one t
+                  in
+                  model := remove_one l;
+                  got = mn
+                | _ -> false))
+         ops)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    checkb "same stream" true (Prng.bits64 a = Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 7 and b = Prng.create 8 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  checkb "different seeds differ" true !differs
+
+let test_prng_bounds () =
+  let r = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int r 10 in
+    checkb "in range" true (x >= 0 && x < 10);
+    let y = Prng.int_in r 5 9 in
+    checkb "in closed range" true (y >= 5 && y <= 9);
+    let f = Prng.float r 2.0 in
+    checkb "float range" true (f >= 0.0 && f < 2.0)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int r 0))
+
+let test_prng_uniformish () =
+  let r = Prng.create 99 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Prng.int r 4 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+       checkb "roughly uniform" true (abs (c - (n / 4)) < n / 20))
+    counts
+
+let test_prng_split () =
+  let r = Prng.create 5 in
+  let s = Prng.split r in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 r <> Prng.bits64 s then differs := true
+  done;
+  checkb "split independent" true !differs
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_watermark () =
+  let w = Stats.Watermark.create () in
+  Stats.Watermark.add w 10;
+  Stats.Watermark.add w (-4);
+  Stats.Watermark.add w 7;
+  checki "current" 13 (Stats.Watermark.current w);
+  checki "peak" 13 (Stats.Watermark.peak w);
+  Stats.Watermark.add w (-13);
+  checki "peak survives" 13 (Stats.Watermark.peak w);
+  checki "zero" 0 (Stats.Watermark.current w)
+
+let test_acc () =
+  let a = Stats.Acc.create () in
+  checkb "mean empty" true (Stats.Acc.mean a = 0.0);
+  List.iter (Stats.Acc.add a) [ 1.0; 2.0; 3.0 ];
+  checki "count" 3 (Stats.Acc.count a);
+  checkb "mean" true (abs_float (Stats.Acc.mean a -. 2.0) < 1e-9);
+  checkb "max" true (Stats.Acc.max_value a = 3.0);
+  checkb "total" true (Stats.Acc.total a = 6.0)
+
+let test_table () =
+  let s = Stats.Table.render ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  checkb "contains header" true (String.length s > 0);
+  checkb "has separator" true (String.contains s '-')
+
+let test_fmt_bytes () =
+  check Alcotest.string "bytes" "512B" (Stats.fmt_bytes 512);
+  check Alcotest.string "kb" "50.0kB" (Stats.fmt_bytes (50 * 1024));
+  check Alcotest.string "mb" "2.0MB" (Stats.fmt_bytes (2 * 1024 * 1024))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "structures"
+    [
+      ( "deque",
+        [
+          Alcotest.test_case "empty" `Quick test_deque_empty;
+          Alcotest.test_case "lifo top" `Quick test_deque_lifo_top;
+          Alcotest.test_case "steal bottom" `Quick test_deque_steal_bottom;
+          Alcotest.test_case "mixed ends" `Quick test_deque_mixed_ends;
+          Alcotest.test_case "growth" `Quick test_deque_growth;
+          Alcotest.test_case "clear" `Quick test_deque_clear;
+        ]
+        @ qsuite [ deque_model_prop ] );
+      ( "dll",
+        [
+          Alcotest.test_case "basic" `Quick test_dll_basic;
+          Alcotest.test_case "remove ends" `Quick test_dll_remove_ends;
+          Alcotest.test_case "nth" `Quick test_dll_nth;
+          Alcotest.test_case "double remove" `Quick test_dll_double_remove_raises;
+          Alcotest.test_case "push front" `Quick test_dll_push_front;
+        ]
+        @ qsuite [ dll_model_prop ] );
+      ( "order_maint",
+        [
+          Alcotest.test_case "basic" `Quick test_om_basic;
+          Alcotest.test_case "fork chain" `Quick test_om_chain_before;
+          Alcotest.test_case "delete" `Quick test_om_delete;
+        ]
+        @ qsuite [ om_random_prop ] );
+      ( "pheap",
+        [ Alcotest.test_case "basic" `Quick test_pheap_basic ]
+        @ qsuite [ pheap_sort_prop; pheap_interleave_prop ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "uniform-ish" `Quick test_prng_uniformish;
+          Alcotest.test_case "split" `Quick test_prng_split;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "watermark" `Quick test_watermark;
+          Alcotest.test_case "acc" `Quick test_acc;
+          Alcotest.test_case "table" `Quick test_table;
+          Alcotest.test_case "fmt_bytes" `Quick test_fmt_bytes;
+        ] );
+    ]
