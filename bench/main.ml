@@ -30,10 +30,24 @@ let adversary () =
        (Config.analysis ~p:8 ~mem_threshold:(Some 1024) ())
        (Dfd_benchmarks.Lower_bound.prog ~p:8 ~d:64 ~a_bytes:1024 ()))
 
+(* Tracing overhead: the same run with the tracer disabled (the default —
+   one predictable branch per potential event) vs recording into the ring
+   buffer.  Compare the two lines in the output; "disabled" should be
+   indistinguishable from the plain "table1" line above it. *)
+let run_traced ~tracer (b : W.t) () =
+  ignore
+    (Engine.run ~sched:`Dfdeques ~tracer
+       (Config.costed ~p:8 ~mem_threshold:(Some 50_000) ())
+       (b.W.prog ()))
+
 let tests =
   [
     Test.make ~name:"table1: costed run, SparseMVM/DFD/p8"
       (Staged.stage (run_costed `Dfdeques sparse));
+    Test.make ~name:"trace off: SparseMVM/DFD/p8, tracer disabled"
+      (Staged.stage (run_traced ~tracer:Dfd_trace.Tracer.disabled sparse));
+    Test.make ~name:"trace on: SparseMVM/DFD/p8, ring-buffer tracer"
+      (Staged.stage (fun () -> run_traced ~tracer:(Dfd_trace.Tracer.create ()) sparse ()));
     Test.make ~name:"fig12: costed run, SparseMVM/FIFO/p8"
       (Staged.stage (run_costed `Fifo sparse));
     Test.make ~name:"fig13: memory point, DenseMM-64/WS/p8"

@@ -48,7 +48,15 @@ let print_csv (t : Dfd_experiments.Exp_common.table) =
     (fun row -> print_endline (String.concat "," (List.map csv_escape row)))
     (t.Dfd_experiments.Exp_common.header :: t.Dfd_experiments.Exp_common.rows)
 
-let run_exps csv ids =
+let metrics_dir_arg =
+  let doc =
+    "Also write each engine run's machine-readable metrics (counters, histogram summaries, \
+     per-processor distributions) as JSON files under $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-dir" ] ~docv:"DIR" ~doc)
+
+let run_exps csv metrics_dir ids =
+  Dfd_experiments.Exp_common.metrics_dir := metrics_dir;
   let ids = if List.mem "all" ids then exp_ids else ids in
   List.iter
     (fun id ->
@@ -67,7 +75,7 @@ let run_exps csv ids =
 
 let exp_cmd =
   let doc = "Regenerate the given tables/figures (or `all`)." in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const run_exps $ csv_arg $ exp_arg)
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run_exps $ csv_arg $ metrics_dir_arg $ exp_arg)
 
 let bench_arg =
   let doc = "Benchmark name (see `repro list`)." in
@@ -112,7 +120,28 @@ let find_bench name grain =
       (String.concat ", " Dfd_benchmarks.Registry.names);
     exit 2
 
-let run_one bench grain sched p k seed mode =
+let trace_out_arg =
+  let doc =
+    "Record a structured event trace of the run and export it as Chrome trace-event JSON to \
+     $(docv) (open in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_json_arg =
+  let doc =
+    "Write the run's full machine-readable metrics (every counter, the steal-latency / \
+     deque-residency / quota-utilisation histogram summaries, per-processor and per-victim \
+     distributions) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+(* File-writing CLI paths: fail with a message, not an uncaught Sys_error. *)
+let writing path f =
+  try f () with Sys_error m ->
+    Printf.eprintf "repro: cannot write %s: %s\n" path m;
+    exit 1
+
+let run_one bench grain sched p k seed mode trace_out metrics_json =
   let b = find_bench bench grain in
   let k = if k = 0 then None else Some k in
   let cfg =
@@ -123,14 +152,40 @@ let run_one bench grain sched p k seed mode =
   Format.printf "benchmark: %s (%s)@." b.Dfd_benchmarks.Workload.name
     b.Dfd_benchmarks.Workload.description;
   Format.printf "config: %a@." Dfd_machine.Config.pp cfg;
-  let r = Dfdeques_core.Engine.run ~sched cfg (b.Dfd_benchmarks.Workload.prog ()) in
-  Format.printf "%a@." Dfdeques_core.Engine.pp_result r
+  let tracer =
+    match trace_out with
+    | None -> Dfd_trace.Tracer.disabled
+    | Some _ -> Dfd_trace.Tracer.create ()
+  in
+  let r = Dfdeques_core.Engine.run ~sched ~tracer cfg (b.Dfd_benchmarks.Workload.prog ()) in
+  Format.printf "%a@." Dfdeques_core.Engine.pp_result r;
+  (match trace_out with
+   | None -> ()
+   | Some path ->
+     writing path (fun () ->
+         Dfd_trace.Chrome.write_file ~path ~p (Dfd_trace.Tracer.events tracer));
+     let dropped = Dfd_trace.Tracer.dropped tracer in
+     Format.printf "trace: %d events -> %s%s@."
+       (Dfd_trace.Tracer.length tracer)
+       path
+       (if dropped > 0 then Printf.sprintf " (%d oldest dropped by the ring buffer)" dropped
+        else ""));
+  match metrics_json with
+  | None -> ()
+  | Some path ->
+    writing path (fun () ->
+        let oc = open_out path in
+        Dfd_trace.Json.to_channel oc (Dfdeques_core.Engine.result_to_json r);
+        output_char oc '\n';
+        close_out oc);
+    Format.printf "metrics: %s@." path
 
 let run_cmd =
   let doc = "Run one benchmark under one scheduler and print its metrics." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_one $ bench_arg $ grain_arg $ sched_arg $ p_arg $ k_arg $ seed_arg $ mode_arg)
+      const run_one $ bench_arg $ grain_arg $ sched_arg $ p_arg $ k_arg $ seed_arg $ mode_arg
+      $ trace_out_arg $ metrics_json_arg)
 
 let analyze_one bench grain =
   let b = find_bench bench grain in
@@ -149,7 +204,7 @@ let steps_arg =
 (* A textual Gantt chart: one row per processor, one column per timestep,
    each cell the thread id (mod 62) that executed there — built from the
    engine's observer hook. *)
-let trace_one bench grain sched p k seed steps =
+let trace_one bench grain sched p k seed steps json_out =
   let b = find_bench bench grain in
   let k = if k = 0 then None else Some k in
   let cfg = Dfd_machine.Config.analysis ~p ~mem_threshold:k ~seed () in
@@ -158,8 +213,13 @@ let trace_one bench grain sched p k seed steps =
     let alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
     alphabet.[tid mod String.length alphabet]
   in
+  let tracer =
+    match json_out with
+    | None -> Dfd_trace.Tracer.disabled
+    | Some _ -> Dfd_trace.Tracer.create ()
+  in
   let r =
-    Dfdeques_core.Engine.run ~sched cfg
+    Dfdeques_core.Engine.run ~sched ~tracer cfg
       ~observer:(fun ~now ~proc th _a ->
           if now >= 1 && now <= steps then
             grid.(proc).(now - 1) <- symbol th.Dfdeques_core.Thread_state.tid)
@@ -174,13 +234,24 @@ let trace_one bench grain sched p k seed steps =
     grid;
   Format.printf "@.steals=%d local=%d queue=%d granularity=%.1f@." r.Dfdeques_core.Engine.steals
     r.Dfdeques_core.Engine.local_dispatches r.Dfdeques_core.Engine.queue_dispatches
-    r.Dfdeques_core.Engine.sched_granularity
+    r.Dfdeques_core.Engine.sched_granularity;
+  match json_out with
+  | None -> ()
+  | Some path ->
+    writing path (fun () ->
+        Dfd_trace.Chrome.write_file ~path ~p (Dfd_trace.Tracer.events tracer));
+    Format.printf "full event trace (%d events) -> %s@." (Dfd_trace.Tracer.length tracer) path
+
+let trace_json_arg =
+  let doc = "Also export the full structured event trace as Chrome trace-event JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
 let trace_cmd =
   let doc = "Render a textual Gantt chart of the first timesteps of a schedule." in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      const trace_one $ bench_arg $ grain_arg $ sched_arg $ p_arg $ k_arg $ seed_arg $ steps_arg)
+      const trace_one $ bench_arg $ grain_arg $ sched_arg $ p_arg $ k_arg $ seed_arg $ steps_arg
+      $ trace_json_arg)
 
 (* Export a small dag to Graphviz: either the Figure 2-style demo dag or a
    random nested-parallel program from a seed. *)

@@ -53,7 +53,11 @@ let () =
        let c, t_mm = time (fun () -> matmul pool 256) in
        Printf.printf "%-24s fib 25 = %d (%.3fs)   matmul 256 c[0]=%.0f (%.3fs)\n" name fb t_fib
          c.(0) t_mm;
-       List.iter (fun (k, v) -> Printf.printf "    %-16s %d\n" k v) (Pool.stats pool);
+       let k = Pool.counters pool in
+       Printf.printf
+         "    steals %d  steal_failures %d  local_pops %d  quota_giveups %d  tasks_run %d\n"
+         k.Pool.steals k.Pool.steal_failures k.Pool.local_pops k.Pool.quota_giveups
+         k.Pool.tasks_run;
        Pool.shutdown pool)
     [
       (Pool.Work_stealing, "work stealing");

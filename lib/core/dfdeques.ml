@@ -2,6 +2,8 @@ module Dll = Dfd_structures.Dll
 module Deque = Dfd_structures.Deque
 module Prng = Dfd_structures.Prng
 module Metrics = Dfd_machine.Metrics
+module Tracer = Dfd_trace.Tracer
+module Event = Dfd_trace.Event
 
 type variant = { steal_from_top : bool; victim_anywhere : bool }
 
@@ -15,6 +17,7 @@ module P = struct
                                deque — at most one steal per deque per timestep
                                succeeds (Section 4.1 cost model). *)
     did : int;
+    born : int;  (** timestep the deque entered R (residency tracking). *)
   }
 
   type t = {
@@ -42,17 +45,32 @@ module P = struct
 
   let create ctx = create_with paper_variant ctx
 
-  let new_deque t ~owner =
-    let d = { dq = Deque.create (); owner; hit_at = -1; did = t.next_did } in
+  let new_deque t ~proc ~owner =
+    let now = t.ctx.Sched_intf.now in
+    let d = { dq = Deque.create (); owner; hit_at = -1; did = t.next_did; born = now } in
     t.next_did <- t.next_did + 1;
+    if Tracer.enabled t.ctx.Sched_intf.tracer then
+      Tracer.emit t.ctx.Sched_intf.tracer ~ts:now ~proc ~tid:(-1)
+        (Event.Deque_created { did = d.did });
     d
+
+  (* Every removal of a deque from R goes through here: record its
+     residency (how long it sat in the globally ordered list). *)
+  let remove_deque t ~proc node =
+    let d = Dll.value node in
+    let residency = t.ctx.Sched_intf.now - d.born in
+    Metrics.record_deque_residency t.ctx.Sched_intf.metrics residency;
+    if Tracer.enabled t.ctx.Sched_intf.tracer then
+      Tracer.emit t.ctx.Sched_intf.tracer ~ts:t.ctx.Sched_intf.now ~proc ~tid:(-1)
+        (Event.Deque_deleted { did = d.did; residency });
+    Dll.remove t.r node
 
   let note_deques t = Metrics.deques_changed t.ctx.Sched_intf.metrics (Dll.length t.r)
 
   let register_root t root =
     (* The computation starts with the root thread in a single ownerless
        deque; the first successful steal picks it up. *)
-    let d = new_deque t ~owner:None in
+    let d = new_deque t ~proc:(-1) ~owner:None in
     Deque.push_top d.dq root;
     ignore (Dll.push_front t.r d);
     note_deques t
@@ -69,6 +87,9 @@ module P = struct
       else ctx.Sched_intf.cfg.Dfd_machine.Config.p
     in
     let k = Prng.int ctx.Sched_intf.rng bound in
+    if Tracer.enabled ctx.Sched_intf.tracer then
+      Tracer.emit ctx.Sched_intf.tracer ~ts:ctx.Sched_intf.now ~proc ~tid:(-1)
+        (Event.Steal_attempt { victim = k });
     match Dll.nth_node t.r k with
     | None -> No_work
     | Some node ->
@@ -84,6 +105,14 @@ module P = struct
         | Some th ->
           d.hit_at <- ctx.Sched_intf.now;
           Metrics.steal_success ctx.Sched_intf.metrics;
+          (* the victim distribution is over deque slots of R (leftmost =
+             0), the frontier-locality quantity of Section 3 *)
+          Metrics.steal_from ctx.Sched_intf.metrics ~victim:k;
+          let latency = ctx.Sched_intf.now - ctx.Sched_intf.last_active.(proc) in
+          Metrics.record_steal_latency ctx.Sched_intf.metrics latency;
+          if Tracer.enabled ctx.Sched_intf.tracer then
+            Tracer.emit ctx.Sched_intf.tracer ~ts:ctx.Sched_intf.now ~proc ~tid:th.Thread_state.tid
+              (Event.Steal_success { victim = k; latency });
           (* Section 4.2 instrumentation: the stolen thread's first node is
              heavy; it is premature unless no ready thread precedes it in
              the 1DF order, i.e. unless it came alone from the leftmost
@@ -93,10 +122,10 @@ module P = struct
           in
           if not (was_leftmost && Deque.is_empty d.dq) then
             Metrics.heavy_premature ctx.Sched_intf.metrics;
-          let nd = new_deque t ~owner:(Some proc) in
+          let nd = new_deque t ~proc ~owner:(Some proc) in
           let new_node = Dll.insert_after t.r node nd in
           (* Stealing the last thread of an ownerless deque deletes it. *)
-          if Deque.is_empty d.dq && d.owner = None then Dll.remove t.r node;
+          if Deque.is_empty d.dq && d.owner = None then remove_deque t ~proc node;
           t.proc.(proc) <- Some new_node;
           note_deques t;
           Got_steal th)
@@ -112,7 +141,7 @@ module P = struct
         | None ->
           (* Idle owner of an empty deque: delete it and steal. *)
           d.owner <- None;
-          Dll.remove t.r node;
+          remove_deque t ~proc node;
           t.proc.(proc) <- None;
           note_deques t;
           steal t ~proc)
@@ -124,7 +153,7 @@ module P = struct
     | None ->
       (* A processor executing a thread always owns a deque (it obtained the
          thread from one).  Defensive: adopt a fresh leftmost deque. *)
-      let d = new_deque t ~owner:(Some proc) in
+      let d = new_deque t ~proc ~owner:(Some proc) in
       let node = Dll.push_front t.r d in
       t.proc.(proc) <- Some node;
       note_deques t;
@@ -149,7 +178,7 @@ module P = struct
     | Some node ->
       let d = Dll.value node in
       d.owner <- None;
-      if Deque.is_empty d.dq then Dll.remove t.r node;
+      if Deque.is_empty d.dq then remove_deque t ~proc node;
       t.proc.(proc) <- None;
       note_deques t
 

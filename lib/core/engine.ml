@@ -5,6 +5,8 @@ module Memory = Dfd_machine.Memory
 module Cache = Dfd_machine.Cache
 module Metrics = Dfd_machine.Metrics
 module Prng = Dfd_structures.Prng
+module Tracer = Dfd_trace.Tracer
+module Event = Dfd_trace.Event
 module T = Thread_state
 
 exception Deadlock of string
@@ -35,6 +37,7 @@ type result = {
   cache_accesses : int;
   cache_misses : int;
   cache_miss_rate : float;
+  metrics : Metrics.t;
 }
 
 type sched =
@@ -66,11 +69,13 @@ type mutex = {
 exception Malformed_run of string
 
 let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_000_000)
-    ?observer ?sampler ~(sched : sched) (cfg : Config.t) (prog : Prog.t) : result =
+    ?(tracer = Tracer.disabled) ?observer ?sampler ~(sched : sched) (cfg : Config.t)
+    (prog : Prog.t) : result =
   let p = cfg.p in
   let metrics = Metrics.create ~p in
   let rng = Prng.create cfg.seed in
-  let ctx = { Sched_intf.cfg; metrics; rng; now = 0 } in
+  let ctx = { Sched_intf.cfg; metrics; rng; tracer; last_active = Array.make p 0; now = 0 } in
+  let last_active = ctx.Sched_intf.last_active in
   let (Sched_intf.Packed ((module P), pol)) = make_policy sched ctx in
   let pool = T.create_pool () in
   let memory = Memory.create ~stack_bytes:cfg.stack_bytes in
@@ -102,6 +107,17 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
   let finite_k = not (Config.is_infinite_threshold cfg) && P.has_quota in
   let k_bytes = if finite_k then Config.mem_threshold_exn cfg else max_int in
   Array.fill quota 0 p k_bytes;
+  (* Reset the quota at a steal, first recording how much of K the
+     processor consumed since the previous reset (skipped when nothing was
+     used — idle steal retries would otherwise flood the histogram). *)
+  let reset_quota proc =
+    if finite_k then begin
+      let used = k_bytes - quota.(proc) in
+      if used > 0 then
+        Metrics.record_quota_utilisation metrics (100.0 *. float_of_int used /. float_of_int k_bytes);
+      quota.(proc) <- k_bytes
+    end
+  in
   (* Simulated global scheduler lock (costed mode only). *)
   let lock_free_at = ref 0 in
   let serialize proc =
@@ -147,6 +163,10 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
   let execute_action proc th (a : Action.t) cont =
     th.T.prog <- cont;
     Metrics.action_executed metrics ~proc ~units:(Action.work_units a);
+    last_active.(proc) <- ctx.Sched_intf.now;
+    if Tracer.enabled tracer then
+      Tracer.emit tracer ~ts:ctx.Sched_intf.now ~proc ~tid:th.T.tid
+        (Event.Action_batch { units = Action.work_units a });
     (match observer with Some f -> f ~now:ctx.Sched_intf.now ~proc th a | None -> ());
     progress ();
     let extra = Action.depth_units a - 1 in
@@ -154,7 +174,13 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
       match a with
       | Action.Touch addrs -> (
           match cache with
-          | Some c -> extra + (Cache.access_many c ~proc addrs * cfg.miss_penalty)
+          | Some c ->
+            let misses = Cache.access_many c ~proc addrs in
+            let stall = misses * cfg.miss_penalty in
+            if misses > 0 && Tracer.enabled tracer then
+              Tracer.emit tracer ~ts:ctx.Sched_intf.now ~proc ~tid:th.T.tid
+                (Event.Cache_miss_stall { misses; stall });
+            extra + stall
           | None -> extra)
       | Action.Alloc n ->
         Memory.alloc memory n;
@@ -169,6 +195,8 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
         extra
       | Action.Dummy ->
         Metrics.dummy_executed metrics;
+        if Tracer.enabled tracer then
+          Tracer.emit tracer ~ts:ctx.Sched_intf.now ~proc ~tid:th.T.tid Event.Dummy_exec;
         extra
       | Action.Unlock m ->
         (* Pthreads semantics: the woken waiter becomes ready and must
@@ -205,11 +233,12 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
         else (
           match P.acquire pol ~proc with
           | Sched_intf.No_work ->
-            if finite_k then quota.(proc) <- k_bytes;
+            reset_quota proc;
             if P.global_queue then serialize proc;
             if cfg.steal_cost > 1 && not P.global_queue then stall proc (cfg.steal_cost - 1);
             stole := true
           | Sched_intf.Got_local th ->
+            last_active.(proc) <- ctx.now;
             th.T.state <- T.Running;
             curr.(proc) <- Some th;
             (* A thread parked this very timestep (by a fork on another
@@ -217,7 +246,8 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
                timestep: its enabling node just executed. *)
             if th.T.ready_at = ctx.now then finished := true
           | Sched_intf.Got_steal th ->
-            if finite_k then quota.(proc) <- k_bytes;
+            reset_quota proc;
+            last_active.(proc) <- ctx.now;
             if P.global_queue then serialize proc;
             if cfg.steal_cost > 1 && not P.global_queue then stall proc (cfg.steal_cost - 1);
             th.T.state <- T.Running;
@@ -258,6 +288,9 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
                 end
                 else begin
                   (* Suspend: free transition. *)
+                  if Tracer.enabled tracer then
+                    Tracer.emit tracer ~ts:ctx.now ~proc ~tid:th.T.tid
+                      (Event.Join { child = c.T.tid });
                   th.T.state <- T.Blocked_join;
                   c.T.join_waiter <- Some th;
                   P.on_suspend pol ~proc th;
@@ -276,6 +309,9 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
             when finite_k && quota.(proc) < n && n <= k_bytes && not th.T.big_alloc_pending ->
             (* Memory quota exhausted: preempt (free transition). *)
             Metrics.quota_exhausted metrics;
+            if Tracer.enabled tracer then
+              Tracer.emit tracer ~ts:ctx.now ~proc ~tid:th.T.tid
+                (Event.Quota_exhausted { used = k_bytes - quota.(proc); quota = k_bytes });
             th.T.state <- T.Ready;
             P.on_quota_exhausted pol ~proc th;
             curr.(proc) <- None
@@ -309,6 +345,9 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
                 (* Busy-wait: burn this timestep, retry next.  The spinner's
                    test-and-set traffic also slows the lock holder (cache-line
                    ping-pong), charged at most once per mutex per timestep. *)
+                if Tracer.enabled tracer then
+                  Tracer.emit tracer ~ts:ctx.now ~proc ~tid:th.T.tid
+                    (Event.Lock_wait { mutex = m });
                 stall proc 0;
                 (* at most one 2-step penalty per 3 timesteps: the holder is
                    slowed ~2-3x under contention, never starved *)
@@ -323,6 +362,9 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
                 end;
                 finished := true
               | Some _ ->
+                if Tracer.enabled tracer then
+                  Tracer.emit tracer ~ts:ctx.now ~proc ~tid:th.T.tid
+                    (Event.Lock_wait { mutex = m });
                 th.T.state <- T.Blocked_lock m;
                 Queue.push th mu.waiters;
                 P.on_suspend pol ~proc th;
@@ -340,6 +382,13 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
             in
             Memory.thread_created memory;
             Metrics.action_executed metrics ~proc ~units:1;
+            last_active.(proc) <- ctx.now;
+            if Tracer.enabled tracer then begin
+              Tracer.emit tracer ~ts:ctx.now ~proc ~tid:th.T.tid
+                (Event.Fork { child = child.T.tid });
+              Tracer.emit tracer ~ts:ctx.now ~proc ~tid:th.T.tid
+                (Event.Action_batch { units = 1 })
+            end;
             (* the fork is one unit action of the parent; observers see it
                as Work 1, matching Analysis.iter_serial *)
             (match observer with
@@ -371,6 +420,14 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
       else turn proc
     done;
     if check_invariants then P.check_invariants pol;
+    if Tracer.enabled tracer then
+      Tracer.emit tracer ~ts:ctx.now ~proc:(-1) ~tid:(-1)
+        (Event.Counter
+           {
+             deques = Metrics.deque_current metrics;
+             heap = Memory.heap_current memory;
+             threads = Memory.live_threads memory;
+           });
     (match sampler with
      | Some (every, f) ->
        if ctx.now mod every = 0 then
@@ -408,7 +465,76 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
     cache_accesses = (match cache with Some c -> Cache.accesses c | None -> 0);
     cache_misses = (match cache with Some c -> Cache.misses c | None -> 0);
     cache_miss_rate = (match cache with Some c -> Cache.miss_rate c | None -> 0.0);
+    metrics;
   }
+
+module Json = Dfd_trace.Json
+
+let histogram_to_json h =
+  let module H = Dfd_structures.Stats.Histogram in
+  let opt = function Some v -> Json.Float v | None -> Json.Null in
+  Json.Assoc
+    [
+      ("count", Json.Int (H.count h));
+      ("mean", opt (H.mean_opt h));
+      ("min", opt (H.min_opt h));
+      ("max", opt (H.max_opt h));
+      ("p50", opt (H.quantile h 0.5));
+      ("p90", opt (H.quantile h 0.9));
+      ("p99", opt (H.quantile h 0.99));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, count) ->
+                Json.Assoc [ ("le", Json.Float le); ("count", Json.Int count) ])
+             (H.buckets h)) );
+    ]
+
+let result_to_json r =
+  let ints l = Json.List (List.map (fun n -> Json.Int n) (Array.to_list l)) in
+  Json.Assoc
+    [
+      ("sched", Json.String r.sched);
+      ( "counters",
+        Json.Assoc
+          [
+            ("time", Json.Int r.time);
+            ("work", Json.Int r.work);
+            ("heap_peak", Json.Int r.heap_peak);
+            ("combined_peak", Json.Int r.combined_peak);
+            ("threads_peak", Json.Int r.threads_peak);
+            ("threads_created", Json.Int r.threads_created);
+            ("total_alloc", Json.Int r.total_alloc);
+            ("final_heap", Json.Int r.final_heap);
+            ("steals", Json.Int r.steals);
+            ("steal_attempts", Json.Int r.steal_attempts);
+            ("local_dispatches", Json.Int r.local_dispatches);
+            ("queue_dispatches", Json.Int r.queue_dispatches);
+            ("quota_exhaustions", Json.Int r.quota_exhaustions);
+            ("dummy_threads", Json.Int r.dummy_threads);
+            ("heavy_premature", Json.Int r.heavy_premature);
+            ("deque_peak", Json.Int r.deque_peak);
+            ("cache_accesses", Json.Int r.cache_accesses);
+            ("cache_misses", Json.Int r.cache_misses);
+          ] );
+      ( "derived",
+        Json.Assoc
+          [
+            ("sched_granularity", Json.Float r.sched_granularity);
+            ("local_steal_ratio", Json.Float r.local_steal_ratio);
+            ("load_imbalance", Json.Float r.load_imbalance);
+            ("cache_miss_rate", Json.Float r.cache_miss_rate);
+          ] );
+      ( "histograms",
+        Json.Assoc
+          [
+            ("steal_latency", histogram_to_json (Metrics.steal_latency r.metrics));
+            ("deque_residency", histogram_to_json (Metrics.deque_residency r.metrics));
+            ("quota_utilisation", histogram_to_json (Metrics.quota_utilisation r.metrics));
+          ] );
+      ("per_proc_actions", ints (Metrics.per_proc_actions r.metrics));
+      ("per_victim_steals", ints (Metrics.per_victim_steals r.metrics));
+    ]
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -59,6 +59,11 @@ type result = {
   cache_accesses : int;
   cache_misses : int;
   cache_miss_rate : float;  (** percent; 0 when the cache model is off. *)
+  metrics : Dfd_machine.Metrics.t;
+      (** the run's full metrics object, for consumers that need more than
+          the flat counters above: the steal-latency / deque-residency /
+          quota-utilisation histograms and the per-victim steal
+          distribution. *)
 }
 
 type sched =
@@ -77,6 +82,7 @@ val run :
   ?spin_locks:bool ->
   ?check_invariants:bool ->
   ?max_steps:int ->
+  ?tracer:Dfd_trace.Tracer.t ->
   ?observer:(now:int -> proc:int -> Thread_state.t -> Dfd_dag.Action.t -> unit) ->
   ?sampler:int * (now:int -> heap:int -> threads:int -> deques:int -> unit) ->
   sched:sched ->
@@ -93,6 +99,12 @@ val run :
     programs: mutex/condvar wakeups intentionally approximate the priority
     order (Section 5) and trip the check.
     [max_steps] (default [10_000_000_000]).
+    [tracer] (default {!Dfd_trace.Tracer.disabled}): structured event sink
+    receiving the full {!Dfd_trace.Event} vocabulary — forks, join waits,
+    steal attempts/successes, quota exhaustions, dummy executions, deque
+    lifecycle, cache-miss stalls, lock waits, executed actions, and one
+    counter sample (live deques / heap / threads) per timestep.  The
+    disabled default costs one branch per potential event.
     [observer] is called on every executed action (timestep, processor,
     thread, action) — schedule tracing for tests and visualisation; fork
     actions are reported as [Work 1].
@@ -101,3 +113,13 @@ val run :
     memory-profile-over-time instrumentation behind `repro profile`. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+val histogram_to_json : Dfd_structures.Stats.Histogram.t -> Dfd_trace.Json.t
+(** Summary object: count, mean, min, max, p50/p90/p99 and the non-empty
+    log2 buckets. *)
+
+val result_to_json : result -> Dfd_trace.Json.t
+(** Machine-readable export of every counter and derived metric of the
+    run, plus the steal-latency / deque-residency / quota-utilisation
+    histogram summaries and the per-processor / per-victim distributions
+    (the payload behind [repro run --metrics-json]). *)

@@ -13,10 +13,17 @@ module P = struct
 
   let register_root t root = Queue.push root t.q
 
-  let acquire t ~proc:_ : Sched_intf.acquired =
+  let acquire t ~proc : Sched_intf.acquired =
     match Queue.take_opt t.q with
     | Some th ->
-      Metrics.queue_dispatch t.ctx.Sched_intf.metrics;
+      let ctx = t.ctx in
+      Metrics.queue_dispatch ctx.Sched_intf.metrics;
+      let latency = ctx.Sched_intf.now - ctx.Sched_intf.last_active.(proc) in
+      Metrics.record_steal_latency ctx.Sched_intf.metrics latency;
+      if Dfd_trace.Tracer.enabled ctx.Sched_intf.tracer then
+        Dfd_trace.Tracer.emit ctx.Sched_intf.tracer ~ts:ctx.Sched_intf.now ~proc
+          ~tid:th.Thread_state.tid
+          (Dfd_trace.Event.Steal_success { victim = -1; latency });
       Got_steal th
     | None -> No_work
 

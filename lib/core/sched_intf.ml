@@ -25,6 +25,15 @@ type ctx = {
   cfg : Dfd_machine.Config.t;
   metrics : Dfd_machine.Metrics.t;
   rng : Dfd_structures.Prng.t;
+  tracer : Dfd_trace.Tracer.t;
+      (** structured event sink; {!Dfd_trace.Tracer.disabled} unless the
+          caller asked for a trace.  Policies must guard emissions with
+          [Tracer.enabled] so the disabled path stays free. *)
+  last_active : int array;
+      (** per processor, the last timestep it held work (maintained by the
+          engine); [now - last_active.(proc)] at a successful steal or
+          dispatch is the acquisition latency a policy should feed to
+          {!Dfd_machine.Metrics.record_steal_latency}. *)
   mutable now : int;  (** current timestep (for steal-conflict arbitration). *)
 }
 

@@ -1,6 +1,8 @@
 module Deque = Dfd_structures.Deque
 module Prng = Dfd_structures.Prng
 module Metrics = Dfd_machine.Metrics
+module Tracer = Dfd_trace.Tracer
+module Event = Dfd_trace.Event
 
 module P = struct
   type t = {
@@ -26,6 +28,9 @@ module P = struct
     Metrics.steal_attempt ctx.Sched_intf.metrics;
     let p = ctx.Sched_intf.cfg.Dfd_machine.Config.p in
     let victim = Prng.int ctx.Sched_intf.rng p in
+    if Tracer.enabled ctx.Sched_intf.tracer then
+      Tracer.emit ctx.Sched_intf.tracer ~ts:ctx.Sched_intf.now ~proc ~tid:(-1)
+        (Event.Steal_attempt { victim });
     if victim = proc then No_work
     else if t.hit_at.(victim) = ctx.Sched_intf.now then No_work
     else (
@@ -34,6 +39,13 @@ module P = struct
       | Some th ->
         t.hit_at.(victim) <- ctx.Sched_intf.now;
         Metrics.steal_success ctx.Sched_intf.metrics;
+        Metrics.steal_from ctx.Sched_intf.metrics ~victim;
+        let latency = ctx.Sched_intf.now - ctx.Sched_intf.last_active.(proc) in
+        Metrics.record_steal_latency ctx.Sched_intf.metrics latency;
+        if Tracer.enabled ctx.Sched_intf.tracer then
+          Tracer.emit ctx.Sched_intf.tracer ~ts:ctx.Sched_intf.now ~proc
+            ~tid:th.Thread_state.tid
+            (Event.Steal_success { victim; latency });
         Got_steal th)
 
   let acquire t ~proc : Sched_intf.acquired =

@@ -22,14 +22,40 @@ let render t =
 
 let k50 = Some 50_000
 
+let metrics_dir : string option ref = ref None
+
+(* When [metrics_dir] is set (repro exp --metrics-dir), every engine run an
+   experiment performs also drops its full machine-readable metrics there,
+   one JSON file per run. *)
+let dump_metrics ~sched ~p ~k ~seed (b : Workload.t) (r : Engine.result) =
+  match !metrics_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let grain = Format.asprintf "%a" Workload.pp_grain b.Workload.grain in
+    let file =
+      Printf.sprintf "%s/%s_%s_%s_p%d_k%s_seed%d.json" dir b.Workload.name grain
+        (Engine.sched_name sched) p
+        (match k with None -> "inf" | Some k -> string_of_int k)
+        seed
+    in
+    let oc = open_out file in
+    Dfd_trace.Json.to_channel oc (Engine.result_to_json r);
+    output_char oc '\n';
+    close_out oc
+
 let run_costed ?(p = 8) ?(k = k50) ?(seed = 42) ?(spin_locks = false) ~sched
     (b : Workload.t) =
   let cfg = Config.costed ~p ~mem_threshold:k ~seed () in
-  Engine.run ~sched ~spin_locks cfg (b.Workload.prog ())
+  let r = Engine.run ~sched ~spin_locks cfg (b.Workload.prog ()) in
+  dump_metrics ~sched ~p ~k ~seed b r;
+  r
 
 let run_analysis ?(p = 8) ?(k = k50) ?(seed = 42) ~sched (b : Workload.t) =
   let cfg = Config.analysis ~p ~mem_threshold:k ~seed () in
-  Engine.run ~sched cfg (b.Workload.prog ())
+  let r = Engine.run ~sched cfg (b.Workload.prog ()) in
+  dump_metrics ~sched ~p ~k ~seed b r;
+  r
 
 let serial_cache : (string, int) Hashtbl.t = Hashtbl.create 16
 

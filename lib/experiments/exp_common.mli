@@ -22,6 +22,12 @@ val render : table -> string
 val k50 : int option
 (** The paper's default memory threshold: Some 50_000. *)
 
+val metrics_dir : string option ref
+(** When set (by [repro exp --metrics-dir DIR]), {!run_costed} and
+    {!run_analysis} also write each run's {!Dfdeques_core.Engine.result_to_json}
+    export to [DIR/<bench>_<grain>_<sched>_p<p>_k<K>_seed<seed>.json].
+    The directory is created if missing. *)
+
 val run_costed :
   ?p:int ->
   ?k:int option ->

@@ -13,6 +13,8 @@ type summary = {
 }
 
 let measure ?(runs = 25) ?(p = 16) ?(k = 4096) () =
+  let runs = max 1 runs in
+  (* >= 1 run, so the accumulators below are provably non-empty *)
   let b = Dfd_benchmarks.Synthetic.bench W.Fine in
   let s = Analysis.analyze (b.W.prog ()) in
   let space = Dfd_structures.Stats.Acc.create () in
@@ -24,11 +26,11 @@ let measure ?(runs = 25) ?(p = 16) ?(k = 4096) () =
   done;
   {
     runs;
-    space_mean = Dfd_structures.Stats.Acc.mean space;
-    space_max = int_of_float (Dfd_structures.Stats.Acc.max_value space);
+    space_mean = Option.get (Dfd_structures.Stats.Acc.mean_opt space);
+    space_max = int_of_float (Option.get (Dfd_structures.Stats.Acc.max_opt space));
     space_bound = s.Analysis.serial_space + (min k s.Analysis.serial_space * p * s.Analysis.depth);
-    time_mean = Dfd_structures.Stats.Acc.mean time;
-    time_max = int_of_float (Dfd_structures.Stats.Acc.max_value time);
+    time_mean = Option.get (Dfd_structures.Stats.Acc.mean_opt time);
+    time_max = int_of_float (Option.get (Dfd_structures.Stats.Acc.max_opt time));
     time_bound = (s.Analysis.timed_work / p) + (s.Analysis.total_alloc / (p * k)) + s.Analysis.depth;
   }
 

@@ -1,4 +1,5 @@
 module W = Dfd_structures.Stats.Watermark
+module H = Dfd_structures.Stats.Histogram
 
 type t = {
   mutable actions : int;
@@ -11,6 +12,10 @@ type t = {
   mutable heavy_premature : int;
   deques : W.t;
   per_proc_actions : int array;
+  per_victim_steals : int array;
+  steal_latency : H.t;
+  deque_residency : H.t;
+  quota_utilisation : H.t;
 }
 
 let create ~p =
@@ -25,6 +30,10 @@ let create ~p =
     heavy_premature = 0;
     deques = W.create ();
     per_proc_actions = Array.make p 0;
+    per_victim_steals = Array.make p 0;
+    steal_latency = H.create ();
+    deque_residency = H.create ();
+    quota_utilisation = H.create ();
   }
 
 let action_executed t ~proc ~units =
@@ -48,6 +57,27 @@ let heavy_premature t = t.heavy_premature <- t.heavy_premature + 1
 let heavy_prematures t = t.heavy_premature
 
 let deques_changed t n = W.add t.deques (n - W.current t.deques)
+
+let steal_from t ~victim =
+  let n = Array.length t.per_victim_steals in
+  if n > 0 then begin
+    let v = if victim < 0 then 0 else if victim >= n then n - 1 else victim in
+    t.per_victim_steals.(v) <- t.per_victim_steals.(v) + 1
+  end
+
+let record_steal_latency t d = H.add t.steal_latency (float_of_int d)
+
+let record_deque_residency t d = H.add t.deque_residency (float_of_int d)
+
+let record_quota_utilisation t pct = H.add t.quota_utilisation pct
+
+let per_victim_steals t = Array.copy t.per_victim_steals
+
+let steal_latency t = t.steal_latency
+
+let deque_residency t = t.deque_residency
+
+let quota_utilisation t = t.quota_utilisation
 
 let actions t = t.actions
 

@@ -42,6 +42,23 @@ val heavy_prematures : t -> int
 val deques_changed : t -> int -> unit
 (** Track the current number of deques in R (watermark kept). *)
 
+val steal_from : t -> victim:int -> unit
+(** A successful steal hit this victim: the victim processor (WS) or the
+    targeted slot among the leftmost deques of R (DFDeques).  Out-of-range
+    victims clamp into [0, p) — the per-victim distribution Suksompong et
+    al. study for localized work stealing. *)
+
+val record_steal_latency : t -> int -> unit
+(** Time units a thief spent without work before this successful steal (or
+    global-queue dispatch). *)
+
+val record_deque_residency : t -> int -> unit
+(** Lifetime in time units of a deque just removed from R. *)
+
+val record_quota_utilisation : t -> float -> unit
+(** Percentage of the memory quota K consumed between two quota resets
+    (steals), sampled at each reset; 100 means the quota was exhausted. *)
+
 val actions : t -> int
 
 val steals : t -> int
@@ -62,6 +79,15 @@ val deque_current : t -> int
 
 val per_proc_actions : t -> int array
 (** Actions executed by each processor (copy). *)
+
+val per_victim_steals : t -> int array
+(** Successful steals per victim (copy; see {!steal_from}). *)
+
+val steal_latency : t -> Dfd_structures.Stats.Histogram.t
+
+val deque_residency : t -> Dfd_structures.Stats.Histogram.t
+
+val quota_utilisation : t -> Dfd_structures.Stats.Histogram.t
 
 val load_imbalance : t -> float
 (** Max-over-mean of per-processor executed actions; 1.0 is perfect

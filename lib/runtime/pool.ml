@@ -1,21 +1,31 @@
 module Deque = Dfd_structures.Deque
 module Dll = Dfd_structures.Dll
 module Prng = Dfd_structures.Prng
+module Tracer = Dfd_trace.Tracer
+module Event = Dfd_trace.Event
 
 type task = unit -> unit
 
 type policy = Work_stealing | Dfdeques of { quota : int }
 
 (* A deque of the global list R (DFDeques) or of the fixed per-worker
-   array (WS). *)
-type dq = { tasks : task Deque.t; mutable owner : int option }
+   array (WS).  [did]/[born_us] feed the deque-lifecycle trace events. *)
+type dq = { tasks : task Deque.t; mutable owner : int option; did : int; born_us : int }
 
 type counters = {
-  mutable steals : int;
-  mutable steal_failures : int;
-  mutable local_pops : int;
-  mutable quota_giveups : int;
-  mutable tasks_run : int;
+  steals : int;
+  steal_failures : int;
+  local_pops : int;
+  quota_giveups : int;
+  tasks_run : int;
+}
+
+type mutable_counters = {
+  mutable c_steals : int;
+  mutable c_steal_failures : int;
+  mutable c_local_pops : int;
+  mutable c_quota_giveups : int;
+  mutable c_tasks_run : int;
 }
 
 type t = {
@@ -29,12 +39,20 @@ type t = {
   r : dq Dll.t;
   dfd_deque : dq Dll.node option array;  (** DFD: each worker's deque node. *)
   quota_left : int array;
-  counters : counters;
+  counters : mutable_counters;
   mutable live_tasks : int;  (** tasks pushed but not yet completed *)
   mutable shutting_down : bool;
   mutable domains : unit Domain.t list;
   rngs : Prng.t array;
+  tracer : Tracer.t;
+      (** event sink shared by all workers; only written under [lock]. *)
+  t0 : float;  (** pool creation wall clock; event stamps are µs since. *)
+  mutable next_did : int;
+  last_active_us : int array;  (** per worker, stamp of its last task. *)
 }
+
+(* Wall-clock event timestamp: microseconds since pool creation. *)
+let now_us pool = int_of_float ((Unix.gettimeofday () -. pool.t0) *. 1e6)
 
 (* Which worker the current domain/thread is, while inside [run]. *)
 let worker_key : (int * t) option ref Domain.DLS.key =
@@ -51,14 +69,29 @@ let self_exn () =
 (* Deque plumbing (all under [pool.lock])                              *)
 (* ------------------------------------------------------------------ *)
 
-let new_dq ~owner = { tasks = Deque.create (); owner }
+(* DFD only: allocate a deque of R, tracing its birth. *)
+let new_dq pool ~proc ~owner =
+  let born_us = if Tracer.enabled pool.tracer then now_us pool else 0 in
+  let d = { tasks = Deque.create (); owner; did = pool.next_did; born_us } in
+  pool.next_did <- pool.next_did + 1;
+  if Tracer.enabled pool.tracer then
+    Tracer.emit pool.tracer ~ts:born_us ~proc ~tid:(-1) (Event.Deque_created { did = d.did });
+  d
+
+(* DFD only: a deque leaves R. *)
+let trace_dq_removed pool ~proc d =
+  if Tracer.enabled pool.tracer then begin
+    let ts = now_us pool in
+    Tracer.emit pool.tracer ~ts ~proc ~tid:(-1)
+      (Event.Deque_deleted { did = d.did; residency = ts - d.born_us })
+  end
 
 (* Give worker [w] a deque if it has none (DFD). *)
 let dfd_own_deque pool w =
   match pool.dfd_deque.(w) with
   | Some node -> Dll.value node
   | None ->
-    let d = new_dq ~owner:(Some w) in
+    let d = new_dq pool ~proc:w ~owner:(Some w) in
     let node = Dll.push_front pool.r d in
     pool.dfd_deque.(w) <- Some node;
     d
@@ -71,6 +104,16 @@ let push_local pool w task =
    | Dfdeques _ -> Deque.push_top (dfd_own_deque pool w).tasks task);
   Condition.signal pool.work_available;
   Mutex.unlock pool.lock
+
+(* Called with the lock held, just after worker [w] obtained a task: one
+   Action_batch event per task, wall-clock stamped. *)
+let note_task_start pool w =
+  pool.counters.c_tasks_run <- pool.counters.c_tasks_run + 1;
+  if Tracer.enabled pool.tracer then begin
+    let ts = now_us pool in
+    pool.last_active_us.(w) <- ts;
+    Tracer.emit pool.tracer ~ts ~proc:w ~tid:(-1) (Event.Action_batch { units = 1 })
+  end
 
 (* Pop our most recent push if it is still on top (the fork_join fast
    path).  Physical equality identifies the task. *)
@@ -89,6 +132,7 @@ let try_pop_exact pool w task =
             match Deque.pop_top d.tasks with
             | Some _ ->
               pool.live_tasks <- pool.live_tasks - 1;
+              note_task_start pool w;
               true
             | None -> false)
         | _ -> false)
@@ -104,47 +148,69 @@ let dfd_abandon pool w =
   | Some node ->
     let d = Dll.value node in
     d.owner <- None;
-    if Deque.is_empty d.tasks then Dll.remove pool.r node;
+    if Deque.is_empty d.tasks then begin
+      Dll.remove pool.r node;
+      trace_dq_removed pool ~proc:w d
+    end;
     pool.dfd_deque.(w) <- None
 
-(* One attempt to obtain a task; must hold the lock.  Returns the task and
-   whether it came via a steal. *)
+(* A successful steal on worker [w]: count + trace it.  [latency] is µs
+   since the worker last held a task. *)
+let trace_steal_success pool w ~victim =
+  pool.counters.c_steals <- pool.counters.c_steals + 1;
+  if Tracer.enabled pool.tracer then begin
+    let ts = now_us pool in
+    Tracer.emit pool.tracer ~ts ~proc:w ~tid:(-1)
+      (Event.Steal_success { victim; latency = ts - pool.last_active_us.(w) })
+  end
+
+let trace_steal_attempt pool w ~victim =
+  if Tracer.enabled pool.tracer then
+    Tracer.emit pool.tracer ~ts:(now_us pool) ~proc:w ~tid:(-1)
+      (Event.Steal_attempt { victim })
+
+(* One attempt to obtain a task; must hold the lock. *)
 let try_get pool w =
   match pool.policy with
   | Work_stealing -> (
       match Deque.pop_top pool.ws_deques.(w).tasks with
       | Some t ->
-        pool.counters.local_pops <- pool.counters.local_pops + 1;
+        pool.counters.c_local_pops <- pool.counters.c_local_pops + 1;
         Some t
       | None ->
         let victim = Prng.int pool.rngs.(w) pool.n_workers in
+        trace_steal_attempt pool w ~victim;
         if victim = w then None
         else (
           match Deque.pop_bottom pool.ws_deques.(victim).tasks with
           | Some t ->
-            pool.counters.steals <- pool.counters.steals + 1;
+            trace_steal_success pool w ~victim;
             Some t
           | None ->
-            pool.counters.steal_failures <- pool.counters.steal_failures + 1;
+            pool.counters.c_steal_failures <- pool.counters.c_steal_failures + 1;
             None))
   | Dfdeques { quota } -> (
       let steal () =
         let k = Prng.int pool.rngs.(w) pool.n_workers in
+        trace_steal_attempt pool w ~victim:k;
         match Dll.nth_node pool.r k with
         | None ->
-          pool.counters.steal_failures <- pool.counters.steal_failures + 1;
+          pool.counters.c_steal_failures <- pool.counters.c_steal_failures + 1;
           None
         | Some node -> (
             let victim = Dll.value node in
             match Deque.pop_bottom victim.tasks with
             | None ->
-              pool.counters.steal_failures <- pool.counters.steal_failures + 1;
+              pool.counters.c_steal_failures <- pool.counters.c_steal_failures + 1;
               None
             | Some t ->
-              pool.counters.steals <- pool.counters.steals + 1;
-              let nd = new_dq ~owner:(Some w) in
+              trace_steal_success pool w ~victim:k;
+              let nd = new_dq pool ~proc:w ~owner:(Some w) in
               let new_node = Dll.insert_after pool.r node nd in
-              if Deque.is_empty victim.tasks && victim.owner = None then Dll.remove pool.r node;
+              if Deque.is_empty victim.tasks && victim.owner = None then begin
+                Dll.remove pool.r node;
+                trace_dq_removed pool ~proc:w victim
+              end;
               pool.dfd_deque.(w) <- Some new_node;
               pool.quota_left.(w) <- quota;
               Some t)
@@ -152,7 +218,10 @@ let try_get pool w =
       match pool.dfd_deque.(w) with
       | Some node when pool.quota_left.(w) <= 0 ->
         (* memory quota exhausted: abandon the deque and steal *)
-        pool.counters.quota_giveups <- pool.counters.quota_giveups + 1;
+        pool.counters.c_quota_giveups <- pool.counters.c_quota_giveups + 1;
+        if Tracer.enabled pool.tracer then
+          Tracer.emit pool.tracer ~ts:(now_us pool) ~proc:w ~tid:(-1)
+            (Event.Quota_exhausted { used = quota - pool.quota_left.(w); quota });
         ignore node;
         dfd_abandon pool w;
         steal ()
@@ -160,29 +229,32 @@ let try_get pool w =
           let d = Dll.value node in
           match Deque.pop_top d.tasks with
           | Some t ->
-            pool.counters.local_pops <- pool.counters.local_pops + 1;
+            pool.counters.c_local_pops <- pool.counters.c_local_pops + 1;
             Some t
           | None ->
             (* empty own deque: delete it, then steal *)
             d.owner <- None;
             Dll.remove pool.r node;
+            trace_dq_removed pool ~proc:w d;
             pool.dfd_deque.(w) <- None;
             steal ())
       | None -> steal ())
 
-let run_task pool t =
-  pool.counters.tasks_run <- pool.counters.tasks_run + 1;
-  t ()
+let run_task t = t ()
 
 (* Grab one task and run it; returns false if none was found. *)
 let help_once pool w =
   Mutex.lock pool.lock;
   let got = try_get pool w in
-  (match got with Some _ -> pool.live_tasks <- pool.live_tasks - 1 | None -> ());
+  (match got with
+   | Some _ ->
+     pool.live_tasks <- pool.live_tasks - 1;
+     note_task_start pool w
+   | None -> ());
   Mutex.unlock pool.lock;
   match got with
   | Some t ->
-    run_task pool t;
+    run_task t;
     true
   | None -> false
 
@@ -230,7 +302,7 @@ let worker_loop pool w =
   in
   loop ()
 
-let create ?domains policy =
+let create ?domains ?(tracer = Tracer.disabled) policy =
   let extra =
     match domains with
     | Some d -> max 0 d
@@ -243,18 +315,30 @@ let create ?domains policy =
       n_workers;
       lock = Mutex.create ();
       work_available = Condition.create ();
-      ws_deques = Array.init n_workers (fun i -> new_dq ~owner:(Some i));
+      ws_deques =
+        Array.init n_workers (fun i ->
+            { tasks = Deque.create (); owner = Some i; did = i; born_us = 0 });
       r = Dll.create ();
       dfd_deque = Array.make n_workers None;
       quota_left =
         Array.make n_workers
           (match policy with Dfdeques { quota } -> quota | Work_stealing -> max_int);
       counters =
-        { steals = 0; steal_failures = 0; local_pops = 0; quota_giveups = 0; tasks_run = 0 };
+        {
+          c_steals = 0;
+          c_steal_failures = 0;
+          c_local_pops = 0;
+          c_quota_giveups = 0;
+          c_tasks_run = 0;
+        };
       live_tasks = 0;
       shutting_down = false;
       domains = [];
       rngs = Array.init n_workers (fun i -> Prng.create (1000 + i));
+      tracer;
+      t0 = Unix.gettimeofday ();
+      next_did = n_workers;
+      last_active_us = Array.make n_workers 0;
     }
   in
   pool.domains <- List.init extra (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
@@ -279,7 +363,7 @@ let fork_join fa fb =
   let a =
     if try_pop_exact pool w task then begin
       (* fast path: nobody stole it; run inline *)
-      run_task pool task;
+      run_task task;
       match Atomic.get pr.state with
       | Done v -> v
       | Failed e -> raise e
@@ -320,8 +404,18 @@ let alloc_hint n =
       | Work_stealing -> ())
   | None -> ()
 
-let stats pool =
+let counters pool =
   let c = pool.counters in
+  {
+    steals = c.c_steals;
+    steal_failures = c.c_steal_failures;
+    local_pops = c.c_local_pops;
+    quota_giveups = c.c_quota_giveups;
+    tasks_run = c.c_tasks_run;
+  }
+
+let stats pool =
+  let c = counters pool in
   [
     ("steals", c.steals);
     ("steal_failures", c.steal_failures);

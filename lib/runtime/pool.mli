@@ -32,10 +32,17 @@ type policy =
   | Dfdeques of { quota : int }
       (** memory threshold K in bytes for the cooperative quota. *)
 
-val create : ?domains:int -> policy -> t
+val create : ?domains:int -> ?tracer:Dfd_trace.Tracer.t -> policy -> t
 (** [create ~domains policy] starts a pool with [domains] extra worker
     domains (default: [Domain.recommended_domain_count () - 1]).  The
-    caller participates as a worker while inside {!run}. *)
+    caller participates as a worker while inside {!run}.
+
+    [tracer] (default {!Dfd_trace.Tracer.disabled}) receives structured
+    scheduler events — steal attempts/successes, quota exhaustions, deque
+    lifecycle, one [Action_batch] per task.  Unlike the simulator, event
+    timestamps are wall-clock microseconds since pool creation, so traces
+    export directly to Chrome/Perfetto at real-time scale.  Events are
+    only emitted under the pool lock, so any tracer is safe to share. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** Execute a task (and all the parallel work it forks) to completion on
@@ -69,8 +76,22 @@ val alloc_hint : int -> unit
     this feeds the memory quota (no-op under {!Work_stealing} or outside
     {!run}). *)
 
+type counters = {
+  steals : int;  (** successful steals *)
+  steal_failures : int;  (** steal attempts that found nothing *)
+  local_pops : int;  (** tasks taken from the worker's own deque *)
+  quota_giveups : int;  (** deques abandoned on memory-quota exhaustion *)
+  tasks_run : int;  (** tasks executed (all paths, including inline) *)
+}
+
+val counters : t -> counters
+(** Typed snapshot of the pool's scheduling counters.  Counters are
+    updated under the pool lock but read without it, so a snapshot taken
+    while tasks are running may be slightly stale; it is exact once the
+    pool is idle. *)
+
 val stats : t -> (string * int) list
-(** Counters: steals, steal failures, local pops, quota give-ups, tasks. *)
+(** {!counters} flattened to association-list form for quick printing. *)
 
 val shutdown : t -> unit
 (** Stop the worker domains.  The pool must be idle. *)

@@ -13,22 +13,147 @@ module Watermark = struct
 end
 
 module Acc = struct
-  type t = { mutable n : int; mutable sum : float; mutable mx : float }
+  type t = {
+    mutable n : int;
+    mutable sum : float;
+    mutable sumsq : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
 
-  let create () = { n = 0; sum = 0.0; mx = neg_infinity }
+  let create () = { n = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity }
 
   let add t x =
     t.n <- t.n + 1;
     t.sum <- t.sum +. x;
+    t.sumsq <- t.sumsq +. (x *. x);
+    if x < t.mn then t.mn <- x;
     if x > t.mx then t.mx <- x
 
   let count t = t.n
 
+  let is_empty t = t.n = 0
+
   let total t = t.sum
+
+  let mean_opt t = if t.n = 0 then None else Some (t.sum /. float_of_int t.n)
+
+  let max_opt t = if t.n = 0 then None else Some t.mx
+
+  let min_opt t = if t.n = 0 then None else Some t.mn
 
   let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
 
   let max_value t = t.mx
+
+  let min_value t = t.mn
+
+  let variance_opt t =
+    if t.n = 0 then None
+    else begin
+      let m = t.sum /. float_of_int t.n in
+      (* population variance; clamp the tiny negatives of catastrophic
+         cancellation *)
+      Some (Float.max 0.0 ((t.sumsq /. float_of_int t.n) -. (m *. m)))
+    end
+
+  let variance t = match variance_opt t with Some v -> v | None -> 0.0
+end
+
+module Histogram = struct
+  (* Power-of-two buckets: bucket 0 holds values < 1 (including everything
+     non-positive), bucket i >= 1 holds [2^(i-1), 2^i).  63 buckets cover
+     the whole non-negative int range, so [add] never overflows. *)
+  let n_buckets = 64
+
+  type t = {
+    mutable n : int;
+    mutable sum : float;
+    mutable mn : float;
+    mutable mx : float;
+    buckets : int array;
+  }
+
+  let create () =
+    { n = 0; sum = 0.0; mn = infinity; mx = neg_infinity; buckets = Array.make n_buckets 0 }
+
+  let bucket_of x =
+    if x < 1.0 then 0
+    else begin
+      (* frexp is exact: x = m * 2^e with m in [0.5, 1), so 2^(e-1) <= x <
+         2^e and the bucket index is e. *)
+      let _, e = Float.frexp x in
+      min e (n_buckets - 1)
+    end
+
+  let bucket_upper i = if i = 0 then 1.0 else Float.ldexp 1.0 i
+
+  let bucket_lower i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 1)
+
+  let add t x =
+    let x = Float.max 0.0 x in
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x;
+    let b = bucket_of x in
+    t.buckets.(b) <- t.buckets.(b) + 1
+
+  let count t = t.n
+
+  let is_empty t = t.n = 0
+
+  let total t = t.sum
+
+  let mean_opt t = if t.n = 0 then None else Some (t.sum /. float_of_int t.n)
+
+  let min_opt t = if t.n = 0 then None else Some t.mn
+
+  let max_opt t = if t.n = 0 then None else Some t.mx
+
+  let quantile t q =
+    if t.n = 0 then None
+    else begin
+      let q = Float.min 1.0 (Float.max 0.0 q) in
+      let rank = Float.max 1.0 (Float.round (q *. float_of_int t.n)) in
+      let rank = int_of_float rank in
+      let i = ref 0 in
+      let cum = ref t.buckets.(0) in
+      while !cum < rank do
+        incr i;
+        cum := !cum + t.buckets.(!i)
+      done;
+      (* representative value: the geometric middle of the bucket, clamped
+         to the observed range (exact for the extreme buckets) *)
+      let lo = bucket_lower !i and hi = bucket_upper !i in
+      let rep = if !i = 0 then lo else sqrt (lo *. hi) in
+      Some (Float.min t.mx (Float.max t.mn rep))
+    end
+
+  let merge a b =
+    let t = create () in
+    t.n <- a.n + b.n;
+    t.sum <- a.sum +. b.sum;
+    t.mn <- Float.min a.mn b.mn;
+    t.mx <- Float.max a.mx b.mx;
+    Array.iteri (fun i v -> t.buckets.(i) <- v + b.buckets.(i)) a.buckets;
+    t
+
+  let buckets t =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if t.buckets.(i) > 0 then acc := (bucket_upper i, t.buckets.(i)) :: !acc
+    done;
+    !acc
+
+  (* Counts, buckets and extrema are exact; [sum] is compared up to float
+     rounding so that merge is associative up to [equal]. *)
+  let equal a b =
+    a.n = b.n
+    && (a.n = 0 || (a.mn = b.mn && a.mx = b.mx))
+    && a.buckets = b.buckets
+    && Float.abs (a.sum -. b.sum)
+       <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a.sum) (Float.abs b.sum))
 end
 
 module Table = struct

@@ -18,7 +18,13 @@ module Watermark : sig
   (** Highest value ever reached. *)
 end
 
-(** Accumulates observations; reports count/mean/max/total. *)
+(** Accumulates observations; reports count/mean/min/max/variance/total.
+
+    The [_opt] accessors make the empty state explicit; the plain float
+    accessors keep their historical sentinels ([mean] and [variance] are
+    [0.0], [max_value] is [neg_infinity] and [min_value] is [infinity] on
+    an empty accumulator) and must only be used where the caller has
+    already established [count t > 0]. *)
 module Acc : sig
   type t
 
@@ -28,13 +34,78 @@ module Acc : sig
 
   val count : t -> int
 
+  val is_empty : t -> bool
+
   val total : t -> float
 
+  val mean_opt : t -> float option
+
+  val min_opt : t -> float option
+
+  val max_opt : t -> float option
+
+  val variance_opt : t -> float option
+  (** Population variance. *)
+
   val mean : t -> float
-  (** 0 when empty. *)
+  (** 0 when empty; prefer {!mean_opt} unless emptiness is excluded. *)
 
   val max_value : t -> float
-  (** neg_infinity when empty. *)
+  (** neg_infinity when empty; prefer {!max_opt}. *)
+
+  val min_value : t -> float
+  (** infinity when empty; prefer {!min_opt}. *)
+
+  val variance : t -> float
+  (** 0 when empty; prefer {!variance_opt}. *)
+end
+
+(** A fixed-size log-bucketed histogram of non-negative observations
+    (negative values clamp to 0).
+
+    Bucket 0 holds values in [0, 1); bucket [i >= 1] holds [[2^(i-1),
+    2^i)].  Quantiles are answered from the bucket counts (exact bucket,
+    geometric-midpoint representative clamped to the observed min/max), so
+    a quantile is accurate to within a factor of 2 while the histogram
+    costs O(1) memory regardless of how many observations it absorbs —
+    cheap enough to leave on in the scheduler hot path.
+
+    Used for the paper-motivated distributions: steal latency, deque
+    residency in R, quota utilisation between steals. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val is_empty : t -> bool
+
+  val total : t -> float
+
+  val mean_opt : t -> float option
+
+  val min_opt : t -> float option
+
+  val max_opt : t -> float option
+
+  val quantile : t -> float -> float option
+  (** [quantile t q] for [q] in [0, 1] (clamped); [None] when empty.
+      Monotone in [q]: [q <= q'] implies [quantile q <= quantile q']. *)
+
+  val merge : t -> t -> t
+  (** A fresh histogram holding both inputs' observations (associative and
+      commutative up to {!equal}). *)
+
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets as [(upper_bound, count)], increasing bounds. *)
+
+  val equal : t -> t -> bool
+  (** Same count, bucket counts and extrema; totals equal up to float
+      rounding (so {!merge} is associative and commutative up to
+      [equal]). *)
 end
 
 (** Plain-text table rendering used by every experiment to print the

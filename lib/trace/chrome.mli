@@ -1,0 +1,27 @@
+(** Chrome trace-event (Perfetto / about://tracing) export.
+
+    Converts a recorded event stream into the Trace Event Format JSON
+    object understood by [chrome://tracing] and {{:https://ui.perfetto.dev}
+    Perfetto}: one timeline track per processor (pid 0, tid = processor
+    index, named "P<i>"), [ph:"X"] duration slices for executed actions
+    (duration = work units), [ph:"i"] instants for the remaining scheduler
+    events, and [ph:"C"] counter tracks ("live deques", "live heap",
+    "live threads") fed by the periodic {!Event.Counter} samples.
+
+    Timestamps are exported 1:1 — one simulated timestep (or one
+    microsecond of native-pool wall clock) renders as one microsecond.
+
+    Instant events carry a coarse [cat] grouping usable in the trace
+    viewer's filter box: "task" (fork/join), "steal", "quota", "dummy",
+    "deque", "cache", "lock", "action", "counter". *)
+
+val category : Event.kind -> string
+(** The coarse [cat] grouping above. *)
+
+val to_json : p:int -> Event.t list -> Json.t
+(** [p] is the processor count (names the per-processor tracks; events
+    from higher proc ids, e.g. [-1] counter samples, are still
+    exported). *)
+
+val write_file : path:string -> p:int -> Event.t list -> unit
+(** Serialise {!to_json} to [path]. *)

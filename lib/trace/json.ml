@@ -1,0 +1,258 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 || Char.code c > 0x7e ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    (* JSON has no NaN/inf *)
+    if Float.is_nan f || Float.abs f = Float.infinity then Buffer.add_string buf "null"
+    else Buffer.add_string buf (float_to_string f)
+  | String s -> escape_to buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+         if i > 0 then Buffer.add_char buf ',';
+         write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Assoc kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         escape_to buf k;
+         Buffer.add_char buf ':';
+         write buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  write buf j;
+  Buffer.contents buf
+
+let to_channel oc j = output_string oc (to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_raw c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | Some '"' -> Buffer.add_char buf '"'; advance c
+       | Some '\\' -> Buffer.add_char buf '\\'; advance c
+       | Some '/' -> Buffer.add_char buf '/'; advance c
+       | Some 'n' -> Buffer.add_char buf '\n'; advance c
+       | Some 't' -> Buffer.add_char buf '\t'; advance c
+       | Some 'r' -> Buffer.add_char buf '\r'; advance c
+       | Some 'b' -> Buffer.add_char buf '\b'; advance c
+       | Some 'f' -> Buffer.add_char buf '\012'; advance c
+       | Some 'u' ->
+         advance c;
+         if c.pos + 4 > String.length c.s then fail c "truncated \\u escape";
+         let hex = String.sub c.s c.pos 4 in
+         let code =
+           try int_of_string ("0x" ^ hex) with _ -> fail c "bad \\u escape"
+         in
+         c.pos <- c.pos + 4;
+         (* ASCII escapes decode exactly; anything else keeps its escaped
+            byte value truncated — the writer only escapes single bytes. *)
+         Buffer.add_char buf (Char.chr (code land 0xff))
+       | _ -> fail c "bad escape");
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let tok = String.sub c.s start (c.pos - start) in
+  if tok = "" then fail c "expected number";
+  if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') tok then
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None -> fail c "bad float"
+  else
+    match int_of_string_opt tok with
+    | Some n -> Int n
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string_raw c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> fail c "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Assoc []
+    end
+    else begin
+      let pair () =
+        skip_ws c;
+        let k = parse_string_raw c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        (k, v)
+      in
+      let rec items acc =
+        let kv = pair () in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (kv :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev (kv :: acc)
+        | _ -> fail c "expected ',' or '}'"
+      in
+      Assoc (items [])
+    end
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Assoc kvs -> ( match List.assoc_opt key kvs with Some v -> v | None -> Null)
+  | _ -> Null
+
+let to_int_exn = function
+  | Int n -> n
+  | _ -> raise (Parse_error "expected int")
+
+let to_list_exn = function
+  | List xs -> xs
+  | _ -> raise (Parse_error "expected list")
+
+let to_string_exn = function
+  | String s -> s
+  | _ -> raise (Parse_error "expected string")

@@ -1,0 +1,40 @@
+(** A minimal JSON value type with a writer and a strict parser.
+
+    The repository deliberately has no third-party JSON dependency; this
+    module covers exactly what the tracing subsystem needs: serialising
+    trace events and metric summaries, and parsing them back for the
+    round-trip tests and the smoke-test validator.  Output is plain ASCII
+    (non-ASCII bytes in strings are escaped). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_channel : out_channel -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict parser for the subset this module emits (standard JSON without
+    extensions).  Raises {!Parse_error} on malformed input or trailing
+    garbage.  Numbers containing '.', 'e' or 'E' parse as [Float],
+    otherwise as [Int]. *)
+
+val member : string -> t -> t
+(** [member key (Assoc ...)] — the value bound to [key], or [Null] when
+    absent or when the value is not an object. *)
+
+val to_int_exn : t -> int
+(** [Int n] -> [n]; raises {!Parse_error} otherwise. *)
+
+val to_list_exn : t -> t list
+
+val to_string_exn : t -> string

@@ -1,0 +1,78 @@
+type t = {
+  enabled : bool;
+  capacity : int;
+  buf : Event.t array;
+  mutable len : int;  (** events retained. *)
+  mutable head : int;  (** index of the oldest event when [len = capacity]. *)
+  mutable dropped : int;
+  kind_counts : int array;
+}
+
+let dummy_event = { Event.ts = 0; proc = -1; tid = -1; kind = Event.Dummy_exec }
+
+let disabled =
+  {
+    enabled = false;
+    capacity = 0;
+    buf = [||];
+    len = 0;
+    head = 0;
+    dropped = 0;
+    kind_counts = Array.make Event.n_kinds 0;
+  }
+
+let create ?(capacity = 1 lsl 20) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  {
+    enabled = true;
+    capacity;
+    buf = Array.make capacity dummy_event;
+    len = 0;
+    head = 0;
+    dropped = 0;
+    kind_counts = Array.make Event.n_kinds 0;
+  }
+
+let enabled t = t.enabled
+
+let emit t ~ts ~proc ~tid kind =
+  if t.enabled then begin
+    let e = { Event.ts; proc; tid; kind } in
+    t.kind_counts.(Event.kind_index kind) <- t.kind_counts.(Event.kind_index kind) + 1;
+    if t.len < t.capacity then begin
+      t.buf.((t.head + t.len) mod t.capacity) <- e;
+      t.len <- t.len + 1
+    end
+    else begin
+      t.buf.(t.head) <- e;
+      t.head <- (t.head + 1) mod t.capacity;
+      t.dropped <- t.dropped + 1
+    end
+  end
+
+let length t = t.len
+
+let dropped t = t.dropped
+
+let total t = t.len + t.dropped
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.head + i) mod t.capacity)
+  done
+
+let events t =
+  let acc = ref [] in
+  iter (fun e -> acc := e :: !acc) t;
+  List.rev !acc
+
+let count t kind = t.kind_counts.(Event.kind_index kind)
+
+let counts t =
+  Array.to_list (Array.mapi (fun i name -> (name, t.kind_counts.(i))) Event.kind_names)
+
+let clear t =
+  t.len <- 0;
+  t.head <- 0;
+  t.dropped <- 0;
+  Array.fill t.kind_counts 0 Event.n_kinds 0

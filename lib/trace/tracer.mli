@@ -1,0 +1,56 @@
+(** Low-overhead structured event tracer.
+
+    A tracer is a fixed-capacity ring buffer of {!Event.t}: emission is an
+    array store plus two integer bumps; when the buffer is full the oldest
+    events are overwritten (and counted in {!dropped}).  Per-category
+    counts are kept exactly even for dropped events, so summary statistics
+    survive overflow.
+
+    {b The disabled path is free.}  {!disabled} is a shared zero-capacity
+    tracer with [enabled = false]; instrumentation sites must guard with
+    {!enabled} so that no event (and none of its arguments) is even
+    allocated when tracing is off:
+
+    {[ if Tracer.enabled tr then Tracer.emit tr ~ts ~proc ~tid (Fork { child }) ]}
+
+    The tracer is not synchronised: the simulator is single-threaded, and
+    the native pool emits only under its own scheduler lock. *)
+
+type t
+
+val disabled : t
+(** The shared no-op tracer ([enabled = false], capacity 0). *)
+
+val create : ?capacity:int -> unit -> t
+(** An enabled tracer.  [capacity] defaults to [1 lsl 20] events. *)
+
+val enabled : t -> bool
+
+val emit : t -> ts:int -> proc:int -> tid:int -> Event.kind -> unit
+(** No-op on a disabled tracer (but prefer guarding with {!enabled} so the
+    kind is not allocated). *)
+
+val length : t -> int
+(** Events currently held (<= capacity). *)
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val total : t -> int
+(** Total events ever emitted ([length + dropped]). *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+(** Iterate retained events oldest first without materialising a list. *)
+
+val count : t -> Event.kind -> int
+(** Events ever emitted in the same category as the given kind (payload
+    ignored; includes dropped events). *)
+
+val counts : t -> (string * int) list
+(** All per-category counts, [kind_names] order. *)
+
+val clear : t -> unit
+(** Drop all retained events and reset every counter. *)

@@ -385,6 +385,87 @@ let test_acc () =
   checkb "max" true (Stats.Acc.max_value a = 3.0);
   checkb "total" true (Stats.Acc.total a = 6.0)
 
+let test_acc_empty () =
+  let a = Stats.Acc.create () in
+  checkb "is_empty" true (Stats.Acc.is_empty a);
+  checkb "mean_opt" true (Stats.Acc.mean_opt a = None);
+  checkb "min_opt" true (Stats.Acc.min_opt a = None);
+  checkb "max_opt" true (Stats.Acc.max_opt a = None);
+  checkb "variance_opt" true (Stats.Acc.variance_opt a = None);
+  (* documented sentinels of the plain accessors *)
+  checkb "mean sentinel" true (Stats.Acc.mean a = 0.0);
+  checkb "max sentinel" true (Stats.Acc.max_value a = neg_infinity);
+  checkb "min sentinel" true (Stats.Acc.min_value a = infinity)
+
+let test_acc_min_variance () =
+  let a = Stats.Acc.create () in
+  List.iter (Stats.Acc.add a) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  checkb "min" true (Stats.Acc.min_value a = 2.0);
+  checkb "variance" true (abs_float (Stats.Acc.variance a -. 4.0) < 1e-9);
+  checkb "mean_opt" true (Stats.Acc.mean_opt a = Some 5.0)
+
+let test_histogram_basic () =
+  let h = Stats.Histogram.create () in
+  checkb "empty" true (Stats.Histogram.is_empty h);
+  checkb "quantile empty" true (Stats.Histogram.quantile h 0.5 = None);
+  List.iter (fun x -> Stats.Histogram.add h (float_of_int x)) [ 1; 2; 3; 100; 1000 ];
+  checki "count" 5 (Stats.Histogram.count h);
+  checkb "min" true (Stats.Histogram.min_opt h = Some 1.0);
+  checkb "max" true (Stats.Histogram.max_opt h = Some 1000.0);
+  (* a quantile answer lives within a factor of 2 of the true value *)
+  (match Stats.Histogram.quantile h 0.5 with
+   | Some q -> checkb "p50 in bucket" true (q >= 2.0 && q < 8.0)
+   | None -> Alcotest.fail "p50 none");
+  match Stats.Histogram.quantile h 1.0 with
+  | Some q -> checkb "p100 = max" true (q <= 1000.0 && q >= 512.0)
+  | None -> Alcotest.fail "p100 none"
+
+(* Quantiles must be monotone in q, bounded by observed min/max. *)
+let hist_quantile_monotone_prop =
+  QCheck.Test.make ~name:"histogram quantiles monotone and bounded" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_inclusive 1e6)) (list (float_bound_inclusive 1.0)))
+    (fun (xs, qs) ->
+       let h = Stats.Histogram.create () in
+       List.iter (Stats.Histogram.add h) xs;
+       let qs = List.sort compare (0.0 :: 1.0 :: qs) in
+       let vals = List.map (fun q -> Option.get (Stats.Histogram.quantile h q)) qs in
+       let mn = Option.get (Stats.Histogram.min_opt h)
+       and mx = Option.get (Stats.Histogram.max_opt h) in
+       let rec mono = function
+         | a :: (b :: _ as rest) -> a <= b && mono rest
+         | _ -> true
+       in
+       mono vals && List.for_all (fun v -> v >= mn && v <= mx) vals)
+
+(* merge is associative and commutative (exactly: bucket counts are ints). *)
+let hist_merge_assoc_prop =
+  let gen_hist = QCheck.(list_of_size Gen.(0 -- 30) (float_bound_inclusive 1e9)) in
+  QCheck.Test.make ~name:"histogram merge associative and commutative" ~count:300
+    QCheck.(triple gen_hist gen_hist gen_hist)
+    (fun (a, b, c) ->
+       let mk xs =
+         let h = Stats.Histogram.create () in
+         List.iter (Stats.Histogram.add h) xs;
+         h
+       in
+       let ha = mk a and hb = mk b and hc = mk c in
+       let module H = Stats.Histogram in
+       H.equal (H.merge (H.merge ha hb) hc) (H.merge ha (H.merge hb hc))
+       && H.equal (H.merge ha hb) (H.merge hb ha)
+       && H.count (H.merge ha hb) = H.count ha + H.count hb)
+
+(* merging is observationally the same as adding everything to one. *)
+let hist_merge_flat_prop =
+  QCheck.Test.make ~name:"histogram merge = adding all observations" ~count:300
+    QCheck.(pair (list (float_bound_inclusive 1e6)) (list (float_bound_inclusive 1e6)))
+    (fun (a, b) ->
+       let mk xs =
+         let h = Stats.Histogram.create () in
+         List.iter (Stats.Histogram.add h) xs;
+         h
+       in
+       Stats.Histogram.equal (Stats.Histogram.merge (mk a) (mk b)) (mk (a @ b)))
+
 let test_table () =
   let s = Stats.Table.render ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ] in
   checkb "contains header" true (String.length s > 0);
@@ -441,7 +522,11 @@ let () =
         [
           Alcotest.test_case "watermark" `Quick test_watermark;
           Alcotest.test_case "acc" `Quick test_acc;
+          Alcotest.test_case "acc empty" `Quick test_acc_empty;
+          Alcotest.test_case "acc min/variance" `Quick test_acc_min_variance;
+          Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
           Alcotest.test_case "table" `Quick test_table;
           Alcotest.test_case "fmt_bytes" `Quick test_fmt_bytes;
-        ] );
+        ]
+        @ qsuite [ hist_quantile_monotone_prop; hist_merge_assoc_prop; hist_merge_flat_prop ] );
     ]

@@ -1,0 +1,238 @@
+(* Tests for the tracing subsystem: JSON round-trips, ring-buffer
+   behaviour, engine determinism at the event-stream level, and the Chrome
+   trace export. *)
+
+module Json = Dfd_trace.Json
+module Event = Dfd_trace.Event
+module Tracer = Dfd_trace.Tracer
+module Chrome = Dfd_trace.Chrome
+module Engine = Dfdeques_core.Engine
+module Config = Dfd_machine.Config
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Assoc
+      [
+        ("a", Json.Int 42);
+        ("b", Json.Float 1.5);
+        ("c", Json.String "he\"llo\n\t\\");
+        ("d", Json.List [ Json.Null; Json.Bool true; Json.Bool false ]);
+        ("nested", Json.Assoc [ ("x", Json.Int (-7)) ]);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Assoc []);
+      ]
+  in
+  checkb "roundtrip" true (Json.of_string (Json.to_string j) = j)
+
+let test_json_rejects () =
+  let bad s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  checkb "trailing garbage" true (bad "{} x");
+  checkb "unterminated string" true (bad "\"abc");
+  checkb "bare word" true (bad "frue");
+  checkb "missing colon" true (bad "{\"a\" 1}");
+  checkb "trailing comma" true (bad "[1,]")
+
+let test_json_nonfinite () =
+  check Alcotest.string "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  check Alcotest.string "inf is null" "null" (Json.to_string (Json.Float Float.infinity))
+
+(* ------------------------------------------------------------------ *)
+(* Event round-trip                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let all_kinds =
+  [
+    Event.Fork { child = 3 };
+    Event.Join { child = 9 };
+    Event.Steal_attempt { victim = 2 };
+    Event.Steal_success { victim = 2; latency = 17 };
+    Event.Quota_exhausted { used = 50_001; quota = 50_000 };
+    Event.Dummy_exec;
+    Event.Deque_created { did = 11 };
+    Event.Deque_deleted { did = 11; residency = 400 };
+    Event.Cache_miss_stall { misses = 3; stall = 24 };
+    Event.Lock_wait { mutex = 5 };
+    Event.Action_batch { units = 8 };
+    Event.Counter { deques = 4; heap = 123_456; threads = 78 };
+  ]
+
+let test_event_roundtrip () =
+  checki "vocabulary covered" Event.n_kinds (List.length all_kinds);
+  List.iteri
+    (fun i kind ->
+       let e = { Event.ts = 100 + i; proc = i mod 4; tid = i - 1; kind } in
+       let e' = Event.of_json (Json.of_string (Json.to_string (Event.to_json e))) in
+       checkb (Event.kind_name kind) true (Event.equal e e'))
+    all_kinds
+
+let event_gen =
+  let open QCheck.Gen in
+  let small = 0 -- 1_000_000 in
+  let kind =
+    oneof
+      [
+        map (fun child -> Event.Fork { child }) small;
+        map (fun child -> Event.Join { child }) small;
+        map (fun victim -> Event.Steal_attempt { victim }) (-1 -- 64);
+        map2 (fun victim latency -> Event.Steal_success { victim; latency }) (-1 -- 64) small;
+        map2 (fun used quota -> Event.Quota_exhausted { used; quota }) small small;
+        return Event.Dummy_exec;
+        map (fun did -> Event.Deque_created { did }) small;
+        map2 (fun did residency -> Event.Deque_deleted { did; residency }) small small;
+        map2 (fun misses stall -> Event.Cache_miss_stall { misses; stall }) small small;
+        map (fun mutex -> Event.Lock_wait { mutex }) small;
+        map (fun units -> Event.Action_batch { units }) small;
+        map3 (fun deques heap threads -> Event.Counter { deques; heap; threads }) small small small;
+      ]
+  in
+  map2
+    (fun (ts, proc) kind -> { Event.ts; proc; tid = proc - 1; kind })
+    (pair small (0 -- 64))
+    kind
+
+let event_roundtrip_prop =
+  QCheck.Test.make ~name:"event json roundtrip" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Event.pp) event_gen)
+    (fun e -> Event.equal e (Event.of_json (Json.of_string (Json.to_string (Event.to_json e)))))
+
+(* ------------------------------------------------------------------ *)
+(* Tracer ring buffer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracer_disabled () =
+  checkb "disabled" false (Tracer.enabled Tracer.disabled);
+  Tracer.emit Tracer.disabled ~ts:1 ~proc:0 ~tid:0 Event.Dummy_exec;
+  checki "no events" 0 (Tracer.length Tracer.disabled);
+  checki "no totals" 0 (Tracer.total Tracer.disabled)
+
+let test_tracer_ring () =
+  let tr = Tracer.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Tracer.emit tr ~ts:i ~proc:0 ~tid:0 (Event.Action_batch { units = i })
+  done;
+  checki "length capped" 4 (Tracer.length tr);
+  checki "dropped" 6 (Tracer.dropped tr);
+  checki "total" 10 (Tracer.total tr);
+  (* retained events are the newest, oldest first *)
+  check
+    Alcotest.(list int)
+    "newest kept" [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Event.ts) (Tracer.events tr));
+  (* per-kind counts survive the overwrites *)
+  checki "count exact" 10 (Tracer.count tr (Event.Action_batch { units = 0 }));
+  Tracer.clear tr;
+  checki "cleared" 0 (Tracer.length tr);
+  checki "cleared totals" 0 (Tracer.total tr)
+
+(* ------------------------------------------------------------------ *)
+(* Engine determinism at event granularity                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_traced ~sched ~seed () =
+  let b = Dfd_benchmarks.Registry.find "SparseMVM" Dfd_benchmarks.Workload.Fine in
+  let tr = Tracer.create () in
+  let cfg = Config.costed ~p:4 ~mem_threshold:(Some 50_000) ~seed () in
+  ignore (Engine.run ~sched ~tracer:tr cfg (b.Dfd_benchmarks.Workload.prog ()));
+  tr
+
+let test_determinism () =
+  List.iter
+    (fun sched ->
+       let a = run_traced ~sched ~seed:42 () in
+       let b = run_traced ~sched ~seed:42 () in
+       checki "same count" (Tracer.total a) (Tracer.total b);
+       checkb "identical event streams" true
+         (List.for_all2 Event.equal (Tracer.events a) (Tracer.events b)))
+    [ `Dfdeques; `Ws; `Adf; `Fifo ]
+
+let test_seed_sensitivity () =
+  let a = run_traced ~sched:`Dfdeques ~seed:1 () in
+  let b = run_traced ~sched:`Dfdeques ~seed:2 () in
+  checkb "different seeds -> different streams" false
+    (Tracer.total a = Tracer.total b
+     && List.for_all2 Event.equal (Tracer.events a) (Tracer.events b))
+
+let test_vocabulary_exercised () =
+  (* A DFD run must produce the paper-relevant event families. *)
+  let tr = run_traced ~sched:`Dfdeques ~seed:42 () in
+  List.iter
+    (fun kind ->
+       checkb (Event.kind_name kind) true (Tracer.count tr kind > 0))
+    [
+      Event.Fork { child = 0 };
+      Event.Steal_attempt { victim = 0 };
+      Event.Steal_success { victim = 0; latency = 0 };
+      Event.Deque_created { did = 0 };
+      Event.Deque_deleted { did = 0; residency = 0 };
+      Event.Action_batch { units = 0 };
+      Event.Counter { deques = 0; heap = 0; threads = 0 };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_export () =
+  let tr = run_traced ~sched:`Dfdeques ~seed:42 () in
+  let j = Chrome.to_json ~p:4 (Tracer.events tr) in
+  (* the export must survive a print/parse cycle *)
+  let j' = Json.of_string (Json.to_string j) in
+  let events = Json.to_list_exn (Json.member "traceEvents" j') in
+  checkb "nonempty" true (events <> []);
+  let has_cat c =
+    List.exists (fun e -> match Json.member "cat" e with
+      | Json.String s -> s = c
+      | _ -> false)
+      events
+  in
+  List.iter (fun c -> checkb ("cat " ^ c) true (has_cat c)) [ "steal"; "deque"; "action"; "counter" ];
+  (* one thread_name metadata record per processor *)
+  let tracks =
+    List.filter
+      (fun e ->
+         match (Json.member "ph" e, Json.member "name" e) with
+         | Json.String "M", Json.String "thread_name" -> true
+         | _ -> false)
+      events
+  in
+  checki "per-processor tracks" 4 (List.length tracks)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+        ] );
+      ( "event",
+        [ Alcotest.test_case "roundtrip all kinds" `Quick test_event_roundtrip ]
+        @ qsuite [ event_roundtrip_prop ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "disabled is inert" `Quick test_tracer_disabled;
+          Alcotest.test_case "ring overflow" `Quick test_tracer_ring;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "vocabulary exercised" `Quick test_vocabulary_exercised;
+        ] );
+      ( "chrome", [ Alcotest.test_case "export" `Quick test_chrome_export ] );
+    ]

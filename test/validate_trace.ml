@@ -1,0 +1,94 @@
+(* Smoke-test validator for the repro CLI's trace/metrics exports: parses
+   both files with the in-tree JSON parser and checks the structure the
+   docs promise.  Exits non-zero with a message on any violation. *)
+
+module Json = Dfd_trace.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_trace: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_trace path =
+  let j =
+    match Json.of_string (read_file path) with
+    | j -> j
+    | exception Json.Parse_error m -> fail "%s: JSON parse error: %s" path m
+  in
+  let events =
+    match Json.member "traceEvents" j with
+    | Json.List l -> l
+    | _ -> fail "%s: no traceEvents array" path
+  in
+  if events = [] then fail "%s: empty traceEvents" path;
+  let cats = Hashtbl.create 8 in
+  let threads = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+       (match Json.member "cat" e with
+        | Json.String c -> Hashtbl.replace cats c ()
+        | _ -> ());
+       (match (Json.member "ph" e, Json.member "name" e) with
+        | Json.String "M", Json.String "thread_name" ->
+          Hashtbl.replace threads (Json.to_int_exn (Json.member "tid" e)) ()
+        | _ -> ()))
+    events;
+  List.iter
+    (fun c -> if not (Hashtbl.mem cats c) then fail "%s: no %S events" path c)
+    [ "steal"; "action"; "counter" ];
+  if Hashtbl.length threads < 4 then
+    fail "%s: expected >= 4 per-processor thread_name tracks, got %d" path
+      (Hashtbl.length threads);
+  Printf.printf "%s: %d events, %d categories, %d processor tracks\n" path
+    (List.length events) (Hashtbl.length cats) (Hashtbl.length threads)
+
+let check_metrics path =
+  let j =
+    match Json.of_string (read_file path) with
+    | j -> j
+    | exception Json.Parse_error m -> fail "%s: JSON parse error: %s" path m
+  in
+  (match Json.member "sched" j with
+   | Json.String _ -> ()
+   | _ -> fail "%s: missing sched" path);
+  let counters =
+    match Json.member "counters" j with
+    | Json.Assoc kvs -> kvs
+    | _ -> fail "%s: missing counters object" path
+  in
+  List.iter
+    (fun key ->
+       match List.assoc_opt key counters with
+       | Some (Json.Int _) -> ()
+       | _ -> fail "%s: counters.%s missing or not an int" path key)
+    [ "time"; "work"; "steals"; "steal_attempts"; "heap_peak"; "threads_peak" ];
+  List.iter
+    (fun h ->
+       let hist = Json.member h (Json.member "histograms" j) in
+       match hist with
+       | Json.Assoc _ ->
+         List.iter
+           (fun q ->
+              match Json.member q hist with
+              | Json.Int _ | Json.Float _ | Json.Null -> ()
+              | _ -> fail "%s: histograms.%s.%s malformed" path h q)
+           [ "count"; "p50"; "p90"; "p99" ]
+       | _ -> fail "%s: histograms.%s missing" path h)
+    [ "steal_latency"; "deque_residency"; "quota_utilisation" ];
+  (match Json.member "per_victim_steals" j with
+   | Json.List _ -> ()
+   | _ -> fail "%s: per_victim_steals missing" path);
+  Printf.printf "%s: ok\n" path
+
+let () =
+  match Sys.argv with
+  | [| _; trace; metrics |] ->
+    check_trace trace;
+    check_metrics metrics
+  | _ ->
+    prerr_endline "usage: validate_trace TRACE.json METRICS.json";
+    exit 2
