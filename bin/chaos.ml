@@ -1,0 +1,254 @@
+(* repro chaos — seeded fault-injection campaigns against every scheduler.
+
+   Two arenas:
+
+   - the simulator: every policy runs randomly generated programs with the
+     full fault plan active (stalls, forced steal failures, allocation
+     spikes, lock-hold delays).  Lock-free campaigns additionally run the
+     policy's structural invariant check after every timestep; lock-heavy
+     campaigns exercise the lock-delay faults (invariant checking is off
+     there — mutex wakeups intentionally approximate the priority order).
+     The simulator is single-threaded, so each (seed, config) pair replays
+     bitwise-identically: the report is byte-stable per seed.
+
+   - the native pool: worker interleavings are not deterministic, so the
+     pool campaigns only report deterministic facts — an injected task
+     exception with probability 1 always propagates to the [run] caller,
+     the pool completes a clean run afterwards, a run with a tight timeout
+     over endless forking always raises [Timeout], and a degraded run
+     under steal-failure injection still computes the right answer. *)
+
+module Fault = Dfd_fault.Fault
+module Prng = Dfd_structures.Prng
+module Json = Dfd_trace.Json
+module Engine = Dfdeques_core.Engine
+module Pool = Dfd_runtime.Pool
+
+type sim_outcome =
+  | Ok_run of Engine.result
+  | Invariant_violation of string
+  | Watchdog_deadlock of string
+  | Error of string
+
+let scheds : (string * Engine.sched) list =
+  [ ("dfd", `Dfdeques); ("ws", `Ws); ("adf", `Adf); ("fifo", `Fifo) ]
+
+(* One simulator campaign: a fresh program, config and fault plan, all
+   derived from [seed] so the whole campaign replays from the report. *)
+let sim_campaign ~sched ~p ~seed ~lock_heavy =
+  let params =
+    if lock_heavy then Dfd_dag.Dag_gen.lock_heavy
+    else { Dfd_dag.Dag_gen.default with max_depth = 7 }
+  in
+  let prog = Dfd_dag.Dag_gen.gen_prog (Prng.create seed) params in
+  let cfg =
+    Dfd_machine.Config.analysis ~p ~mem_threshold:(Some 2000) ~seed ()
+  in
+  let fault = Fault.create ~seed:(seed lxor 0x5eed) () in
+  let check_invariants = not lock_heavy in
+  let outcome =
+    match Engine.run ~check_invariants ~fault ~sched cfg prog with
+    | r -> Ok_run r
+    | exception Engine.Deadlock m -> Watchdog_deadlock m
+    | exception Failure m -> Invariant_violation m
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let fields =
+    [
+      ("seed", Json.Int seed);
+      ("program", Json.String (if lock_heavy then "lock_heavy" else "default"));
+      ("check_invariants", Json.Bool check_invariants);
+      ("faults", Json.Assoc (List.map (fun (k, v) -> (k, Json.Int v)) (Fault.counts fault)));
+    ]
+  in
+  let j =
+    match outcome with
+    | Ok_run r ->
+      Json.Assoc
+        (fields
+         @ [
+             ("outcome", Json.String "ok");
+             ("time", Json.Int r.Engine.time);
+             ("work", Json.Int r.Engine.work);
+             ("steals", Json.Int r.Engine.steals);
+             ("heap_peak", Json.Int r.Engine.heap_peak);
+           ])
+    | Invariant_violation m ->
+      Json.Assoc (fields @ [ ("outcome", Json.String "invariant_violation"); ("detail", Json.String m) ])
+    | Watchdog_deadlock m ->
+      Json.Assoc (fields @ [ ("outcome", Json.String "deadlock"); ("detail", Json.String m) ])
+    | Error m -> Json.Assoc (fields @ [ ("outcome", Json.String "error"); ("detail", Json.String m) ])
+  in
+  (outcome, Fault.injected_total fault, j)
+
+(* ------------------------------------------------------------------ *)
+(* Native pool campaigns (deterministic facts only)                    *)
+(* ------------------------------------------------------------------ *)
+
+let pool_policies = [ ("ws", Pool.Work_stealing); ("dfd", Pool.Dfdeques { quota = 4096 }) ]
+
+let with_pool ?fault policy f =
+  let pool = Pool.create ~domains:3 ?fault policy in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let expected_sum n = n * (n - 1) / 2
+
+let clean_sum pool n =
+  Pool.run pool (fun () ->
+      Pool.parallel_reduce ~zero:0 ~op:( + ) ~lo:0 ~hi:n (fun i -> i))
+  = expected_sum n
+
+(* task_exn_prob = 1.0: the very first fork injects, so the exception
+   always reaches the caller of [run] — a deterministic boolean. *)
+let pool_exn_campaign ~seed policy =
+  let rates = { Fault.zero_rates with Fault.task_exn_prob = 1.0 } in
+  let fault = Fault.create ~rates ~seed () in
+  with_pool ~fault policy (fun pool ->
+      let propagates =
+        match Pool.run pool (fun () -> Pool.fork_join (fun () -> 1) (fun () -> 2)) with
+        | _ -> false
+        | exception Fault.Injected_failure _ -> true
+        | exception _ -> false
+      in
+      Fault.set_enabled fault false;
+      let clean_after = clean_sum pool 500 in
+      (propagates, clean_after))
+
+(* A tight timeout over endless forking: cancellation is checked at every
+   fork, so [Timeout] always fires; the drained pool then completes a
+   clean run. *)
+let pool_timeout_campaign policy =
+  with_pool policy (fun pool ->
+      let fired =
+        match
+          Pool.run ~timeout:0.05 pool (fun () ->
+              let rec loop () =
+                ignore (Pool.fork_join (fun () -> ()) (fun () -> ()));
+                loop ()
+              in
+              loop ())
+        with
+        | () -> false
+        | exception Pool.Timeout -> true
+        | exception _ -> false
+      in
+      let clean_after = clean_sum pool 500 in
+      (fired, clean_after))
+
+(* Steal failures injected at the default rate: graceful degradation means
+   the answer is still right. *)
+let pool_degraded_campaign ~seed policy =
+  let rates = { Fault.zero_rates with Fault.steal_fail_prob = 0.5 } in
+  let fault = Fault.create ~rates ~seed () in
+  with_pool ~fault policy (fun pool -> clean_sum pool 2000)
+
+let pool_report ~seed (name, policy) =
+  let exn_propagates, clean_after_exn = pool_exn_campaign ~seed policy in
+  let timeout_fires, clean_after_timeout = pool_timeout_campaign policy in
+  let degraded_ok = pool_degraded_campaign ~seed policy in
+  let passed =
+    exn_propagates && clean_after_exn && timeout_fires && clean_after_timeout && degraded_ok
+  in
+  ( passed,
+    Json.Assoc
+      [
+        ("policy", Json.String name);
+        ("injected_exn_propagates", Json.Bool exn_propagates);
+        ("clean_run_after_exn", Json.Bool clean_after_exn);
+        ("timeout_fires", Json.Bool timeout_fires);
+        ("clean_run_after_timeout", Json.Bool clean_after_timeout);
+        ("degraded_run_correct", Json.Bool degraded_ok);
+      ] )
+
+(* ------------------------------------------------------------------ *)
+(* The campaign driver                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool =
+  let ok = ref 0
+  and invariants = ref 0
+  and deadlocks = ref 0
+  and errors = ref 0
+  and faults = ref 0 in
+  let sim_json =
+    List.mapi
+      (fun si (name, sched) ->
+         let runs =
+           List.init campaigns (fun i ->
+               let seed_i = seed + (1_000 * si) + i in
+               let lock_heavy = i mod 2 = 1 in
+               let outcome, injected, j = sim_campaign ~sched ~p ~seed:seed_i ~lock_heavy in
+               (match outcome with
+                | Ok_run _ -> incr ok
+                | Invariant_violation _ -> incr invariants
+                | Watchdog_deadlock _ -> incr deadlocks
+                | Error _ -> incr errors);
+               faults := !faults + injected;
+               j)
+         in
+         Printf.printf "sim  %-4s %d campaigns done\n%!" name campaigns;
+         Json.Assoc [ ("sched", Json.String name); ("runs", Json.List runs) ])
+      scheds
+  in
+  let pool_passed, pool_json =
+    if skip_pool then (true, [])
+    else begin
+      let results = List.map (pool_report ~seed) pool_policies in
+      List.iter2
+        (fun (name, _) (passed, _) ->
+           Printf.printf "pool %-4s %s\n%!" name (if passed then "ok" else "FAILED"))
+        pool_policies results;
+      (List.for_all fst results, List.map snd results)
+    end
+  in
+  let sim_total = List.length scheds * campaigns in
+  let all_passed =
+    !ok = sim_total && !invariants = 0 && !deadlocks = 0 && !errors = 0 && pool_passed
+  in
+  let report =
+    Json.Assoc
+      [
+        ("seed", Json.Int seed);
+        ("campaigns_per_sched", Json.Int campaigns);
+        ("p", Json.Int p);
+        ("simulator", Json.List sim_json);
+        ("pool", Json.List pool_json);
+        ( "summary",
+          Json.Assoc
+            [
+              ("sim_runs", Json.Int sim_total);
+              ("ok", Json.Int !ok);
+              ("invariant_violations", Json.Int !invariants);
+              ("deadlocks", Json.Int !deadlocks);
+              ("errors", Json.Int !errors);
+              ("faults_injected", Json.Int !faults);
+              ("pool_passed", Json.Bool pool_passed);
+              ("all_passed", Json.Bool all_passed);
+            ] );
+      ]
+  in
+  (match json_out with
+   | None -> ()
+   | Some path ->
+     (try
+        let oc = open_out path in
+        Json.to_channel oc report;
+        output_char oc '\n';
+        close_out oc
+      with Sys_error m ->
+        Printf.eprintf "repro: cannot write %s: %s\n" path m;
+        exit 1);
+     Printf.printf "report: %s\n" path);
+  Printf.printf
+    "chaos: %d simulator runs (%d ok, %d invariant violations, %d deadlocks, %d errors), %d \
+     faults injected, pool %s\n"
+    sim_total !ok !invariants !deadlocks !errors !faults
+    (if skip_pool then "skipped" else if pool_passed then "ok" else "FAILED");
+  if all_passed then begin
+    print_endline "chaos: PASS";
+    0
+  end
+  else begin
+    print_endline "chaos: FAIL";
+    1
+  end

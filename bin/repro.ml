@@ -141,7 +141,14 @@ let writing path f =
     Printf.eprintf "repro: cannot write %s: %s\n" path m;
     exit 1
 
-let run_one bench grain sched p k seed mode trace_out metrics_json =
+let check_invariants_arg =
+  let doc =
+    "Run the scheduler's structural invariant check (e.g. the Lemma 3.1 priority order) after \
+     every timestep.  Slow; only valid for pure nested-parallel programs (no mutexes)."
+  in
+  Arg.(value & flag & info [ "check-invariants" ] ~doc)
+
+let run_one bench grain sched p k seed mode check_invariants trace_out metrics_json =
   let b = find_bench bench grain in
   let k = if k = 0 then None else Some k in
   let cfg =
@@ -157,7 +164,11 @@ let run_one bench grain sched p k seed mode trace_out metrics_json =
     | None -> Dfd_trace.Tracer.disabled
     | Some _ -> Dfd_trace.Tracer.create ()
   in
-  let r = Dfdeques_core.Engine.run ~sched ~tracer cfg (b.Dfd_benchmarks.Workload.prog ()) in
+  let r =
+    Dfdeques_core.Engine.run ~check_invariants ~sched ~tracer cfg
+      (b.Dfd_benchmarks.Workload.prog ())
+  in
+  if check_invariants then Format.printf "invariants: checked after every timestep, all held@.";
   Format.printf "%a@." Dfdeques_core.Engine.pp_result r;
   (match trace_out with
    | None -> ()
@@ -185,7 +196,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_one $ bench_arg $ grain_arg $ sched_arg $ p_arg $ k_arg $ seed_arg $ mode_arg
-      $ trace_out_arg $ metrics_json_arg)
+      $ check_invariants_arg $ trace_out_arg $ metrics_json_arg)
 
 let analyze_one bench grain =
   let b = find_bench bench grain in
@@ -283,6 +294,35 @@ let dot_cmd =
   in
   Cmd.v (Cmd.info "dot" ~doc) Term.(const dot_one $ which $ seed_arg)
 
+let chaos_campaigns_arg =
+  let doc = "Fault-injection campaigns per scheduler (alternating lock-free and lock-heavy)." in
+  Arg.(value & opt int 6 & info [ "n"; "campaigns" ] ~docv:"N" ~doc)
+
+let chaos_json_arg =
+  let doc =
+    "Write the full machine-readable campaign report as JSON to $(docv).  For a fixed seed the \
+     report is byte-identical across runs (the pool section only contains deterministic facts)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let chaos_skip_pool_arg =
+  let doc = "Only run the (fast, fully deterministic) simulator campaigns." in
+  Arg.(value & flag & info [ "skip-pool" ] ~doc)
+
+let chaos_run seed campaigns p json_out skip_pool =
+  exit (Chaos.run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool)
+
+let chaos_cmd =
+  let doc =
+    "Run seeded fault-injection campaigns (stalls, forced steal failures, task exceptions, \
+     allocation spikes, lock delays) against every scheduler and the native pool, checking \
+     invariants, exception propagation, timeouts and graceful degradation."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const chaos_run $ seed_arg $ chaos_campaigns_arg $ p_arg $ chaos_json_arg
+      $ chaos_skip_pool_arg)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -300,4 +340,7 @@ let () =
       Array.concat [ [| argv.(0); "exp" |]; Array.sub argv 1 (Array.length argv - 1) ]
     else argv
   in
-  exit (Cmd.eval ~argv (Cmd.group ~default info [ list_cmd; exp_cmd; run_cmd; analyze_cmd; trace_cmd; dot_cmd ]))
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group ~default info
+          [ list_cmd; exp_cmd; run_cmd; analyze_cmd; trace_cmd; dot_cmd; chaos_cmd ]))

@@ -7,6 +7,8 @@ module Metrics = Dfd_machine.Metrics
 module Prng = Dfd_structures.Prng
 module Tracer = Dfd_trace.Tracer
 module Event = Dfd_trace.Event
+module Fault = Dfd_fault.Fault
+module Watchdog = Dfd_fault.Watchdog
 module T = Thread_state
 
 exception Deadlock of string
@@ -69,12 +71,14 @@ type mutex = {
 exception Malformed_run of string
 
 let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_000_000)
-    ?(tracer = Tracer.disabled) ?observer ?sampler ~(sched : sched) (cfg : Config.t)
-    (prog : Prog.t) : result =
+    ?(tracer = Tracer.disabled) ?(fault = Fault.none) ?(no_progress_limit = 1000) ?observer
+    ?sampler ~(sched : sched) (cfg : Config.t) (prog : Prog.t) : result =
   let p = cfg.p in
   let metrics = Metrics.create ~p in
   let rng = Prng.create cfg.seed in
-  let ctx = { Sched_intf.cfg; metrics; rng; tracer; last_active = Array.make p 0; now = 0 } in
+  let ctx =
+    { Sched_intf.cfg; metrics; rng; tracer; fault; last_active = Array.make p 0; now = 0 }
+  in
   let last_active = ctx.Sched_intf.last_active in
   let (Sched_intf.Packed ((module P), pol)) = make_policy sched ctx in
   let pool = T.create_pool () in
@@ -127,8 +131,36 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
       avail.(proc) <- max avail.(proc) !lock_free_at
     end
   in
-  let last_progress = ref 0 in
-  let progress () = last_progress := ctx.now in
+  (* No-progress watchdog: its snapshot closure renders the live scheduler
+     state (policy counters, memory, per-processor activity, the recent
+     trace ring) and runs only if the watchdog fires. *)
+  let snapshot () =
+    let b = Buffer.create 512 in
+    Printf.bprintf b "=== engine diagnostic snapshot (t=%d) ===\n" ctx.Sched_intf.now;
+    Printf.bprintf b "policy %s:" P.name;
+    List.iter (fun (k, v) -> Printf.bprintf b " %s=%d" k v) (P.stat pol);
+    Buffer.add_char b '\n';
+    Printf.bprintf b "memory: heap=%d live_threads=%d\n" (Memory.heap_current memory)
+      (Memory.live_threads memory);
+    Printf.bprintf b "faults injected: %d\n" (Fault.injected_total fault);
+    for proc = 0 to p - 1 do
+      Printf.bprintf b "P%d: %s avail=%d\n" proc
+        (match curr.(proc) with
+         | Some th -> Format.asprintf "running %a" T.pp th
+         | None -> "idle")
+        avail.(proc)
+    done;
+    if Tracer.enabled tracer then begin
+      let evs = Tracer.events tracer in
+      let n = List.length evs in
+      let recent = if n > 15 then List.filteri (fun i _ -> i >= n - 15) evs else evs in
+      Printf.bprintf b "last %d trace events:\n" (List.length recent);
+      List.iter (fun e -> Printf.bprintf b "  %s\n" (Format.asprintf "%a" Event.pp e)) recent
+    end;
+    Buffer.contents b
+  in
+  let wd = Watchdog.create ~limit:no_progress_limit ~snapshot () in
+  let progress () = Watchdog.touch wd ~now:ctx.Sched_intf.now in
   let root = T.make_root pool prog in
   Memory.thread_created memory;
   P.register_root pol root;
@@ -185,7 +217,18 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
       | Action.Alloc n ->
         Memory.alloc memory n;
         th.T.big_alloc_pending <- false;
-        if finite_k then quota.(proc) <- quota.(proc) - n;
+        if finite_k then begin
+          quota.(proc) <- quota.(proc) - n;
+          (* injected allocation spike: a burst past K charged against the
+             quota, forcing extra deque give-ups downstream *)
+          let spike = Fault.alloc_spike fault in
+          if spike > 0 then begin
+            if Tracer.enabled tracer then
+              Tracer.emit tracer ~ts:ctx.Sched_intf.now ~proc ~tid:th.T.tid
+                (Event.Fault_injected { fault = "alloc_spike" });
+            quota.(proc) <- quota.(proc) - spike
+          end
+        end;
         extra
       | Action.Free n ->
         Memory.free memory n;
@@ -215,7 +258,15 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
         Queue.iter (fun w -> wake_cond_waiter proc w) waiters;
         Queue.clear waiters;
         extra
-      | Action.Work _ | Action.Lock _ | Action.Wait _ -> extra
+      | Action.Lock _ ->
+        (* injected lock-hold delay: the winner keeps the mutex for extra
+           timesteps, stretching the critical section for everyone queued *)
+        let d = Fault.lock_delay fault in
+        if d > 0 && Tracer.enabled tracer then
+          Tracer.emit tracer ~ts:ctx.Sched_intf.now ~proc ~tid:th.T.tid
+            (Event.Fault_injected { fault = "lock_delay" });
+        extra + d
+      | Action.Work _ | Action.Wait _ -> extra
     in
     stall proc extra
   in
@@ -417,7 +468,17 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
     if ctx.now > max_steps then raise (Stuck (Printf.sprintf "exceeded %d timesteps" max_steps));
     for proc = 0 to p - 1 do
       if avail.(proc) > ctx.now then progress () (* stalled = executing *)
-      else turn proc
+      else (
+        (* injected processor stall: the core freezes for a few timesteps
+           (descheduled / slowed), counted as occupied like any stall *)
+        match Fault.stall_steps fault with
+        | 0 -> turn proc
+        | s ->
+          if Tracer.enabled tracer then
+            Tracer.emit tracer ~ts:ctx.now ~proc ~tid:(-1)
+              (Event.Fault_injected { fault = "stall" });
+          progress ();
+          stall proc (s - 1))
     done;
     if check_invariants then P.check_invariants pol;
     if Tracer.enabled tracer then
@@ -435,11 +496,14 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
            ~threads:(Memory.live_threads memory)
            ~deques:(Metrics.deque_current metrics)
      | None -> ());
-    if ctx.now - !last_progress > 1000 then
-      raise
-        (Deadlock
-           (Printf.sprintf "no progress for 1000 timesteps at t=%d (%d live threads)" ctx.now
-              (Memory.live_threads memory)))
+    (try Watchdog.check wd ~now:ctx.now with
+     | Watchdog.No_progress { idle; snapshot; _ } ->
+       raise
+         (Deadlock
+            (Printf.sprintf "no progress for %d timesteps at t=%d (%d live threads)\n%s" idle
+               ctx.now
+               (Memory.live_threads memory)
+               snapshot)))
   done;
   {
     sched = P.name;

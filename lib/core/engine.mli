@@ -83,6 +83,8 @@ val run :
   ?check_invariants:bool ->
   ?max_steps:int ->
   ?tracer:Dfd_trace.Tracer.t ->
+  ?fault:Dfd_fault.Fault.t ->
+  ?no_progress_limit:int ->
   ?observer:(now:int -> proc:int -> Thread_state.t -> Dfd_dag.Action.t -> unit) ->
   ?sampler:int * (now:int -> heap:int -> threads:int -> deques:int -> unit) ->
   sched:sched ->
@@ -105,6 +107,19 @@ val run :
     lifecycle, cache-miss stalls, lock waits, executed actions, and one
     counter sample (live deques / heap / threads) per timestep.  The
     disabled default costs one branch per potential event.
+    [fault] (default {!Dfd_fault.Fault.none}): a seeded fault-injection
+    plan.  The engine consults it once per processor per timestep for
+    stalls, at each [Alloc] under finite K for allocation spikes, and at
+    each lock acquisition for lock-hold delays; the plugged policy
+    consults it at each steal attempt / queue dispatch for forced
+    failures.  The whole simulation stays deterministic: the same seed
+    and configuration replay the identical fault schedule.  Injections
+    are traced as [Fault_injected] events when a tracer is active.
+    [no_progress_limit] (default 1000): timesteps without an executed
+    action before the no-progress watchdog declares deadlock/livelock;
+    the raised {!Deadlock} carries a diagnostic snapshot (policy
+    counters, memory state, per-processor activity, the recent trace
+    ring).
     [observer] is called on every executed action (timestep, processor,
     thread, action) — schedule tracing for tests and visualisation; fork
     actions are reported as [Work 1].

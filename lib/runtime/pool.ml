@@ -3,6 +3,15 @@ module Dll = Dfd_structures.Dll
 module Prng = Dfd_structures.Prng
 module Tracer = Dfd_trace.Tracer
 module Event = Dfd_trace.Event
+module Fault = Dfd_fault.Fault
+
+exception Not_in_pool
+
+exception Nested_run
+
+exception Timeout
+
+exception Cancelled
 
 type task = unit -> unit
 
@@ -18,6 +27,7 @@ type counters = {
   local_pops : int;
   quota_giveups : int;
   tasks_run : int;
+  task_exns : int;
 }
 
 type mutable_counters = {
@@ -26,6 +36,7 @@ type mutable_counters = {
   mutable c_local_pops : int;
   mutable c_quota_giveups : int;
   mutable c_tasks_run : int;
+  mutable c_task_exns : int;
 }
 
 type t = {
@@ -46,9 +57,14 @@ type t = {
   rngs : Prng.t array;
   tracer : Tracer.t;
       (** event sink shared by all workers; only written under [lock]. *)
+  fault : Fault.t;  (** fault-injection plan; {!Fault.none} by default. *)
   t0 : float;  (** pool creation wall clock; event stamps are µs since. *)
   mutable next_did : int;
   last_active_us : int array;  (** per worker, stamp of its last task. *)
+  mutable deadline : float option;
+      (** absolute wall-clock deadline of the current [run ~timeout]. *)
+  mutable cancelled : bool;
+      (** the deadline passed: fork_join/await bail out cooperatively. *)
 }
 
 (* Wall-clock event timestamp: microseconds since pool creation. *)
@@ -63,7 +79,28 @@ let self () = !(Domain.DLS.get worker_key)
 let self_exn () =
   match self () with
   | Some ctx -> ctx
-  | None -> failwith "Dfd_runtime.Pool: not inside Pool.run"
+  | None -> raise Not_in_pool
+
+(* Cooperative cancellation: checked at every fork and await iteration.
+   The first check past the deadline flips [cancelled]; every scheduler
+   interaction after that raises, so the computation unwinds without
+   creating new work.  Benign race: [cancelled] is a monotonic bool. *)
+let check_cancel pool =
+  if pool.cancelled then raise Cancelled;
+  match pool.deadline with
+  | Some d when Unix.gettimeofday () > d ->
+    pool.cancelled <- true;
+    raise Cancelled
+  | _ -> ()
+
+(* Bounded exponential backoff between failed steal attempts: capped so a
+   worker never sleeps through real work for long, growing so contended
+   steals do not hammer the pool lock. *)
+let backoff_wait n =
+  let spins = 1 lsl min n 8 in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Deque plumbing (all under [pool.lock])                              *)
@@ -169,6 +206,18 @@ let trace_steal_attempt pool w ~victim =
     Tracer.emit pool.tracer ~ts:(now_us pool) ~proc:w ~tid:(-1)
       (Event.Steal_attempt { victim })
 
+(* Injected steal failure (chaos testing): charge a failed attempt without
+   touching any deque.  Called with the lock held (tracer safety). *)
+let injected_steal_failure pool w =
+  let fail = Fault.steal_fails pool.fault in
+  if fail then begin
+    pool.counters.c_steal_failures <- pool.counters.c_steal_failures + 1;
+    if Tracer.enabled pool.tracer then
+      Tracer.emit pool.tracer ~ts:(now_us pool) ~proc:w ~tid:(-1)
+        (Event.Fault_injected { fault = "steal_fail" })
+  end;
+  fail
+
 (* One attempt to obtain a task; must hold the lock. *)
 let try_get pool w =
   match pool.policy with
@@ -177,6 +226,7 @@ let try_get pool w =
       | Some t ->
         pool.counters.c_local_pops <- pool.counters.c_local_pops + 1;
         Some t
+      | None when injected_steal_failure pool w -> None
       | None ->
         let victim = Prng.int pool.rngs.(w) pool.n_workers in
         trace_steal_attempt pool w ~victim;
@@ -191,6 +241,8 @@ let try_get pool w =
             None))
   | Dfdeques { quota } -> (
       let steal () =
+        if injected_steal_failure pool w then None
+        else
         let k = Prng.int pool.rngs.(w) pool.n_workers in
         trace_steal_attempt pool w ~victim:k;
         match Dll.nth_node pool.r k with
@@ -242,7 +294,11 @@ let try_get pool w =
 
 let run_task t = t ()
 
-(* Grab one task and run it; returns false if none was found. *)
+(* Grab one task and run it; returns false if none was found.  A task that
+   escapes an exception must never tear down the worker that happened to
+   run it: promise-backed tasks capture exceptions themselves ([fulfill]),
+   so this is the belt-and-braces path for malformed raw tasks — count it
+   and carry on. *)
 let help_once pool w =
   Mutex.lock pool.lock;
   let got = try_get pool w in
@@ -254,7 +310,11 @@ let help_once pool w =
   Mutex.unlock pool.lock;
   match got with
   | Some t ->
-    run_task t;
+    (try run_task t
+     with _ ->
+       Mutex.lock pool.lock;
+       pool.counters.c_task_exns <- pool.counters.c_task_exns + 1;
+       Mutex.unlock pool.lock);
     true
   | None -> false
 
@@ -268,18 +328,34 @@ type 'a promise = { mutable state : 'a outcome Atomic.t }
 
 let promise () = { state = Atomic.make Pending }
 
-let fulfill pr f =
-  let v = try Done (f ()) with e -> Failed e in
+let fulfill pool pr f =
+  let v =
+    match f () with
+    | x -> Done x
+    | exception e ->
+      Mutex.lock pool.lock;
+      pool.counters.c_task_exns <- pool.counters.c_task_exns + 1;
+      Mutex.unlock pool.lock;
+      Failed e
+  in
   Atomic.set pr.state v
 
-let rec await pool w pr =
-  match Atomic.get pr.state with
-  | Done v -> v
-  | Failed e -> raise e
-  | Pending ->
-    (* help: run other tasks while the thief finishes ours *)
-    if not (help_once pool w) then Domain.cpu_relax ();
-    await pool w pr
+let await pool w pr =
+  let rec go misses =
+    match Atomic.get pr.state with
+    | Done v -> v
+    | Failed e -> raise e
+    | Pending ->
+      check_cancel pool;
+      (* help: run other tasks while the thief finishes ours; back off
+         when steals keep failing so contended pools don't spin hot *)
+      if help_once pool w then go 0
+      else begin
+        backoff_wait misses;
+        go (misses + 1)
+      end
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Worker domains                                                      *)
@@ -287,22 +363,30 @@ let rec await pool w pr =
 
 let worker_loop pool w =
   Domain.DLS.get worker_key := Some (w, pool);
+  let misses = ref 0 in
   let rec loop () =
     if pool.shutting_down then ()
     else begin
-      if not (help_once pool w) then begin
-        (* nothing runnable: block until work is pushed or shutdown *)
+      if help_once pool w then misses := 0
+      else begin
+        (* nothing runnable: sleep if the pool is idle, otherwise back off
+           and retry — live tasks exist but our steal attempt lost *)
         Mutex.lock pool.lock;
-        if (not pool.shutting_down) && pool.live_tasks = 0 then
-          Condition.wait pool.work_available pool.lock;
-        Mutex.unlock pool.lock
+        let idle = (not pool.shutting_down) && pool.live_tasks = 0 in
+        if idle then Condition.wait pool.work_available pool.lock;
+        Mutex.unlock pool.lock;
+        if idle then misses := 0
+        else begin
+          incr misses;
+          backoff_wait !misses
+        end
       end;
       loop ()
     end
   in
   loop ()
 
-let create ?domains ?(tracer = Tracer.disabled) policy =
+let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) policy =
   let extra =
     match domains with
     | Some d -> max 0 d
@@ -330,34 +414,70 @@ let create ?domains ?(tracer = Tracer.disabled) policy =
           c_local_pops = 0;
           c_quota_giveups = 0;
           c_tasks_run = 0;
+          c_task_exns = 0;
         };
       live_tasks = 0;
       shutting_down = false;
       domains = [];
       rngs = Array.init n_workers (fun i -> Prng.create (1000 + i));
       tracer;
+      fault;
       t0 = Unix.gettimeofday ();
       next_did = n_workers;
       last_active_us = Array.make n_workers 0;
+      deadline = None;
+      cancelled = false;
     }
   in
   pool.domains <- List.init extra (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
 
-let run pool f =
-  (match self () with
-   | Some _ -> failwith "Dfd_runtime.Pool.run: nested run"
-   | None -> ());
+(* After cancellation the deques may still hold queued tasks whose parents
+   have unwound: run them all (they raise [Cancelled] immediately or are
+   cheap leftovers) so the pool is clean for the next [run]. *)
+let drain pool =
+  let misses = ref 0 in
+  while pool.live_tasks > 0 do
+    if help_once pool 0 then misses := 0
+    else begin
+      incr misses;
+      backoff_wait !misses
+    end
+  done
+
+let run ?timeout pool f =
+  (match self () with Some _ -> raise Nested_run | None -> ());
   let ctx = Domain.DLS.get worker_key in
   ctx := Some (0, pool);
+  pool.cancelled <- false;
+  pool.deadline <- Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
   Fun.protect
-    ~finally:(fun () -> ctx := None)
-    (fun () -> f ())
+    ~finally:(fun () ->
+      ctx := None;
+      pool.deadline <- None)
+    (fun () ->
+       match f () with
+       | v -> v
+       | exception Cancelled when pool.cancelled ->
+         drain pool;
+         raise Timeout
+       | exception e when pool.cancelled ->
+         (* a user exception raced the cancellation; still leave the pool
+            clean, but report the user's exception *)
+         drain pool;
+         raise e)
 
 let fork_join fa fb =
   let w, pool = self_exn () in
+  check_cancel pool;
+  let fa =
+    if Fault.enabled pool.fault then (fun () ->
+        Fault.maybe_task_exn pool.fault;
+        fa ())
+    else fa
+  in
   let pr = promise () in
-  let task () = fulfill pr fa in
+  let task () = fulfill pool pr fa in
   push_local pool w task;
   let b = try Ok (fb ()) with e -> Error e in
   let a =
@@ -412,6 +532,7 @@ let counters pool =
     local_pops = c.c_local_pops;
     quota_giveups = c.c_quota_giveups;
     tasks_run = c.c_tasks_run;
+    task_exns = c.c_task_exns;
   }
 
 let stats pool =
@@ -422,7 +543,53 @@ let stats pool =
     ("local_pops", c.local_pops);
     ("quota_giveups", c.quota_giveups);
     ("tasks_run", c.tasks_run);
+    ("task_exns", c.task_exns);
   ]
+
+(* Human-readable diagnostic dump for hang post-mortems: every counter,
+   the live-task and cancellation state, and each deque's occupancy.
+   Takes the lock, so it is consistent — call it from a watchdog, not a
+   hot path. *)
+let snapshot pool =
+  Mutex.lock pool.lock;
+  let b = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "pool snapshot (%s, %d workers)\n"
+    (match pool.policy with
+     | Work_stealing -> "WS"
+     | Dfdeques { quota } -> Printf.sprintf "DFDeques(K=%d)" quota)
+    pool.n_workers;
+  pf "  live_tasks=%d shutting_down=%b cancelled=%b deadline=%s\n" pool.live_tasks
+    pool.shutting_down pool.cancelled
+    (match pool.deadline with
+     | None -> "none"
+     | Some d -> Printf.sprintf "%+.3fs" (d -. Unix.gettimeofday ()));
+  List.iter (fun (k, v) -> pf "  %s=%d\n" k v)
+    [
+      ("steals", pool.counters.c_steals);
+      ("steal_failures", pool.counters.c_steal_failures);
+      ("local_pops", pool.counters.c_local_pops);
+      ("quota_giveups", pool.counters.c_quota_giveups);
+      ("tasks_run", pool.counters.c_tasks_run);
+      ("task_exns", pool.counters.c_task_exns);
+    ];
+  pf "  faults_injected=%d\n" (Fault.injected_total pool.fault);
+  (match pool.policy with
+   | Work_stealing ->
+     Array.iteri
+       (fun i d -> pf "  deque[worker %d]: %d tasks\n" i (Deque.length d.tasks))
+       pool.ws_deques
+   | Dfdeques _ ->
+     pf "  R has %d deques\n" (Dll.length pool.r);
+     Dll.iter
+       (fun d ->
+          pf "  deque #%d owner=%s: %d tasks\n" d.did
+            (match d.owner with None -> "-" | Some w -> string_of_int w)
+            (Deque.length d.tasks))
+       pool.r;
+     Array.iteri (fun i q -> pf "  quota_left[worker %d]=%d\n" i q) pool.quota_left);
+  Mutex.unlock pool.lock;
+  Buffer.contents b
 
 let shutdown pool =
   Mutex.lock pool.lock;

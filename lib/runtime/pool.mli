@@ -32,7 +32,27 @@ type policy =
   | Dfdeques of { quota : int }
       (** memory threshold K in bytes for the cooperative quota. *)
 
-val create : ?domains:int -> ?tracer:Dfd_trace.Tracer.t -> policy -> t
+exception Not_in_pool
+(** A pool operation ({!fork_join}, {!parallel_for}, ...) was called from
+    outside {!run}. *)
+
+exception Nested_run
+(** {!run} was called from inside a pool task (re-entrant runs are not
+    allowed). *)
+
+exception Timeout
+(** The {!run} [timeout] expired.  Raised by [run] itself after the
+    in-flight computation has been cancelled and the deques drained; the
+    pool is reusable afterwards. *)
+
+exception Cancelled
+(** Internal cooperative-cancellation signal: raised inside pool tasks
+    once the {!run} deadline has passed so the computation unwinds.  User
+    code only observes it if it catches-and-inspects exceptions crossing a
+    {!fork_join}; [run] translates it to {!Timeout} at the boundary. *)
+
+val create :
+  ?domains:int -> ?tracer:Dfd_trace.Tracer.t -> ?fault:Dfd_fault.Fault.t -> policy -> t
 (** [create ~domains policy] starts a pool with [domains] extra worker
     domains (default: [Domain.recommended_domain_count () - 1]).  The
     caller participates as a worker while inside {!run}.
@@ -42,12 +62,26 @@ val create : ?domains:int -> ?tracer:Dfd_trace.Tracer.t -> policy -> t
     lifecycle, one [Action_batch] per task.  Unlike the simulator, event
     timestamps are wall-clock microseconds since pool creation, so traces
     export directly to Chrome/Perfetto at real-time scale.  Events are
-    only emitted under the pool lock, so any tracer is safe to share. *)
+    only emitted under the pool lock, so any tracer is safe to share.
 
-val run : t -> (unit -> 'a) -> 'a
+    [fault] (default {!Dfd_fault.Fault.none}): a seeded fault-injection
+    plan for chaos testing.  The pool consults it at every steal attempt
+    (forced failures, counted and traced as [Fault_injected]) and at every
+    fork (injected task exceptions, which propagate to the joining parent
+    exactly like user exceptions). *)
+
+val run : ?timeout:float -> t -> (unit -> 'a) -> 'a
 (** Execute a task (and all the parallel work it forks) to completion on
     the pool; the calling thread works too.  Re-entrant calls from inside
-    pool tasks are not allowed. *)
+    pool tasks raise {!Nested_run}.
+
+    [timeout] (seconds, wall clock): cancel the computation and raise
+    {!Timeout} once the deadline passes.  Cancellation is cooperative —
+    it takes effect at the next {!fork_join} or join-wait of any task, so
+    a task that loops forever without touching the pool cannot be
+    interrupted.  On timeout the leftover queued tasks are drained (each
+    unwinds immediately via the cancellation signal) before {!Timeout} is
+    raised, leaving the pool idle and reusable. *)
 
 val fork_join : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** Run the two thunks in parallel, returning both results.  Must be
@@ -78,10 +112,11 @@ val alloc_hint : int -> unit
 
 type counters = {
   steals : int;  (** successful steals *)
-  steal_failures : int;  (** steal attempts that found nothing *)
+  steal_failures : int;  (** steal attempts that found nothing (real or injected) *)
   local_pops : int;  (** tasks taken from the worker's own deque *)
   quota_giveups : int;  (** deques abandoned on memory-quota exhaustion *)
   tasks_run : int;  (** tasks executed (all paths, including inline) *)
+  task_exns : int;  (** tasks that raised (user, injected, or cancellation) *)
 }
 
 val counters : t -> counters
@@ -92,6 +127,13 @@ val counters : t -> counters
 
 val stats : t -> (string * int) list
 (** {!counters} flattened to association-list form for quick printing. *)
+
+val snapshot : t -> string
+(** Human-readable diagnostic dump: policy, counters, live-task and
+    cancellation state, per-deque occupancy (and per-worker quota under
+    {!Dfdeques}), and the total injected-fault count.  Taken under the
+    pool lock, so internally consistent; intended for hang post-mortems
+    and watchdog reports, not hot paths. *)
 
 val shutdown : t -> unit
 (** Stop the worker domains.  The pool must be idle. *)

@@ -9,6 +9,7 @@ let category (k : Event.kind) =
   | Event.Lock_wait _ -> "lock"
   | Event.Action_batch _ -> "action"
   | Event.Counter _ -> "counter"
+  | Event.Fault_injected _ -> "fault"
 
 let pid = Json.Int 0
 
@@ -94,6 +95,7 @@ let render (e : Event.t) : Json.t list =
   | Event.Cache_miss_stall { misses; stall } ->
     [ instant e [ ("misses", Json.Int misses); ("stall", Json.Int stall) ] ]
   | Event.Lock_wait { mutex } -> [ instant e [ ("mutex", Json.Int mutex) ] ]
+  | Event.Fault_injected { fault } -> [ instant e [ ("fault", Json.String fault) ] ]
 
 let to_json ~p events =
   let body = List.concat_map render events in

@@ -11,6 +11,7 @@ type kind =
   | Lock_wait of { mutex : int }
   | Action_batch of { units : int }
   | Counter of { deques : int; heap : int; threads : int }
+  | Fault_injected of { fault : string }
 
 type t = { ts : int; proc : int; tid : int; kind : kind }
 
@@ -27,6 +28,7 @@ let kind_index = function
   | Lock_wait _ -> 9
   | Action_batch _ -> 10
   | Counter _ -> 11
+  | Fault_injected _ -> 12
 
 let kind_names =
   [|
@@ -42,6 +44,7 @@ let kind_names =
     "lock_wait";
     "action_batch";
     "counter";
+    "fault_injected";
   |]
 
 let n_kinds = Array.length kind_names
@@ -70,6 +73,7 @@ let to_json e =
     | Action_batch { units } -> [ ("units", Json.Int units) ]
     | Counter { deques; heap; threads } ->
       [ ("deques", Json.Int deques); ("heap", Json.Int heap); ("threads", Json.Int threads) ]
+    | Fault_injected { fault } -> [ ("fault", Json.String fault) ]
   in
   Json.Assoc
     ([
@@ -97,6 +101,8 @@ let of_json j =
     | "action_batch" -> Action_batch { units = int "units" }
     | "counter" ->
       Counter { deques = int "deques"; heap = int "heap"; threads = int "threads" }
+    | "fault_injected" ->
+      Fault_injected { fault = Json.to_string_exn (Json.member "fault" j) }
     | s -> raise (Json.Parse_error ("unknown event kind " ^ s))
   in
   { ts = int "ts"; proc = int "proc"; tid = int "tid"; kind }

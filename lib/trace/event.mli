@@ -43,6 +43,9 @@ type kind =
   | Counter of { deques : int; heap : int; threads : int }
       (** Periodic sample of live deques in R, live heap bytes and live
           threads — the counter tracks of the Chrome export. *)
+  | Fault_injected of { fault : string }
+      (** The fault-injection layer ({!Dfd_fault.Fault}) fired here;
+          [fault] is the injected kind ("stall", "steal_fail", ...). *)
 
 type t = { ts : int; proc : int; tid : int; kind : kind }
 

@@ -166,14 +166,16 @@ let test_nested_run_rejected () =
         (try
            Pool.run pool (fun () -> Pool.run pool (fun () -> ()));
            false
-         with Failure _ -> true))
+         with Pool.Nested_run -> true);
+      (* the failed nested call must not poison the outer context *)
+      checki "outer run still works" 55 (Pool.run pool (fun () -> fib 10)))
 
 let test_fork_join_outside_run_rejected () =
   checkb "fork_join outside run" true
     (try
        ignore (Pool.fork_join (fun () -> 1) (fun () -> 2));
        false
-     with Failure _ -> true)
+     with Pool.Not_in_pool -> true)
 
 let test_alloc_hint_quota () =
   with_pool (Pool.Dfdeques { quota = 100 }) (fun pool ->
@@ -187,7 +189,7 @@ let test_stats_counters () =
       ignore (Pool.run pool (fun () -> fib 15));
       let stats = Pool.stats pool in
       checkb "tasks ran" true (List.assoc "tasks_run" stats > 0);
-      checkb "all counters present" true (List.length stats = 5))
+      checkb "all counters present" true (List.length stats = 6))
 
 let test_many_sequential_runs () =
   with_pool (Pool.Dfdeques { quota = 512 }) (fun pool ->
@@ -210,6 +212,92 @@ let test_zero_extra_domains () =
   Fun.protect
     ~finally:(fun () -> Pool.shutdown pool)
     (fun () -> checki "fib on 1 worker" 610 (Pool.run pool (fun () -> fib 15)))
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection, timeouts, graceful degradation                     *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Dfd_fault.Fault
+
+(* Property (per seed, both policies): an injected task exception always
+   reaches the caller of [run], and the same pool then completes a clean
+   run — injected failures never wedge workers or poison pool state. *)
+let qcheck_injected_exn_propagates =
+  QCheck.Test.make ~count:30 ~name:"injected task exn reaches run caller; pool reusable"
+    QCheck.(pair (int_bound 1_000_000) bool)
+    (fun (seed, use_dfd) ->
+       let policy = if use_dfd then Pool.Dfdeques { quota = 4096 } else Pool.Work_stealing in
+       let rates = { Fault.zero_rates with Fault.task_exn_prob = 1.0 } in
+       let fault = Fault.create ~rates ~seed () in
+       let pool = Pool.create ~domains:3 ~fault policy in
+       Fun.protect
+         ~finally:(fun () -> Pool.shutdown pool)
+         (fun () ->
+            let propagated =
+              try
+                ignore (Pool.run pool (fun () -> Pool.fork_join (fun () -> 1) (fun () -> 2)));
+                false
+              with Fault.Injected_failure _ -> true
+            in
+            Fault.set_enabled fault false;
+            let clean = Pool.run pool (fun () -> fib 12) = 144 in
+            propagated && clean && (Pool.counters pool).Pool.task_exns > 0))
+
+let test_injected_steal_failures_degrade_gracefully () =
+  List.iter
+    (fun (policy, name) ->
+       let rates = { Fault.zero_rates with Fault.steal_fail_prob = 0.5 } in
+       let fault = Fault.create ~rates ~seed:99 () in
+       let pool = Pool.create ~domains:3 ~fault policy in
+       Fun.protect
+         ~finally:(fun () -> Pool.shutdown pool)
+         (fun () ->
+            let n = 5000 in
+            let total =
+              Pool.run pool (fun () ->
+                  Pool.parallel_reduce ~zero:0 ~op:( + ) ~lo:0 ~hi:n (fun i -> i))
+            in
+            checki (name ^ " correct under steal failures") (n * (n - 1) / 2) total))
+    policies
+
+let test_timeout_fires_and_pool_reusable () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           checkb (name ^ " timeout fires") true
+             (match
+                Pool.run ~timeout:0.05 pool (fun () ->
+                    let rec loop () =
+                      ignore (Pool.fork_join (fun () -> ()) (fun () -> ()));
+                      loop ()
+                    in
+                    loop ())
+              with
+              | () -> false
+              | exception Pool.Timeout -> true);
+           (* drained and reusable *)
+           checki (name ^ " clean run after timeout") 55 (Pool.run pool (fun () -> fib 10))))
+    policies
+
+let test_timeout_not_spurious () =
+  with_pool Pool.Work_stealing (fun pool ->
+      (* generous deadline, short computation: must not raise *)
+      checki "no spurious timeout" 6765 (Pool.run ~timeout:60.0 pool (fun () -> fib 20)))
+
+let test_snapshot_mentions_state () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           ignore (Pool.run pool (fun () -> fib 10));
+           let s = Pool.snapshot pool in
+           let has sub =
+             let n = String.length s and m = String.length sub in
+             let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+             go 0
+           in
+           checkb (name ^ " snapshot has counters") true (has "tasks_run");
+           checkb (name ^ " snapshot has live state") true (has "live_tasks=0")))
+    policies
 
 let () =
   Alcotest.run "runtime"
@@ -234,5 +322,15 @@ let () =
           Alcotest.test_case "sequential runs" `Quick test_many_sequential_runs;
           Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
           Alcotest.test_case "zero extra domains" `Quick test_zero_extra_domains;
+        ] );
+      ( "robustness",
+        [
+          QCheck_alcotest.to_alcotest ~long:false qcheck_injected_exn_propagates;
+          Alcotest.test_case "steal failures degrade gracefully" `Quick
+            test_injected_steal_failures_degrade_gracefully;
+          Alcotest.test_case "timeout fires, pool reusable" `Quick
+            test_timeout_fires_and_pool_reusable;
+          Alcotest.test_case "timeout not spurious" `Quick test_timeout_not_spurious;
+          Alcotest.test_case "snapshot" `Quick test_snapshot_mentions_state;
         ] );
     ]

@@ -66,6 +66,7 @@ let all_kinds =
     Event.Lock_wait { mutex = 5 };
     Event.Action_batch { units = 8 };
     Event.Counter { deques = 4; heap = 123_456; threads = 78 };
+    Event.Fault_injected { fault = "steal_fail" };
   ]
 
 let test_event_roundtrip () =
@@ -95,6 +96,9 @@ let event_gen =
         map (fun mutex -> Event.Lock_wait { mutex }) small;
         map (fun units -> Event.Action_batch { units }) small;
         map3 (fun deques heap threads -> Event.Counter { deques; heap; threads }) small small small;
+        map
+          (fun fault -> Event.Fault_injected { fault })
+          (oneofl [ "stall"; "steal_fail"; "task_exn"; "alloc_spike"; "lock_delay" ]);
       ]
   in
   map2

@@ -1,0 +1,61 @@
+(* Smoke-test validator for the `repro chaos` JSON report: structural
+   checks plus the acceptance criteria — every simulator campaign ok, no
+   invariant violations, no watchdog deadlocks, faults actually injected.
+   Usage: validate_chaos report.json *)
+
+module Json = Dfd_trace.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_chaos: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let path = match Sys.argv with [| _; p |] -> p | _ -> fail "usage: validate_chaos FILE" in
+  let j =
+    try Json.of_string (read_file path) with Json.Parse_error m -> fail "bad JSON: %s" m
+  in
+  let int_at k = try Json.to_int_exn (Json.member k j) with _ -> fail "missing int %S" k in
+  ignore (int_at "seed");
+  let campaigns = int_at "campaigns_per_sched" in
+  let scheds = try Json.to_list_exn (Json.member "simulator" j) with _ -> fail "no simulator" in
+  if List.length scheds <> 4 then fail "expected 4 schedulers, got %d" (List.length scheds);
+  let seen_outcomes = ref 0 in
+  List.iter
+    (fun s ->
+       let name = try Json.to_string_exn (Json.member "sched" s) with _ -> fail "no sched name" in
+       if not (List.mem name [ "dfd"; "ws"; "adf"; "fifo" ]) then fail "unknown sched %S" name;
+       let runs = try Json.to_list_exn (Json.member "runs" s) with _ -> fail "no runs" in
+       if List.length runs <> campaigns then
+         fail "%s: %d runs, expected %d" name (List.length runs) campaigns;
+       List.iter
+         (fun r ->
+            incr seen_outcomes;
+            (match Json.member "outcome" r with
+             | Json.String "ok" -> ()
+             | Json.String other -> fail "%s: campaign outcome %S" name other
+             | _ -> fail "%s: campaign without outcome" name);
+            (match Json.member "faults" r with
+             | Json.Assoc kinds ->
+               if List.length kinds <> 5 then fail "%s: expected 5 fault kinds" name
+             | _ -> fail "%s: campaign without fault counts" name))
+         runs)
+    scheds;
+  let summary = Json.member "summary" j in
+  let s_int k =
+    try Json.to_int_exn (Json.member k summary) with _ -> fail "summary missing %S" k
+  in
+  if s_int "sim_runs" <> !seen_outcomes then fail "summary sim_runs mismatch";
+  if s_int "invariant_violations" <> 0 then fail "invariant violations reported";
+  if s_int "deadlocks" <> 0 then fail "watchdog deadlocks reported";
+  if s_int "errors" <> 0 then fail "errors reported";
+  if s_int "faults_injected" <= 0 then fail "no faults were injected";
+  (match Json.member "all_passed" summary with
+   | Json.Bool true -> ()
+   | _ -> fail "all_passed is not true");
+  Printf.printf "validate_chaos: %s ok (%d campaigns, %d faults injected)\n" path !seen_outcomes
+    (s_int "faults_injected")
