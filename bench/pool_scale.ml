@@ -1,0 +1,170 @@
+(* Throughput/scalability benchmark for the native Domains pool.
+
+     dune exec bench/pool_scale.exe                    # full sweep
+     dune exec bench/pool_scale.exe -- --smoke         # seconds-long CI config
+     dune exec bench/pool_scale.exe -- -o out.json     # report path
+
+   Workloads: fork-join fib (pure scheduling overhead — every node is a
+   fork) and psort (divide-and-conquer with real data movement).  Each
+   (policy, workload) pair sweeps worker counts; the report records wall
+   time, task throughput and the pool counters per point, plus the
+   speedup of every p relative to p=1, as machine-readable JSON
+   ([BENCH_pool.json] by default) so the perf trajectory is tracked
+   across PRs.
+
+   The process exit code reflects only crashes/incorrect results — never
+   timing — so CI can run the smoke configuration on noisy shared
+   hardware.  Speedup numbers are meaningful only on a machine that
+   actually has the cores (this is what the `cores` field is for). *)
+
+module Pool = Dfd_runtime.Pool
+module Psort = Dfd_runtime.Psort
+module Prng = Dfd_structures.Prng
+module Json = Dfd_trace.Json
+
+let rec fib n =
+  if n < 2 then n
+  else begin
+    let a, b = Pool.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    a + b
+  end
+
+(* Sequential reference for the correctness check. *)
+let rec sfib n = if n < 2 then n else sfib (n - 1) + sfib (n - 2)
+
+type point = {
+  workload : string;
+  policy_name : string;
+  p : int;
+  time_s : float;
+  reps : int;
+  tasks_run : int;
+  steals : int;
+  steal_failures : int;
+  local_pops : int;
+}
+
+(* Best-of-[reps] wall time for [f] on a fresh pool; counters are from the
+   last rep (created fresh per point so reps don't accumulate). *)
+let measure ~policy ~p ~reps f check =
+  let pool = Pool.create ~domains:(p - 1) policy in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+       let best = ref infinity in
+       for _ = 1 to reps do
+         let t0 = Unix.gettimeofday () in
+         let v = Pool.run pool f in
+         let dt = Unix.gettimeofday () -. t0 in
+         if not (check v) then failwith "pool_scale: wrong result";
+         if dt < !best then best := dt
+       done;
+       (!best, Pool.counters pool))
+
+let point ~workload ~policy_name ~policy ~p ~reps f check =
+  let time_s, c = measure ~policy ~p ~reps f check in
+  Printf.printf "%-6s %-4s p=%d  %.4fs  tasks=%d steals=%d\n%!" workload policy_name p time_s
+    c.Pool.tasks_run c.Pool.steals;
+  {
+    workload;
+    policy_name;
+    p;
+    time_s;
+    reps;
+    tasks_run = c.Pool.tasks_run;
+    steals = c.Pool.steals;
+    steal_failures = c.Pool.steal_failures;
+    local_pops = c.Pool.local_pops;
+  }
+
+let point_json pt =
+  Json.Assoc
+    [
+      ("workload", Json.String pt.workload);
+      ("policy", Json.String pt.policy_name);
+      ("p", Json.Int pt.p);
+      ("time_s", Json.Float pt.time_s);
+      ("reps", Json.Int pt.reps);
+      ("tasks_run", Json.Int pt.tasks_run);
+      ("steals", Json.Int pt.steals);
+      ("steal_failures", Json.Int pt.steal_failures);
+      ("local_pops", Json.Int pt.local_pops);
+      ( "throughput_tasks_per_s",
+        Json.Float (if pt.time_s > 0.0 then float_of_int pt.tasks_run /. pt.time_s else 0.0) );
+    ]
+
+(* speedup(p) = time(p=1) / time(p), per (workload, policy) group *)
+let speedups points =
+  List.filter_map
+    (fun pt ->
+       if pt.p = 1 then None
+       else
+         List.find_opt
+           (fun b -> b.p = 1 && b.workload = pt.workload && b.policy_name = pt.policy_name)
+           points
+         |> Option.map (fun base ->
+             Json.Assoc
+               [
+                 ("workload", Json.String pt.workload);
+                 ("policy", Json.String pt.policy_name);
+                 ("p", Json.Int pt.p);
+                 ( "speedup_vs_p1",
+                   Json.Float (if pt.time_s > 0.0 then base.time_s /. pt.time_s else 0.0) );
+               ]))
+    points
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_pool.json" in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " seconds-long configuration (CI: fails on crash, not timing)");
+      ("-o", Arg.Set_string out, "FILE report path (default BENCH_pool.json)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "pool_scale [--smoke] [-o FILE]";
+  let fib_n, sort_n, reps, ps =
+    if !smoke then (18, 20_000, 1, [ 1; 2 ]) else (26, 400_000, 3, [ 1; 2; 4; 8 ])
+  in
+  let fib_expect = sfib fib_n in
+  let policies = [ ("ws", Pool.Work_stealing); ("dfd", Pool.Dfdeques { quota = 32_768 }) ] in
+  let points =
+    List.concat_map
+      (fun (policy_name, policy) ->
+         List.concat_map
+           (fun p ->
+              let fib_pt =
+                point ~workload:"fib" ~policy_name ~policy ~p ~reps
+                  (fun () -> fib fib_n)
+                  (fun v -> v = fib_expect)
+              in
+              let sort_pt =
+                point ~workload:"psort" ~policy_name ~policy ~p ~reps
+                  (fun () ->
+                     let rng = Prng.create 42 in
+                     let arr = Array.init sort_n (fun _ -> Prng.int rng 1_000_000) in
+                     Psort.sort ~cutoff:512 ~cmp:compare arr;
+                     arr)
+                  (Psort.sorted ~cmp:compare)
+              in
+              [ fib_pt; sort_pt ])
+           ps)
+      policies
+  in
+  let report =
+    Json.Assoc
+      [
+        ("bench", Json.String "pool_scale");
+        ("smoke", Json.Bool !smoke);
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("fib_n", Json.Int fib_n);
+        ("sort_n", Json.Int sort_n);
+        ("results", Json.List (List.map point_json points));
+        ("speedups", Json.List (speedups points));
+      ]
+  in
+  let oc = open_out !out in
+  Json.to_channel oc report;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "report: %s\n" !out

@@ -142,6 +142,26 @@ let pool_degraded_campaign ~seed policy =
   let fault = Fault.create ~rates ~seed () in
   with_pool ~fault policy (fun pool -> clean_sum pool 2000)
 
+(* Lock-free-WS-specific: with every steal forced to fail (probability 1),
+   progress can only come from the owner-side lock-free Chase–Lev path —
+   the computation must still complete correctly, and the successful-steal
+   counter must be exactly 0 (an injected failure fires before any victim
+   deque is touched).  Both facts are deterministic booleans, so the
+   byte-identical-report guarantee is preserved. *)
+let pool_ws_lockfree_campaign ~seed =
+  let rates = { Fault.zero_rates with Fault.steal_fail_prob = 1.0 } in
+  let fault = Fault.create ~rates ~seed:(seed lxor 0x10cf) () in
+  with_pool ~fault Pool.Work_stealing (fun pool ->
+      let owner_only_correct = clean_sum pool 2000 in
+      let zero_steals = (Pool.counters pool).Pool.steals = 0 in
+      ( owner_only_correct && zero_steals,
+        Json.Assoc
+          [
+            ("policy", Json.String "ws_lockfree");
+            ("owner_only_correct", Json.Bool owner_only_correct);
+            ("zero_steals_under_total_injection", Json.Bool zero_steals);
+          ] ))
+
 let pool_report ~seed (name, policy) =
   let exn_propagates, clean_after_exn = pool_exn_campaign ~seed policy in
   let timeout_fires, clean_after_timeout = pool_timeout_campaign policy in
@@ -198,7 +218,10 @@ let run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool =
         (fun (name, _) (passed, _) ->
            Printf.printf "pool %-4s %s\n%!" name (if passed then "ok" else "FAILED"))
         pool_policies results;
-      (List.for_all fst results, List.map snd results)
+      let lf_passed, lf_json = pool_ws_lockfree_campaign ~seed in
+      Printf.printf "pool ws-lockfree %s\n%!" (if lf_passed then "ok" else "FAILED");
+      ( List.for_all fst results && lf_passed,
+        List.map snd results @ [ lf_json ] )
     end
   in
   let sim_total = List.length scheds * campaigns in

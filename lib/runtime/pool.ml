@@ -1,4 +1,5 @@
 module Deque = Dfd_structures.Deque
+module Clev = Dfd_structures.Clev
 module Dll = Dfd_structures.Dll
 module Prng = Dfd_structures.Prng
 module Tracer = Dfd_trace.Tracer
@@ -17,9 +18,18 @@ type task = unit -> unit
 
 type policy = Work_stealing | Dfdeques of { quota : int }
 
-(* A deque of the global list R (DFDeques) or of the fixed per-worker
-   array (WS).  [did]/[born_us] feed the deque-lifecycle trace events. *)
-type dq = { tasks : task Deque.t; mutable owner : int option; did : int; born_us : int }
+(* A deque of the global list R (DFDeques only; the WS policy uses raw
+   Chase–Lev deques).  Task transfer is guarded by the per-deque [dq_lock];
+   [owner] and [node] (its position in R) are written under [r_lock].
+   [did]/[born_us] feed the deque-lifecycle trace events. *)
+type dq = {
+  tasks : task Deque.t;
+  dq_lock : Mutex.t;
+  mutable owner : int option;
+  mutable node : dq Dll.node option;  (** [None] once removed from R. *)
+  did : int;
+  born_us : int;
+}
 
 type counters = {
   steals : int;
@@ -30,7 +40,12 @@ type counters = {
   task_exns : int;
 }
 
-type mutable_counters = {
+(* One record per worker, written only by that worker (thief-side events —
+   steals, failures — are charged to the thief).  Each record is its own
+   heap block, so workers do not false-share counter cache lines; reads
+   aggregate across workers and may be slightly stale, exactly the
+   contract {!val-counters} documents. *)
+type wcounters = {
   mutable c_steals : int;
   mutable c_steal_failures : int;
   mutable c_local_pops : int;
@@ -42,32 +57,53 @@ type mutable_counters = {
 type t = {
   policy : policy;
   n_workers : int;  (** worker domains + the caller *)
-  lock : Mutex.t;
-  work_available : Condition.t;
-  (* WS: fixed deques, index = worker id.  DFD: the list R; [ws_deques] is
-     unused. *)
-  ws_deques : dq array;
+  (* --- Work_stealing: one lock-free deque per worker --------------- *)
+  ws_deques : task Clev.t array;
+  (* --- Dfdeques: the ordered list R ---------------------------------
+     Lock hierarchy (outer to inner): r_lock > dq_lock > trace_lock.
+     [r_lock] guards only R membership (insert/remove/ownership) and the
+     victim-snapshot rebuild; task transfer takes just the deque's own
+     [dq_lock]; thieves pick victims from [victims] without any lock. *)
+  r_lock : Mutex.t;
   r : dq Dll.t;
-  dfd_deque : dq Dll.node option array;  (** DFD: each worker's deque node. *)
-  quota_left : int array;
-  counters : mutable_counters;
-  mutable live_tasks : int;  (** tasks pushed but not yet completed *)
-  mutable shutting_down : bool;
+  dfd_deque : dq option array;  (** each worker's owned deque; owner-written. *)
+  victims : dq array Atomic.t;
+      (** leftmost-min(p,|R|) snapshot of R, republished under [r_lock] on
+          every membership change; thieves read it lock-free (stale reads
+          only cost a failed steal). *)
+  quota_left : int array;  (** owner-written only. *)
+  (* --- shared scheduling state -------------------------------------- *)
+  live_tasks : int Atomic.t;  (** tasks pushed but not yet taken. *)
+  per_worker : wcounters array;
+  idle_lock : Mutex.t;
+  idle_cond : Condition.t;
+  n_parked : int Atomic.t;
+      (** atomic (not merely under [idle_lock]): the parker's
+          [incr n_parked]/[read live_tasks] and the pusher's
+          [incr live_tasks]/[read n_parked] form a Dekker pair, so both
+          sides must be sequentially consistent for wake-ups to be
+          lossless. *)
+  shutting_down : bool Atomic.t;
   mutable domains : unit Domain.t list;
-  rngs : Prng.t array;
+  rngs : Prng.t array;  (** per worker; only touched by its own worker. *)
   tracer : Tracer.t;
-      (** event sink shared by all workers; only written under [lock]. *)
+  trace_lock : Mutex.t;
+      (** serialises tracer emits now that hot paths take no global lock;
+          only ever taken when the tracer is enabled. *)
   fault : Fault.t;  (** fault-injection plan; {!Fault.none} by default. *)
   t0 : float;  (** pool creation wall clock; event stamps are µs since. *)
-  mutable next_did : int;
-  last_active_us : int array;  (** per worker, stamp of its last task. *)
-  mutable deadline : float option;
+  next_did : int Atomic.t;
+  last_active_us : int array;
+      (** per worker, tracer-only stamp of its last task (steal latency). *)
+  deadline : float option Atomic.t;
       (** absolute wall-clock deadline of the current [run ~timeout]. *)
-  mutable cancelled : bool;
+  cancelled : bool Atomic.t;
       (** the deadline passed: fork_join/await bail out cooperatively. *)
 }
 
-(* Wall-clock event timestamp: microseconds since pool creation. *)
+(* Wall-clock event timestamp: microseconds since pool creation.  Only
+   called inside [Tracer.enabled] guards — the hot path never reads the
+   clock when tracing is off. *)
 let now_us pool = int_of_float ((Unix.gettimeofday () -. pool.t0) *. 1e6)
 
 (* Which worker the current domain/thread is, while inside [run]. *)
@@ -84,213 +120,321 @@ let self_exn () =
 (* Cooperative cancellation: checked at every fork and await iteration.
    The first check past the deadline flips [cancelled]; every scheduler
    interaction after that raises, so the computation unwinds without
-   creating new work.  Benign race: [cancelled] is a monotonic bool. *)
+   creating new work. *)
 let check_cancel pool =
-  if pool.cancelled then raise Cancelled;
-  match pool.deadline with
+  if Atomic.get pool.cancelled then raise Cancelled;
+  match Atomic.get pool.deadline with
   | Some d when Unix.gettimeofday () > d ->
-    pool.cancelled <- true;
+    Atomic.set pool.cancelled true;
     raise Cancelled
   | _ -> ()
 
-(* Bounded exponential backoff between failed steal attempts: capped so a
-   worker never sleeps through real work for long, growing so contended
-   steals do not hammer the pool lock. *)
-let backoff_wait n =
-  let spins = 1 lsl min n 8 in
+(* Bounded exponential backoff with full jitter between failed steal
+   attempts: the spin count is drawn uniformly from [1, 2^n], so
+   contending thieves decorrelate instead of retrying in lockstep (the
+   old fixed 2^n schedule made every loser of a steal race wake at the
+   same instant and collide again). *)
+let backoff_wait rng n =
+  let cap = 1 lsl min n 8 in
+  let spins = 1 + Prng.int rng cap in
   for _ = 1 to spins do
     Domain.cpu_relax ()
   done
 
+(* After this many consecutive empty-handed rounds with no queued work at
+   all, a worker parks on [idle_cond] instead of spinning. *)
+let park_threshold = 8
+
 (* ------------------------------------------------------------------ *)
-(* Deque plumbing (all under [pool.lock])                              *)
+(* Tracing plumbing (all behind [Tracer.enabled]; emits serialised by   *)
+(* [trace_lock], the innermost lock in the hierarchy)                   *)
 (* ------------------------------------------------------------------ *)
 
-(* DFD only: allocate a deque of R, tracing its birth. *)
-let new_dq pool ~proc ~owner =
-  let born_us = if Tracer.enabled pool.tracer then now_us pool else 0 in
-  let d = { tasks = Deque.create (); owner; did = pool.next_did; born_us } in
-  pool.next_did <- pool.next_did + 1;
-  if Tracer.enabled pool.tracer then
-    Tracer.emit pool.tracer ~ts:born_us ~proc ~tid:(-1) (Event.Deque_created { did = d.did });
-  d
-
-(* DFD only: a deque leaves R. *)
-let trace_dq_removed pool ~proc d =
-  if Tracer.enabled pool.tracer then begin
-    let ts = now_us pool in
-    Tracer.emit pool.tracer ~ts ~proc ~tid:(-1)
-      (Event.Deque_deleted { did = d.did; residency = ts - d.born_us })
-  end
-
-(* Give worker [w] a deque if it has none (DFD). *)
-let dfd_own_deque pool w =
-  match pool.dfd_deque.(w) with
-  | Some node -> Dll.value node
-  | None ->
-    let d = new_dq pool ~proc:w ~owner:(Some w) in
-    let node = Dll.push_front pool.r d in
-    pool.dfd_deque.(w) <- Some node;
-    d
-
-let push_local pool w task =
-  Mutex.lock pool.lock;
-  pool.live_tasks <- pool.live_tasks + 1;
-  (match pool.policy with
-   | Work_stealing -> Deque.push_top pool.ws_deques.(w).tasks task
-   | Dfdeques _ -> Deque.push_top (dfd_own_deque pool w).tasks task);
-  Condition.signal pool.work_available;
-  Mutex.unlock pool.lock
-
-(* Called with the lock held, just after worker [w] obtained a task: one
-   Action_batch event per task, wall-clock stamped. *)
-let note_task_start pool w =
-  pool.counters.c_tasks_run <- pool.counters.c_tasks_run + 1;
-  if Tracer.enabled pool.tracer then begin
-    let ts = now_us pool in
-    pool.last_active_us.(w) <- ts;
-    Tracer.emit pool.tracer ~ts ~proc:w ~tid:(-1) (Event.Action_batch { units = 1 })
-  end
-
-(* Pop our most recent push if it is still on top (the fork_join fast
-   path).  Physical equality identifies the task. *)
-let try_pop_exact pool w task =
-  Mutex.lock pool.lock;
-  let dq =
-    match pool.policy with
-    | Work_stealing -> Some pool.ws_deques.(w)
-    | Dfdeques _ -> Option.map Dll.value pool.dfd_deque.(w)
-  in
-  let got =
-    match dq with
-    | Some d -> (
-        match Deque.peek_top d.tasks with
-        | Some t when t == task -> (
-            match Deque.pop_top d.tasks with
-            | Some _ ->
-              pool.live_tasks <- pool.live_tasks - 1;
-              note_task_start pool w;
-              true
-            | None -> false)
-        | _ -> false)
-    | None -> false
-  in
-  Mutex.unlock pool.lock;
-  got
-
-(* DFDeques give-up: leave the (nonempty) deque in R unowned. *)
-let dfd_abandon pool w =
-  match pool.dfd_deque.(w) with
-  | None -> ()
-  | Some node ->
-    let d = Dll.value node in
-    d.owner <- None;
-    if Deque.is_empty d.tasks then begin
-      Dll.remove pool.r node;
-      trace_dq_removed pool ~proc:w d
-    end;
-    pool.dfd_deque.(w) <- None
-
-(* A successful steal on worker [w]: count + trace it.  [latency] is µs
-   since the worker last held a task. *)
-let trace_steal_success pool w ~victim =
-  pool.counters.c_steals <- pool.counters.c_steals + 1;
-  if Tracer.enabled pool.tracer then begin
-    let ts = now_us pool in
-    Tracer.emit pool.tracer ~ts ~proc:w ~tid:(-1)
-      (Event.Steal_success { victim; latency = ts - pool.last_active_us.(w) })
-  end
+let emit_locked pool ~proc kind =
+  Mutex.lock pool.trace_lock;
+  Tracer.emit pool.tracer ~ts:(now_us pool) ~proc ~tid:(-1) kind;
+  Mutex.unlock pool.trace_lock
 
 let trace_steal_attempt pool w ~victim =
-  if Tracer.enabled pool.tracer then
-    Tracer.emit pool.tracer ~ts:(now_us pool) ~proc:w ~tid:(-1)
-      (Event.Steal_attempt { victim })
+  if Tracer.enabled pool.tracer then emit_locked pool ~proc:w (Event.Steal_attempt { victim })
+
+let trace_dq_removed pool ~proc d =
+  if Tracer.enabled pool.tracer then begin
+    Mutex.lock pool.trace_lock;
+    let ts = now_us pool in
+    Tracer.emit pool.tracer ~ts ~proc ~tid:(-1)
+      (Event.Deque_deleted { did = d.did; residency = ts - d.born_us });
+    Mutex.unlock pool.trace_lock
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker [w] obtained a task (any path).  [c_tasks_run] doubles as the
+   cheap monotonic heartbeat: watchdogs poll its sum instead of the pool
+   stamping wall-clock times on the hot path. *)
+let note_task_start pool w =
+  let c = pool.per_worker.(w) in
+  c.c_tasks_run <- c.c_tasks_run + 1;
+  if Tracer.enabled pool.tracer then begin
+    Mutex.lock pool.trace_lock;
+    let ts = now_us pool in
+    pool.last_active_us.(w) <- ts;
+    Tracer.emit pool.tracer ~ts ~proc:w ~tid:(-1) (Event.Action_batch { units = 1 });
+    Mutex.unlock pool.trace_lock
+  end
+
+let note_steal_success pool w ~victim =
+  let c = pool.per_worker.(w) in
+  c.c_steals <- c.c_steals + 1;
+  if Tracer.enabled pool.tracer then begin
+    Mutex.lock pool.trace_lock;
+    let ts = now_us pool in
+    Tracer.emit pool.tracer ~ts ~proc:w ~tid:(-1)
+      (Event.Steal_success { victim; latency = ts - pool.last_active_us.(w) });
+    Mutex.unlock pool.trace_lock
+  end
+
+let note_steal_failure pool w =
+  let c = pool.per_worker.(w) in
+  c.c_steal_failures <- c.c_steal_failures + 1
 
 (* Injected steal failure (chaos testing): charge a failed attempt without
-   touching any deque.  Called with the lock held (tracer safety). *)
+   touching any deque. *)
 let injected_steal_failure pool w =
   let fail = Fault.steal_fails pool.fault in
   if fail then begin
-    pool.counters.c_steal_failures <- pool.counters.c_steal_failures + 1;
+    note_steal_failure pool w;
     if Tracer.enabled pool.tracer then
-      Tracer.emit pool.tracer ~ts:(now_us pool) ~proc:w ~tid:(-1)
-        (Event.Fault_injected { fault = "steal_fail" })
+      emit_locked pool ~proc:w (Event.Fault_injected { fault = "steal_fail" })
   end;
   fail
 
-(* One attempt to obtain a task; must hold the lock. *)
+(* ------------------------------------------------------------------ *)
+(* Idle parking                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Wake at most one parked worker.  The pusher has already published the
+   task and incremented [live_tasks] (both SC), so either the parker's
+   re-check sees the work, or this read sees the parker — a wake-up can
+   never be lost between the two.  Signalling one worker instead of
+   broadcasting avoids the thundering herd the old single [Condition]
+   produced: p-1 sleepers stampeding the lock for one task. *)
+let signal_work pool =
+  if Atomic.get pool.n_parked > 0 then begin
+    Mutex.lock pool.idle_lock;
+    Condition.signal pool.idle_cond;
+    Mutex.unlock pool.idle_lock
+  end
+
+let park pool =
+  Mutex.lock pool.idle_lock;
+  Atomic.incr pool.n_parked;
+  while Atomic.get pool.live_tasks = 0 && not (Atomic.get pool.shutting_down) do
+    Condition.wait pool.idle_cond pool.idle_lock
+  done;
+  Atomic.decr pool.n_parked;
+  Mutex.unlock pool.idle_lock
+
+(* ------------------------------------------------------------------ *)
+(* DFDeques: R-list membership (under [r_lock]) and task transfer       *)
+(* (under the per-deque lock)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let new_dq pool ~proc ~owner =
+  let born_us = if Tracer.enabled pool.tracer then now_us pool else 0 in
+  let d =
+    {
+      tasks = Deque.create ();
+      dq_lock = Mutex.create ();
+      owner;
+      node = None;
+      did = Atomic.fetch_and_add pool.next_did 1;
+      born_us;
+    }
+  in
+  if Tracer.enabled pool.tracer then
+    emit_locked pool ~proc (Event.Deque_created { did = d.did });
+  d
+
+(* Republish the leftmost-min(p,|R|) window.  Caller holds [r_lock]. *)
+let rebuild_victims pool =
+  let n = min pool.n_workers (Dll.length pool.r) in
+  let rec collect node k acc =
+    if k = 0 then acc
+    else
+      match node with
+      | None -> acc
+      | Some nd -> collect (Dll.next nd) (k - 1) (Dll.value nd :: acc)
+  in
+  let vs = Array.of_list (List.rev (collect (Dll.front pool.r) n [])) in
+  Atomic.set pool.victims vs
+
+(* Caller holds [r_lock].  Remove [d] from R if it is empty and unowned;
+   returns whether membership changed (caller then rebuilds the window). *)
+let remove_if_dead pool ~proc d =
+  match d.node with
+  | Some node when Dll.is_member node ->
+    Mutex.lock d.dq_lock;
+    let dead = Deque.is_empty d.tasks && d.owner = None in
+    Mutex.unlock d.dq_lock;
+    if dead then begin
+      Dll.remove pool.r node;
+      d.node <- None;
+      trace_dq_removed pool ~proc d;
+      true
+    end
+    else false
+  | _ -> false
+
+(* The worker's own deque, creating and pushing it onto the front of R if
+   it has none (a worker that just gave its deque away or is pushing its
+   first task). *)
+let dfd_own_deque pool w =
+  match pool.dfd_deque.(w) with
+  | Some d -> d
+  | None ->
+    let d = new_dq pool ~proc:w ~owner:(Some w) in
+    Mutex.lock pool.r_lock;
+    d.node <- Some (Dll.push_front pool.r d);
+    rebuild_victims pool;
+    Mutex.unlock pool.r_lock;
+    pool.dfd_deque.(w) <- Some d;
+    d
+
+(* Abandon the worker's deque (quota exhausted, or found empty): mark it
+   unowned and drop it from R if there is nothing left to steal from it.
+   The paper's discipline — a nonempty abandoned deque stays in R for
+   thieves. *)
+let dfd_abandon pool w =
+  match pool.dfd_deque.(w) with
+  | None -> ()
+  | Some d ->
+    pool.dfd_deque.(w) <- None;
+    Mutex.lock pool.r_lock;
+    d.owner <- None;
+    if remove_if_dead pool ~proc:w d then rebuild_victims pool;
+    Mutex.unlock pool.r_lock
+
+(* A successful DFD steal: the thief takes ownership of a fresh deque
+   inserted immediately to the right of the victim (paper invariant: a
+   thief's new deque sits just after the deque it stole from), and the
+   victim is reaped if the steal emptied an unowned deque. *)
+let dfd_adopt_after pool w victim =
+  let d = new_dq pool ~proc:w ~owner:(Some w) in
+  Mutex.lock pool.r_lock;
+  (match victim.node with
+   | Some vnode when Dll.is_member vnode -> d.node <- Some (Dll.insert_after pool.r vnode d)
+   | _ ->
+     (* the victim left R while we held its task: a stale-snapshot steal;
+        our deque takes its place at the front of the window *)
+     d.node <- Some (Dll.push_front pool.r d));
+  ignore (remove_if_dead pool ~proc:w victim);
+  rebuild_victims pool;
+  Mutex.unlock pool.r_lock;
+  pool.dfd_deque.(w) <- Some d
+
+let dfd_steal pool w ~quota =
+  if injected_steal_failure pool w then None
+  else begin
+    (* victim draw over the leftmost-p window, snapshot read lock-free:
+       k >= |snapshot| is a failed attempt, as with the old in-lock
+       nth-node walk, preserving the paper's bias toward short R *)
+    let k = Prng.int pool.rngs.(w) pool.n_workers in
+    trace_steal_attempt pool w ~victim:k;
+    let vs = Atomic.get pool.victims in
+    if k >= Array.length vs then begin
+      note_steal_failure pool w;
+      None
+    end
+    else begin
+      let victim = vs.(k) in
+      Mutex.lock victim.dq_lock;
+      let got = Deque.pop_bottom victim.tasks in
+      Mutex.unlock victim.dq_lock;
+      match got with
+      | None ->
+        note_steal_failure pool w;
+        None
+      | Some task ->
+        note_steal_success pool w ~victim:k;
+        dfd_adopt_after pool w victim;
+        pool.quota_left.(w) <- quota;
+        Some task
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Obtaining work                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let push_local pool w task =
+  (* [live_tasks] rises before the task is visible, so a worker that sees
+     zero can safely park: any task not yet pushed will signal it. *)
+  Atomic.incr pool.live_tasks;
+  (match pool.policy with
+   | Work_stealing -> Clev.push pool.ws_deques.(w) task
+   | Dfdeques _ ->
+     let d = dfd_own_deque pool w in
+     Mutex.lock d.dq_lock;
+     Deque.push_top d.tasks task;
+     Mutex.unlock d.dq_lock);
+  signal_work pool
+
+(* One attempt to obtain a task; lock-free for WS, per-deque locks for
+   DFD.  Does not touch [live_tasks]; callers do. *)
 let try_get pool w =
   match pool.policy with
   | Work_stealing -> (
-      match Deque.pop_top pool.ws_deques.(w).tasks with
+      match Clev.pop pool.ws_deques.(w) with
       | Some t ->
-        pool.counters.c_local_pops <- pool.counters.c_local_pops + 1;
+        let c = pool.per_worker.(w) in
+        c.c_local_pops <- c.c_local_pops + 1;
         Some t
-      | None when injected_steal_failure pool w -> None
       | None ->
-        let victim = Prng.int pool.rngs.(w) pool.n_workers in
-        trace_steal_attempt pool w ~victim;
-        if victim = w then None
-        else (
-          match Deque.pop_bottom pool.ws_deques.(victim).tasks with
-          | Some t ->
-            trace_steal_success pool w ~victim;
-            Some t
-          | None ->
-            pool.counters.c_steal_failures <- pool.counters.c_steal_failures + 1;
-            None))
-  | Dfdeques { quota } -> (
-      let steal () =
         if injected_steal_failure pool w then None
-        else
-        let k = Prng.int pool.rngs.(w) pool.n_workers in
-        trace_steal_attempt pool w ~victim:k;
-        match Dll.nth_node pool.r k with
-        | None ->
-          pool.counters.c_steal_failures <- pool.counters.c_steal_failures + 1;
-          None
-        | Some node -> (
-            let victim = Dll.value node in
-            match Deque.pop_bottom victim.tasks with
-            | None ->
-              pool.counters.c_steal_failures <- pool.counters.c_steal_failures + 1;
-              None
+        else begin
+          let victim = Prng.int pool.rngs.(w) pool.n_workers in
+          trace_steal_attempt pool w ~victim;
+          if victim = w then begin
+            note_steal_failure pool w;
+            None
+          end
+          else
+            match Clev.steal pool.ws_deques.(victim) with
             | Some t ->
-              trace_steal_success pool w ~victim:k;
-              let nd = new_dq pool ~proc:w ~owner:(Some w) in
-              let new_node = Dll.insert_after pool.r node nd in
-              if Deque.is_empty victim.tasks && victim.owner = None then begin
-                Dll.remove pool.r node;
-                trace_dq_removed pool ~proc:w victim
-              end;
-              pool.dfd_deque.(w) <- Some new_node;
-              pool.quota_left.(w) <- quota;
-              Some t)
-      in
+              note_steal_success pool w ~victim;
+              Some t
+            | None ->
+              note_steal_failure pool w;
+              None
+        end)
+  | Dfdeques { quota } -> (
       match pool.dfd_deque.(w) with
-      | Some node when pool.quota_left.(w) <= 0 ->
+      | Some _ when pool.quota_left.(w) <= 0 ->
         (* memory quota exhausted: abandon the deque and steal *)
-        pool.counters.c_quota_giveups <- pool.counters.c_quota_giveups + 1;
+        let c = pool.per_worker.(w) in
+        c.c_quota_giveups <- c.c_quota_giveups + 1;
         if Tracer.enabled pool.tracer then
-          Tracer.emit pool.tracer ~ts:(now_us pool) ~proc:w ~tid:(-1)
+          emit_locked pool ~proc:w
             (Event.Quota_exhausted { used = quota - pool.quota_left.(w); quota });
-        ignore node;
         dfd_abandon pool w;
-        steal ()
-      | Some node -> (
-          let d = Dll.value node in
-          match Deque.pop_top d.tasks with
+        dfd_steal pool w ~quota
+      | Some d -> (
+          Mutex.lock d.dq_lock;
+          let got = Deque.pop_top d.tasks in
+          Mutex.unlock d.dq_lock;
+          match got with
           | Some t ->
-            pool.counters.c_local_pops <- pool.counters.c_local_pops + 1;
+            let c = pool.per_worker.(w) in
+            c.c_local_pops <- c.c_local_pops + 1;
             Some t
           | None ->
-            (* empty own deque: delete it, then steal *)
-            d.owner <- None;
-            Dll.remove pool.r node;
-            trace_dq_removed pool ~proc:w d;
-            pool.dfd_deque.(w) <- None;
-            steal ())
-      | None -> steal ())
+            (* empty own deque: retire it, then steal *)
+            dfd_abandon pool w;
+            dfd_steal pool w ~quota)
+      | None -> dfd_steal pool w ~quota)
 
 let run_task t = t ()
 
@@ -300,23 +444,51 @@ let run_task t = t ()
    so this is the belt-and-braces path for malformed raw tasks — count it
    and carry on. *)
 let help_once pool w =
-  Mutex.lock pool.lock;
-  let got = try_get pool w in
-  (match got with
-   | Some _ ->
-     pool.live_tasks <- pool.live_tasks - 1;
-     note_task_start pool w
-   | None -> ());
-  Mutex.unlock pool.lock;
-  match got with
+  match try_get pool w with
   | Some t ->
+    Atomic.decr pool.live_tasks;
+    note_task_start pool w;
     (try run_task t
      with _ ->
-       Mutex.lock pool.lock;
-       pool.counters.c_task_exns <- pool.counters.c_task_exns + 1;
-       Mutex.unlock pool.lock);
+       let c = pool.per_worker.(w) in
+       c.c_task_exns <- c.c_task_exns + 1);
     true
   | None -> false
+
+(* Pop our most recent push if it is still on top (the fork_join fast
+   path).  Physical equality identifies the task.  Under WS the owner pop
+   is lock-free; a pop that surfaces some other task (possible only if
+   ours was stolen) is pushed straight back. *)
+let try_pop_exact pool w task =
+  let got =
+    match pool.policy with
+    | Work_stealing -> (
+        match Clev.pop pool.ws_deques.(w) with
+        | Some t when t == task -> true
+        | Some other ->
+          Clev.push pool.ws_deques.(w) other;
+          false
+        | None -> false)
+    | Dfdeques _ -> (
+        match pool.dfd_deque.(w) with
+        | None -> false
+        | Some d ->
+          Mutex.lock d.dq_lock;
+          let hit =
+            match Deque.peek_top d.tasks with
+            | Some t when t == task ->
+              ignore (Deque.pop_top d.tasks);
+              true
+            | _ -> false
+          in
+          Mutex.unlock d.dq_lock;
+          hit)
+  in
+  if got then begin
+    Atomic.decr pool.live_tasks;
+    note_task_start pool w
+  end;
+  got
 
 (* ------------------------------------------------------------------ *)
 (* Futures                                                             *)
@@ -333,9 +505,9 @@ let fulfill pool pr f =
     match f () with
     | x -> Done x
     | exception e ->
-      Mutex.lock pool.lock;
-      pool.counters.c_task_exns <- pool.counters.c_task_exns + 1;
-      Mutex.unlock pool.lock;
+      let w = match self () with Some (w, _) -> w | None -> 0 in
+      let c = pool.per_worker.(w) in
+      c.c_task_exns <- c.c_task_exns + 1;
       Failed e
   in
   Atomic.set pr.state v
@@ -348,10 +520,11 @@ let await pool w pr =
     | Pending ->
       check_cancel pool;
       (* help: run other tasks while the thief finishes ours; back off
-         when steals keep failing so contended pools don't spin hot *)
+         with jitter when steals keep failing so contended pools don't
+         spin hot *)
       if help_once pool w then go 0
       else begin
-        backoff_wait misses;
+        backoff_wait pool.rngs.(w) misses;
         go (misses + 1)
       end
   in
@@ -365,21 +538,23 @@ let worker_loop pool w =
   Domain.DLS.get worker_key := Some (w, pool);
   let misses = ref 0 in
   let rec loop () =
-    if pool.shutting_down then ()
+    if Atomic.get pool.shutting_down then ()
     else begin
       if help_once pool w then misses := 0
       else begin
-        (* nothing runnable: sleep if the pool is idle, otherwise back off
-           and retry — live tasks exist but our steal attempt lost *)
-        Mutex.lock pool.lock;
-        let idle = (not pool.shutting_down) && pool.live_tasks = 0 in
-        if idle then Condition.wait pool.work_available pool.lock;
-        Mutex.unlock pool.lock;
-        if idle then misses := 0
-        else begin
-          incr misses;
-          backoff_wait !misses
+        incr misses;
+        if Atomic.get pool.live_tasks = 0 then begin
+          (* nothing queued anywhere: bounded spin, then park until a
+             push signals — no thundering herd, one signal wakes one *)
+          if !misses >= park_threshold then begin
+            park pool;
+            misses := 0
+          end
+          else backoff_wait pool.rngs.(w) !misses
         end
+        else
+          (* work exists but our attempt lost: back off and retry *)
+          backoff_wait pool.rngs.(w) !misses
       end;
       loop ()
     end
@@ -397,36 +572,39 @@ let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) policy =
     {
       policy;
       n_workers;
-      lock = Mutex.create ();
-      work_available = Condition.create ();
-      ws_deques =
-        Array.init n_workers (fun i ->
-            { tasks = Deque.create (); owner = Some i; did = i; born_us = 0 });
+      ws_deques = Array.init n_workers (fun _ -> Clev.create ());
+      r_lock = Mutex.create ();
       r = Dll.create ();
       dfd_deque = Array.make n_workers None;
+      victims = Atomic.make [||];
       quota_left =
         Array.make n_workers
           (match policy with Dfdeques { quota } -> quota | Work_stealing -> max_int);
-      counters =
-        {
-          c_steals = 0;
-          c_steal_failures = 0;
-          c_local_pops = 0;
-          c_quota_giveups = 0;
-          c_tasks_run = 0;
-          c_task_exns = 0;
-        };
-      live_tasks = 0;
-      shutting_down = false;
+      live_tasks = Atomic.make 0;
+      per_worker =
+        Array.init n_workers (fun _ ->
+            {
+              c_steals = 0;
+              c_steal_failures = 0;
+              c_local_pops = 0;
+              c_quota_giveups = 0;
+              c_tasks_run = 0;
+              c_task_exns = 0;
+            });
+      idle_lock = Mutex.create ();
+      idle_cond = Condition.create ();
+      n_parked = Atomic.make 0;
+      shutting_down = Atomic.make false;
       domains = [];
       rngs = Array.init n_workers (fun i -> Prng.create (1000 + i));
       tracer;
+      trace_lock = Mutex.create ();
       fault;
       t0 = Unix.gettimeofday ();
-      next_did = n_workers;
+      next_did = Atomic.make n_workers;
       last_active_us = Array.make n_workers 0;
-      deadline = None;
-      cancelled = false;
+      deadline = Atomic.make None;
+      cancelled = Atomic.make false;
     }
   in
   pool.domains <- List.init extra (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
@@ -437,11 +615,11 @@ let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) policy =
    cheap leftovers) so the pool is clean for the next [run]. *)
 let drain pool =
   let misses = ref 0 in
-  while pool.live_tasks > 0 do
+  while Atomic.get pool.live_tasks > 0 do
     if help_once pool 0 then misses := 0
     else begin
       incr misses;
-      backoff_wait !misses
+      backoff_wait pool.rngs.(0) !misses
     end
   done
 
@@ -449,19 +627,19 @@ let run ?timeout pool f =
   (match self () with Some _ -> raise Nested_run | None -> ());
   let ctx = Domain.DLS.get worker_key in
   ctx := Some (0, pool);
-  pool.cancelled <- false;
-  pool.deadline <- Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
+  Atomic.set pool.cancelled false;
+  Atomic.set pool.deadline (Option.map (fun s -> Unix.gettimeofday () +. s) timeout);
   Fun.protect
     ~finally:(fun () ->
       ctx := None;
-      pool.deadline <- None)
+      Atomic.set pool.deadline None)
     (fun () ->
        match f () with
        | v -> v
-       | exception Cancelled when pool.cancelled ->
+       | exception Cancelled when Atomic.get pool.cancelled ->
          drain pool;
          raise Timeout
-       | exception e when pool.cancelled ->
+       | exception e when Atomic.get pool.cancelled ->
          (* a user exception raced the cancellation; still leave the pool
             clean, but report the user's exception *)
          drain pool;
@@ -518,22 +696,34 @@ let alloc_hint n =
   | Some (w, pool) -> (
       match pool.policy with
       | Dfdeques _ ->
-        Mutex.lock pool.lock;
-        pool.quota_left.(w) <- pool.quota_left.(w) - n;
-        Mutex.unlock pool.lock
+        (* owner-only slot: no lock needed *)
+        pool.quota_left.(w) <- pool.quota_left.(w) - n
       | Work_stealing -> ())
   | None -> ()
 
 let counters pool =
-  let c = pool.counters in
-  {
-    steals = c.c_steals;
-    steal_failures = c.c_steal_failures;
-    local_pops = c.c_local_pops;
-    quota_giveups = c.c_quota_giveups;
-    tasks_run = c.c_tasks_run;
-    task_exns = c.c_task_exns;
-  }
+  Array.fold_left
+    (fun acc c ->
+       {
+         steals = acc.steals + c.c_steals;
+         steal_failures = acc.steal_failures + c.c_steal_failures;
+         local_pops = acc.local_pops + c.c_local_pops;
+         quota_giveups = acc.quota_giveups + c.c_quota_giveups;
+         tasks_run = acc.tasks_run + c.c_tasks_run;
+         task_exns = acc.task_exns + c.c_task_exns;
+       })
+    {
+      steals = 0;
+      steal_failures = 0;
+      local_pops = 0;
+      quota_giveups = 0;
+      tasks_run = 0;
+      task_exns = 0;
+    }
+    pool.per_worker
+
+let heartbeat pool =
+  Array.fold_left (fun acc c -> acc + c.c_tasks_run) 0 pool.per_worker
 
 let stats pool =
   let c = counters pool in
@@ -548,10 +738,10 @@ let stats pool =
 
 (* Human-readable diagnostic dump for hang post-mortems: every counter,
    the live-task and cancellation state, and each deque's occupancy.
-   Takes the lock, so it is consistent — call it from a watchdog, not a
-   hot path. *)
+   Counter reads are per-worker aggregates (exact once idle); the R walk
+   takes [r_lock] so the DFD section is internally consistent.  Call it
+   from a watchdog, not a hot path. *)
 let snapshot pool =
-  Mutex.lock pool.lock;
   let b = Buffer.create 256 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pf "pool snapshot (%s, %d workers)\n"
@@ -559,27 +749,24 @@ let snapshot pool =
      | Work_stealing -> "WS"
      | Dfdeques { quota } -> Printf.sprintf "DFDeques(K=%d)" quota)
     pool.n_workers;
-  pf "  live_tasks=%d shutting_down=%b cancelled=%b deadline=%s\n" pool.live_tasks
-    pool.shutting_down pool.cancelled
-    (match pool.deadline with
+  pf "  live_tasks=%d parked=%d shutting_down=%b cancelled=%b deadline=%s\n"
+    (Atomic.get pool.live_tasks) (Atomic.get pool.n_parked)
+    (Atomic.get pool.shutting_down) (Atomic.get pool.cancelled)
+    (match Atomic.get pool.deadline with
      | None -> "none"
      | Some d -> Printf.sprintf "%+.3fs" (d -. Unix.gettimeofday ()));
-  List.iter (fun (k, v) -> pf "  %s=%d\n" k v)
-    [
-      ("steals", pool.counters.c_steals);
-      ("steal_failures", pool.counters.c_steal_failures);
-      ("local_pops", pool.counters.c_local_pops);
-      ("quota_giveups", pool.counters.c_quota_giveups);
-      ("tasks_run", pool.counters.c_tasks_run);
-      ("task_exns", pool.counters.c_task_exns);
-    ];
-  pf "  faults_injected=%d\n" (Fault.injected_total pool.fault);
+  List.iter (fun (k, v) -> pf "  %s=%d\n" k v) (stats pool);
+  pf "  heartbeat=%d faults_injected=%d\n" (heartbeat pool) (Fault.injected_total pool.fault);
+  Array.iteri
+    (fun i c -> pf "  worker %d: tasks_run=%d steals=%d\n" i c.c_tasks_run c.c_steals)
+    pool.per_worker;
   (match pool.policy with
    | Work_stealing ->
      Array.iteri
-       (fun i d -> pf "  deque[worker %d]: %d tasks\n" i (Deque.length d.tasks))
+       (fun i d -> pf "  deque[worker %d]: %d tasks\n" i (Clev.length d))
        pool.ws_deques
    | Dfdeques _ ->
+     Mutex.lock pool.r_lock;
      pf "  R has %d deques\n" (Dll.length pool.r);
      Dll.iter
        (fun d ->
@@ -587,15 +774,15 @@ let snapshot pool =
             (match d.owner with None -> "-" | Some w -> string_of_int w)
             (Deque.length d.tasks))
        pool.r;
+     Mutex.unlock pool.r_lock;
      Array.iteri (fun i q -> pf "  quota_left[worker %d]=%d\n" i q) pool.quota_left);
-  Mutex.unlock pool.lock;
   Buffer.contents b
 
 let shutdown pool =
-  Mutex.lock pool.lock;
-  pool.shutting_down <- true;
-  Condition.broadcast pool.work_available;
-  Mutex.unlock pool.lock;
+  Atomic.set pool.shutting_down true;
+  Mutex.lock pool.idle_lock;
+  Condition.broadcast pool.idle_cond;
+  Mutex.unlock pool.idle_lock;
   List.iter Domain.join pool.domains;
   pool.domains <- []
 

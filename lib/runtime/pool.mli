@@ -5,16 +5,22 @@
     scheduling algorithms that the simulator analyses, driving real OCaml
     closures on real domains.
 
-    - {!Work_stealing} — one deque per worker, LIFO locally, thieves pop
-      the bottom of a uniformly random victim (Blumofe–Leiserson / Cilk).
+    - {!Work_stealing} — one {e lock-free Chase–Lev deque} per worker,
+      LIFO locally, thieves pop the bottom of a uniformly random victim
+      (Blumofe–Leiserson / Cilk).  The owner's push/pop takes no lock and
+      no CAS except on the last element; steals are arbitrated by one CAS.
     - {!Dfdeques} — the paper's algorithm: a globally ordered list R of
       deques; thieves pop the bottom of a random deque among the leftmost
       [p]; a cooperative memory quota (fed by {!alloc_hint}) makes a worker
       abandon its deque and steal once it has allocated more than K bytes
       since its last steal, exactly the DFDeques(K) discipline at task
-      granularity.  Access to R is serialised by one lock, as in the
-      paper's own Pthreads implementation (Section 5: "access to the ready
-      threads in R was serialized").
+      granularity.  Unlike the paper's fully serialised Pthreads
+      implementation (Section 5), the critical sections are split: task
+      transfer takes only the target deque's own lock, the global lock
+      covers just R-membership changes, and thieves pick victims from a
+      lock-free snapshot of the leftmost-[p] window (a stale snapshot
+      costs at most a failed steal).  DESIGN.md §10 documents the lock
+      hierarchy and the memory-ordering argument.
 
     Fork-join is work-first: {!fork_join} pushes the left branch and runs
     the right inline; on return it pops the left branch back if nobody
@@ -22,8 +28,12 @@
     otherwise it helps execute other tasks until the thief finishes.
     Exceptions propagate to the joining parent.
 
-    The pool is small and lock-based by design — the point is algorithmic
-    fidelity and a usable API, not peak throughput. *)
+    Idle workers spin briefly with jittered exponential backoff, then park
+    on a condition variable; each push wakes at most one parked worker, so
+    wake-ups do not thundering-herd.  Scheduling counters are kept in
+    per-worker records and aggregated only when read.
+    [bench/pool_scale.exe] tracks the throughput/scalability trajectory of
+    this layer (it emits [BENCH_pool.json]). *)
 
 type t
 
@@ -61,8 +71,10 @@ val create :
     scheduler events — steal attempts/successes, quota exhaustions, deque
     lifecycle, one [Action_batch] per task.  Unlike the simulator, event
     timestamps are wall-clock microseconds since pool creation, so traces
-    export directly to Chrome/Perfetto at real-time scale.  Events are
-    only emitted under the pool lock, so any tracer is safe to share.
+    export directly to Chrome/Perfetto at real-time scale.  Emits are
+    serialised by a dedicated trace lock (taken only when the tracer is
+    enabled — with tracing off the hot paths never read the clock), so
+    any tracer is safe to share.
 
     [fault] (default {!Dfd_fault.Fault.none}): a seeded fault-injection
     plan for chaos testing.  The pool consults it at every steal attempt
@@ -120,10 +132,18 @@ type counters = {
 }
 
 val counters : t -> counters
-(** Typed snapshot of the pool's scheduling counters.  Counters are
-    updated under the pool lock but read without it, so a snapshot taken
-    while tasks are running may be slightly stale; it is exact once the
-    pool is idle. *)
+(** Typed snapshot of the pool's scheduling counters, aggregated across
+    the per-worker records.  Each worker updates only its own record
+    without synchronisation, so a snapshot taken while tasks are running
+    may be slightly stale; it is exact once the pool is idle. *)
+
+val heartbeat : t -> int
+(** Monotonic progress counter: total tasks started across all workers.
+    A cheap read (per-worker sum, no locks, no clock), intended as the
+    progress clock for a no-progress watchdog
+    ({!Dfd_fault.Watchdog.touch} on change, {!Dfd_fault.Watchdog.check}
+    periodically) — the pool never stamps wall-clock time on the hot path
+    for liveness purposes. *)
 
 val stats : t -> (string * int) list
 (** {!counters} flattened to association-list form for quick printing. *)

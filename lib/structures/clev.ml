@@ -1,0 +1,104 @@
+(* Chase–Lev work-stealing deque over OCaml 5 atomics.
+
+   Layout: logical indices [top, bottom) name the live elements; a
+   circular buffer of Atomic cells stores them at [index land mask].  The
+   owner pushes/pops at [bottom]; thieves CAS [top] forward.  OCaml's
+   [Atomic] operations are sequentially consistent, which is exactly the
+   fence discipline the original algorithm needs: the owner publishes the
+   cell write before advancing [bottom] (so a thief that reads
+   [bottom > t] also sees the cell), and in [pop] it writes the lowered
+   [bottom] before reading [top] (the Dekker-style handshake that makes
+   the last-element race fall through to the CAS on [top]).
+
+   Resizing: only the owner grows the buffer, copying the live range into
+   a fresh cell array and republishing it through the [buf] atomic.  An
+   old buffer is never written again, so a thief that read it before the
+   swap still reads the correct value for any index its CAS can win: the
+   owner cannot recycle a physical slot for a new logical index without
+   first growing (a deque of capacity [c] holds at most [c] elements), and
+   a slot's value is only cleared by whoever won the element — whose CAS
+   our thief would have lost. *)
+
+type 'a buf = { mask : int; cells : 'a option Atomic.t array }
+
+type 'a t = {
+  top : int Atomic.t;  (* next index to steal; only ever increases *)
+  bottom : int Atomic.t;  (* next index to push; owner-written only *)
+  buf : 'a buf Atomic.t;
+}
+
+let mk_buf cap = { mask = cap - 1; cells = Array.init cap (fun _ -> Atomic.make None) }
+
+let cell b i = b.cells.(i land b.mask)
+
+let round_pow2 n =
+  let rec go c = if c >= n then c else go (c * 2) in
+  go 1
+
+let create ?(min_capacity = 16) () =
+  let cap = round_pow2 (max 2 min_capacity) in
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (mk_buf cap) }
+
+(* Owner only: copy [t, b) into a doubled buffer and publish it. *)
+let grow q b t old =
+  let nb = mk_buf (2 * (old.mask + 1)) in
+  for i = t to b - 1 do
+    Atomic.set (cell nb i) (Atomic.get (cell old i))
+  done;
+  Atomic.set q.buf nb;
+  nb
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let buf = Atomic.get q.buf in
+  let buf = if b - t > buf.mask then grow q b t buf else buf in
+  Atomic.set (cell buf b) (Some x);
+  Atomic.set q.bottom (b + 1)
+
+(* Take the value out of a won cell, clearing it so the deque does not
+   retain the element (tasks are closures; holding them leaks). *)
+let take c =
+  let x = Atomic.get c in
+  Atomic.set c None;
+  x
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  let buf = Atomic.get q.buf in
+  Atomic.set q.bottom b;
+  (* SC: the [bottom] write above is ordered before this [top] read, so a
+     thief that observed the old bottom cannot also observe a top that
+     lets both of us take the same element (DESIGN.md §10). *)
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* already empty: undo the reservation *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else if b = t then begin
+    (* single element left: race thieves for it via the top CAS *)
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (t + 1);
+    if won then take (cell buf b) else None
+  end
+  else take (cell buf b)
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get q.buf in
+    (* read the candidate before the CAS: once the CAS wins, the owner may
+       recycle the slot, but then it is ours and nobody rewrites what we
+       read (a rewrite requires winning index [t], i.e. our CAS failing) *)
+    let x = Atomic.get (cell buf t) in
+    if Atomic.compare_and_set q.top t (t + 1) then x else None
+  end
+
+let length q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+let is_empty q = length q = 0
+
+let capacity q = (Atomic.get q.buf).mask + 1

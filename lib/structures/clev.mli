@@ -1,0 +1,52 @@
+(** A dynamically-resizing Chase–Lev work-stealing deque.
+
+    One distinguished {e owner} thread calls {!push} and {!pop} on the
+    bottom end with no lock and no CAS except for the single-element race;
+    any number of {e thief} threads call {!steal} on the top end, each
+    successful steal arbitrated by one compare-and-set on the [top] index.
+    This is the lock-free discipline of Chase & Lev, "Dynamic circular
+    work-stealing deque" (SPAA 2005), itself the modern form of Blumofe &
+    Leiserson's THE protocol.
+
+    The buffer is a circular array of [Atomic] cells, republished through
+    an atomic pointer when the owner grows it, so steals that raced a
+    resize read a frozen (never-mutated-again) old buffer and remain
+    correct.  All indices and cells use OCaml [Atomic] operations, which
+    are sequentially consistent — the ordering argument for the
+    [pop]/[steal] race on the last element is spelled out in DESIGN.md
+    §10.
+
+    Correctness contract: exactly one thread may call {!push}/{!pop};
+    {!steal}, {!length} and {!is_empty} are safe from any thread. *)
+
+type 'a t
+
+val create : ?min_capacity:int -> unit -> 'a t
+(** [create ()] makes an empty deque.  [min_capacity] (default 16,
+    rounded up to a power of two) sizes the initial buffer; small values
+    are useful in tests to exercise resizing. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only.  Push onto the bottom (LIFO) end, growing the buffer if
+    full.  Never blocks, never fails. *)
+
+val pop : 'a t -> 'a option
+(** Owner only.  Pop the most recently pushed element, or [None] if the
+    deque is empty.  When exactly one element remains the owner races
+    thieves for it with a CAS on [top]; losing the race returns [None]. *)
+
+val steal : 'a t -> 'a option
+(** Any thread.  Take the oldest element (the top end — the shallowest
+    task under fork-join nesting), or [None] if the deque looks empty or
+    the CAS lost to a concurrent thief/owner.  A [None] does not mean the
+    deque is empty — retry with backoff. *)
+
+val length : 'a t -> int
+(** Racy size estimate ([bottom - top] read non-atomically as a pair);
+    exact when no operation is concurrent.  Diagnostics only. *)
+
+val is_empty : 'a t -> bool
+(** [length t = 0] — same caveat as {!length}. *)
+
+val capacity : 'a t -> int
+(** Current buffer capacity (racy; diagnostics and tests). *)

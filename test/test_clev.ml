@@ -1,0 +1,177 @@
+(* Tests for the lock-free Chase–Lev deque.
+
+   The concurrent properties run real Domains: an owner interleaving
+   pushes and pops with thief domains stealing the whole time.  The
+   correctness statement is linearizability-style at the multiset level —
+   every pushed element is obtained exactly once (by the owner's pops, a
+   thief's steals, or the final drain), with no duplicates and no losses —
+   plus the order laws a deque must satisfy when quiescent. *)
+
+module Clev = Dfd_structures.Clev
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential laws                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_lifo_owner () =
+  let q = Clev.create () in
+  for i = 1 to 100 do
+    Clev.push q i
+  done;
+  for i = 100 downto 1 do
+    checki "LIFO pop" i (Option.get (Clev.pop q))
+  done;
+  checkb "empty after" true (Clev.pop q = None)
+
+let test_fifo_steal () =
+  let q = Clev.create () in
+  for i = 1 to 100 do
+    Clev.push q i
+  done;
+  (* thieves take the oldest element first *)
+  for i = 1 to 100 do
+    checki "FIFO steal" i (Option.get (Clev.steal q))
+  done;
+  checkb "empty after" true (Clev.steal q = None)
+
+let test_resize_sequential () =
+  let q = Clev.create ~min_capacity:2 () in
+  checki "initial capacity" 2 (Clev.capacity q);
+  for i = 0 to 999 do
+    Clev.push q i
+  done;
+  checkb "grew" true (Clev.capacity q >= 1024);
+  checki "length" 1000 (Clev.length q);
+  (* mixed ends across the resized buffer *)
+  checki "steal oldest" 0 (Option.get (Clev.steal q));
+  checki "pop newest" 999 (Option.get (Clev.pop q));
+  checki "length after" 998 (Clev.length q)
+
+let test_interleaved_push_pop () =
+  let q = Clev.create ~min_capacity:2 () in
+  (* push/pop churn that wraps the circular buffer many times *)
+  let next = ref 0 in
+  for _ = 1 to 50 do
+    for _ = 1 to 7 do
+      Clev.push q !next;
+      incr next
+    done;
+    for _ = 1 to 5 do
+      ignore (Clev.pop q)
+    done
+  done;
+  checki "residual length" 100 (Clev.length q);
+  let last = ref max_int in
+  let decreasing = ref true in
+  let rec drain () =
+    match Clev.pop q with
+    | None -> ()
+    | Some v ->
+      if v >= !last then decreasing := false;
+      last := v;
+      drain ()
+  in
+  drain ();
+  checkb "pop order strictly decreasing" true !decreasing
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent multiset property                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [ops] on an owner (true = push a fresh unique int, false = pop)
+   while [n_stealers] domains steal continuously; afterwards drain what
+   is left.  Returns (pushed, taken) where [taken] concatenates pops,
+   steals and the drain. *)
+let concurrent_run ?(min_capacity = 2) ~n_stealers ops =
+  let q = Clev.create ~min_capacity () in
+  let stop = Atomic.make false in
+  let stealers =
+    List.init n_stealers (fun _ ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              match Clev.steal q with
+              | Some v -> acc := v :: !acc
+              | None -> Domain.cpu_relax ()
+            done;
+            (* one last sweep so stopping can't strand elements *)
+            let rec sweep () =
+              match Clev.steal q with
+              | Some v ->
+                acc := v :: !acc;
+                sweep ()
+              | None -> ()
+            in
+            sweep ();
+            !acc))
+  in
+  let next = ref 0 in
+  let pushed = ref [] in
+  let popped = ref [] in
+  List.iter
+    (fun op ->
+       if op then begin
+         Clev.push q !next;
+         pushed := !next :: !pushed;
+         incr next
+       end
+       else
+         match Clev.pop q with
+         | Some v -> popped := v :: !popped
+         | None -> ())
+    ops;
+  Atomic.set stop true;
+  let stolen = List.concat_map Domain.join stealers in
+  (* stealers are gone: the owner drains the remainder single-threaded *)
+  let rec drain acc =
+    match Clev.pop q with Some v -> drain (v :: acc) | None -> acc
+  in
+  let rest = drain [] in
+  (!pushed, !popped @ stolen @ rest)
+
+let multiset_eq a b = List.sort compare a = List.sort compare b
+
+let qcheck_no_dup_no_loss =
+  QCheck.Test.make ~count:40
+    ~name:"clev: multiset(popped+stolen+drained) = multiset(pushed), no dups/losses"
+    QCheck.(pair (list_of_size Gen.(int_range 0 400) bool) (int_range 1 3))
+    (fun (ops, n_stealers) ->
+       let pushed, taken = concurrent_run ~n_stealers ops in
+       multiset_eq pushed taken)
+
+let test_resize_under_steal_stress () =
+  (* a tiny initial buffer forces many grows while thieves hammer the top
+     end: the resize publication must never lose or duplicate elements *)
+  let n = 20_000 in
+  let ops = List.init n (fun i -> i mod 11 <> 10) in
+  (* ~9% pops *)
+  let pushed, taken = concurrent_run ~min_capacity:2 ~n_stealers:3 ops in
+  checkb "stress multiset equal" true (multiset_eq pushed taken);
+  checki "stress pushed count" (List.length pushed) (List.length taken)
+
+let test_concurrent_owner_drain_only () =
+  (* all elements must surface even when stealers win most races *)
+  let ops = List.init 5_000 (fun _ -> true) in
+  let pushed, taken = concurrent_run ~n_stealers:2 ops in
+  checkb "push-only multiset equal" true (multiset_eq pushed taken)
+
+let () =
+  Alcotest.run "clev"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "owner LIFO" `Quick test_lifo_owner;
+          Alcotest.test_case "thief FIFO" `Quick test_fifo_steal;
+          Alcotest.test_case "resize" `Quick test_resize_sequential;
+          Alcotest.test_case "wraparound churn" `Quick test_interleaved_push_pop;
+        ] );
+      ( "concurrent",
+        [
+          QCheck_alcotest.to_alcotest ~long:false qcheck_no_dup_no_loss;
+          Alcotest.test_case "resize under steal stress" `Quick test_resize_under_steal_stress;
+          Alcotest.test_case "push-only, stealers drain" `Quick test_concurrent_owner_drain_only;
+        ] );
+    ]

@@ -191,6 +191,20 @@ let test_stats_counters () =
       checkb "tasks ran" true (List.assoc "tasks_run" stats > 0);
       checkb "all counters present" true (List.length stats = 6))
 
+let test_heartbeat_monotonic () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           checki (name ^ " heartbeat starts at 0") 0 (Pool.heartbeat pool);
+           ignore (Pool.run pool (fun () -> fib 12));
+           let h1 = Pool.heartbeat pool in
+           checkb (name ^ " heartbeat advanced") true (h1 > 0);
+           ignore (Pool.run pool (fun () -> fib 12));
+           let h2 = Pool.heartbeat pool in
+           checkb (name ^ " heartbeat monotonic") true (h2 > h1);
+           checki (name ^ " heartbeat = tasks_run") (Pool.counters pool).Pool.tasks_run h2))
+    policies
+
 let test_many_sequential_runs () =
   with_pool (Pool.Dfdeques { quota = 512 }) (fun pool ->
       for i = 1 to 20 do
@@ -319,6 +333,7 @@ let () =
           Alcotest.test_case "fork_join outside run" `Quick test_fork_join_outside_run_rejected;
           Alcotest.test_case "alloc_hint quota" `Quick test_alloc_hint_quota;
           Alcotest.test_case "stats" `Quick test_stats_counters;
+          Alcotest.test_case "heartbeat" `Quick test_heartbeat_monotonic;
           Alcotest.test_case "sequential runs" `Quick test_many_sequential_runs;
           Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
           Alcotest.test_case "zero extra domains" `Quick test_zero_extra_domains;

@@ -1,0 +1,71 @@
+(* Tiny schema checker for the `pool_scale` benchmark report
+   (BENCH_pool.json): structural validity only — never timing — so CI can
+   gate on it from any hardware.  Usage: validate_bench FILE *)
+
+module Json = Dfd_trace.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_bench: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let to_number_exn = function
+  | Json.Float f -> f
+  | Json.Int n -> float_of_int n
+  | _ -> raise (Json.Parse_error "expected number")
+
+let () =
+  let path = match Sys.argv with [| _; p |] -> p | _ -> fail "usage: validate_bench FILE" in
+  let j =
+    try Json.of_string (read_file path) with Json.Parse_error m -> fail "bad JSON: %s" m
+  in
+  (match Json.member "bench" j with
+   | Json.String "pool_scale" -> ()
+   | _ -> fail "bench field must be \"pool_scale\"");
+  (match Json.member "smoke" j with
+   | Json.Bool _ -> ()
+   | _ -> fail "smoke must be a bool");
+  let cores = try Json.to_int_exn (Json.member "cores" j) with _ -> fail "missing int cores" in
+  if cores < 1 then fail "cores must be >= 1";
+  let results =
+    try Json.to_list_exn (Json.member "results" j) with _ -> fail "missing results list"
+  in
+  if results = [] then fail "results must be nonempty";
+  let seen_p1 = Hashtbl.create 8 in
+  List.iteri
+    (fun i r ->
+       let str k = try Json.to_string_exn (Json.member k r) with _ -> fail "results[%d]: missing string %S" i k in
+       let int k = try Json.to_int_exn (Json.member k r) with _ -> fail "results[%d]: missing int %S" i k in
+       let num k = try to_number_exn (Json.member k r) with _ -> fail "results[%d]: missing number %S" i k in
+       let workload = str "workload" and policy = str "policy" in
+       if not (List.mem workload [ "fib"; "psort" ]) then
+         fail "results[%d]: unknown workload %S" i workload;
+       if not (List.mem policy [ "ws"; "dfd" ]) then fail "results[%d]: unknown policy %S" i policy;
+       let p = int "p" in
+       if p < 1 then fail "results[%d]: p must be >= 1" i;
+       if p = 1 then Hashtbl.replace seen_p1 (workload, policy) ();
+       if num "time_s" < 0.0 then fail "results[%d]: negative time" i;
+       if int "tasks_run" < 0 then fail "results[%d]: negative tasks_run" i;
+       if int "steals" < 0 then fail "results[%d]: negative steals" i;
+       if num "throughput_tasks_per_s" < 0.0 then fail "results[%d]: negative throughput" i)
+    results;
+  if Hashtbl.length seen_p1 = 0 then fail "no p=1 baseline point in results";
+  let speedups =
+    try Json.to_list_exn (Json.member "speedups" j) with _ -> fail "missing speedups list"
+  in
+  List.iteri
+    (fun i s ->
+       let sp =
+         try to_number_exn (Json.member "speedup_vs_p1" s)
+         with _ -> fail "speedups[%d]: missing number speedup_vs_p1" i
+       in
+       if sp < 0.0 then fail "speedups[%d]: negative speedup" i;
+       let p = try Json.to_int_exn (Json.member "p" s) with _ -> fail "speedups[%d]: missing p" i in
+       if p < 2 then fail "speedups[%d]: speedup rows need p >= 2" i)
+    speedups;
+  Printf.printf "validate_bench: %s ok (%d result points, %d speedup rows)\n" path
+    (List.length results) (List.length speedups)
