@@ -323,6 +323,45 @@ let chaos_cmd =
       const chaos_run $ seed_arg $ chaos_campaigns_arg $ p_arg $ chaos_json_arg
       $ chaos_skip_pool_arg)
 
+let check_iters_arg =
+  let doc = "Schedule-exploration budget: randomised schedules per scenario." in
+  Arg.(value & opt int 100 & info [ "n"; "iters" ] ~docv:"N" ~doc)
+
+let check_depth_arg =
+  let doc = "PCT depth d: the controller inserts d-1 random priority-change points." in
+  Arg.(value & opt int 3 & info [ "d"; "depth" ] ~docv:"D" ~doc)
+
+let check_scenario_arg =
+  let doc = "Explore only this scenario (see --list); default: all correct scenarios." in
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME" ~doc)
+
+let check_replay_arg =
+  let doc = "Re-execute the exact schedule recorded in replay file $(docv) instead of exploring." in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+
+let check_replay_out_arg =
+  let doc = "Where to write the replay file on failure (default replay_<scenario>_<seed>.json)." in
+  Arg.(value & opt (some string) None & info [ "replay-out" ] ~docv:"FILE" ~doc)
+
+let check_list_arg =
+  let doc = "List the scenarios and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let check_run seed iters depth scenario replay replay_out list =
+  exit
+    (Check_cli.run_check ~seed ~budget:iters ~depth ~scenario ~replay ~replay_out ~list)
+
+let check_cmd =
+  let doc =
+    "Systematically explore thread interleavings of the lock-free deque and the native pool \
+     under a seeded PCT-style controller.  Deterministic per seed; failing schedules are \
+     shrunk to a minimal decision trace and saved as a replay file."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const check_run $ seed_arg $ check_iters_arg $ check_depth_arg $ check_scenario_arg
+      $ check_replay_arg $ check_replay_out_arg $ check_list_arg)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -343,4 +382,4 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group ~default info
-          [ list_cmd; exp_cmd; run_cmd; analyze_cmd; trace_cmd; dot_cmd; chaos_cmd ]))
+          [ list_cmd; exp_cmd; run_cmd; analyze_cmd; trace_cmd; dot_cmd; chaos_cmd; check_cmd ]))

@@ -1,0 +1,27 @@
+(** A deliberately broken Chase–Lev deque ({b checker demonstration
+    only}).
+
+    [steal] replaces the correct deque's single compare-and-set on [top]
+    with a non-atomic check-then-store, opening a window (marked by the
+    {!Dfd_structures.Schedpoint.clev_steal_commit} yield point) in which
+    two thieves can both take the same element and advance [top] twice —
+    double delivery plus element loss.  The [clev_buggy] scenario drives
+    this deque through the explorer, and the test suite asserts the bug
+    is found within the default budget; the identical scenario shape over
+    the real {!Dfd_structures.Clev} passes. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fixed capacity (default 64, rounded to a power of two); no resizing. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only (this end is implemented correctly). *)
+
+val steal : 'a t -> 'a option
+(** Any thread — {b racy by design}, see above. *)
+
+val length : 'a t -> int

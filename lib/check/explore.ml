@@ -1,0 +1,557 @@
+(* Systematic schedule exploration over the Schedpoint yield points.
+
+   The explorer serialises a small set of controlled threads: each one
+   blocks at every yield point it reaches, and a driver (the calling
+   thread) repeatedly picks exactly one blocked thread and lets it run to
+   its next point.  With at most one thread running at any instant, the
+   interleaving of the instrumented code is entirely determined by the
+   driver's choice sequence — so a run is replayable from that sequence
+   alone, and a randomised controller (PCT-style priorities) explores the
+   interleaving space deterministically from a seed.
+
+   Controlled threads are OCaml domains (not systhreads): the native pool
+   identifies workers through Domain.DLS, so each controlled thread must
+   be its own domain to impersonate a pool worker.  The domains are
+   spawned once per session and reused across iterations via a generation
+   counter.
+
+   Soundness of the serialisation (no driver deadlock) rests on two
+   properties of the instrumented code, both audited in DESIGN.md §11:
+   every unbounded busy-wait loop contains a yield point, and no yield
+   point sits inside a mutex-held critical section (so a running thread
+   never blocks on a lock owned by a descheduled one). *)
+
+module Prng = Dfd_structures.Prng
+module Schedpoint = Dfd_structures.Schedpoint
+module Json = Dfd_trace.Json
+
+exception Aborted
+(* Raised inside a controlled thread when the driver tears an iteration
+   down (step budget exceeded, or another thread already failed). *)
+
+type scenario = {
+  name : string;
+  descr : string;
+  n_threads : int;
+  approx_steps : int;
+      (* rough decision-count scale, guides PCT change-depth sampling *)
+  prepare : Prng.t -> (int -> unit) * (unit -> (unit, string) result);
+      (* [prepare rng] builds one iteration: a body for each controlled
+         thread (run concurrently under the explorer) and an oracle the
+         driver runs single-threaded after all bodies finished. *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The serialising controller                                          *)
+(* ------------------------------------------------------------------ *)
+
+type tstate =
+  | Running  (* executing between points (or not yet at its first) *)
+  | Waiting of int  (* blocked at the point with this id *)
+  | Finished
+
+type ctl = {
+  m : Mutex.t;
+  cond : Condition.t;
+  n : int;
+  states : tstate array;
+  errors : string option array;  (* per-thread uncaught exception *)
+  mutable grant : int;  (* thread allowed to proceed; -1 = none *)
+  mutable abort : bool;
+  mutable body : int -> unit;  (* current iteration's thread body *)
+  mutable gen : int;  (* iteration generation, bumps to start one *)
+  mutable quit : bool;
+}
+
+(* Which controlled thread (if any) the current domain is. *)
+let slot : (ctl * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* A controlled thread arriving at a yield point: publish the point and
+   block until granted the next run segment (or aborted). *)
+let enter ctl i id =
+  Mutex.lock ctl.m;
+  ctl.states.(i) <- Waiting id;
+  Condition.broadcast ctl.cond;
+  while ctl.grant <> i && not ctl.abort do
+    Condition.wait ctl.cond ctl.m
+  done;
+  if ctl.abort then begin
+    Mutex.unlock ctl.m;
+    raise Aborted
+  end;
+  ctl.grant <- -1;
+  ctl.states.(i) <- Running;
+  Mutex.unlock ctl.m
+
+let handler id =
+  match !(Domain.DLS.get slot) with
+  | Some (ctl, i) -> enter ctl i id
+  | None -> ()  (* uncontrolled thread (the driver): pass through *)
+
+let worker_main ctl i =
+  Domain.DLS.get slot := Some (ctl, i);
+  let my_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock ctl.m;
+    while ctl.gen = !my_gen && not ctl.quit do
+      Condition.wait ctl.cond ctl.m
+    done;
+    if ctl.quit then begin
+      Mutex.unlock ctl.m;
+      running := false
+    end
+    else begin
+      my_gen := ctl.gen;
+      let body = ctl.body in
+      Mutex.unlock ctl.m;
+      let error =
+        try
+          enter ctl i Schedpoint.start;
+          body i;
+          None
+        with
+        | Aborted -> None
+        | e -> Some (Printexc.to_string e)
+      in
+      Mutex.lock ctl.m;
+      ctl.errors.(i) <- error;
+      ctl.states.(i) <- Finished;
+      Condition.broadcast ctl.cond;
+      Mutex.unlock ctl.m
+    end
+  done
+
+let make_ctl n =
+  {
+    m = Mutex.create ();
+    cond = Condition.create ();
+    n;
+    states = Array.make n Finished;
+    errors = Array.make n None;
+    grant = -1;
+    abort = false;
+    body = (fun _ -> ());
+    gen = 0;
+    quit = false;
+  }
+
+(* Session: handler installed, [n] worker domains up, torn down on exit.
+   Exploration sessions never nest (the handler is process-global). *)
+let with_session n f =
+  if Schedpoint.active () then failwith "Explore: nested exploration sessions";
+  let ctl = make_ctl n in
+  Schedpoint.install handler;
+  let doms = List.init n (fun i -> Domain.spawn (fun () -> worker_main ctl i)) in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock ctl.m;
+      ctl.quit <- true;
+      Condition.broadcast ctl.cond;
+      Mutex.unlock ctl.m;
+      List.iter Domain.join doms;
+      Schedpoint.uninstall ())
+    (fun () -> f ctl)
+
+(* Drain an aborted iteration: every controlled thread unwinds via
+   [Aborted] at its next yield point (all busy-waits contain one). *)
+let abort_iteration ctl =
+  Mutex.lock ctl.m;
+  ctl.abort <- true;
+  ctl.grant <- -1;
+  Condition.broadcast ctl.cond;
+  while Array.exists (fun s -> s <> Finished) ctl.states do
+    Condition.wait ctl.cond ctl.m
+  done;
+  ctl.abort <- false;
+  Mutex.unlock ctl.m
+
+type outcome = Pass | Fail of string
+
+(* Run one iteration under [choose]: returns the outcome and the executed
+   decision trace as (thread, point-id) pairs in order. *)
+let run_iteration ctl ~max_steps ~choose ~(prepared : (int -> unit) * (unit -> (unit, string) result)) =
+  let body, oracle = prepared in
+  Mutex.lock ctl.m;
+  ctl.body <- body;
+  Array.fill ctl.states 0 ctl.n Running;
+  Array.fill ctl.errors 0 ctl.n None;
+  ctl.abort <- false;
+  ctl.grant <- -1;
+  ctl.gen <- ctl.gen + 1;
+  Condition.broadcast ctl.cond;
+  Mutex.unlock ctl.m;
+  let trace = ref [] in
+  let steps = ref 0 in
+  let all_ready () =
+    ctl.grant = -1
+    && Array.for_all (fun s -> match s with Running -> false | _ -> true) ctl.states
+  in
+  let rec loop () =
+    Mutex.lock ctl.m;
+    while not (all_ready ()) do
+      Condition.wait ctl.cond ctl.m
+    done;
+    let enabled = ref [] in
+    for i = ctl.n - 1 downto 0 do
+      match ctl.states.(i) with Waiting _ -> enabled := i :: !enabled | _ -> ()
+    done;
+    match !enabled with
+    | [] ->
+      (* all threads finished *)
+      let err = ref None in
+      Array.iteri
+        (fun i e ->
+          match (e, !err) with
+          | Some msg, None -> err := Some (Printf.sprintf "thread %d raised: %s" i msg)
+          | _ -> ())
+        ctl.errors;
+      Mutex.unlock ctl.m;
+      (match !err with
+       | Some reason -> Fail reason
+       | None -> ( match oracle () with Ok () -> Pass | Error reason -> Fail reason))
+    | enabled ->
+      if !steps >= max_steps then begin
+        Mutex.unlock ctl.m;
+        abort_iteration ctl;
+        Fail (Printf.sprintf "step budget exceeded (%d decisions)" max_steps)
+      end
+      else begin
+        let point i = match ctl.states.(i) with Waiting id -> id | _ -> -1 in
+        let c = choose ~step:!steps ~enabled ~point in
+        trace := (c, point c) :: !trace;
+        incr steps;
+        ctl.grant <- c;
+        Condition.broadcast ctl.cond;
+        Mutex.unlock ctl.m;
+        loop ()
+      end
+  in
+  let outcome = loop () in
+  (outcome, List.rev !trace)
+
+(* ------------------------------------------------------------------ *)
+(* Choosers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* PCT-style randomised priorities (Burckhardt et al., ASPLOS 2010):
+   distinct random priorities per thread, the highest-priority enabled
+   thread always runs, and at [depth - 1] random decision indices the
+   running thread's priority drops below everything seen so far.  A
+   starvation guard additionally deprioritises any thread granted many
+   consecutive decisions while others are enabled — spin-wait loops
+   (e.g. the pool's join-await) otherwise monopolise the schedule. *)
+let pct_chooser rng ~n ~depth ~approx_steps =
+  let prio = Array.init n (fun i -> n - i) in
+  (* Fisher-Yates under the iteration's own stream *)
+  for i = n - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let t = prio.(i) in
+    prio.(i) <- prio.(j);
+    prio.(j) <- t
+  done;
+  let horizon = max 1 approx_steps in
+  let changes = Array.init (max 0 (depth - 1)) (fun _ -> 1 + Prng.int rng horizon) in
+  let next_low = ref 0 in
+  let deprioritise i =
+    decr next_low;
+    prio.(i) <- !next_low
+  in
+  let last = ref (-1) in
+  let run_len = ref 0 in
+  fun ~step ~enabled ~point:_ ->
+    let best () =
+      List.fold_left
+        (fun acc i -> match acc with
+           | Some b when prio.(b) >= prio.(i) -> acc
+           | _ -> Some i)
+        None enabled
+      |> Option.get
+    in
+    let c = best () in
+    (* priority-change point: demote whoever would run now *)
+    let c =
+      if Array.exists (fun d -> d = step) changes then begin
+        deprioritise c;
+        best ()
+      end
+      else c
+    in
+    let c =
+      if c = !last then begin
+        incr run_len;
+        if !run_len > 50 && List.length enabled > 1 then begin
+          deprioritise c;
+          run_len := 0;
+          best ()
+        end
+        else c
+      end
+      else begin
+        run_len := 0;
+        c
+      end
+    in
+    last := c;
+    c
+
+(* Replay a recorded choice sequence; past its end (or if a recorded
+   thread is not enabled — possible after shrinking edits) fall back to
+   the lowest-numbered enabled thread, which keeps replay deterministic. *)
+let replay_chooser choices =
+  let arr = Array.of_list choices in
+  fun ~step ~enabled ~point:_ ->
+    let fallback () = List.fold_left min (List.hd enabled) enabled in
+    if step < Array.length arr && List.mem arr.(step) enabled then arr.(step)
+    else fallback ()
+
+(* ------------------------------------------------------------------ *)
+(* Seeds and derived streams                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Iteration [k] of seed [s] always draws from the k-th split of the base
+   generator, so any single iteration replays without running the k-1
+   before it. *)
+let rng_for_iteration ~seed k =
+  let base = Prng.create seed in
+  let r = ref (Prng.split base) in
+  for _ = 1 to k do
+    r := Prng.split base
+  done;
+  !r
+
+(* ------------------------------------------------------------------ *)
+(* Reports, failures, replay files                                     *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  f_scenario : string;
+  f_seed : int;
+  f_iteration : int;
+  f_reason : string;
+  f_choices : int list;  (* minimal reproducing decision sequence *)
+  f_points : string list;  (* point names along the reproducing trace *)
+  f_shrunk : bool;
+  f_replays : int;  (* replays spent confirming + shrinking *)
+}
+
+type report = {
+  r_scenario : string;
+  r_seed : int;
+  r_budget : int;
+  r_iterations : int;  (* iterations actually executed *)
+  r_depth : int;
+  r_decisions : int;  (* total scheduling decisions across iterations *)
+  r_max_trace : int;  (* longest single-iteration trace *)
+  r_failure : failure option;
+}
+
+let failure_to_json f =
+  Json.Assoc
+    [
+      ("scenario", Json.String f.f_scenario);
+      ("seed", Json.Int f.f_seed);
+      ("iteration", Json.Int f.f_iteration);
+      ("reason", Json.String f.f_reason);
+      ("shrunk", Json.Bool f.f_shrunk);
+      ("replays", Json.Int f.f_replays);
+      ("choices", Json.List (List.map (fun c -> Json.Int c) f.f_choices));
+      ("points", Json.List (List.map (fun p -> Json.String p) f.f_points));
+    ]
+
+let failure_of_json j =
+  {
+    f_scenario = Json.to_string_exn (Json.member "scenario" j);
+    f_seed = Json.to_int_exn (Json.member "seed" j);
+    f_iteration = Json.to_int_exn (Json.member "iteration" j);
+    f_reason = Json.to_string_exn (Json.member "reason" j);
+    f_choices = List.map Json.to_int_exn (Json.to_list_exn (Json.member "choices" j));
+    f_points = List.map Json.to_string_exn (Json.to_list_exn (Json.member "points" j));
+    f_shrunk = (match Json.member "shrunk" j with Json.Bool b -> b | _ -> false);
+    f_replays = (match Json.member "replays" j with Json.Int n -> n | _ -> 0);
+  }
+
+let write_replay path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc (failure_to_json f);
+      output_char oc '\n')
+
+let read_replay path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      failure_of_json (Json.of_string s))
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimise a failing choice sequence by replay: first binary-search the
+   shortest failing prefix (decisions past the prefix fall back to the
+   deterministic lowest-enabled rule), then try deleting single decisions
+   back-to-front.  Every candidate is validated by an actual replay, so
+   the result is a true reproduction regardless of monotonicity. *)
+let shrink ctl ~prepare_iteration ~max_steps ~budget choices =
+  let replays = ref 0 in
+  let attempt cs =
+    incr replays;
+    let outcome, trace =
+      run_iteration ctl ~max_steps ~choose:(replay_chooser cs)
+        ~prepared:(prepare_iteration ())
+    in
+    match outcome with Fail _ -> Some trace | Pass -> None
+  in
+  let best = ref choices in
+  (* shortest failing prefix, by binary search *)
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  let lo = ref 0 and hi = ref (List.length !best) in
+  while !lo < !hi && !replays < budget do
+    let mid = (!lo + !hi) / 2 in
+    match attempt (take mid !best) with
+    | Some _ ->
+      hi := mid;
+      best := take mid !best
+    | None -> lo := mid + 1
+  done;
+  (* single-decision deletion pass *)
+  let i = ref (List.length !best - 1) in
+  while !i >= 0 && !replays < budget do
+    let cand = List.filteri (fun j _ -> j <> !i) !best in
+    (match attempt cand with Some _ -> best := cand | None -> ());
+    decr i
+  done;
+  (!best, !replays)
+
+(* ------------------------------------------------------------------ *)
+(* Top-level runs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let default_budget = 100
+
+let default_depth = 3
+
+let default_max_steps = 5000
+
+let shrink_replay_budget = 200
+
+(* Fresh body+oracle for iteration [k]: scenario preparation must draw
+   from the same stream every time the iteration is (re)played. *)
+let prepare_for scenario ~seed k () =
+  let r = rng_for_iteration ~seed k in
+  scenario.prepare (Prng.split r)
+
+let sched_rng_for ~seed k =
+  let r = rng_for_iteration ~seed k in
+  ignore (Prng.split r);
+  (* prepare's split *)
+  Prng.split r
+
+let run ?(budget = default_budget) ?(depth = default_depth)
+    ?(max_steps = default_max_steps) ?(shrink_failures = true) ~seed scenario =
+  with_session scenario.n_threads (fun ctl ->
+      let decisions = ref 0 in
+      let max_trace = ref 0 in
+      let failure = ref None in
+      let iter = ref 0 in
+      while !failure = None && !iter < budget do
+        let k = !iter in
+        let choose =
+          pct_chooser (sched_rng_for ~seed k) ~n:scenario.n_threads
+            ~depth ~approx_steps:scenario.approx_steps
+        in
+        let outcome, trace =
+          run_iteration ctl ~max_steps ~choose
+            ~prepared:(prepare_for scenario ~seed k ())
+        in
+        decisions := !decisions + List.length trace;
+        max_trace := max !max_trace (List.length trace);
+        (match outcome with
+        | Pass -> ()
+        | Fail reason ->
+          let choices = List.map fst trace in
+          let choices, points, reason, replays, shrunk =
+            if shrink_failures then begin
+              let minimal, replays =
+                shrink ctl
+                  ~prepare_iteration:(prepare_for scenario ~seed k)
+                  ~max_steps ~budget:shrink_replay_budget choices
+              in
+              (* final confirming replay records the canonical trace *)
+              let outcome, trace =
+                run_iteration ctl ~max_steps
+                  ~choose:(replay_chooser minimal)
+                  ~prepared:(prepare_for scenario ~seed k ())
+              in
+              let reason =
+                match outcome with Fail r -> r | Pass -> reason
+              in
+              ( minimal,
+                List.map (fun (_, p) -> Schedpoint.name p) trace,
+                reason,
+                replays + 1,
+                true )
+            end
+            else
+              (choices, List.map (fun (_, p) -> Schedpoint.name p) trace, reason, 0, false)
+          in
+          failure :=
+            Some
+              {
+                f_scenario = scenario.name;
+                f_seed = seed;
+                f_iteration = k;
+                f_reason = reason;
+                f_choices = choices;
+                f_points = points;
+                f_shrunk = shrunk;
+                f_replays = replays;
+              });
+        incr iter
+      done;
+      {
+        r_scenario = scenario.name;
+        r_seed = seed;
+        r_budget = budget;
+        r_iterations = !iter;
+        r_depth = depth;
+        r_decisions = !decisions;
+        r_max_trace = !max_trace;
+        r_failure = !failure;
+      })
+
+let replay ?(max_steps = default_max_steps) scenario f =
+  if scenario.name <> f.f_scenario then
+    invalid_arg
+      (Printf.sprintf "Explore.replay: failure is for scenario %s, not %s"
+         f.f_scenario scenario.name);
+  with_session scenario.n_threads (fun ctl ->
+      let outcome, _trace =
+        run_iteration ctl ~max_steps
+          ~choose:(replay_chooser f.f_choices)
+          ~prepared:(prepare_for scenario ~seed:f.f_seed f.f_iteration ())
+      in
+      match outcome with Fail reason -> Some reason | Pass -> None)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "scenario=%s seed=%d iterations=%d/%d depth=%d decisions=%d max-trace=%d result=%s"
+    r.r_scenario r.r_seed r.r_iterations r.r_budget r.r_depth r.r_decisions
+    r.r_max_trace
+    (match r.r_failure with None -> "pass" | Some _ -> "FAIL");
+  match r.r_failure with
+  | None -> ()
+  | Some f ->
+    Format.fprintf ppf
+      "@\n  iteration=%d reason=%s@\n  minimal trace (%d decisions%s, %d replays): %s"
+      f.f_iteration f.f_reason (List.length f.f_choices)
+      (if f.f_shrunk then ", shrunk" else "")
+      f.f_replays
+      (String.concat " "
+         (List.map string_of_int f.f_choices))

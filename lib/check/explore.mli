@@ -1,0 +1,102 @@
+(** Deterministic schedule exploration for the lock-free structures and
+    the native pool.
+
+    The explorer runs a {!scenario}'s threads under a serialising
+    controller: every controlled thread blocks at each
+    {!Dfd_structures.Schedpoint} yield point, and the driver picks exactly
+    one blocked thread at a time to run to its next point.  The
+    interleaving is then fully determined by the driver's choice
+    sequence, which makes every explored schedule {e replayable} — a
+    failing schedule is identified by [(seed, iteration)] alone, and is
+    shrunk to a minimal decision trace that can be saved to, and re-run
+    from, a replay file.
+
+    Schedules are chosen by a PCT-style controller (random distinct
+    thread priorities with [depth - 1] random priority-change points;
+    Burckhardt et al., "A randomized scheduler with probabilistic
+    guarantees of finding bugs", ASPLOS 2010), all randomness drawn from
+    a seeded splitmix64 stream ({!Dfd_structures.Prng}).
+
+    Requirements on instrumented code (audited in DESIGN.md §11): every
+    unbounded busy-wait contains a yield point, and no yield point sits
+    inside a mutex-held critical section.  Controlled threads are domains,
+    so pool scenarios can impersonate workers through
+    {!Dfd_runtime.Pool.For_testing}. *)
+
+type scenario = {
+  name : string;
+  descr : string;
+  n_threads : int;  (** controlled threads the explorer serialises. *)
+  approx_steps : int;
+      (** rough decisions per iteration; scales the PCT change-point
+          sampling horizon. *)
+  prepare : Dfd_structures.Prng.t -> (int -> unit) * (unit -> (unit, string) result);
+      (** [prepare rng] builds one iteration: the body run by each
+          controlled thread, and an oracle the driver evaluates
+          single-threaded after every body finished.  Must draw all its
+          randomness from [rng] so iterations replay exactly. *)
+}
+
+type failure = {
+  f_scenario : string;
+  f_seed : int;
+  f_iteration : int;  (** which iteration of the run failed. *)
+  f_reason : string;
+  f_choices : int list;  (** minimal reproducing thread-choice sequence. *)
+  f_points : string list;
+      (** yield-point names along the minimal trace (readability only;
+          replay needs just the choices). *)
+  f_shrunk : bool;
+  f_replays : int;  (** replays spent confirming and shrinking. *)
+}
+
+type report = {
+  r_scenario : string;
+  r_seed : int;
+  r_budget : int;
+  r_iterations : int;  (** iterations executed (≤ budget; stops at first failure). *)
+  r_depth : int;  (** PCT depth d: d-1 priority-change points. *)
+  r_decisions : int;
+  r_max_trace : int;
+  r_failure : failure option;
+}
+
+val run :
+  ?budget:int ->
+  ?depth:int ->
+  ?max_steps:int ->
+  ?shrink_failures:bool ->
+  seed:int ->
+  scenario ->
+  report
+(** Explore [budget] (default 100) schedules of the scenario.  Each
+    iteration draws its own generator from the [k]-th split of the seeded
+    base stream, so a report is a pure function of
+    [(scenario, seed, budget, depth, max_steps)] — byte-identical across
+    runs.  [max_steps] (default 5000) bounds decisions per iteration (an
+    iteration exceeding it counts as a failure).  On the first failing
+    iteration the trace is shrunk (unless [shrink_failures] is [false])
+    and exploration stops. *)
+
+val replay : ?max_steps:int -> scenario -> failure -> string option
+(** Re-run one recorded failure.  [Some reason] if it still fails,
+    [None] if it passes.  Decisions beyond the recorded choices (or
+    recorded choices naming a thread that is not enabled) fall back to
+    the lowest-numbered enabled thread, deterministically. *)
+
+val write_replay : string -> failure -> unit
+(** Save a failure as a JSON replay file. *)
+
+val read_replay : string -> failure
+(** Parse a replay file (raises {!Dfd_trace.Json.Parse_error} or
+    [Failure] on malformed input). *)
+
+val failure_to_json : failure -> Dfd_trace.Json.t
+
+val failure_of_json : Dfd_trace.Json.t -> failure
+
+val pp_report : Format.formatter -> report -> unit
+
+exception Aborted
+(** Raised inside controlled threads when an iteration is torn down;
+    scenario bodies should let it propagate. *)

@@ -1,0 +1,295 @@
+(* The scenario catalogue for the schedule explorer.
+
+   Each scenario is a small, seeded concurrent workload over the
+   instrumented structures, paired with a post-hoc oracle the driver
+   evaluates single-threaded.  The Chase-Lev scenarios all share one
+   oracle shape: every pushed value is delivered exactly once (to the
+   owner, a thief, or the final drain) — the multiset identity that any
+   double delivery or lost element breaks.  The pool scenarios run a real
+   fork-join computation on a detached pool whose worker roles are played
+   by controlled threads, and check the result, the task accounting and
+   the absence of leaked tasks. *)
+
+module Prng = Dfd_structures.Prng
+module Clev = Dfd_structures.Clev
+module Pool = Dfd_runtime.Pool
+
+(* Every pushed value delivered exactly once.  [got] is the concatenation
+   of everything popped, stolen and drained. *)
+let multiset_result ~pushed ~got =
+  let sort = List.sort compare in
+  if sort got = sort pushed then Ok ()
+  else begin
+    let seen = Hashtbl.create 16 in
+    let dup =
+      List.find_opt
+        (fun x ->
+          let d = Hashtbl.mem seen x in
+          Hashtbl.replace seen x ();
+          d)
+        got
+    in
+    let lost = List.filter (fun x -> not (List.mem x got)) pushed in
+    let show l = String.concat "," (List.map string_of_int l) in
+    Error
+      (Printf.sprintf "delivery multiset mismatch: pushed=[%s] got=[%s]%s%s"
+         (show (sort pushed)) (show (sort got))
+         (match dup with
+          | Some d -> Printf.sprintf " duplicate=%d" d
+          | None -> "")
+         (if lost <> [] then Printf.sprintf " lost=[%s]" (show lost) else ""))
+  end
+
+let drain pop =
+  let rec go acc = match pop () with Some v -> go (v :: acc) | None -> acc in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Chase-Lev scenarios                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Owner runs a seeded push/pop mix; two thieves each attempt a few
+   steals; oracle drains the rest and checks exactly-once delivery. *)
+let clev_ops =
+  {
+    Explore.name = "clev_ops";
+    descr = "Chase-Lev: seeded owner push/pop mix vs two concurrent thieves";
+    n_threads = 3;
+    approx_steps = 60;
+    prepare =
+      (fun rng ->
+        let q = Clev.create ~min_capacity:8 () in
+        let n_ops = 6 + Prng.int rng 4 in
+        let plan = List.init n_ops (fun _ -> Prng.int rng 3 < 2) in
+        let pushed =
+          let n = List.length (List.filter Fun.id plan) in
+          List.init n Fun.id
+        in
+        let owner_got = ref [] in
+        let thief_got = [| ref []; ref [] |] in
+        let body i =
+          if i = 0 then begin
+            let next = ref 0 in
+            List.iter
+              (fun is_push ->
+                if is_push then begin
+                  Clev.push q !next;
+                  incr next
+                end
+                else
+                  match Clev.pop q with
+                  | Some v -> owner_got := v :: !owner_got
+                  | None -> ())
+              plan
+          end
+          else
+            for _ = 1 to 3 do
+              match Clev.steal q with
+              | Some v -> thief_got.(i - 1) := v :: !(thief_got.(i - 1))
+              | None -> ()
+            done
+        in
+        let oracle () =
+          let rest = drain (fun () -> Clev.pop q) in
+          multiset_result ~pushed
+            ~got:(!owner_got @ !(thief_got.(0)) @ !(thief_got.(1)) @ rest)
+        in
+        (body, oracle));
+  }
+
+(* Tiny initial buffer: the owner's pushes force grows while a thief is
+   mid-steal, exercising the buffer republication race. *)
+let clev_grow =
+  {
+    Explore.name = "clev_grow";
+    descr = "Chase-Lev: forced buffer grows under a concurrent thief";
+    n_threads = 2;
+    approx_steps = 50;
+    prepare =
+      (fun rng ->
+        let q = Clev.create ~min_capacity:2 () in
+        let n_push = 5 + Prng.int rng 3 in
+        let pushed = List.init n_push Fun.id in
+        let owner_got = ref [] in
+        let thief_got = ref [] in
+        let body i =
+          if i = 0 then begin
+            List.iter (Clev.push q) pushed;
+            for _ = 1 to 2 do
+              match Clev.pop q with
+              | Some v -> owner_got := v :: !owner_got
+              | None -> ()
+            done
+          end
+          else
+            for _ = 1 to 4 do
+              match Clev.steal q with
+              | Some v -> thief_got := v :: !thief_got
+              | None -> ()
+            done
+        in
+        let oracle () =
+          let rest = drain (fun () -> Clev.pop q) in
+          multiset_result ~pushed ~got:(!owner_got @ !thief_got @ rest)
+        in
+        (body, oracle));
+  }
+
+(* Start the logical indices just below [max_int]: the owner/thief churn
+   crosses the signed-overflow boundary, validating the wraparound
+   subtraction discipline under concurrency. *)
+let clev_wrap =
+  {
+    Explore.name = "clev_wrap";
+    descr = "Chase-Lev: index churn across the max_int overflow boundary";
+    n_threads = 2;
+    approx_steps = 50;
+    prepare =
+      (fun rng ->
+        let q = Clev.create_at ~min_capacity:2 ~index:(max_int - 3) () in
+        let n_push = 5 + Prng.int rng 2 in
+        let pushed = List.init n_push Fun.id in
+        let owner_got = ref [] in
+        let thief_got = ref [] in
+        let body i =
+          if i = 0 then
+            List.iter
+              (fun v ->
+                Clev.push q v;
+                if v mod 3 = 2 then
+                  match Clev.pop q with
+                  | Some v -> owner_got := v :: !owner_got
+                  | None -> ())
+              pushed
+          else
+            for _ = 1 to 3 do
+              match Clev.steal q with
+              | Some v -> thief_got := v :: !thief_got
+              | None -> ()
+            done
+        in
+        let oracle () =
+          let rest = drain (fun () -> Clev.pop q) in
+          multiset_result ~pushed ~got:(!owner_got @ !thief_got @ rest)
+        in
+        (body, oracle));
+  }
+
+(* The planted bug: two thieves over Buggy_clev's check-then-store
+   [steal].  The explorer must find the double delivery. *)
+let clev_buggy =
+  {
+    Explore.name = "clev_buggy";
+    descr = "deliberately broken steal (check-then-store): explorer must find it";
+    n_threads = 2;
+    approx_steps = 25;
+    prepare =
+      (fun _rng ->
+        let q = Buggy_clev.create ~capacity:8 () in
+        let pushed = [ 0; 1; 2 ] in
+        List.iter (Buggy_clev.push q) pushed;
+        let thief_got = [| ref []; ref [] |] in
+        let body i =
+          for _ = 1 to 2 do
+            match Buggy_clev.steal q with
+            | Some v -> thief_got.(i) := v :: !(thief_got.(i))
+            | None -> ()
+          done
+        in
+        let oracle () =
+          let rest = drain (fun () -> Buggy_clev.pop q) in
+          multiset_result ~pushed ~got:(!(thief_got.(0)) @ !(thief_got.(1)) @ rest)
+        in
+        (body, oracle));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pool scenarios                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Number of forks a fork-join fib n performs: F(n) = 1 + F(n-1) + F(n-2),
+   F(<2) = 0.  Every fork pushes exactly one task, and every pushed task
+   runs exactly once, so the pool's [tasks_run] counter must equal it. *)
+let rec forks_of_fib n = if n < 2 then 0 else 1 + forks_of_fib (n - 1) + forks_of_fib (n - 2)
+
+let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+
+(* A real fork-join computation on a detached pool: controlled thread 0
+   plays worker 0 and computes fib; threads 1-2 play workers 1-2 and help
+   (steal and run tasks) until the computation announces completion. *)
+let pool_scenario ~name ~descr ~policy ~leaf =
+  {
+    Explore.name;
+    descr;
+    n_threads = 3;
+    approx_steps = 400;
+    prepare =
+      (fun _rng ->
+        let depth = 4 in
+        let pool = Pool.For_testing.create_detached ~workers:3 policy in
+        let result = ref (-1) in
+        let finished = Atomic.make false in
+        let body i =
+          if i = 0 then
+            Pool.For_testing.as_worker pool 0 (fun () ->
+              let rec go n =
+                if n < 2 then begin
+                  leaf ();
+                  n
+                end
+                else begin
+                  let a, b =
+                    Pool.fork_join (fun () -> go (n - 1)) (fun () -> go (n - 2))
+                  in
+                  a + b
+                end
+              in
+              result := go depth;
+              Atomic.set finished true)
+          else
+            Pool.For_testing.as_worker pool i (fun () ->
+              while not (Atomic.get finished) do
+                ignore (Pool.For_testing.help pool i)
+              done)
+        in
+        let oracle () =
+          if !result <> fib depth then
+            Error (Printf.sprintf "fib %d = %d, expected %d" depth !result (fib depth))
+          else if Pool.For_testing.live_tasks pool <> 0 then
+            Error
+              (Printf.sprintf "%d task(s) leaked in the pool"
+                 (Pool.For_testing.live_tasks pool))
+          else begin
+            let c = Pool.counters pool in
+            let expect = forks_of_fib depth in
+            if c.tasks_run <> expect then
+              Error
+                (Printf.sprintf "tasks_run=%d, expected %d (forks of fib %d)"
+                   c.tasks_run expect depth)
+            else Ok ()
+          end
+        in
+        (body, oracle));
+  }
+
+let pool_ws =
+  pool_scenario ~name:"pool_ws"
+    ~descr:"native pool, work stealing: fork-join fib with two helping workers"
+    ~policy:Pool.Work_stealing
+    ~leaf:(fun () -> ())
+
+(* Small quota plus a per-leaf allocation hint forces quota give-ups, so
+   task transfer flows through the sharded R-list paths too. *)
+let pool_dfd =
+  pool_scenario ~name:"pool_dfd"
+    ~descr:"native pool, DFDeques(K): small quota forces R-list give-ups"
+    ~policy:(Pool.Dfdeques { quota = 32 })
+    ~leaf:(fun () -> Pool.alloc_hint 64)
+
+(* ------------------------------------------------------------------ *)
+
+let all = [ clev_ops; clev_grow; clev_wrap; pool_ws; pool_dfd ]
+
+let buggy = clev_buggy
+
+let find name = List.find_opt (fun s -> s.Explore.name = name) (buggy :: all)

@@ -1,0 +1,38 @@
+(** The scenario catalogue for {!Explore}.
+
+    Chase–Lev scenarios share one oracle: every pushed value is delivered
+    exactly once (owner pop, thief steal, or final drain) — the multiset
+    identity that double delivery or loss breaks.  Pool scenarios run a
+    real fork-join computation on a detached pool
+    ({!Dfd_runtime.Pool.For_testing}) whose workers are played by
+    controlled threads, checking the computed result, the task-count
+    accounting and the absence of leaked tasks. *)
+
+val clev_ops : Explore.scenario
+(** Seeded owner push/pop mix against two concurrent thieves. *)
+
+val clev_grow : Explore.scenario
+(** Tiny initial buffer; pushes force grows under a concurrent thief. *)
+
+val clev_wrap : Explore.scenario
+(** Deque started at [max_int - 3]: churn across the overflow boundary. *)
+
+val pool_ws : Explore.scenario
+(** Fork-join fib on the work-stealing pool, two helping workers. *)
+
+val pool_dfd : Explore.scenario
+(** Same computation under DFDeques(K) with a quota small enough that
+    every leaf allocation forces a give-up through the R-list. *)
+
+val clev_buggy : Explore.scenario
+(** Drives {!Buggy_clev}; the explorer is expected to {e fail} this one.
+    Excluded from {!all}. *)
+
+val buggy : Explore.scenario
+(** Alias for {!clev_buggy}. *)
+
+val all : Explore.scenario list
+(** Every correct scenario, the default set for [repro check]. *)
+
+val find : string -> Explore.scenario option
+(** Look up any scenario (including the buggy one) by name. *)

@@ -2,6 +2,7 @@ module Deque = Dfd_structures.Deque
 module Clev = Dfd_structures.Clev
 module Dll = Dfd_structures.Dll
 module Prng = Dfd_structures.Prng
+module Schedpoint = Dfd_structures.Schedpoint
 module Tracer = Dfd_trace.Tracer
 module Event = Dfd_trace.Event
 module Fault = Dfd_fault.Fault
@@ -370,6 +371,7 @@ let dfd_steal pool w ~quota =
 (* ------------------------------------------------------------------ *)
 
 let push_local pool w task =
+  Schedpoint.point Schedpoint.pool_push;
   (* [live_tasks] rises before the task is visible, so a worker that sees
      zero can safely park: any task not yet pushed will signal it. *)
   Atomic.incr pool.live_tasks;
@@ -385,6 +387,7 @@ let push_local pool w task =
 (* One attempt to obtain a task; lock-free for WS, per-deque locks for
    DFD.  Does not touch [live_tasks]; callers do. *)
 let try_get pool w =
+  Schedpoint.point Schedpoint.pool_get;
   match pool.policy with
   | Work_stealing -> (
       match Clev.pop pool.ws_deques.(w) with
@@ -460,6 +463,7 @@ let help_once pool w =
    is lock-free; a pop that surfaces some other task (possible only if
    ours was stolen) is pushed straight back. *)
 let try_pop_exact pool w task =
+  Schedpoint.point Schedpoint.pool_pop_exact;
   let got =
     match pool.policy with
     | Work_stealing -> (
@@ -510,6 +514,7 @@ let fulfill pool pr f =
       c.c_task_exns <- c.c_task_exns + 1;
       Failed e
   in
+  Schedpoint.point Schedpoint.pool_fulfill;
   Atomic.set pr.state v
 
 let await pool w pr =
@@ -518,6 +523,7 @@ let await pool w pr =
     | Done v -> v
     | Failed e -> raise e
     | Pending ->
+      Schedpoint.point Schedpoint.pool_await;
       check_cancel pool;
       (* help: run other tasks while the thief finishes ours; back off
          with jitter when steals keep failing so contended pools don't
@@ -561,14 +567,7 @@ let worker_loop pool w =
   in
   loop ()
 
-let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) policy =
-  let extra =
-    match domains with
-    | Some d -> max 0 d
-    | None -> max 0 (Domain.recommended_domain_count () - 1)
-  in
-  let n_workers = extra + 1 in
-  let pool =
+let make ~n_workers ~tracer ~fault policy =
     {
       policy;
       n_workers;
@@ -606,7 +605,14 @@ let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) policy =
       deadline = Atomic.make None;
       cancelled = Atomic.make false;
     }
+
+let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) policy =
+  let extra =
+    match domains with
+    | Some d -> max 0 d
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
   in
+  let pool = make ~n_workers:(extra + 1) ~tracer ~fault policy in
   pool.domains <- List.init extra (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
 
@@ -785,6 +791,26 @@ let shutdown pool =
   Mutex.unlock pool.idle_lock;
   List.iter Domain.join pool.domains;
   pool.domains <- []
+
+(* Entry points for the systematic concurrency checker (lib/check): a
+   pool with worker slots but no spawned domains, so every thread touching
+   it is one the checker controls, plus explicit worker impersonation and
+   single help steps.  Not part of the public scheduling API. *)
+module For_testing = struct
+  let create_detached ?(fault = Fault.none) ~workers policy =
+    make ~n_workers:(max 1 workers) ~tracer:Tracer.disabled ~fault policy
+
+  let as_worker pool w f =
+    if w < 0 || w >= pool.n_workers then invalid_arg "Pool.For_testing.as_worker";
+    let ctx = Domain.DLS.get worker_key in
+    let saved = !ctx in
+    ctx := Some (w, pool);
+    Fun.protect ~finally:(fun () -> ctx := saved) f
+
+  let help pool w = help_once pool w
+
+  let live_tasks pool = Atomic.get pool.live_tasks
+end
 
 let parallel_reduce ~zero ~op ~lo ~hi f =
   let rec go lo hi =

@@ -157,3 +157,28 @@ val snapshot : t -> string
 
 val shutdown : t -> unit
 (** Stop the worker domains.  The pool must be idle. *)
+
+(** Hooks for the systematic concurrency checker
+    ({!module:Dfd_check.Explore}) — {b not} part of the scheduling API.
+    The checker needs a pool whose every participating thread is under
+    its control, so it creates one with worker slots but no spawned
+    domains and drives the worker roles from threads it serialises
+    through the {!Dfd_structures.Schedpoint} yield points. *)
+module For_testing : sig
+  val create_detached : ?fault:Dfd_fault.Fault.t -> workers:int -> policy -> t
+  (** A pool with [workers] worker slots and {e no} worker domains.
+      Work only progresses when some thread runs {!as_worker}/{!help}. *)
+
+  val as_worker : t -> int -> (unit -> 'a) -> 'a
+  (** [as_worker pool w f] runs [f] with the calling thread registered as
+      worker [w] (so {!fork_join} etc. work), restoring the previous
+      registration afterwards.  At most one live thread per worker slot. *)
+
+  val help : t -> int -> bool
+  (** One attempt by worker [w] to obtain and run a single task; [false]
+      if none was found. *)
+
+  val live_tasks : t -> int
+  (** Tasks pushed but not yet taken (0 once a computation is quiescent —
+      the checker's leak oracle). *)
+end

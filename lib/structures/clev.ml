@@ -39,12 +39,21 @@ let create ?(min_capacity = 16) () =
   let cap = round_pow2 (max 2 min_capacity) in
   { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (mk_buf cap) }
 
-(* Owner only: copy [t, b) into a doubled buffer and publish it. *)
+let create_at ?min_capacity ~index () =
+  let q = create ?min_capacity () in
+  Atomic.set q.top index;
+  Atomic.set q.bottom index;
+  q
+
+(* Owner only: copy [t, b) into a doubled buffer and publish it.  The
+   loop walks offsets, not raw indices: near [max_int] the indices wrap
+   while [b - t] (wraparound subtraction) stays a small positive count. *)
 let grow q b t old =
   let nb = mk_buf (2 * (old.mask + 1)) in
-  for i = t to b - 1 do
-    Atomic.set (cell nb i) (Atomic.get (cell old i))
+  for off = 0 to b - t - 1 do
+    Atomic.set (cell nb (t + off)) (Atomic.get (cell old (t + off)))
   done;
+  Schedpoint.point Schedpoint.clev_grow_publish;
   Atomic.set q.buf nb;
   nb
 
@@ -53,7 +62,9 @@ let push q x =
   let t = Atomic.get q.top in
   let buf = Atomic.get q.buf in
   let buf = if b - t > buf.mask then grow q b t buf else buf in
+  Schedpoint.point Schedpoint.clev_push_cell;
   Atomic.set (cell buf b) (Some x);
+  Schedpoint.point Schedpoint.clev_push_publish;
   Atomic.set q.bottom (b + 1)
 
 (* Take the value out of a won cell, clearing it so the deque does not
@@ -63,21 +74,28 @@ let take c =
   Atomic.set c None;
   x
 
+(* All index comparisons go through wraparound subtraction ([b - t], a
+   small signed distance) rather than [<]/[>=] on the raw indices, so the
+   deque stays correct when the monotonically increasing indices overflow
+   past [max_int] (exercised by the biased-start tests). *)
 let pop q =
   let b = Atomic.get q.bottom - 1 in
   let buf = Atomic.get q.buf in
   Atomic.set q.bottom b;
+  Schedpoint.point Schedpoint.clev_pop_reserve;
   (* SC: the [bottom] write above is ordered before this [top] read, so a
      thief that observed the old bottom cannot also observe a top that
      lets both of us take the same element (DESIGN.md §10). *)
   let t = Atomic.get q.top in
-  if b < t then begin
+  let d = b - t in
+  if d < 0 then begin
     (* already empty: undo the reservation *)
     Atomic.set q.bottom t;
     None
   end
-  else if b = t then begin
+  else if d = 0 then begin
     (* single element left: race thieves for it via the top CAS *)
+    Schedpoint.point Schedpoint.clev_pop_race;
     let won = Atomic.compare_and_set q.top t (t + 1) in
     Atomic.set q.bottom (t + 1);
     if won then take (cell buf b) else None
@@ -86,14 +104,16 @@ let pop q =
 
 let steal q =
   let t = Atomic.get q.top in
+  Schedpoint.point Schedpoint.clev_steal_read;
   let b = Atomic.get q.bottom in
-  if t >= b then None
+  if b - t <= 0 then None
   else begin
     let buf = Atomic.get q.buf in
     (* read the candidate before the CAS: once the CAS wins, the owner may
        recycle the slot, but then it is ours and nobody rewrites what we
        read (a rewrite requires winning index [t], i.e. our CAS failing) *)
     let x = Atomic.get (cell buf t) in
+    Schedpoint.point Schedpoint.clev_steal_cell;
     if Atomic.compare_and_set q.top t (t + 1) then x else None
   end
 

@@ -26,6 +26,12 @@ val create : ?min_capacity:int -> unit -> 'a t
     rounded up to a power of two) sizes the initial buffer; small values
     are useful in tests to exercise resizing. *)
 
+val create_at : ?min_capacity:int -> index:int -> unit -> 'a t
+(** Like {!create} but with [top = bottom = index].  Tests only: a start
+    index near [max_int] exercises the wraparound of the monotonically
+    increasing logical indices (all internal comparisons use wraparound
+    subtraction, so overflow is safe). *)
+
 val push : 'a t -> 'a -> unit
 (** Owner only.  Push onto the bottom (LIFO) end, growing the buffer if
     full.  Never blocks, never fails. *)

@@ -1,0 +1,55 @@
+(** Injectable yield points for the systematic concurrency checker.
+
+    Concurrency-sensitive code calls {!point} at the instants where an
+    adversarial scheduler could preempt it: between the individual atomic
+    operations of the Chase–Lev deque, at the native pool's task-transfer
+    boundaries.  With no handler installed (production, and every test
+    that is not a checker run) a point costs one atomic load and does
+    nothing — the hook is a no-op unless checking is enabled.
+
+    The checker ({!module:Dfd_check.Explore}) installs a process-global
+    handler around an exploration run.  The handler receives the point id
+    and is responsible for deciding whether the calling thread is under
+    its control (threads it did not spawn must pass through unimpeded). *)
+
+val point : int -> unit
+(** [point id] — yield to the installed handler, if any. *)
+
+val install : (int -> unit) -> unit
+(** Install the process-global handler (checker only; not reentrant). *)
+
+val uninstall : unit -> unit
+
+val active : unit -> bool
+(** Whether a handler is currently installed. *)
+
+(** {2 Yield-point ids}
+
+    Stable identifiers for every instrumented site, so replay files are
+    readable and survive refactors that do not move the sites. *)
+
+val start : int
+(** Pseudo-point at which every controlled thread blocks before running. *)
+
+val clev_push_cell : int
+val clev_push_publish : int
+val clev_pop_reserve : int
+val clev_pop_race : int
+val clev_steal_read : int
+val clev_steal_cell : int
+val clev_grow_publish : int
+val pool_push : int
+val pool_get : int
+val pool_pop_exact : int
+val pool_await : int
+val pool_fulfill : int
+
+val clev_steal_commit : int
+(** Only emitted by the checker's deliberately buggy deque variant: the
+    instant between its (non-atomic) top check and top store, where the
+    correct deque has a single CAS and hence no such point. *)
+
+val name : int -> string
+(** Human-readable name of a point id. *)
+
+val of_name : string -> int option

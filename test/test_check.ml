@@ -1,0 +1,172 @@
+(* Tests for the systematic concurrency checker (lib/check).
+
+   The headline property: a deliberately injected ordering bug — the
+   non-atomic top check/store in Buggy_clev.steal — is found by the
+   explorer within its default budget, shrunk to a short decision trace,
+   and that trace reproduces through the replay machinery.  The correct
+   scenarios must pass, reports must be deterministic functions of the
+   seed, and the theorem oracles must hold on random programs across
+   every scheduler. *)
+
+module Explore = Dfd_check.Explore
+module Scenarios = Dfd_check.Scenarios
+module Oracle = Dfd_check.Oracle
+module Schedpoint = Dfd_structures.Schedpoint
+module Prng = Dfd_structures.Prng
+module Dag_gen = Dfd_dag.Dag_gen
+module Config = Dfd_machine.Config
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Explorer: injected bug detection, shrinking, replay, determinism    *)
+(* ------------------------------------------------------------------ *)
+
+(* Any seed works eventually; this one fails within a few iterations so
+   the test stays fast even with shrinking replays on top. *)
+let buggy_seed = 3
+
+let test_buggy_caught () =
+  let r = Explore.run ~seed:buggy_seed Scenarios.buggy in
+  match r.Explore.r_failure with
+  | None -> Alcotest.fail "explorer missed the injected steal-commit race"
+  | Some f ->
+    checkb "found within default budget" true (r.Explore.r_iterations <= r.Explore.r_budget);
+    checkb "shrunk" true f.Explore.f_shrunk;
+    checkb "minimal trace nonempty" true (f.Explore.f_choices <> []);
+    checkb "minimal trace short" true (List.length f.Explore.f_choices <= 16);
+    (* f_points names the yield points of the whole confirming replay
+       (minimal choices plus deterministic fallback tail), so it is at
+       least as long as the choice list *)
+    checkb "point trace covers the choices" true
+      (List.length f.Explore.f_points >= List.length f.Explore.f_choices)
+
+let test_buggy_deterministic () =
+  let r1 = Explore.run ~seed:buggy_seed Scenarios.buggy in
+  let r2 = Explore.run ~seed:buggy_seed Scenarios.buggy in
+  checkb "same seed gives an identical report (failure trace included)" true (r1 = r2)
+
+let test_replay_roundtrip () =
+  let r = Explore.run ~seed:buggy_seed Scenarios.buggy in
+  let f = Option.get r.Explore.r_failure in
+  (match Explore.replay Scenarios.buggy f with
+   | Some _reason -> ()
+   | None -> Alcotest.fail "minimal trace did not reproduce the failure");
+  (* the on-disk replay format must carry everything replay needs *)
+  let path = Filename.temp_file "replay" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Explore.write_replay path f;
+      let f' = Explore.read_replay path in
+      checkb "replay file roundtrips" true (f = f');
+      checkb "replay from file reproduces" true
+        (Explore.replay Scenarios.buggy f' <> None));
+  (* with no recorded decisions the chooser falls back to the serial
+     schedule (lowest enabled thread), which never triggers the race *)
+  let serial = { f with Explore.f_choices = []; f_points = [] } in
+  checkb "serial fallback schedule passes" true
+    (Explore.replay Scenarios.buggy serial = None)
+
+let test_replay_rejects_wrong_scenario () =
+  let r = Explore.run ~seed:buggy_seed Scenarios.buggy in
+  let f = Option.get r.Explore.r_failure in
+  checkb "scenario-name mismatch rejected" true
+    (match Explore.replay Scenarios.clev_ops f with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_correct_scenarios_pass () =
+  List.iter
+    (fun sc ->
+      let r = Explore.run ~budget:30 ~seed:7 sc in
+      (match r.Explore.r_failure with
+       | Some f ->
+         Alcotest.failf "%s failed at iteration %d: %s" sc.Explore.name
+           f.Explore.f_iteration f.Explore.f_reason
+       | None -> ());
+      checki (sc.Explore.name ^ ": full budget used") 30 r.Explore.r_iterations)
+    Scenarios.all;
+  checkb "yield-point handler uninstalled after runs" false (Schedpoint.active ())
+
+(* ------------------------------------------------------------------ *)
+(* Theorem oracles                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_lemma31_oracle () =
+  for seed = 0 to 4 do
+    let rng = Prng.create (seed + 900) in
+    let prog = Dag_gen.gen_prog rng Dag_gen.fork_heavy in
+    match Oracle.lemma31 ~seed ~p:4 ~k:128 prog with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "lemma31 (seed %d): %s" seed m
+  done
+
+let test_thm44_oracle () =
+  let rng = Prng.create 41 in
+  let prog = Dag_gen.gen_prog rng Dag_gen.allocation_heavy in
+  let rep = Oracle.thm44 ~seed:41 ~p:4 ~k:256 prog in
+  checkb "bound holds" true rep.Oracle.ok;
+  checkb "bound dominates serial space" true (rep.Oracle.bound >= rep.Oracle.s1);
+  (match Oracle.thm44_result rep with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "thm44_result on ok report: %s" m);
+  let broken = { rep with Oracle.ok = false } in
+  checkb "violations render as Error" true (Result.is_error (Oracle.thm44_result broken))
+
+(* Satellite: every policy's final memory accounting must match an
+   independent recomputation from the executed-action stream, for finite
+   and infinite thresholds alike. *)
+let space_accounting_prop =
+  QCheck.Test.make
+    ~name:"accounting: engine heap counters match recomputation from the trace" ~count:24
+    QCheck.(triple small_int (int_range 1 6) bool)
+    (fun (seed, p, finite) ->
+      let rng = Prng.create (seed + 300) in
+      let prog = Dag_gen.gen_prog rng Dag_gen.allocation_heavy in
+      let mem_threshold = if finite then Some 128 else None in
+      let cfg = Config.analysis ~p ~mem_threshold ~seed () in
+      List.for_all
+        (fun sched ->
+          match Oracle.space_accounting ~sched cfg prog with
+          | Ok () -> true
+          | Error m -> QCheck.Test.fail_reportf "%s (seed=%d p=%d)" m seed p)
+        [ `Ws; `Dfdeques; `Adf; `Fifo ])
+
+(* The cross-implementation oracle: serial 1DF, all four simulated
+   policies and the real pool agree on every observable total.  Pure
+   nested-parallel programs only (lock_prob = 0). *)
+let pure_params = { Dag_gen.default with Dag_gen.lock_prob = 0.0 }
+
+let differential_prop =
+  QCheck.Test.make ~name:"differential: serial = simulators = native pool" ~count:12
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create (seed + 70) in
+      let prog = Dag_gen.gen_prog rng pure_params in
+      match Oracle.differential ~seed ~pool_domains:2 prog with
+      | Ok () -> true
+      | Error m -> QCheck.Test.fail_reportf "%s (seed=%d)" m seed)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "injected bug caught and shrunk" `Quick test_buggy_caught;
+          Alcotest.test_case "same seed, same report" `Quick test_buggy_deterministic;
+          Alcotest.test_case "replay file roundtrip reproduces" `Quick
+            test_replay_roundtrip;
+          Alcotest.test_case "replay rejects wrong scenario" `Quick
+            test_replay_rejects_wrong_scenario;
+          Alcotest.test_case "correct scenarios pass" `Quick test_correct_scenarios_pass;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "Lemma 3.1 on random dags" `Quick test_lemma31_oracle;
+          Alcotest.test_case "Theorem 4.4 report" `Quick test_thm44_oracle;
+          QCheck_alcotest.to_alcotest ~long:false space_accounting_prop;
+          QCheck_alcotest.to_alcotest ~long:false differential_prop;
+        ] );
+    ]

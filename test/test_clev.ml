@@ -85,8 +85,12 @@ let test_interleaved_push_pop () =
    while [n_stealers] domains steal continuously; afterwards drain what
    is left.  Returns (pushed, taken) where [taken] concatenates pops,
    steals and the drain. *)
-let concurrent_run ?(min_capacity = 2) ~n_stealers ops =
-  let q = Clev.create ~min_capacity () in
+let concurrent_run ?(min_capacity = 2) ?start_index ~n_stealers ops =
+  let q =
+    match start_index with
+    | None -> Clev.create ~min_capacity ()
+    | Some index -> Clev.create_at ~min_capacity ~index ()
+  in
   let stop = Atomic.make false in
   let stealers =
     List.init n_stealers (fun _ ->
@@ -158,6 +162,65 @@ let test_concurrent_owner_drain_only () =
   let pushed, taken = concurrent_run ~n_stealers:2 ops in
   checkb "push-only multiset equal" true (multiset_eq pushed taken)
 
+(* ------------------------------------------------------------------ *)
+(* Wraparound and tiny-buffer regressions                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The logical indices only ever increase, so a long-lived deque pushes
+   them past max_int.  All internal comparisons must use wraparound
+   subtraction; these start the indices just below the boundary via
+   [create_at] so every operation crosses it. *)
+
+let test_wrap_sequential () =
+  let q = Clev.create_at ~min_capacity:2 ~index:(max_int - 2) () in
+  for i = 0 to 5 do
+    Clev.push q i
+  done;
+  (* bottom has wrapped negative while top is near max_int *)
+  checki "length across boundary" 6 (Clev.length q);
+  checki "steal oldest" 0 (Option.get (Clev.steal q));
+  checki "pop newest" 5 (Option.get (Clev.pop q));
+  for i = 4 downto 1 do
+    checki "pop order" i (Option.get (Clev.pop q))
+  done;
+  checkb "empty after" true (Clev.pop q = None);
+  (* single-element push/pop churn exactly on the boundary exercises the
+     d=0 race path and the empty-reset path with wrapped indices *)
+  for i = 0 to 9 do
+    Clev.push q i;
+    checki "immediate pop" i (Option.get (Clev.pop q))
+  done;
+  checkb "still empty" true (Clev.steal q = None)
+
+let test_wrap_steal_fifo () =
+  (* min_capacity 1 rounds up to the smallest legal buffer (2): every
+     second push grows, and all of it happens across the overflow *)
+  let q = Clev.create_at ~min_capacity:1 ~index:(max_int - 1) () in
+  checki "tiny initial capacity" 2 (Clev.capacity q);
+  for i = 0 to 7 do
+    Clev.push q i
+  done;
+  checkb "grew across boundary" true (Clev.capacity q >= 8);
+  for i = 0 to 7 do
+    checki "FIFO across boundary" i (Option.get (Clev.steal q))
+  done;
+  checkb "empty after" true (Clev.steal q = None)
+
+let test_wrap_concurrent () =
+  (* the index stream crosses max_int mid-run while thieves hammer it *)
+  let ops = List.init 8_000 (fun i -> i mod 5 <> 4) in
+  let pushed, taken =
+    concurrent_run ~min_capacity:2 ~start_index:(max_int - 1_000) ~n_stealers:3 ops
+  in
+  checkb "wraparound multiset equal" true (multiset_eq pushed taken)
+
+let test_grow_tiny_under_steal () =
+  (* capacity starts at the minimum, so grows happen constantly while
+     thieves race the republication *)
+  let ops = List.init 4_000 (fun i -> i mod 3 <> 2) in
+  let pushed, taken = concurrent_run ~min_capacity:1 ~n_stealers:3 ops in
+  checkb "tiny-buffer grow multiset equal" true (multiset_eq pushed taken)
+
 let () =
   Alcotest.run "clev"
     [
@@ -173,5 +236,12 @@ let () =
           QCheck_alcotest.to_alcotest ~long:false qcheck_no_dup_no_loss;
           Alcotest.test_case "resize under steal stress" `Quick test_resize_under_steal_stress;
           Alcotest.test_case "push-only, stealers drain" `Quick test_concurrent_owner_drain_only;
+        ] );
+      ( "wraparound",
+        [
+          Alcotest.test_case "sequential laws across max_int" `Quick test_wrap_sequential;
+          Alcotest.test_case "grow + FIFO steal across max_int" `Quick test_wrap_steal_fifo;
+          Alcotest.test_case "concurrent churn across max_int" `Quick test_wrap_concurrent;
+          Alcotest.test_case "tiny buffer grows under steal" `Quick test_grow_tiny_under_steal;
         ] );
     ]

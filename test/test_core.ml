@@ -11,6 +11,7 @@ module Prng = Dfd_structures.Prng
 module Config = Dfd_machine.Config
 module Engine = Dfdeques_core.Engine
 module Dummy = Dfdeques_core.Dummy
+module Oracle = Dfd_check.Oracle
 open Prog
 
 let checki = Alcotest.(check int)
@@ -398,24 +399,17 @@ let test_more_procs_than_work () =
 (* ------------------------------------------------------------------ *)
 
 (* Theorem 4.4: expected space of DFDeques(K) is
-   S1 + O(min(K,S1) * p * D).  We check with a generous constant. *)
+   S1 + O(min(K,S1) * p * D).  Checked through the shared oracle
+   (Dfd_check.Oracle) with its generous default constant. *)
 let space_bound_prop =
   QCheck.Test.make ~name:"Theorem 4.4: DFDeques space bound" ~count:60
     QCheck.(pair small_int (int_range 1 6))
     (fun (seed, p) ->
        let rng = Prng.create (seed + 1) in
        let prog = Dag_gen.gen_prog rng Dag_gen.allocation_heavy in
-       let s = Analysis.analyze prog in
-       let k = 256 in
-       let cfg = Config.analysis ~p ~mem_threshold:(Some k) ~seed () in
-       let r = Engine.run ~sched:`Dfdeques cfg prog in
-       let bound =
-         s.Analysis.serial_space + (8 * min k s.Analysis.serial_space * p * s.Analysis.depth)
-       in
-       if r.Engine.heap_peak > bound then
-         QCheck.Test.fail_reportf "space %d > bound %d (S1=%d D=%d p=%d)" r.Engine.heap_peak
-           bound s.Analysis.serial_space s.Analysis.depth p
-       else true)
+       match Oracle.thm44_result (Oracle.thm44 ~seed ~p ~k:256 prog) with
+       | Ok () -> true
+       | Error msg -> QCheck.Test.fail_reportf "%s (seed=%d)" msg seed)
 
 (* Greedy lower bounds hold for any scheduler: T >= W/p and T >= D. *)
 let time_lower_bound_prop =
@@ -499,16 +493,17 @@ let ws_space_envelope_prop =
        let r = Engine.run ~sched:`Ws cfg prog in
        r.Engine.heap_peak <= max 1 (4 * p * s.Analysis.serial_space))
 
-(* Lemma 3.1 invariant checked continuously on random programs. *)
+(* Lemma 3.1 invariant checked continuously on random programs, through
+   the shared oracle. *)
 let lemma31_prop =
   QCheck.Test.make ~name:"Lemma 3.1 deque ordering invariant" ~count:60
     QCheck.(pair small_int (int_range 1 8))
     (fun (seed, p) ->
        let rng = Prng.create (seed + 600) in
        let prog = Dag_gen.gen_prog rng Dag_gen.fork_heavy in
-       let cfg = Config.analysis ~p ~mem_threshold:(Some 128) ~seed () in
-       ignore (Engine.run ~sched:`Dfdeques ~check_invariants:true cfg prog);
-       true)
+       match Oracle.lemma31 ~seed ~p ~k:128 prog with
+       | Ok () -> true
+       | Error msg -> QCheck.Test.fail_reportf "%s (seed=%d p=%d)" msg seed p)
 
 (* Work conservation under every scheduler on random programs. *)
 let work_conservation_prop =

@@ -110,6 +110,18 @@ let test_fig17_targets () =
   checkb "DFD >= ADF" true (get "DFD" >= 0.95 *. get "ADF");
   checkb "DFD >= FIFO" true (get "DFD" >= 0.95 *. get "FIFO")
 
+(* Theorem 4.4 on a real benchmark program, stated through the shared
+   oracle (lib/check) instead of a hand-rolled bound. *)
+let test_thm44_oracle_on_bench () =
+  let b = Dfd_benchmarks.Sparse_mvm.bench ~rows:300 W.Fine in
+  let prog = b.W.prog () in
+  List.iter
+    (fun p ->
+       match Dfd_check.Oracle.(thm44_result (thm44 ~p ~k:2048 prog)) with
+       | Ok () -> ()
+       | Error m -> Alcotest.failf "p=%d: %s" p m)
+    [ 1; 4; 8 ]
+
 (* Theorem 4.5: the adversarial-dag space grows linearly in p while S1 is
    constant. *)
 let test_thm45_growth () =
@@ -166,6 +178,7 @@ let () =
           Alcotest.test_case "fig15 tradeoff" `Quick test_fig15_tradeoff_small;
           Alcotest.test_case "fig16 targets" `Slow test_fig16_targets;
           Alcotest.test_case "fig17 targets" `Slow test_fig17_targets;
+          Alcotest.test_case "thm44 oracle on benchmark" `Quick test_thm44_oracle_on_bench;
           Alcotest.test_case "thm45 growth" `Quick test_thm45_growth;
           Alcotest.test_case "profile shape" `Slow test_profile_shape;
           Alcotest.test_case "paper data" `Quick test_paper_reference_data;

@@ -1,0 +1,60 @@
+(* Direct unit test for the shared validator helpers in Json_util — the
+   validators only exercise them on well-formed reports, so the edge
+   behaviour (numeric coercion, byte-exact file slurping) is pinned
+   here. *)
+
+module Json = Dfd_trace.Json
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let test_to_number () =
+  checkf "int coerces" 42.0 (Json_util.to_number_exn (Json.Int 42));
+  checkf "negative int coerces" (-3.0) (Json_util.to_number_exn (Json.Int (-3)));
+  checkf "float passes through" 2.5 (Json_util.to_number_exn (Json.Float 2.5));
+  checkb "non-number raises Parse_error" true
+    (match Json_util.to_number_exn (Json.String "x") with
+     | exception Json.Parse_error _ -> true
+     | _ -> false)
+
+let test_read_and_parse_file () =
+  let path = Filename.temp_file "json_util" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let text = {|{"a": 1, "b": [true, 2.5], "c": "x"}|} in
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      Alcotest.(check string) "read_file is byte-exact" text (Json_util.read_file path);
+      let j = Json_util.parse_file path in
+      Alcotest.(check int) "a" 1 (Json.to_int_exn (Json.member "a" j));
+      (match Json.member "b" j with
+       | Json.List [ Json.Bool true; b1 ] -> checkf "b[1]" 2.5 (Json_util.to_number_exn b1)
+       | _ -> Alcotest.fail "b malformed");
+      Alcotest.(check string) "c" "x" (Json.to_string_exn (Json.member "c" j)))
+
+let test_parse_file_rejects_garbage () =
+  let path = Filename.temp_file "json_util" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "{ not json";
+      close_out oc;
+      checkb "malformed file raises Parse_error" true
+        (match Json_util.parse_file path with
+         | exception Json.Parse_error _ -> true
+         | _ -> false))
+
+let () =
+  Alcotest.run "json_util"
+    [
+      ( "json_util",
+        [
+          Alcotest.test_case "to_number_exn" `Quick test_to_number;
+          Alcotest.test_case "read_file / parse_file" `Quick test_read_and_parse_file;
+          Alcotest.test_case "parse_file rejects garbage" `Quick
+            test_parse_file_rejects_garbage;
+        ] );
+    ]

@@ -5,13 +5,35 @@
    still runs real concurrent domains.) *)
 
 module Pool = Dfd_runtime.Pool
+module Watchdog = Dfd_fault.Watchdog
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 
-let with_pool ?(domains = 3) policy f =
+(* Extra worker domains derived from the machine but capped at 4 workers
+   total: oversubscribing a small CI container is the main source of
+   flaky slow runs, and these are correctness tests — beyond a handful
+   of workers they exercise nothing new. *)
+let default_domains = min 4 (max 2 (Domain.recommended_domain_count ())) - 1
+
+let with_pool ?(domains = default_domains) policy f =
   let pool = Pool.create ~domains policy in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* Bounded spin-wait: poll [cond] under a wall-clock no-progress watchdog
+   instead of looping forever — if the pool wedges, the test fails with
+   its diagnostic snapshot rather than hanging the whole suite. *)
+let spin_until ?(limit_ms = 20_000) ~snapshot cond =
+  let wd = Watchdog.create ~limit:limit_ms ~snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if not (cond ()) then begin
+      Watchdog.check wd ~now:(int_of_float ((Unix.gettimeofday () -. t0) *. 1000.));
+      Domain.cpu_relax ();
+      go ()
+    end
+  in
+  go ()
 
 let policies = [ (Pool.Work_stealing, "WS"); (Pool.Dfdeques { quota = 4096 }, "DFD") ]
 
@@ -243,7 +265,7 @@ let qcheck_injected_exn_propagates =
        let policy = if use_dfd then Pool.Dfdeques { quota = 4096 } else Pool.Work_stealing in
        let rates = { Fault.zero_rates with Fault.task_exn_prob = 1.0 } in
        let fault = Fault.create ~rates ~seed () in
-       let pool = Pool.create ~domains:3 ~fault policy in
+       let pool = Pool.create ~domains:default_domains ~fault policy in
        Fun.protect
          ~finally:(fun () -> Pool.shutdown pool)
          (fun () ->
@@ -262,7 +284,7 @@ let test_injected_steal_failures_degrade_gracefully () =
     (fun (policy, name) ->
        let rates = { Fault.zero_rates with Fault.steal_fail_prob = 0.5 } in
        let fault = Fault.create ~rates ~seed:99 () in
-       let pool = Pool.create ~domains:3 ~fault policy in
+       let pool = Pool.create ~domains:default_domains ~fault policy in
        Fun.protect
          ~finally:(fun () -> Pool.shutdown pool)
          (fun () ->
@@ -297,6 +319,20 @@ let test_timeout_not_spurious () =
   with_pool Pool.Work_stealing (fun pool ->
       (* generous deadline, short computation: must not raise *)
       checki "no spurious timeout" 6765 (Pool.run ~timeout:60.0 pool (fun () -> fib 20)))
+
+let test_background_run_observed () =
+  (* a run driven from another domain, observed by watchdog-bounded
+     polling: completion must become visible without unbounded waiting *)
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           let res = Atomic.make 0 in
+           let d = Domain.spawn (fun () -> Atomic.set res (Pool.run pool (fun () -> fib 16))) in
+           spin_until ~snapshot:(fun () -> Pool.snapshot pool) (fun () -> Atomic.get res <> 0);
+           Domain.join d;
+           checki (name ^ " background fib") 987 (Atomic.get res);
+           checkb (name ^ " heartbeat advanced") true (Pool.heartbeat pool > 0)))
+    policies
 
 let test_snapshot_mentions_state () =
   List.iter
@@ -346,6 +382,7 @@ let () =
           Alcotest.test_case "timeout fires, pool reusable" `Quick
             test_timeout_fires_and_pool_reusable;
           Alcotest.test_case "timeout not spurious" `Quick test_timeout_not_spurious;
+          Alcotest.test_case "background run observed" `Quick test_background_run_observed;
           Alcotest.test_case "snapshot" `Quick test_snapshot_mentions_state;
         ] );
     ]

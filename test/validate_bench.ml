@@ -4,24 +4,14 @@
 
 module Json = Dfd_trace.Json
 
-let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_bench: " ^ m); exit 1) fmt
+let fail fmt = Json_util.failf ~prog:"validate_bench" fmt
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let to_number_exn = function
-  | Json.Float f -> f
-  | Json.Int n -> float_of_int n
-  | _ -> raise (Json.Parse_error "expected number")
+let to_number_exn = Json_util.to_number_exn
 
 let () =
   let path = match Sys.argv with [| _; p |] -> p | _ -> fail "usage: validate_bench FILE" in
   let j =
-    try Json.of_string (read_file path) with Json.Parse_error m -> fail "bad JSON: %s" m
+    try Json_util.parse_file path with Json.Parse_error m -> fail "bad JSON: %s" m
   in
   (match Json.member "bench" j with
    | Json.String "pool_scale" -> ()

@@ -5,19 +5,12 @@
 
 module Json = Dfd_trace.Json
 
-let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_chaos: " ^ m); exit 1) fmt
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let fail fmt = Json_util.failf ~prog:"validate_chaos" fmt
 
 let () =
   let path = match Sys.argv with [| _; p |] -> p | _ -> fail "usage: validate_chaos FILE" in
   let j =
-    try Json.of_string (read_file path) with Json.Parse_error m -> fail "bad JSON: %s" m
+    try Json_util.parse_file path with Json.Parse_error m -> fail "bad JSON: %s" m
   in
   let int_at k = try Json.to_int_exn (Json.member k j) with _ -> fail "missing int %S" k in
   ignore (int_at "seed");

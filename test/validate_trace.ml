@@ -4,18 +4,11 @@
 
 module Json = Dfd_trace.Json
 
-let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate_trace: " ^ m); exit 1) fmt
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let fail fmt = Json_util.failf ~prog:"validate_trace" fmt
 
 let check_trace path =
   let j =
-    match Json.of_string (read_file path) with
+    match Json_util.parse_file path with
     | j -> j
     | exception Json.Parse_error m -> fail "%s: JSON parse error: %s" path m
   in
@@ -48,7 +41,7 @@ let check_trace path =
 
 let check_metrics path =
   let j =
-    match Json.of_string (read_file path) with
+    match Json_util.parse_file path with
     | j -> j
     | exception Json.Parse_error m -> fail "%s: JSON parse error: %s" path m
   in
