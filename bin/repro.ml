@@ -309,8 +309,16 @@ let chaos_skip_pool_arg =
   let doc = "Only run the (fast, fully deterministic) simulator campaigns." in
   Arg.(value & flag & info [ "skip-pool" ] ~doc)
 
-let chaos_run seed campaigns p json_out skip_pool =
-  exit (Chaos.run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool)
+let chaos_service_arg =
+  let doc =
+    "Also run campaigns against the supervised job service (admission shedding, retry to \
+     budget exhaustion, flaky-job recovery, pool-wedge respawn with exactly-once requeue, \
+     ledger audit)."
+  in
+  Arg.(value & flag & info [ "service" ] ~doc)
+
+let chaos_run seed campaigns p json_out skip_pool service =
+  exit (Chaos.run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool ~service)
 
 let chaos_cmd =
   let doc =
@@ -321,7 +329,53 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const chaos_run $ seed_arg $ chaos_campaigns_arg $ p_arg $ chaos_json_arg
-      $ chaos_skip_pool_arg)
+      $ chaos_skip_pool_arg $ chaos_service_arg)
+
+let soak_duration_arg =
+  let doc = "Logical duration of the submission phase, in service steps (>= 12)." in
+  Arg.(value & opt int 60 & info [ "duration-steps" ] ~docv:"N" ~doc)
+
+let soak_plan_arg =
+  let doc =
+    "Fault plan: `none', `exns' (raising + flaky + deadline jobs), `wedges' (pool-wedging \
+     jobs), `spikes' (allocation spikes driving the adaptive quota controller), or `mixed'."
+  in
+  Arg.(value & opt (Arg.enum Soak.plans) Soak.P_mixed & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+
+let soak_policy_arg =
+  let doc = "Pool policy: `dfd' (DFDeques with the adaptive-K controller) or `ws'." in
+  Arg.(value & opt (Arg.enum [ ("dfd", `Dfd); ("ws", `Ws) ]) `Dfd
+       & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let soak_grace_arg =
+  let doc =
+    "Seconds without pool heartbeat progress before an in-flight attempt is declared wedged.  \
+     Wall-clock input parameter only; it never appears in the report."
+  in
+  Arg.(value & opt float 1.5 & info [ "wedge-grace" ] ~docv:"SECONDS" ~doc)
+
+let soak_json_arg =
+  let doc =
+    "Write the full machine-readable soak report as JSON to $(docv).  The report contains only \
+     logical-clock facts, so for fixed arguments it is byte-identical across runs."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let soak_run seed duration plan policy grace json_out =
+  exit (Soak.run_soak ~seed ~duration ~plan ~policy ~wedge_grace:grace ~json_out)
+
+let soak_cmd =
+  let doc =
+    "Run a deterministic soak campaign against the supervised job service: a seeded schedule \
+     of well-behaved, raising, flaky, deadline-bound, allocation-spiking and pool-wedging \
+     jobs, driven for a fixed number of logical steps and audited against the exactly-once \
+     ledger (zero lost jobs, zero duplicated acknowledgements, outcome classes per \
+     archetype, wedge -> respawn -> requeue exactly once, adaptive-K shrink and recovery)."
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(
+      const soak_run $ seed_arg $ soak_duration_arg $ soak_plan_arg $ soak_policy_arg
+      $ soak_grace_arg $ soak_json_arg)
 
 let check_iters_arg =
   let doc = "Schedule-exploration budget: randomised schedules per scenario." in
@@ -382,4 +436,5 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group ~default info
-          [ list_cmd; exp_cmd; run_cmd; analyze_cmd; trace_cmd; dot_cmd; chaos_cmd; check_cmd ]))
+          [ list_cmd; exp_cmd; run_cmd; analyze_cmd; trace_cmd; dot_cmd; chaos_cmd; soak_cmd;
+            check_cmd ]))

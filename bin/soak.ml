@@ -1,0 +1,427 @@
+(* repro soak — deterministic soak campaigns against the supervised job
+   service (Dfd_service.Service).
+
+   A soak run drives the service for [duration] logical steps under a
+   named fault plan.  Each plan is a pure function from (step, duration)
+   to a list of job submissions, drawn from six archetypes whose outcome
+   *class* is deterministic even though pool timing is not:
+
+   - ok     small fork-join reduction with allocation hints; completes.
+   - spike  one huge allocation hint; completes, but drives the adaptive
+            quota controller's pressure signal up.
+   - exn    always raises; retried to budget exhaustion, then Failed.
+   - flaky  raises on the first attempt only; Completed after one retry.
+   - slow   endless forking under a tight per-job deadline; every attempt
+            times out, then Failed.
+   - wedge  spins on a flag without touching the pool — invisible to
+            cooperative cancellation.  The supervisor declares the pool
+            wedged, respawns it, and requeues the job exactly once; the
+            respawn callback releases the flag, so the second attempt
+            completes.  Expected: Completed with requeues = 1.
+
+   After the submission phase the service is driven to idle and audited:
+   the exactly-once ledger must verify, every accepted job must land in
+   its archetype's outcome class, wedge/respawn counters must equal the
+   number of accepted wedge jobs, and (under the dfd policy with spikes
+   in the plan) the quota trajectory must show the controller shrinking K
+   under pressure and regrowing it afterwards.
+
+   The JSON report contains only logical-clock facts — counters, the
+   ledger, quota and breaker trajectories, per-step submission results —
+   never wall-clock readings, so two runs with the same seed and
+   arguments are byte-identical.  The exit code is gated on the ledger
+   audit and the outcome oracle, never on timing. *)
+
+module Service = Dfd_service.Service
+module Retry = Dfd_service.Retry
+module Breaker = Dfd_service.Breaker
+module Quota_ctl = Dfd_service.Quota_ctl
+module Pool = Dfd_runtime.Pool
+module Json = Dfd_trace.Json
+
+type plan = P_none | P_exns | P_wedges | P_spikes | P_mixed
+
+let plan_name = function
+  | P_none -> "none"
+  | P_exns -> "exns"
+  | P_wedges -> "wedges"
+  | P_spikes -> "spikes"
+  | P_mixed -> "mixed"
+
+let plans =
+  [ ("none", P_none); ("exns", P_exns); ("wedges", P_wedges); ("spikes", P_spikes);
+    ("mixed", P_mixed) ]
+
+type kind = Ok_job | Spike | Exn | Flaky | Slow | Wedge
+
+let kind_name = function
+  | Ok_job -> "ok"
+  | Spike -> "spike"
+  | Exn -> "exn"
+  | Flaky -> "flaky"
+  | Slow -> "slow"
+  | Wedge -> "wedge"
+
+(* The submission schedule: which jobs to offer at step [s] (1-based).
+   Pure in (plan, duration, s) — the whole campaign replays from the
+   report header. *)
+let schedule plan ~duration s =
+  match plan with
+  | P_none -> [ Ok_job ]
+  | P_exns ->
+    (if s mod 5 = 0 then [ Exn ] else [])
+    @ (if s mod 7 = 3 then [ Flaky ] else [])
+    @ (if s = 2 then [ Slow ] else [])
+    @ [ Ok_job ]
+  | P_wedges -> (if s = 3 || s = duration / 2 then [ Wedge ] else []) @ [ Ok_job ]
+  | P_spikes -> if s <= duration / 4 then [ Spike ] else [ Ok_job ]
+  | P_mixed ->
+    (if s <= duration / 6 then [ Spike ] else [])
+    @ (if s mod 7 = 0 then [ Exn ] else [])
+    @ (if s mod 11 = 4 then [ Flaky ] else [])
+    @ (if s = duration / 3 || s = 2 * duration / 3 then [ Wedge ] else [])
+    @ (if s = duration - 5 then List.init 12 (fun _ -> Ok_job) else [ Ok_job ])
+
+(* ------------------------------------------------------------------ *)
+(* Job bodies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ok_body () =
+  ignore
+    (Pool.parallel_reduce ~zero:0 ~op:( + ) ~lo:0 ~hi:64 (fun i ->
+         Pool.alloc_hint 16;
+         i))
+
+let spike_bytes = 400_000
+
+let spike_body () = Pool.alloc_hint spike_bytes
+
+let exn_body () = failwith "injected"
+
+let flaky_body tripped () =
+  if not (Atomic.exchange tripped true) then failwith "flaky"
+
+let slow_body () =
+  let rec loop () =
+    ignore (Pool.fork_join (fun () -> ()) (fun () -> ()));
+    loop ()
+  in
+  loop ()
+
+let wedge_body flag () = while not (Atomic.get flag) do Domain.cpu_relax () done
+
+(* ------------------------------------------------------------------ *)
+(* Service configuration for soak campaigns                            *)
+(* ------------------------------------------------------------------ *)
+
+let soak_retry = { Retry.max_attempts = 3; base_delay = 1; max_delay = 8 }
+
+let soak_breaker = { Breaker.failure_threshold = 4; cooldown = 12; probe_budget = 2 }
+
+let soak_quota =
+  {
+    Quota_ctl.k_init = 32_000;
+    k_min = 4_000;
+    k_max = 32_000;
+    high_watermark = 50_000;
+    low_watermark = 10_000;
+    recover_steps = 2;
+  }
+
+let slow_deadline = 0.05
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (logical-clock facts only)                           *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_fields = function
+  | None -> [ ("outcome", Json.String "unresolved") ]
+  | Some Service.Completed -> [ ("outcome", Json.String "completed") ]
+  | Some (Service.Failed m) ->
+    [ ("outcome", Json.String "failed"); ("detail", Json.String m) ]
+  | Some (Service.Rejected r) ->
+    [ ("outcome", Json.String "rejected");
+      ("reason", Json.String (Service.reject_reason_name r)) ]
+
+let counters_json (c : Service.counters) =
+  Json.Assoc
+    [
+      ("accepted", Json.Int c.accepted);
+      ("rejected_queue_full", Json.Int c.rejected_queue_full);
+      ("rejected_breaker_open", Json.Int c.rejected_breaker_open);
+      ("rejected_memory_pressure", Json.Int c.rejected_memory_pressure);
+      ("completions", Json.Int c.completions);
+      ("failures", Json.Int c.failures);
+      ("retries", Json.Int c.retries);
+      ("timeouts", Json.Int c.timeouts);
+      ("wedges", Json.Int c.wedges);
+      ("respawns", Json.Int c.respawns);
+      ("duplicate_acks", Json.Int c.duplicate_acks);
+    ]
+
+let config_json ~policy_name ~queue_capacity ~with_quota =
+  Json.Assoc
+    [
+      ("policy", Json.String policy_name);
+      ("queue_capacity", Json.Int queue_capacity);
+      ( "retry",
+        Json.Assoc
+          [
+            ("max_attempts", Json.Int soak_retry.Retry.max_attempts);
+            ("base_delay", Json.Int soak_retry.Retry.base_delay);
+            ("max_delay", Json.Int soak_retry.Retry.max_delay);
+          ] );
+      ( "breaker",
+        Json.Assoc
+          [
+            ("failure_threshold", Json.Int soak_breaker.Breaker.failure_threshold);
+            ("cooldown", Json.Int soak_breaker.Breaker.cooldown);
+            ("probe_budget", Json.Int soak_breaker.Breaker.probe_budget);
+          ] );
+      ( "quota_ctl",
+        if with_quota then
+          Json.Assoc
+            [
+              ("k_init", Json.Int soak_quota.Quota_ctl.k_init);
+              ("k_min", Json.Int soak_quota.Quota_ctl.k_min);
+              ("k_max", Json.Int soak_quota.Quota_ctl.k_max);
+              ("high_watermark", Json.Int soak_quota.Quota_ctl.high_watermark);
+              ("low_watermark", Json.Int soak_quota.Quota_ctl.low_watermark);
+              ("recover_steps", Json.Int soak_quota.Quota_ctl.recover_steps);
+            ]
+        else Json.Null );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The campaign                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out =
+  if duration < 12 then begin
+    prerr_endline "repro soak: --duration-steps must be at least 12";
+    exit 2
+  end;
+  let dfd = policy = `Dfd in
+  let pool_policy =
+    if dfd then Pool.Dfdeques { quota = soak_quota.Quota_ctl.k_init } else Pool.Work_stealing
+  in
+  let policy_name = if dfd then "dfd" else "ws" in
+  let queue_capacity = 8 in
+  let wedge_flags : (int, bool Atomic.t) Hashtbl.t = Hashtbl.create 8 in
+  let on_pool_retired ~in_flight =
+    match in_flight with
+    | Some id -> (
+        match Hashtbl.find_opt wedge_flags id with
+        | Some flag -> Atomic.set flag true
+        | None -> ())
+    | None -> ()
+  in
+  let config =
+    {
+      Service.seed;
+      queue_capacity;
+      retry = soak_retry;
+      breaker = soak_breaker;
+      quota_ctl = (if dfd then Some soak_quota else None);
+      default_deadline = None;
+      wedge_grace;
+      domains = 2;
+      max_respawns = 16;
+      on_pool_retired = Some on_pool_retired;
+    }
+  in
+  let svc = Service.create ~config pool_policy in
+  (* submission phase: one service step per schedule step *)
+  let submissions = ref [] in
+  for s = 1 to duration do
+    List.iter
+      (fun kind ->
+         let class_ = kind_name kind in
+         let deadline = match kind with Slow -> Some slow_deadline | _ -> None in
+         let result =
+           match kind with
+           | Wedge ->
+             (* the release flag must be findable by the id [submit]
+                assigns, so the respawn callback can free the stuck task *)
+             let flag = Atomic.make false in
+             let result = Service.submit svc ~class_ (wedge_body flag) in
+             (match result with
+              | Ok id -> Hashtbl.replace wedge_flags id flag
+              | Error _ -> ());
+             result
+           | Ok_job -> Service.submit svc ~class_ ok_body
+           | Spike -> Service.submit svc ~class_ spike_body
+           | Exn -> Service.submit svc ~class_ exn_body
+           | Flaky -> Service.submit svc ~class_ (flaky_body (Atomic.make false))
+           | Slow -> Service.submit svc ~class_ ?deadline slow_body
+         in
+         submissions := (s, kind, result) :: !submissions)
+      (schedule plan ~duration s);
+    Service.step svc
+  done;
+  (* drain: retries may still be pending *)
+  Service.drive ~max_steps:(duration * 20) svc;
+  let idle = Service.idle svc in
+  let c = Service.counters svc in
+  let entries = Service.ledger svc in
+  let entry_tbl = Hashtbl.create 64 in
+  List.iter (fun (e : Service.entry) -> Hashtbl.replace entry_tbl e.Service.job e) entries;
+  (* ---- the oracle ---- *)
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  if not idle then violate "service not idle after drain";
+  (match Service.verify_ledger svc with
+   | Ok () -> ()
+   | Error m -> violate "ledger audit failed: %s" m);
+  if c.Service.duplicate_acks <> 0 then
+    violate "%d duplicate acknowledgements" c.Service.duplicate_acks;
+  let submissions = List.rev !submissions in
+  let accepted_wedges = ref 0 in
+  List.iter
+    (fun (step, kind, result) ->
+       match result with
+       | Error _ -> ()
+       | Ok id ->
+         if kind = Wedge then incr accepted_wedges;
+         (match Hashtbl.find_opt entry_tbl id with
+          | None -> violate "job %d (step %d) missing from the ledger" id step
+          | Some e ->
+            let expect_outcome name pred =
+              match e.Service.outcome with
+              | Some o when pred o -> ()
+              | o ->
+                violate "job %d (%s, step %d): expected %s, got %s" id (kind_name kind) step
+                  name
+                  (match o with
+                   | None -> "unresolved"
+                   | Some Service.Completed -> "completed"
+                   | Some (Service.Failed m) -> "failed: " ^ m
+                   | Some (Service.Rejected r) ->
+                     "rejected: " ^ Service.reject_reason_name r)
+            in
+            let completed = function Service.Completed -> true | _ -> false in
+            let failed = function Service.Failed _ -> true | _ -> false in
+            (match kind with
+             | Ok_job | Spike -> expect_outcome "completed" completed
+             | Flaky ->
+               expect_outcome "completed" completed;
+               if e.Service.attempts <> 2 then
+                 violate "job %d (flaky): expected 2 attempts, got %d" id e.Service.attempts
+             | Exn | Slow ->
+               expect_outcome "failed" failed;
+               if e.Service.attempts <> soak_retry.Retry.max_attempts then
+                 violate "job %d (%s): expected %d attempts, got %d" id (kind_name kind)
+                   soak_retry.Retry.max_attempts e.Service.attempts
+             | Wedge ->
+               expect_outcome "completed" completed;
+               if e.Service.requeues <> 1 then
+                 violate "job %d (wedge): expected exactly 1 requeue, got %d" id
+                   e.Service.requeues)))
+    submissions;
+  if c.Service.wedges <> !accepted_wedges then
+    violate "wedge counter %d but %d wedge jobs accepted" c.Service.wedges !accepted_wedges;
+  if c.Service.respawns <> !accepted_wedges then
+    violate "respawn counter %d but %d wedge jobs accepted" c.Service.respawns !accepted_wedges;
+  (* adaptive-K acceptance: under dfd with spikes in the plan, the
+     controller must have shrunk K below its initial value and recovered
+     to the ceiling once pressure subsided *)
+  let quota_traj = Service.quota_trajectory svc in
+  if dfd && (plan = P_spikes || plan = P_mixed) then begin
+    if not (List.exists (fun (_, k) -> k < soak_quota.Quota_ctl.k_init) quota_traj) then
+      violate "quota controller never shrank K below k_init under allocation spikes";
+    (match Service.quota svc with
+     | Some k when k = soak_quota.Quota_ctl.k_max -> ()
+     | Some k -> violate "quota did not recover to k_max after calm period (final K = %d)" k
+     | None -> violate "dfd service reports no quota")
+  end;
+  let breaker_trans = Service.breaker_transitions svc in
+  if plan = P_exns || plan = P_mixed then begin
+    if not (List.exists (fun (_, cl, st) -> cl = "exn" && st = "open") breaker_trans) then
+      violate "breaker for class 'exn' never opened under repeated failures"
+  end;
+  let violations = List.rev !violations in
+  let passed = violations = [] in
+  (* ---- the report ---- *)
+  let report =
+    Json.Assoc
+      [
+        ("seed", Json.Int seed);
+        ("plan", Json.String (plan_name plan));
+        ("duration_steps", Json.Int duration);
+        ("final_step", Json.Int (Service.now svc));
+        ("config", config_json ~policy_name ~queue_capacity ~with_quota:dfd);
+        ( "submissions",
+          Json.List
+            (List.map
+               (fun (step, kind, result) ->
+                  Json.Assoc
+                    ([ ("step", Json.Int step); ("kind", Json.String (kind_name kind)) ]
+                     @
+                     match result with
+                     | Ok id -> [ ("accepted", Json.Bool true); ("job", Json.Int id) ]
+                     | Error r ->
+                       [ ("accepted", Json.Bool false);
+                         ("reason", Json.String (Service.reject_reason_name r)) ]))
+               submissions) );
+        ( "ledger",
+          Json.List
+            (List.map
+               (fun (e : Service.entry) ->
+                  Json.Assoc
+                    ([
+                       ("job", Json.Int e.Service.job);
+                       ("class", Json.String e.Service.class_);
+                       ("attempts", Json.Int e.Service.attempts);
+                       ("requeues", Json.Int e.Service.requeues);
+                     ]
+                     @ outcome_fields e.Service.outcome))
+               entries) );
+        ( "quota_trajectory",
+          Json.List
+            (List.map (fun (s, k) -> Json.List [ Json.Int s; Json.Int k ]) quota_traj) );
+        ( "breaker_transitions",
+          Json.List
+            (List.map
+               (fun (s, cl, st) ->
+                  Json.List [ Json.Int s; Json.String cl; Json.String st ])
+               breaker_trans) );
+        ("counters", counters_json c);
+        ( "checks",
+          Json.Assoc
+            [
+              ("ledger_verified", Json.Bool (Service.verify_ledger svc = Ok ()));
+              ("violations", Json.List (List.map (fun m -> Json.String m) violations));
+              ("all_passed", Json.Bool passed);
+            ] );
+      ]
+  in
+  Service.shutdown ~reap:true svc;
+  (match json_out with
+   | None -> ()
+   | Some path ->
+     (try
+        let oc = open_out path in
+        Json.to_channel oc report;
+        output_char oc '\n';
+        close_out oc
+      with Sys_error m ->
+        Printf.eprintf "repro: cannot write %s: %s\n" path m;
+        exit 1);
+     Printf.printf "report: %s\n" path);
+  Printf.printf
+    "soak[%s/%s]: %d submitted (%d accepted, %d shed), %d completed, %d failed, %d retries, %d \
+     timeouts, %d wedges -> %d respawns, %d quota moves, %d breaker transitions\n"
+    (plan_name plan) policy_name (List.length submissions) c.Service.accepted
+    (c.Service.rejected_queue_full + c.Service.rejected_breaker_open
+     + c.Service.rejected_memory_pressure)
+    c.Service.completions c.Service.failures c.Service.retries c.Service.timeouts
+    c.Service.wedges c.Service.respawns (List.length quota_traj) (List.length breaker_trans);
+  List.iter (fun m -> Printf.printf "  VIOLATION: %s\n" m) violations;
+  if passed then begin
+    print_endline "soak: PASS";
+    0
+  end
+  else begin
+    print_endline "soak: FAIL";
+    1
+  end

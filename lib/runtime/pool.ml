@@ -39,6 +39,7 @@ type counters = {
   quota_giveups : int;
   tasks_run : int;
   task_exns : int;
+  alloc_bytes : int;
 }
 
 (* One record per worker, written only by that worker (thief-side events —
@@ -53,6 +54,7 @@ type wcounters = {
   mutable c_quota_giveups : int;
   mutable c_tasks_run : int;
   mutable c_task_exns : int;
+  mutable c_alloc_bytes : int;
 }
 
 type t = {
@@ -73,6 +75,13 @@ type t = {
           every membership change; thieves read it lock-free (stale reads
           only cost a failed steal). *)
   quota_left : int array;  (** owner-written only. *)
+  dfd_quota : int Atomic.t;
+      (** the current memory threshold K.  Seeded from the policy and
+          adjustable at runtime ({!set_quota}) so a supervisor can trade
+          throughput for the Theorem 4.4 space bound under memory
+          pressure; workers pick the new value up at their next steal
+          (quota refill), so adjustment costs one atomic store and no
+          locks. *)
   (* --- shared scheduling state -------------------------------------- *)
   live_tasks : int Atomic.t;  (** tasks pushed but not yet taken. *)
   per_worker : wcounters array;
@@ -336,7 +345,7 @@ let dfd_adopt_after pool w victim =
   Mutex.unlock pool.r_lock;
   pool.dfd_deque.(w) <- Some d
 
-let dfd_steal pool w ~quota =
+let dfd_steal pool w =
   if injected_steal_failure pool w then None
   else begin
     (* victim draw over the leftmost-p window, snapshot read lock-free:
@@ -361,7 +370,9 @@ let dfd_steal pool w ~quota =
       | Some task ->
         note_steal_success pool w ~victim:k;
         dfd_adopt_after pool w victim;
-        pool.quota_left.(w) <- quota;
+        (* refill from the current K: a runtime quota adjustment takes
+           effect here, at the worker's next steal *)
+        pool.quota_left.(w) <- Atomic.get pool.dfd_quota;
         Some task
     end
   end
@@ -413,17 +424,19 @@ let try_get pool w =
               note_steal_failure pool w;
               None
         end)
-  | Dfdeques { quota } -> (
+  | Dfdeques _ -> (
       match pool.dfd_deque.(w) with
       | Some _ when pool.quota_left.(w) <= 0 ->
         (* memory quota exhausted: abandon the deque and steal *)
         let c = pool.per_worker.(w) in
         c.c_quota_giveups <- c.c_quota_giveups + 1;
-        if Tracer.enabled pool.tracer then
+        if Tracer.enabled pool.tracer then begin
+          let quota = Atomic.get pool.dfd_quota in
           emit_locked pool ~proc:w
-            (Event.Quota_exhausted { used = quota - pool.quota_left.(w); quota });
+            (Event.Quota_exhausted { used = quota - pool.quota_left.(w); quota })
+        end;
         dfd_abandon pool w;
-        dfd_steal pool w ~quota
+        dfd_steal pool w
       | Some d -> (
           Mutex.lock d.dq_lock;
           let got = Deque.pop_top d.tasks in
@@ -436,8 +449,8 @@ let try_get pool w =
           | None ->
             (* empty own deque: retire it, then steal *)
             dfd_abandon pool w;
-            dfd_steal pool w ~quota)
-      | None -> dfd_steal pool w ~quota)
+            dfd_steal pool w)
+      | None -> dfd_steal pool w)
 
 let run_task t = t ()
 
@@ -579,6 +592,9 @@ let make ~n_workers ~tracer ~fault policy =
       quota_left =
         Array.make n_workers
           (match policy with Dfdeques { quota } -> quota | Work_stealing -> max_int);
+      dfd_quota =
+        Atomic.make
+          (match policy with Dfdeques { quota } -> quota | Work_stealing -> max_int);
       live_tasks = Atomic.make 0;
       per_worker =
         Array.init n_workers (fun _ ->
@@ -589,6 +605,7 @@ let make ~n_workers ~tracer ~fault policy =
               c_quota_giveups = 0;
               c_tasks_run = 0;
               c_task_exns = 0;
+              c_alloc_bytes = 0;
             });
       idle_lock = Mutex.create ();
       idle_cond = Condition.create ();
@@ -700,12 +717,28 @@ let parallel_map f arr =
 let alloc_hint n =
   match self () with
   | Some (w, pool) -> (
+      let c = pool.per_worker.(w) in
+      c.c_alloc_bytes <- c.c_alloc_bytes + n;
       match pool.policy with
       | Dfdeques _ ->
         (* owner-only slot: no lock needed *)
         pool.quota_left.(w) <- pool.quota_left.(w) - n
       | Work_stealing -> ())
-  | None -> ()
+  | None ->
+    (* aligned with every other pool operation: a hint from outside [run]
+       would silently touch no quota, which hides bugs — reject it *)
+    raise Not_in_pool
+
+let quota pool =
+  match pool.policy with
+  | Work_stealing -> None
+  | Dfdeques _ -> Some (Atomic.get pool.dfd_quota)
+
+let set_quota pool k =
+  if k <= 0 then invalid_arg "Pool.set_quota: quota must be positive";
+  match pool.policy with
+  | Work_stealing -> invalid_arg "Pool.set_quota: Work_stealing pool has no quota"
+  | Dfdeques _ -> Atomic.set pool.dfd_quota k
 
 let counters pool =
   Array.fold_left
@@ -717,6 +750,7 @@ let counters pool =
          quota_giveups = acc.quota_giveups + c.c_quota_giveups;
          tasks_run = acc.tasks_run + c.c_tasks_run;
          task_exns = acc.task_exns + c.c_task_exns;
+         alloc_bytes = acc.alloc_bytes + c.c_alloc_bytes;
        })
     {
       steals = 0;
@@ -725,6 +759,7 @@ let counters pool =
       quota_giveups = 0;
       tasks_run = 0;
       task_exns = 0;
+      alloc_bytes = 0;
     }
     pool.per_worker
 
@@ -740,6 +775,7 @@ let stats pool =
     ("quota_giveups", c.quota_giveups);
     ("tasks_run", c.tasks_run);
     ("task_exns", c.task_exns);
+    ("alloc_bytes", c.alloc_bytes);
   ]
 
 (* Human-readable diagnostic dump for hang post-mortems: every counter,
@@ -781,6 +817,7 @@ let snapshot pool =
             (Deque.length d.tasks))
        pool.r;
      Mutex.unlock pool.r_lock;
+     pf "  K=%d\n" (Atomic.get pool.dfd_quota);
      Array.iteri (fun i q -> pf "  quota_left[worker %d]=%d\n" i q) pool.quota_left);
   Buffer.contents b
 
@@ -791,6 +828,18 @@ let shutdown pool =
   Mutex.unlock pool.idle_lock;
   List.iter Domain.join pool.domains;
   pool.domains <- []
+
+(* Forceful teardown for a supervisor that has declared the pool wedged:
+   signal shutdown and walk away without joining, so the supervisor can
+   respawn immediately.  Idle and parked workers exit promptly; a worker
+   genuinely stuck inside a user task is abandoned (its domain leaks until
+   the task returns, at which point the shutdown flag stops it).  Calling
+   [shutdown] later reaps the domains once they have exited. *)
+let kill pool =
+  Atomic.set pool.shutting_down true;
+  Mutex.lock pool.idle_lock;
+  Condition.broadcast pool.idle_cond;
+  Mutex.unlock pool.idle_lock
 
 (* Entry points for the systematic concurrency checker (lib/check): a
    pool with worker slots but no spawned domains, so every thread touching

@@ -118,9 +118,25 @@ val parallel_prefix_sum : zero:'a -> op:('a -> 'a -> 'a) -> 'a array -> 'a array
     called from inside {!run}. *)
 
 val alloc_hint : int -> unit
-(** Report [n] bytes of allocation to the scheduler: under {!Dfdeques}
-    this feeds the memory quota (no-op under {!Work_stealing} or outside
-    {!run}). *)
+(** Report [n] bytes of allocation to the scheduler.  Under {!Dfdeques}
+    this feeds the memory quota; under {!Work_stealing} only the
+    [alloc_bytes] counter is touched (the pressure signal is still
+    useful).  Called from outside {!run} it raises {!Not_in_pool}, like
+    every other pool operation — a hint with no pool to charge is a
+    bug, not a no-op. *)
+
+val quota : t -> int option
+(** The current memory threshold K of a {!Dfdeques} pool; [None] under
+    {!Work_stealing}. *)
+
+val set_quota : t -> int -> unit
+(** Adjust the memory threshold K at runtime (one atomic store, no
+    locks).  Each worker picks the new value up at its next steal, when
+    its quota refills — the adjustment lever the adaptive controller in
+    {!Dfd_service} uses to trade throughput for the Theorem 4.4 space
+    bound [S1 + O(K·p·D)] under memory pressure.  Raises
+    [Invalid_argument] on a {!Work_stealing} pool or a non-positive
+    quota. *)
 
 type counters = {
   steals : int;  (** successful steals *)
@@ -129,6 +145,7 @@ type counters = {
   quota_giveups : int;  (** deques abandoned on memory-quota exhaustion *)
   tasks_run : int;  (** tasks executed (all paths, including inline) *)
   task_exns : int;  (** tasks that raised (user, injected, or cancellation) *)
+  alloc_bytes : int;  (** total bytes reported via {!alloc_hint} (both policies) *)
 }
 
 val counters : t -> counters
@@ -157,6 +174,15 @@ val snapshot : t -> string
 
 val shutdown : t -> unit
 (** Stop the worker domains.  The pool must be idle. *)
+
+val kill : t -> unit
+(** Forceful teardown for a supervisor that has declared the pool wedged
+    (e.g. a task looping forever without touching the pool, beyond the
+    reach of cooperative cancellation): signal shutdown and return
+    {e without} joining the worker domains, so the caller can respawn a
+    fresh pool immediately.  Idle and parked workers exit promptly; a
+    genuinely stuck worker is abandoned until its task returns.  Call
+    {!shutdown} later to reap the domains once they have exited. *)
 
 (** Hooks for the systematic concurrency checker
     ({!module:Dfd_check.Explore}) — {b not} part of the scheduling API.

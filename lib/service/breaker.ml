@@ -1,0 +1,90 @@
+type config = { failure_threshold : int; cooldown : int; probe_budget : int }
+
+let default_config = { failure_threshold = 5; cooldown = 16; probe_budget = 2 }
+
+type state = Closed | Open | Half_open
+
+let state_name = function Closed -> "closed" | Open -> "open" | Half_open -> "half_open"
+
+type t = {
+  cfg : config;
+  mutable st : state;
+  mutable streak : int;  (** consecutive failures while closed *)
+  mutable opened_at : int;
+  mutable probes_inflight : int;
+  mutable probe_successes : int;
+  mutable trans : (int * state) list;  (** newest first *)
+}
+
+let create cfg =
+  if cfg.failure_threshold < 1 then invalid_arg "Breaker: failure_threshold must be >= 1";
+  if cfg.cooldown < 1 then invalid_arg "Breaker: cooldown must be >= 1";
+  if cfg.probe_budget < 1 then invalid_arg "Breaker: probe_budget must be >= 1";
+  {
+    cfg;
+    st = Closed;
+    streak = 0;
+    opened_at = 0;
+    probes_inflight = 0;
+    probe_successes = 0;
+    trans = [];
+  }
+
+let goto t ~now st =
+  t.st <- st;
+  t.trans <- (now, st) :: t.trans
+
+(* Lazy open → half-open transition: there is no timer thread, so an
+   elapsed cooldown is noticed at the next query on the logical clock. *)
+let sync t ~now =
+  if t.st = Open && now - t.opened_at >= t.cfg.cooldown then begin
+    t.probes_inflight <- 0;
+    t.probe_successes <- 0;
+    goto t ~now Half_open
+  end
+
+let state t ~now =
+  sync t ~now;
+  t.st
+
+let admit t ~now =
+  sync t ~now;
+  match t.st with
+  | Closed -> true
+  | Open -> false
+  | Half_open ->
+    if t.probes_inflight < t.cfg.probe_budget then begin
+      t.probes_inflight <- t.probes_inflight + 1;
+      true
+    end
+    else false
+
+let record_success t ~now =
+  sync t ~now;
+  match t.st with
+  | Closed -> t.streak <- 0
+  | Open -> ()  (* a late ack from before the trip; nothing to do *)
+  | Half_open ->
+    t.probes_inflight <- max 0 (t.probes_inflight - 1);
+    t.probe_successes <- t.probe_successes + 1;
+    if t.probe_successes >= t.cfg.probe_budget then begin
+      t.streak <- 0;
+      goto t ~now Closed
+    end
+
+let record_failure t ~now =
+  sync t ~now;
+  match t.st with
+  | Closed ->
+    t.streak <- t.streak + 1;
+    if t.streak >= t.cfg.failure_threshold then begin
+      t.opened_at <- now;
+      goto t ~now Open
+    end
+  | Open -> ()
+  | Half_open ->
+    (* a failed probe reopens with a fresh cooldown *)
+    t.opened_at <- now;
+    goto t ~now Open
+
+let transitions t = List.rev t.trans

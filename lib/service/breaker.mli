@@ -1,0 +1,51 @@
+(** Per-job-class circuit breaker: closed → open → half-open → closed.
+
+    Fed by the service's failure/timeout and success counters, clocked by
+    the service's {e logical} step clock (never wall time, so breaker
+    trajectories are deterministic per seed):
+
+    - {b Closed} — jobs admitted.  [failure_threshold] {e consecutive}
+      failures trip the breaker open (a success resets the streak).
+    - {b Open} — submissions rejected ([Breaker_open]) for
+      [cooldown] steps; the class gets breathing room instead of
+      hammering a failing dependency.
+    - {b Half_open} — after the cooldown, up to [probe_budget] in-flight
+      probes are admitted.  Any probe failure reopens (fresh cooldown);
+      [probe_budget] successes close the breaker and clear the streak.
+
+    The breaker is driven from the single service driver, so it needs no
+    synchronisation. *)
+
+type config = {
+  failure_threshold : int;  (** consecutive failures that trip open (>= 1). *)
+  cooldown : int;  (** steps the breaker stays open (>= 1). *)
+  probe_budget : int;  (** half-open probes required to close (>= 1). *)
+}
+
+val default_config : config
+(** threshold 5, cooldown 16 steps, 2 probes. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+(** "closed" / "open" / "half_open". *)
+
+type t
+
+val create : config -> t
+
+val state : t -> now:int -> state
+(** Current state at logical time [now] (an elapsed cooldown reads as
+    {!Half_open} even before the first probe is admitted). *)
+
+val admit : t -> now:int -> bool
+(** May a job of this class be admitted at time [now]?  In half-open
+    state, admission consumes one probe slot. *)
+
+val record_success : t -> now:int -> unit
+
+val record_failure : t -> now:int -> unit
+
+val transitions : t -> (int * state) list
+(** Every state change as [(step, new_state)], oldest first — the
+    deterministic trajectory the soak report embeds. *)

@@ -1,0 +1,539 @@
+module Pool = Dfd_runtime.Pool
+module Tracer = Dfd_trace.Tracer
+module Event = Dfd_trace.Event
+
+type reject_reason = Queue_full | Breaker_open of string | Memory_pressure
+
+let reject_reason_name = function
+  | Queue_full -> "queue_full"
+  | Breaker_open _ -> "breaker_open"
+  | Memory_pressure -> "memory_pressure"
+
+type outcome = Completed | Failed of string | Rejected of reject_reason
+
+type config = {
+  seed : int;
+  queue_capacity : int;
+  retry : Retry.policy;
+  breaker : Breaker.config;
+  quota_ctl : Quota_ctl.config option;
+  default_deadline : float option;
+  wedge_grace : float;
+  domains : int;
+  max_respawns : int;
+  on_pool_retired : (in_flight:int option -> unit) option;
+}
+
+let default_config =
+  {
+    seed = 0;
+    queue_capacity = 64;
+    retry = Retry.default;
+    breaker = Breaker.default_config;
+    quota_ctl = None;
+    default_deadline = None;
+    wedge_grace = 5.0;
+    domains = 2;
+    max_respawns = 8;
+    on_pool_retired = None;
+  }
+
+exception Supervisor_giveup of string
+
+(* ------------------------------------------------------------------ *)
+(* Jobs and the executor protocol                                      *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  id : int;
+  class_ : string;
+  deadline : float option;
+  work : unit -> unit;
+  retry : Retry.t;
+}
+
+type exec_result =
+  | R_done
+  | R_timeout
+  | R_cancelled_leak  (** [Pool.Cancelled] escaped [run] — a pool bug; surfaced, never swallowed. *)
+  | R_exn of string
+
+(* The driver/executor mailbox.  Single-writer per transition:
+   the driver writes [Assigned] (only over [Idle]) and [Idle] (only over
+   [Finished]); the executor writes [Finished] (only over [Assigned]).
+   A retired epoch's cell is simply never read again, so a late result
+   from a wedged incarnation is structurally incapable of acknowledging
+   anything — the "zero duplicated acks" half of the supervision
+   contract. *)
+type cell =
+  | Idle
+  | Assigned of job
+  | Finished of { job_id : int; result : exec_result }
+
+type epoch = {
+  pool : Pool.t;
+  cell : cell Atomic.t;
+  retired : bool Atomic.t;
+  mutable exec : unit Domain.t option;
+}
+
+(* Poll helper: bounded spin, then micro-sleep — the service trades a few
+   hundred microseconds of dispatch latency for not burning a core. *)
+let relax spins = if spins < 200 then Domain.cpu_relax () else Unix.sleepf 0.0002
+
+let executor_loop ep =
+  let rec loop spins =
+    match Atomic.get ep.cell with
+    | Assigned job ->
+      let result =
+        match Pool.run ?timeout:job.deadline ep.pool job.work with
+        | () -> R_done
+        | exception Pool.Timeout -> R_timeout
+        | exception Pool.Cancelled -> R_cancelled_leak
+        | exception e -> R_exn (Printexc.to_string e)
+      in
+      Atomic.set ep.cell (Finished { job_id = job.id; result });
+      loop 0
+    | Idle | Finished _ ->
+      if Atomic.get ep.retired then ()
+      else begin
+        relax spins;
+        loop (spins + 1)
+      end
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Ledger                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  job : int;
+  class_ : string;
+  attempts : int;
+  requeues : int;
+  outcome : outcome option;
+}
+
+type ledger_slot = {
+  l_id : int;
+  l_class : string;
+  mutable l_attempts : int;
+  mutable l_requeues : int;
+  mutable l_outcome : outcome option;
+  mutable l_acks : int;
+}
+
+type counters = {
+  accepted : int;
+  rejected_queue_full : int;
+  rejected_breaker_open : int;
+  rejected_memory_pressure : int;
+  completions : int;
+  failures : int;
+  retries : int;
+  timeouts : int;
+  wedges : int;
+  respawns : int;
+  duplicate_acks : int;
+}
+
+type t = {
+  cfg : config;
+  policy : Pool.policy;
+  tracer : Tracer.t;
+  mutable epoch : epoch;
+  mutable retired_epochs : epoch list;
+  mutable clock : int;
+  mutable queue : job list;  (** FIFO; wedge requeues go to the front. *)
+  mutable pending : (int * job) list;  (** retries waiting for their due step. *)
+  breakers : (string, Breaker.t) Hashtbl.t;
+  qctl : Quota_ctl.t option;
+  mutable last_alloc_bytes : int;  (** pressure baseline for the current pool. *)
+  slots : (int, ledger_slot) Hashtbl.t;
+  mutable next_id : int;
+  (* counters *)
+  mutable c_accepted : int;
+  mutable c_rej_queue : int;
+  mutable c_rej_breaker : int;
+  mutable c_rej_memory : int;
+  mutable c_completions : int;
+  mutable c_failures : int;
+  mutable c_retries : int;
+  mutable c_timeouts : int;
+  mutable c_wedges : int;
+  mutable c_respawns : int;
+  mutable c_dup_acks : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Pool incarnations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let effective_policy ~policy ~qctl =
+  match (policy, qctl) with
+  | Pool.Dfdeques _, Some qc -> Pool.Dfdeques { quota = Quota_ctl.quota qc }
+  | p, _ -> p
+
+let spawn_raw_epoch ~domains ~policy ~qctl =
+  let pool = Pool.create ~domains:(max 0 domains) (effective_policy ~policy ~qctl) in
+  let ep = { pool; cell = Atomic.make Idle; retired = Atomic.make false; exec = None } in
+  ep.exec <- Some (Domain.spawn (fun () -> executor_loop ep));
+  ep
+
+let spawn_epoch t =
+  let ep = spawn_raw_epoch ~domains:t.cfg.domains ~policy:t.policy ~qctl:t.qctl in
+  t.last_alloc_bytes <- 0;
+  ep
+
+let create ?(tracer = Tracer.disabled) ?(config = default_config) policy =
+  if config.queue_capacity < 1 then invalid_arg "Service: queue_capacity must be >= 1";
+  if config.wedge_grace <= 0.0 then invalid_arg "Service: wedge_grace must be positive";
+  if config.max_respawns < 0 then invalid_arg "Service: max_respawns must be >= 0";
+  Retry.validate config.retry;
+  let qctl =
+    match (policy, config.quota_ctl) with
+    | Pool.Dfdeques _, Some qcfg -> Some (Quota_ctl.create qcfg)
+    | _ -> None
+  in
+  let t =
+    {
+      cfg = config;
+      policy;
+      tracer;
+      epoch = spawn_raw_epoch ~domains:config.domains ~policy ~qctl;
+      retired_epochs = [];
+      clock = 0;
+      queue = [];
+      pending = [];
+      breakers = Hashtbl.create 8;
+      qctl;
+      last_alloc_bytes = 0;
+      slots = Hashtbl.create 64;
+      next_id = 0;
+      c_accepted = 0;
+      c_rej_queue = 0;
+      c_rej_breaker = 0;
+      c_rej_memory = 0;
+      c_completions = 0;
+      c_failures = 0;
+      c_retries = 0;
+      c_timeouts = 0;
+      c_wedges = 0;
+      c_respawns = 0;
+      c_dup_acks = 0;
+    }
+  in
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Ledger bookkeeping                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let new_slot t ~class_ =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let s = { l_id = id; l_class = class_; l_attempts = 0; l_requeues = 0; l_outcome = None; l_acks = 0 } in
+  Hashtbl.replace t.slots id s;
+  s
+
+(* The single choke point for terminal acknowledgements: the first ack
+   wins, any further one is counted as a duplicate and refused. *)
+let ack t (s : ledger_slot) out =
+  s.l_acks <- s.l_acks + 1;
+  match s.l_outcome with
+  | Some _ -> t.c_dup_acks <- t.c_dup_acks + 1
+  | None ->
+    s.l_outcome <- Some out;
+    (match out with
+     | Completed -> t.c_completions <- t.c_completions + 1
+     | Failed _ -> t.c_failures <- t.c_failures + 1
+     | Rejected _ -> ())
+
+let breaker_for t class_ =
+  match Hashtbl.find_opt t.breakers class_ with
+  | Some b -> b
+  | None ->
+    let b = Breaker.create t.cfg.breaker in
+    Hashtbl.replace t.breakers class_ b;
+    b
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let submit t ?(class_ = "default") ?deadline work =
+  let reject r =
+    let s = new_slot t ~class_ in
+    ack t s (Rejected r);
+    (match r with
+     | Queue_full -> t.c_rej_queue <- t.c_rej_queue + 1
+     | Breaker_open _ -> t.c_rej_breaker <- t.c_rej_breaker + 1
+     | Memory_pressure -> t.c_rej_memory <- t.c_rej_memory + 1);
+    Error r
+  in
+  match t.qctl with
+  | Some qc when Quota_ctl.shedding qc -> reject Memory_pressure
+  | _ ->
+    (* capacity before the breaker: [Breaker.admit] consumes a half-open
+       probe slot, which must not be burned on a job the queue would
+       refuse anyway *)
+    if List.length t.queue >= t.cfg.queue_capacity then reject Queue_full
+    else if not (Breaker.admit (breaker_for t class_) ~now:t.clock) then
+      reject (Breaker_open class_)
+    else begin
+      let s = new_slot t ~class_ in
+      let deadline = match deadline with Some _ as d -> d | None -> t.cfg.default_deadline in
+      let job =
+        {
+          id = s.l_id;
+          class_;
+          deadline;
+          work;
+          retry = Retry.create t.cfg.retry ~seed:t.cfg.seed ~job:s.l_id;
+        }
+      in
+      t.queue <- t.queue @ [ job ];
+      t.c_accepted <- t.c_accepted + 1;
+      Ok s.l_id
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Supervision: dispatch, wedge detection, respawn                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Block until the executor posts this job's result, watching the pool's
+   heartbeat; [None] = the pool made no progress for [wedge_grace]
+   seconds with the attempt still in flight — declared wedged. *)
+let await_result t (job : job) =
+  let ep = t.epoch in
+  let last_hb = ref (Pool.heartbeat ep.pool) in
+  let last_progress = ref (Unix.gettimeofday ()) in
+  let rec go spins =
+    match Atomic.get ep.cell with
+    | Finished { job_id; result } when job_id = job.id ->
+      Atomic.set ep.cell Idle;
+      Some result
+    | Finished _ ->
+      (* a result for a job this epoch never ran: impossible by the
+         single-writer protocol *)
+      assert false
+    | Idle | Assigned _ ->
+      let hb = Pool.heartbeat ep.pool in
+      if hb <> !last_hb then begin
+        last_hb := hb;
+        last_progress := Unix.gettimeofday ()
+      end;
+      if Unix.gettimeofday () -. !last_progress > t.cfg.wedge_grace then None
+      else begin
+        relax spins;
+        go (spins + 1)
+      end
+  in
+  go 0
+
+let respawn t ~in_flight =
+  t.c_wedges <- t.c_wedges + 1;
+  if t.c_respawns >= t.cfg.max_respawns then
+    raise
+      (Supervisor_giveup
+         (Printf.sprintf "pool wedged %d times (max_respawns %d); last snapshot:\n%s"
+            t.c_wedges t.cfg.max_respawns (Pool.snapshot t.epoch.pool)));
+  t.c_respawns <- t.c_respawns + 1;
+  let old = t.epoch in
+  Atomic.set old.retired true;
+  Pool.kill old.pool;
+  t.retired_epochs <- old :: t.retired_epochs;
+  (match t.cfg.on_pool_retired with
+   | Some f -> f ~in_flight
+   | None -> ());
+  t.epoch <- spawn_epoch t
+
+(* Schedule a retry (with backoff) or acknowledge the final failure. *)
+let fail_path t (job : job) msg =
+  Breaker.record_failure (breaker_for t job.class_) ~now:t.clock;
+  match Retry.next_delay job.retry with
+  | Some d ->
+    t.c_retries <- t.c_retries + 1;
+    t.pending <- (t.clock + d, job) :: t.pending
+  | None ->
+    let s = Hashtbl.find t.slots job.id in
+    s.l_attempts <- Retry.attempts job.retry;
+    ack t s (Failed msg)
+
+let run_one t (job : job) =
+  let s = Hashtbl.find t.slots job.id in
+  (match Atomic.get t.epoch.cell with
+   | Idle -> ()
+   | _ -> assert false);
+  Atomic.set t.epoch.cell (Assigned job);
+  match await_result t job with
+  | Some R_done ->
+    s.l_attempts <- Retry.attempts job.retry + 1;
+    Breaker.record_success (breaker_for t job.class_) ~now:t.clock;
+    ack t s Completed
+  | Some R_timeout ->
+    t.c_timeouts <- t.c_timeouts + 1;
+    s.l_attempts <- Retry.attempts job.retry + 1;
+    fail_path t job "deadline exceeded"
+  | Some R_cancelled_leak ->
+    s.l_attempts <- Retry.attempts job.retry + 1;
+    fail_path t job "internal: Pool.Cancelled leaked to the run caller"
+  | Some (R_exn msg) ->
+    s.l_attempts <- Retry.attempts job.retry + 1;
+    fail_path t job msg
+  | None ->
+    (* wedged: respawn the pool, requeue the in-flight job exactly once
+       at the front.  The requeue consumes a retry attempt (a job that
+       wedges every incarnation must not respawn pools forever). *)
+    respawn t ~in_flight:(Some job.id);
+    s.l_requeues <- s.l_requeues + 1;
+    Breaker.record_failure (breaker_for t job.class_) ~now:t.clock;
+    (match Retry.next_delay job.retry with
+     | Some _ ->
+       t.c_retries <- t.c_retries + 1;
+       t.queue <- job :: t.queue
+     | None ->
+       s.l_attempts <- Retry.attempts job.retry;
+       ack t s (Failed "pool wedged; retry budget exhausted"))
+
+(* ------------------------------------------------------------------ *)
+(* The driver clock                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let quota_tick t =
+  match t.qctl with
+  | None -> ()
+  | Some qc ->
+    let ab = (Pool.counters t.epoch.pool).Pool.alloc_bytes in
+    let pressure = max 0 (ab - t.last_alloc_bytes) in
+    t.last_alloc_bytes <- ab;
+    (match Quota_ctl.observe qc ~now:t.clock ~pressure with
+     | Quota_ctl.Steady -> ()
+     | Quota_ctl.Shrink { from_quota; to_quota } | Quota_ctl.Grow { from_quota; to_quota } ->
+       Pool.set_quota t.epoch.pool to_quota;
+       if Tracer.enabled t.tracer then
+         Tracer.emit t.tracer ~ts:t.clock ~proc:(-1) ~tid:(-1)
+           (Event.Quota_adjusted { from_quota; to_quota; pressure }))
+
+let step t =
+  t.clock <- t.clock + 1;
+  (* promote due retries, ordered by (due step, job id) so the dispatch
+     order is a pure function of the schedule *)
+  let due, rest = List.partition (fun (d, _) -> d <= t.clock) t.pending in
+  t.pending <- rest;
+  let due = List.sort (fun (d1, j1) (d2, j2) -> compare (d1, j1.id) (d2, j2.id)) due in
+  t.queue <- t.queue @ List.map snd due;
+  quota_tick t;
+  match t.queue with
+  | [] -> ()
+  | job :: rest ->
+    t.queue <- rest;
+    run_one t job
+
+let idle t = t.queue = [] && t.pending = []
+
+let drive ?(max_steps = 10_000) t =
+  let n = ref 0 in
+  while (not (idle t)) && !n < max_steps do
+    step t;
+    incr n
+  done
+
+let now t = t.clock
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let counters t =
+  {
+    accepted = t.c_accepted;
+    rejected_queue_full = t.c_rej_queue;
+    rejected_breaker_open = t.c_rej_breaker;
+    rejected_memory_pressure = t.c_rej_memory;
+    completions = t.c_completions;
+    failures = t.c_failures;
+    retries = t.c_retries;
+    timeouts = t.c_timeouts;
+    wedges = t.c_wedges;
+    respawns = t.c_respawns;
+    duplicate_acks = t.c_dup_acks;
+  }
+
+let ledger t =
+  let out = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    let s = Hashtbl.find t.slots id in
+    out :=
+      {
+        job = s.l_id;
+        class_ = s.l_class;
+        attempts = s.l_attempts;
+        requeues = s.l_requeues;
+        outcome = s.l_outcome;
+      }
+      :: !out
+  done;
+  !out
+
+let verify_ledger t =
+  let problem = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !problem = None then problem := Some m) fmt in
+  if t.c_dup_acks > 0 then fail "%d duplicate acknowledgements" t.c_dup_acks;
+  let completions = ref 0 and failures = ref 0 and rejections = ref 0 in
+  for id = 0 to t.next_id - 1 do
+    let s = Hashtbl.find t.slots id in
+    (match s.l_outcome with
+     | None -> fail "job %d has no terminal outcome (lost)" id
+     | Some Completed -> incr completions
+     | Some (Failed _) -> incr failures
+     | Some (Rejected _) -> incr rejections);
+    if s.l_acks <> 1 then fail "job %d acknowledged %d times" id s.l_acks
+  done;
+  if !completions <> t.c_completions then
+    fail "completion counter %d but %d completed entries" t.c_completions !completions;
+  if !failures <> t.c_failures then
+    fail "failure counter %d but %d failed entries" t.c_failures !failures;
+  let rej = t.c_rej_queue + t.c_rej_breaker + t.c_rej_memory in
+  if !rejections <> rej then fail "rejection counters %d but %d rejected entries" rej !rejections;
+  if t.c_accepted + rej <> t.next_id then
+    fail "accepted %d + rejected %d <> %d submissions" t.c_accepted rej t.next_id;
+  match !problem with None -> Ok () | Some m -> Error m
+
+let quota t =
+  match t.qctl with
+  | Some qc -> Some (Quota_ctl.quota qc)
+  | None -> Pool.quota t.epoch.pool
+
+let quota_trajectory t =
+  match t.qctl with Some qc -> Quota_ctl.trajectory qc | None -> []
+
+let breaker_transitions t =
+  let classes = Hashtbl.fold (fun c _ acc -> c :: acc) t.breakers [] in
+  let classes = List.sort compare classes in
+  List.concat_map
+    (fun c ->
+       List.map
+         (fun (step, st) -> (step, c, Breaker.state_name st))
+         (Breaker.transitions (Hashtbl.find t.breakers c)))
+    classes
+
+let pool_counters t = Pool.counters t.epoch.pool
+
+let shutdown ?(reap = false) t =
+  let stop ep ~join =
+    Atomic.set ep.retired true;
+    if join then begin
+      (match ep.exec with
+       | Some d ->
+         Domain.join d;
+         ep.exec <- None
+       | None -> ());
+      Pool.shutdown ep.pool
+    end
+    else Pool.kill ep.pool
+  in
+  stop t.epoch ~join:true;
+  List.iter (fun ep -> stop ep ~join:reap) t.retired_epochs;
+  if reap then t.retired_epochs <- []

@@ -1,0 +1,165 @@
+(** A long-lived, supervised job service wrapping {!Dfd_runtime.Pool}.
+
+    [Pool.run] is a one-shot, fail-open entry point: an unhandled worker
+    wedge, a saturated queue, or sustained memory pressure has no
+    recovery path.  This module owns that path:
+
+    - {b Admission control} — a bounded submission queue; submissions are
+      accepted or rejected with a typed {!reject_reason} (queue full,
+      circuit breaker open for the job's class, memory pressure).
+    - {b Deadlines and retries} — each attempt runs under
+      [Pool.run ?timeout]; failures and timeouts are retried under a
+      seeded full-jitter backoff policy ({!Retry}) with a per-job budget.
+    - {b Supervision} — jobs execute on a dedicated executor domain; the
+      driver watches {!Dfd_runtime.Pool.heartbeat} while an attempt is in
+      flight.  If the pool stops making progress for [wedge_grace]
+      seconds (a task looping beyond the reach of cooperative
+      cancellation), the pool is declared wedged: it is killed
+      ({!Dfd_runtime.Pool.kill}), a fresh pool and executor are spawned,
+      and the in-flight job is requeued {e exactly once} at the front —
+      the ledger guarantees zero lost jobs and zero duplicated
+      completion acknowledgements (a late result from a retired epoch is
+      structurally ignored).
+    - {b Per-class circuit breakers} ({!Breaker}) — consecutive failures
+      of a class trip it open; submissions are rejected during the
+      cooldown; half-open probes decide recovery.
+    - {b Adaptive K} ({!Quota_ctl}) — under a [Dfdeques] policy the
+      observed allocation pressure (the pool's [alloc_bytes] counter)
+      drives the memory threshold K down toward the Theorem 4.4 space
+      bound and back up when pressure subsides, emitting
+      [Quota_adjusted] trace events.
+
+    The service is {e step-driven} from one driver thread: {!step}
+    advances a logical clock by one, promotes due retries, runs the
+    quota-control interval, and executes at most one queued job attempt
+    to completion.  All scheduling decisions (retry delays, breaker and
+    quota trajectories, rejection reasons) are functions of the seed and
+    the submission order, never of wall-clock time — which is what makes
+    `repro soak` reports byte-identical per seed.  Only the {e timing}
+    inside the pool is nondeterministic; outcome classes are not. *)
+
+type reject_reason =
+  | Queue_full
+  | Breaker_open of string  (** the job's class whose breaker is open. *)
+  | Memory_pressure
+
+val reject_reason_name : reject_reason -> string
+(** "queue_full" / "breaker_open" / "memory_pressure". *)
+
+type outcome =
+  | Completed
+  | Failed of string  (** retry budget exhausted; the last error. *)
+  | Rejected of reject_reason
+
+type config = {
+  seed : int;  (** master seed for every retry stream. *)
+  queue_capacity : int;  (** bound on queued (not yet dispatched) jobs. *)
+  retry : Retry.policy;
+  breaker : Breaker.config;
+  quota_ctl : Quota_ctl.config option;
+      (** [Some _] enables the adaptive-K controller (Dfdeques pools
+          only; ignored under Work_stealing). *)
+  default_deadline : float option;  (** per-attempt [Pool.run] timeout, seconds. *)
+  wedge_grace : float;
+      (** seconds without pool heartbeat progress (while an attempt is in
+          flight) before the pool is declared wedged and respawned.  Must
+          exceed the longest fork-free stretch of any legitimate job. *)
+  domains : int;  (** extra worker domains per pool incarnation. *)
+  max_respawns : int;  (** hard cap on pool respawns before {!Supervisor_giveup}. *)
+  on_pool_retired : (in_flight:int option -> unit) option;
+      (** called after a wedged pool is killed, with the requeued job's
+          id; test harnesses use it to release their wedge tasks so the
+          abandoned domain can exit and be reaped. *)
+}
+
+val default_config : config
+(** seed 0, capacity 64, {!Retry.default}, {!Breaker.default_config},
+    no quota controller, no default deadline, grace 5 s, 2 extra
+    domains, 8 respawns. *)
+
+exception Supervisor_giveup of string
+(** More than [max_respawns] pool respawns: the supervisor refuses to
+    keep restarting a pool that keeps wedging. *)
+
+type t
+
+val create : ?tracer:Dfd_trace.Tracer.t -> ?config:config -> Dfd_runtime.Pool.policy -> t
+(** Start the service: spawns the first pool incarnation and its
+    executor domain.  Under [Dfdeques], an enabled quota controller
+    overrides the policy's initial K with its own [k_init]. *)
+
+val submit :
+  t -> ?class_:string -> ?deadline:float -> (unit -> unit) -> (int, reject_reason) result
+(** Offer a job (default class ["default"]).  [Ok id] — accepted and
+    queued; [Error reason] — shed, with the reason recorded in the
+    ledger under the same id scheme.  [deadline] overrides the config's
+    per-attempt timeout.  The work closure runs inside [Pool.run] on the
+    executor domain, so it may use [Pool.fork_join], [Pool.alloc_hint],
+    etc. *)
+
+val step : t -> unit
+(** Advance the logical clock by one: promote due retries, run one
+    quota-control interval, then dispatch and fully execute at most one
+    queued attempt (blocking, with wedge supervision). *)
+
+val drive : ?max_steps:int -> t -> unit
+(** {!step} until the service is idle (no queued jobs, no pending
+    retries) or [max_steps] (default 10_000) steps have elapsed. *)
+
+val now : t -> int
+(** The logical clock (number of {!step}s so far). *)
+
+val idle : t -> bool
+
+type counters = {
+  accepted : int;
+  rejected_queue_full : int;
+  rejected_breaker_open : int;
+  rejected_memory_pressure : int;
+  completions : int;
+  failures : int;
+  retries : int;  (** re-attempts scheduled with backoff. *)
+  timeouts : int;  (** attempts that hit their deadline. *)
+  wedges : int;  (** pool incarnations declared wedged. *)
+  respawns : int;  (** fresh pool incarnations after a wedge. *)
+  duplicate_acks : int;  (** terminal acks refused because one landed already; 0 in a correct run. *)
+}
+
+val counters : t -> counters
+
+type entry = {
+  job : int;
+  class_ : string;
+  attempts : int;  (** attempts consumed (0 for rejected jobs). *)
+  requeues : int;  (** wedge requeues (each exactly one per wedge). *)
+  outcome : outcome option;  (** [None] only while still queued/retrying. *)
+}
+
+val ledger : t -> entry list
+(** Every submission ever offered, in id order. *)
+
+val verify_ledger : t -> (unit, string) result
+(** The exactly-once audit, meaningful once {!idle}: every entry carries
+    exactly one terminal outcome (no lost jobs), no duplicate
+    acknowledgements were attempted, and the counters are consistent
+    with the entries.  [Error msg] pinpoints the first violation. *)
+
+val quota : t -> int option
+(** Current memory threshold K ([None] under Work_stealing). *)
+
+val quota_trajectory : t -> (int * int) list
+(** The adaptive controller's K changes as [(step, new_K)], oldest
+    first; empty without a controller. *)
+
+val breaker_transitions : t -> (int * string * string) list
+(** Every breaker state change as [(step, class, state)], sorted by
+    class then step — deterministic for the soak report. *)
+
+val pool_counters : t -> Dfd_runtime.Pool.counters
+(** Counters of the {e current} pool incarnation. *)
+
+val shutdown : ?reap:bool -> t -> unit
+(** Stop the executor and the current pool.  [reap] (default [false])
+    additionally joins retired (wedged) incarnations — only safe once
+    their stuck tasks have been released (see [on_pool_retired]);
+    without it they are abandoned. *)

@@ -46,6 +46,12 @@ type kind =
   | Fault_injected of { fault : string }
       (** The fault-injection layer ({!Dfd_fault.Fault}) fired here;
           [fault] is the injected kind ("stall", "steal_fail", ...). *)
+  | Quota_adjusted of { from_quota : int; to_quota : int; pressure : int }
+      (** The adaptive quota controller ({!Dfd_service.Quota_ctl}) moved
+          the DFDeques memory threshold K from [from_quota] to [to_quota]
+          in response to observed allocation [pressure] (bytes per control
+          interval) — the graceful-degradation lever on the Theorem 4.4
+          space bound. *)
 
 type t = { ts : int; proc : int; tid : int; kind : kind }
 

@@ -211,7 +211,7 @@ let test_stats_counters () =
       ignore (Pool.run pool (fun () -> fib 15));
       let stats = Pool.stats pool in
       checkb "tasks ran" true (List.assoc "tasks_run" stats > 0);
-      checkb "all counters present" true (List.length stats = 6))
+      checkb "all counters present" true (List.length stats = 7))
 
 let test_heartbeat_monotonic () =
   List.iter
@@ -315,6 +315,69 @@ let test_timeout_fires_and_pool_reusable () =
            checki (name ^ " clean run after timeout") 55 (Pool.run pool (fun () -> fib 10))))
     policies
 
+(* Regression: a pool must survive *consecutive* timeouts (the drain
+   after the first must leave no stale cancellation state), and the
+   internal cooperative-cancellation signal must never escape [run] —
+   the caller sees [Timeout], nothing else. *)
+let test_two_consecutive_timeouts () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           let endless () =
+             let rec loop () =
+               ignore (Pool.fork_join (fun () -> ()) (fun () -> ()));
+               loop ()
+             in
+             loop ()
+           in
+           let observe () =
+             match Pool.run ~timeout:0.05 pool endless with
+             | () -> "returned"
+             | exception Pool.Timeout -> "timeout"
+             | exception Pool.Cancelled -> "cancelled-leaked"
+             | exception e -> Printexc.to_string e
+           in
+           Alcotest.(check string) (name ^ " first timeout") "timeout" (observe ());
+           Alcotest.(check string) (name ^ " second timeout") "timeout" (observe ());
+           checki (name ^ " reusable after two timeouts") 55 (Pool.run pool (fun () -> fib 10))))
+    policies
+
+let test_alloc_hint_outside_run () =
+  checkb "alloc_hint outside run raises Not_in_pool" true
+    (try
+       Pool.alloc_hint 64;
+       false
+     with Pool.Not_in_pool -> true)
+
+let test_dynamic_quota () =
+  with_pool (Pool.Dfdeques { quota = 10_000 }) (fun pool ->
+      Alcotest.(check (option int)) "initial quota" (Some 10_000) (Pool.quota pool);
+      Pool.set_quota pool 2_500;
+      Alcotest.(check (option int)) "adjusted quota" (Some 2_500) (Pool.quota pool);
+      checki "still correct after shrink" 6765 (Pool.run pool (fun () -> fib 20));
+      checkb "set_quota rejects non-positive" true
+        (try
+           Pool.set_quota pool 0;
+           false
+         with Invalid_argument _ -> true));
+  with_pool Pool.Work_stealing (fun pool ->
+      Alcotest.(check (option int)) "WS pool has no quota" None (Pool.quota pool);
+      checkb "set_quota rejects WS pools" true
+        (try
+           Pool.set_quota pool 100;
+           false
+         with Invalid_argument _ -> true))
+
+let test_alloc_bytes_counter () =
+  List.iter
+    (fun (policy, name) ->
+       with_pool policy (fun pool ->
+           Pool.run pool (fun () ->
+               Pool.parallel_for ~lo:0 ~hi:32 (fun _ -> Pool.alloc_hint 100));
+           checki (name ^ " alloc_bytes counts hints") 3200
+             (Pool.counters pool).Pool.alloc_bytes))
+    policies
+
 let test_timeout_not_spurious () =
   with_pool Pool.Work_stealing (fun pool ->
       (* generous deadline, short computation: must not raise *)
@@ -381,6 +444,10 @@ let () =
             test_injected_steal_failures_degrade_gracefully;
           Alcotest.test_case "timeout fires, pool reusable" `Quick
             test_timeout_fires_and_pool_reusable;
+          Alcotest.test_case "two consecutive timeouts" `Quick test_two_consecutive_timeouts;
+          Alcotest.test_case "alloc_hint outside run" `Quick test_alloc_hint_outside_run;
+          Alcotest.test_case "dynamic quota" `Quick test_dynamic_quota;
+          Alcotest.test_case "alloc_bytes counter" `Quick test_alloc_bytes_counter;
           Alcotest.test_case "timeout not spurious" `Quick test_timeout_not_spurious;
           Alcotest.test_case "background run observed" `Quick test_background_run_observed;
           Alcotest.test_case "snapshot" `Quick test_snapshot_mentions_state;

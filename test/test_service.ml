@@ -1,0 +1,513 @@
+(* Tests for the supervised job service (lib/service): the seeded
+   full-jitter retry policy (property-tested), the per-class circuit
+   breaker and adaptive-K quota controller state machines (unit-tested on
+   the logical clock), and the service itself end-to-end against a real
+   pool — exactly-once ledger, admission control, deadline/retry
+   layering, wedge detection with pool respawn, and the adaptive-K
+   control loop reacting to allocation pressure. *)
+
+module Service = Dfd_service.Service
+module Retry = Dfd_service.Retry
+module Breaker = Dfd_service.Breaker
+module Quota_ctl = Dfd_service.Quota_ctl
+module Pool = Dfd_runtime.Pool
+module Tracer = Dfd_trace.Tracer
+module Event = Dfd_trace.Event
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Retry: seeded full-jitter backoff (properties)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* (seed, job, policy) generator: small but covers the ramp, the cap and
+   the budget edge (max_attempts = 1 means no retries at all). *)
+let retry_case =
+  QCheck.(
+    quad (int_bound 1_000_000) (int_bound 500) (int_range 1 8)
+      (pair (int_range 1 5) (int_bound 15)))
+
+let policy_of (max_attempts, (base_delay, extra)) =
+  { Retry.max_attempts; base_delay; max_delay = base_delay + extra }
+
+let qcheck_delays_bounded =
+  QCheck.Test.make ~count:200 ~name:"retry delays lie in [1, max_delay]" retry_case
+    (fun (seed, job, ma, bd) ->
+       let pol = policy_of (ma, bd) in
+       List.for_all (fun d -> 1 <= d && d <= pol.Retry.max_delay)
+         (Retry.schedule pol ~seed ~job))
+
+let qcheck_budget_never_exceeded =
+  QCheck.Test.make ~count:200
+    ~name:"retry budget: exactly max_attempts - 1 delays, then None forever" retry_case
+    (fun (seed, job, ma, bd) ->
+       let pol = policy_of (ma, bd) in
+       let t = Retry.create pol ~seed ~job in
+       let delays = ref 0 in
+       (* call well past exhaustion: the budget must hold anyway *)
+       for _ = 1 to (2 * ma) + 3 do
+         match Retry.next_delay t with Some _ -> incr delays | None -> ()
+       done;
+       !delays = ma - 1 && Retry.attempts t = ma)
+
+let qcheck_attempts_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"attempt counter is monotone and clamped at max_attempts" retry_case
+    (fun (seed, job, ma, bd) ->
+       let pol = policy_of (ma, bd) in
+       let t = Retry.create pol ~seed ~job in
+       let ok = ref true in
+       let prev = ref (Retry.attempts t) in
+       for _ = 1 to ma + 4 do
+         ignore (Retry.next_delay t);
+         let a = Retry.attempts t in
+         if a < !prev || a > ma then ok := false;
+         prev := a
+       done;
+       !ok && !prev = ma)
+
+let qcheck_schedule_deterministic =
+  QCheck.Test.make ~count:200 ~name:"equal (seed, job) give byte-identical schedules"
+    retry_case
+    (fun (seed, job, ma, bd) ->
+       let pol = policy_of (ma, bd) in
+       let s1 = Retry.schedule pol ~seed ~job in
+       let s2 = Retry.schedule pol ~seed ~job in
+       (* and the incremental API agrees with the pure one *)
+       let t = Retry.create pol ~seed ~job in
+       let rec steps acc =
+         match Retry.next_delay t with None -> List.rev acc | Some d -> steps (d :: acc)
+       in
+       s1 = s2 && s1 = steps [])
+
+(* ------------------------------------------------------------------ *)
+(* Breaker: closed -> open -> half-open -> closed on a logical clock   *)
+(* ------------------------------------------------------------------ *)
+
+let test_breaker_trip_and_recover () =
+  let cfg = { Breaker.failure_threshold = 3; cooldown = 5; probe_budget = 2 } in
+  let b = Breaker.create cfg in
+  checkb "closed admits" true (Breaker.admit b ~now:0);
+  Breaker.record_failure b ~now:1;
+  Breaker.record_failure b ~now:1;
+  checkb "below threshold stays closed" true (Breaker.admit b ~now:1);
+  Breaker.record_failure b ~now:2;
+  checkb "open rejects" false (Breaker.admit b ~now:3);
+  checkb "open rejects until cooldown" false (Breaker.admit b ~now:6);
+  checkb "half-open admits first probe" true (Breaker.admit b ~now:7);
+  checkb "half-open admits second probe" true (Breaker.admit b ~now:7);
+  checkb "probe budget exhausted" false (Breaker.admit b ~now:7);
+  Breaker.record_success b ~now:8;
+  Breaker.record_success b ~now:8;
+  checkb "closed after enough probe successes" true (Breaker.admit b ~now:8);
+  Alcotest.(check (list string)) "transition sequence"
+    [ "open"; "half_open"; "closed" ]
+    (List.map (fun (_, s) -> Breaker.state_name s) (Breaker.transitions b))
+
+let test_breaker_probe_failure_reopens () =
+  let cfg = { Breaker.failure_threshold = 1; cooldown = 4; probe_budget = 1 } in
+  let b = Breaker.create cfg in
+  Breaker.record_failure b ~now:0;
+  checkb "tripped on first failure" false (Breaker.admit b ~now:1);
+  checkb "probe admitted after cooldown" true (Breaker.admit b ~now:4);
+  Breaker.record_failure b ~now:5;
+  checkb "failed probe reopens" false (Breaker.admit b ~now:6);
+  (* the cooldown restarts from the failed probe, not the first trip *)
+  checkb "still open before the fresh cooldown ends" false (Breaker.admit b ~now:8);
+  checkb "half-open again after the fresh cooldown" true (Breaker.admit b ~now:9);
+  Alcotest.(check (list string)) "reopen sequence"
+    [ "open"; "half_open"; "open"; "half_open" ]
+    (List.map (fun (_, s) -> Breaker.state_name s) (Breaker.transitions b))
+
+(* ------------------------------------------------------------------ *)
+(* Quota controller: AIMD on the logical clock                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_quota_ctl_shrink_floor_recover () =
+  let cfg =
+    {
+      Quota_ctl.k_init = 16_000;
+      k_min = 2_000;
+      k_max = 16_000;
+      high_watermark = 10_000;
+      low_watermark = 2_000;
+      recover_steps = 2;
+    }
+  in
+  let qc = Quota_ctl.create cfg in
+  (match Quota_ctl.observe qc ~now:1 ~pressure:100_000 with
+   | Quota_ctl.Shrink { from_quota = 16_000; to_quota = 8_000 } -> ()
+   | _ -> Alcotest.fail "expected first shrink 16000 -> 8000");
+  ignore (Quota_ctl.observe qc ~now:2 ~pressure:100_000);
+  ignore (Quota_ctl.observe qc ~now:3 ~pressure:100_000);
+  checki "pinned at the floor" 2_000 (Quota_ctl.quota qc);
+  (match Quota_ctl.observe qc ~now:4 ~pressure:100_000 with
+   | Quota_ctl.Steady -> ()
+   | _ -> Alcotest.fail "at the floor, high pressure must hold steady");
+  checkb "shedding at the floor under pressure" true (Quota_ctl.shedding qc);
+  (* calm: the EWMA decays, then K doubles every [recover_steps] *)
+  let grows = ref 0 in
+  for i = 5 to 60 do
+    match Quota_ctl.observe qc ~now:i ~pressure:0 with
+    | Quota_ctl.Grow _ -> incr grows
+    | _ -> ()
+  done;
+  checki "recovered to the ceiling" 16_000 (Quota_ctl.quota qc);
+  checki "three doublings back" 3 !grows;
+  checkb "no longer shedding" false (Quota_ctl.shedding qc);
+  checkb "trajectory recorded every move" true
+    (List.length (Quota_ctl.trajectory qc) = 3 + 3)
+
+let test_quota_ctl_validates () =
+  let bad cfg = try Quota_ctl.validate cfg; false with Invalid_argument _ -> true in
+  let base = Quota_ctl.default_config in
+  checkb "k_min > 0" true (bad { base with Quota_ctl.k_min = 0 });
+  checkb "k_max >= k_min" true (bad { base with Quota_ctl.k_max = base.Quota_ctl.k_min - 1 });
+  checkb "k_init in range" true (bad { base with Quota_ctl.k_init = base.Quota_ctl.k_max + 1 });
+  checkb "watermarks ordered" true
+    (bad { base with Quota_ctl.low_watermark = base.Quota_ctl.high_watermark + 1 });
+  checkb "recover_steps >= 1" true (bad { base with Quota_ctl.recover_steps = 0 })
+
+(* ------------------------------------------------------------------ *)
+(* Service end-to-end                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let base_config =
+  {
+    Service.default_config with
+    Service.seed = 42;
+    domains = 2;
+    retry = { Retry.max_attempts = 3; base_delay = 1; max_delay = 4 };
+  }
+
+let with_service ?(config = base_config) ?tracer policy f =
+  let svc = Service.create ?tracer ~config policy in
+  (* [reap] is only safe when a test has released its wedge tasks; tests
+     that wedge call shutdown themselves *)
+  Fun.protect ~finally:(fun () -> try Service.shutdown svc with _ -> ()) (fun () -> f svc)
+
+let entry svc id = List.find (fun e -> e.Service.job = id) (Service.ledger svc)
+
+let test_all_complete_exactly_once () =
+  with_service Pool.Work_stealing (fun svc ->
+      let ran = Atomic.make 0 in
+      let ids =
+        List.init 20 (fun _ ->
+            Result.get_ok
+              (Service.submit svc (fun () ->
+                   Atomic.incr ran;
+                   ignore (Pool.parallel_reduce ~zero:0 ~op:( + ) ~lo:0 ~hi:64 Fun.id))))
+      in
+      Service.drive svc;
+      checkb "idle after drive" true (Service.idle svc);
+      checki "every job ran exactly once" 20 (Atomic.get ran);
+      let c = Service.counters svc in
+      checki "20 completions" 20 c.Service.completions;
+      checki "no failures" 0 c.Service.failures;
+      checki "no duplicate acks" 0 c.Service.duplicate_acks;
+      List.iter
+        (fun id ->
+           checkb "ledger says completed" true
+             ((entry svc id).Service.outcome = Some Service.Completed))
+        ids;
+      (match Service.verify_ledger svc with
+       | Ok () -> ()
+       | Error m -> Alcotest.fail ("ledger audit: " ^ m)))
+
+let test_retry_to_budget_then_failed () =
+  with_service Pool.Work_stealing (fun svc ->
+      let runs = Atomic.make 0 in
+      let id =
+        Result.get_ok
+          (Service.submit svc ~class_:"boom" (fun () ->
+               Atomic.incr runs;
+               failwith "boom"))
+      in
+      Service.drive svc;
+      checki "attempted exactly max_attempts times" 3 (Atomic.get runs);
+      let e = entry svc id in
+      checkb "failed terminally" true
+        (match e.Service.outcome with Some (Service.Failed _) -> true | _ -> false);
+      checki "ledger attempts" 3 e.Service.attempts;
+      let c = Service.counters svc in
+      checki "two retries scheduled" 2 c.Service.retries;
+      (match Service.verify_ledger svc with
+       | Ok () -> ()
+       | Error m -> Alcotest.fail ("ledger audit: " ^ m)))
+
+let test_flaky_recovers_after_one_retry () =
+  with_service Pool.Work_stealing (fun svc ->
+      let tripped = Atomic.make false in
+      let id =
+        Result.get_ok
+          (Service.submit svc ~class_:"flaky" (fun () ->
+               if not (Atomic.exchange tripped true) then failwith "flaky"))
+      in
+      Service.drive svc;
+      let e = entry svc id in
+      checkb "completed" true (e.Service.outcome = Some Service.Completed);
+      checki "two attempts" 2 e.Service.attempts;
+      checki "one retry" 1 (Service.counters svc).Service.retries)
+
+let test_queue_full_sheds () =
+  let config = { base_config with Service.queue_capacity = 2 } in
+  with_service ~config Pool.Work_stealing (fun svc ->
+      checkb "first accepted" true (Result.is_ok (Service.submit svc (fun () -> ())));
+      checkb "second accepted" true (Result.is_ok (Service.submit svc (fun () -> ())));
+      checkb "third shed" true
+        (Service.submit svc (fun () -> ()) = Error Service.Queue_full);
+      Service.drive svc;
+      let c = Service.counters svc in
+      checki "queue_full counted" 1 c.Service.rejected_queue_full;
+      checki "accepted ran" 2 c.Service.completions;
+      (* the shed submission still has a ledger entry with a terminal
+         outcome — rejected jobs are recorded, not lost *)
+      (match Service.verify_ledger svc with
+       | Ok () -> ()
+       | Error m -> Alcotest.fail ("ledger audit: " ^ m)))
+
+let test_deadline_enforced () =
+  let config =
+    { base_config with Service.retry = { Retry.max_attempts = 2; base_delay = 1; max_delay = 2 } }
+  in
+  with_service ~config Pool.Work_stealing (fun svc ->
+      let id =
+        Result.get_ok
+          (Service.submit svc ~class_:"slow" ~deadline:0.05 (fun () ->
+               let rec loop () =
+                 ignore (Pool.fork_join (fun () -> ()) (fun () -> ()));
+                 loop ()
+               in
+               loop ()))
+      in
+      Service.drive svc;
+      let e = entry svc id in
+      (match e.Service.outcome with
+       | Some (Service.Failed m) ->
+         checkb "failure mentions the deadline" true (m = "deadline exceeded")
+       | o ->
+         Alcotest.failf "expected deadline failure, got %s"
+           (match o with
+            | Some Service.Completed -> "completed"
+            | Some (Service.Rejected _) -> "rejected"
+            | _ -> "unresolved"));
+      checki "every attempt timed out" 2 (Service.counters svc).Service.timeouts)
+
+(* The full admission cycle on the logical clock: failures trip the
+   class breaker, submissions shed while open, the cooldown admits a
+   probe, and a probe success closes it again. *)
+let test_breaker_cycle_through_service () =
+  let config =
+    {
+      base_config with
+      Service.retry = { Retry.max_attempts = 1; base_delay = 1; max_delay = 1 };
+      breaker = { Breaker.failure_threshold = 2; cooldown = 3; probe_budget = 1 };
+    }
+  in
+  with_service ~config Pool.Work_stealing (fun svc ->
+      let fail_job () = failwith "x" in
+      checkb "f1 accepted" true (Result.is_ok (Service.submit svc ~class_:"x" fail_job));
+      Service.step svc;
+      checkb "f2 accepted" true (Result.is_ok (Service.submit svc ~class_:"x" fail_job));
+      Service.step svc;
+      (* threshold reached at step 2: the breaker for "x" is open *)
+      (match Service.submit svc ~class_:"x" (fun () -> ()) with
+       | Error (Service.Breaker_open "x") -> ()
+       | _ -> Alcotest.fail "expected Breaker_open rejection");
+      checkb "other classes unaffected" true
+        (Result.is_ok (Service.submit svc ~class_:"y" (fun () -> ())));
+      Service.drive svc;
+      (* idle steps let the cooldown elapse on the logical clock *)
+      Service.step svc;
+      Service.step svc;
+      let probe = Service.submit svc ~class_:"x" (fun () -> ()) in
+      checkb "probe admitted after cooldown" true (Result.is_ok probe);
+      Service.drive svc;
+      Alcotest.(check (list string)) "breaker walked the full cycle"
+        [ "open"; "half_open"; "closed" ]
+        (List.filter_map
+           (fun (_, cl, st) -> if cl = "x" then Some st else None)
+           (Service.breaker_transitions svc));
+      checki "one shed while open" 1 (Service.counters svc).Service.rejected_breaker_open;
+      match Service.verify_ledger svc with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("ledger audit: " ^ m))
+
+(* The supervision contract: a job that spins outside cooperative
+   cancellation wedges the pool; the supervisor kills it, respawns, and
+   requeues the job exactly once.  The respawn callback releases the
+   spin flag, so the second attempt completes — zero lost jobs, zero
+   duplicated acknowledgements, and the fresh pool keeps serving. *)
+let test_wedge_respawn_exactly_once () =
+  let wedge_flags : (int, bool Atomic.t) Hashtbl.t = Hashtbl.create 4 in
+  let config =
+    {
+      base_config with
+      Service.wedge_grace = 0.5;
+      on_pool_retired =
+        Some
+          (fun ~in_flight ->
+            match in_flight with
+            | Some id -> (
+                match Hashtbl.find_opt wedge_flags id with
+                | Some flag -> Atomic.set flag true
+                | None -> ())
+            | None -> ());
+    }
+  in
+  let svc = Service.create ~config (Pool.Dfdeques { quota = 4096 }) in
+  let flag = Atomic.make false in
+  let wedge_id =
+    Result.get_ok
+      (Service.submit svc ~class_:"wedge" (fun () ->
+           while not (Atomic.get flag) do
+             Domain.cpu_relax ()
+           done))
+  in
+  Hashtbl.replace wedge_flags wedge_id flag;
+  Service.drive svc;
+  let e = entry svc wedge_id in
+  checkb "wedged job completed on the respawned pool" true
+    (e.Service.outcome = Some Service.Completed);
+  checki "requeued exactly once" 1 e.Service.requeues;
+  let c = Service.counters svc in
+  checki "one wedge" 1 c.Service.wedges;
+  checki "one respawn" 1 c.Service.respawns;
+  checki "no duplicate acks" 0 c.Service.duplicate_acks;
+  (* the respawned pool is a working pool *)
+  let after = Result.get_ok (Service.submit svc (fun () -> ())) in
+  Service.drive svc;
+  checkb "post-respawn job completes" true
+    ((entry svc after).Service.outcome = Some Service.Completed);
+  (match Service.verify_ledger svc with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail ("ledger audit: " ^ m));
+  Service.shutdown ~reap:true svc
+
+let test_supervisor_gives_up () =
+  let config =
+    { base_config with Service.wedge_grace = 0.3; max_respawns = 0 }
+  in
+  let svc = Service.create ~config Pool.Work_stealing in
+  let flag = Atomic.make false in
+  ignore
+    (Result.get_ok
+       (Service.submit svc (fun () ->
+            while not (Atomic.get flag) do
+              Domain.cpu_relax ()
+            done)));
+  checkb "giveup past max_respawns" true
+    (try
+       Service.drive svc;
+       false
+     with Service.Supervisor_giveup _ -> true);
+  (* release the stuck task so shutdown can join the executor *)
+  Atomic.set flag true;
+  Service.shutdown svc
+
+(* The ISSUE acceptance test for the control loop: an allocation spike
+   observed through the pool's [alloc_bytes] counter drives K down (via
+   [Pool.set_quota], with [Quota_adjusted] trace events), and a calm
+   stretch restores it to the ceiling. *)
+let test_adaptive_quota_reacts () =
+  let qcfg =
+    {
+      Quota_ctl.k_init = 32_000;
+      k_min = 4_000;
+      k_max = 32_000;
+      high_watermark = 20_000;
+      low_watermark = 5_000;
+      recover_steps = 2;
+    }
+  in
+  let config = { base_config with Service.quota_ctl = Some qcfg } in
+  let tracer = Tracer.create () in
+  with_service ~config ~tracer (Pool.Dfdeques { quota = 32_000 }) (fun svc ->
+      checki "starts at k_init" 32_000 (Option.get (Service.quota svc));
+      (* allocation spikes: each job reports 200 kB, far above the
+         high watermark *)
+      for _ = 1 to 4 do
+        ignore (Result.get_ok (Service.submit svc ~class_:"spike" (fun () -> Pool.alloc_hint 200_000)));
+        Service.step svc
+      done;
+      Service.step svc;
+      (* one more tick so the last spike's pressure is observed *)
+      let shrunk = Option.get (Service.quota svc) in
+      checkb "spike drove K down" true (shrunk < 32_000);
+      checkb "trajectory shows the shrink" true
+        (List.exists (fun (_, k) -> k < 32_000) (Service.quota_trajectory svc));
+      (* calm: idle steps with zero pressure until the controller
+         recovers the ceiling *)
+      for _ = 1 to 40 do
+        Service.step svc
+      done;
+      checki "calm restored K to the ceiling" 32_000 (Option.get (Service.quota svc));
+      checkb "Quota_adjusted events were traced" true
+        (Tracer.count tracer
+           (Event.Quota_adjusted { from_quota = 0; to_quota = 0; pressure = 0 })
+         > 0))
+
+let test_memory_pressure_sheds () =
+  (* floor == ceiling: the controller cannot shrink, so sustained
+     pressure goes straight to admission shedding *)
+  let qcfg =
+    {
+      Quota_ctl.k_init = 1_000;
+      k_min = 1_000;
+      k_max = 2_000;
+      high_watermark = 100;
+      low_watermark = 10;
+      recover_steps = 2;
+    }
+  in
+  let config = { base_config with Service.quota_ctl = Some qcfg } in
+  with_service ~config (Pool.Dfdeques { quota = 1_000 }) (fun svc ->
+      ignore
+        (Result.get_ok (Service.submit svc ~class_:"spike" (fun () -> Pool.alloc_hint 10_000)));
+      Service.step svc;
+      Service.step svc;
+      (match Service.submit svc (fun () -> ()) with
+       | Error Service.Memory_pressure -> ()
+       | _ -> Alcotest.fail "expected Memory_pressure rejection");
+      checki "shed counted" 1 (Service.counters svc).Service.rejected_memory_pressure;
+      match Service.verify_ledger svc with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("ledger audit: " ^ m))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "retry",
+        [
+          QCheck_alcotest.to_alcotest ~long:false qcheck_delays_bounded;
+          QCheck_alcotest.to_alcotest ~long:false qcheck_budget_never_exceeded;
+          QCheck_alcotest.to_alcotest ~long:false qcheck_attempts_monotone;
+          QCheck_alcotest.to_alcotest ~long:false qcheck_schedule_deterministic;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trip and recover" `Quick test_breaker_trip_and_recover;
+          Alcotest.test_case "probe failure reopens" `Quick test_breaker_probe_failure_reopens;
+        ] );
+      ( "quota_ctl",
+        [
+          Alcotest.test_case "shrink, floor, recover" `Quick test_quota_ctl_shrink_floor_recover;
+          Alcotest.test_case "config validation" `Quick test_quota_ctl_validates;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "all complete exactly once" `Quick test_all_complete_exactly_once;
+          Alcotest.test_case "retry to budget then failed" `Quick
+            test_retry_to_budget_then_failed;
+          Alcotest.test_case "flaky recovers" `Quick test_flaky_recovers_after_one_retry;
+          Alcotest.test_case "queue full sheds" `Quick test_queue_full_sheds;
+          Alcotest.test_case "deadline enforced" `Quick test_deadline_enforced;
+          Alcotest.test_case "breaker cycle" `Quick test_breaker_cycle_through_service;
+          Alcotest.test_case "wedge respawn exactly once" `Quick
+            test_wedge_respawn_exactly_once;
+          Alcotest.test_case "supervisor gives up" `Quick test_supervisor_gives_up;
+          Alcotest.test_case "adaptive K reacts" `Quick test_adaptive_quota_reacts;
+          Alcotest.test_case "memory pressure sheds" `Quick test_memory_pressure_sheds;
+        ] );
+    ]

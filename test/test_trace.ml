@@ -67,6 +67,7 @@ let all_kinds =
     Event.Action_batch { units = 8 };
     Event.Counter { deques = 4; heap = 123_456; threads = 78 };
     Event.Fault_injected { fault = "steal_fail" };
+    Event.Quota_adjusted { from_quota = 50_000; to_quota = 25_000; pressure = 80_000 };
   ]
 
 let test_event_roundtrip () =
@@ -99,6 +100,10 @@ let event_gen =
         map
           (fun fault -> Event.Fault_injected { fault })
           (oneofl [ "stall"; "steal_fail"; "task_exn"; "alloc_spike"; "lock_delay" ]);
+        map3
+          (fun from_quota to_quota pressure ->
+             Event.Quota_adjusted { from_quota; to_quota; pressure })
+          small small small;
       ]
   in
   map2

@@ -1,0 +1,133 @@
+(* Smoke-test validator for the `repro soak` JSON report: structural
+   checks plus the acceptance criteria — the exactly-once ledger audits
+   clean, counters are consistent with the ledger, no duplicate
+   acknowledgements, and the run's own oracle found no violations.
+   Usage: validate_soak report.json *)
+
+module Json = Dfd_trace.Json
+
+let fail fmt = Json_util.failf ~prog:"validate_soak" fmt
+
+let kinds = [ "ok"; "spike"; "exn"; "flaky"; "slow"; "wedge" ]
+
+let reject_reasons = [ "queue_full"; "breaker_open"; "memory_pressure" ]
+
+let () =
+  let path = match Sys.argv with [| _; p |] -> p | _ -> fail "usage: validate_soak FILE" in
+  let j =
+    try Json_util.parse_file path with Json.Parse_error m -> fail "bad JSON: %s" m
+  in
+  let int_at k = try Json.to_int_exn (Json.member k j) with _ -> fail "missing int %S" k in
+  ignore (int_at "seed");
+  let duration = int_at "duration_steps" in
+  if int_at "final_step" < duration then fail "final_step before duration_steps";
+  (match Json.member "plan" j with
+   | Json.String p when List.mem p [ "none"; "exns"; "wedges"; "spikes"; "mixed" ] -> ()
+   | Json.String p -> fail "unknown plan %S" p
+   | _ -> fail "missing plan");
+  let config = Json.member "config" j in
+  (match Json.member "policy" config with
+   | Json.String ("dfd" | "ws") -> ()
+   | _ -> fail "config missing policy");
+  (* submissions: every entry well-formed, accepted ones carry a job id *)
+  let subs = try Json.to_list_exn (Json.member "submissions" j) with _ -> fail "no submissions" in
+  if subs = [] then fail "empty submissions";
+  let accepted = ref 0 and shed = ref 0 in
+  List.iter
+    (fun s ->
+       let step = try Json.to_int_exn (Json.member "step" s) with _ -> fail "submission without step" in
+       if step < 1 || step > duration then fail "submission step %d out of range" step;
+       (match Json.member "kind" s with
+        | Json.String k when List.mem k kinds -> ()
+        | Json.String k -> fail "unknown job kind %S" k
+        | _ -> fail "submission without kind");
+       match Json.member "accepted" s with
+       | Json.Bool true ->
+         incr accepted;
+         (try ignore (Json.to_int_exn (Json.member "job" s))
+          with _ -> fail "accepted submission without job id")
+       | Json.Bool false ->
+         incr shed;
+         (match Json.member "reason" s with
+          | Json.String r when List.mem r reject_reasons -> ()
+          | Json.String r -> fail "unknown rejection reason %S" r
+          | _ -> fail "shed submission without reason")
+       | _ -> fail "submission without accepted flag")
+    subs;
+  (* ledger: one entry per submission, terminal outcomes only *)
+  let ledger = try Json.to_list_exn (Json.member "ledger" j) with _ -> fail "no ledger" in
+  if List.length ledger <> List.length subs then
+    fail "ledger has %d entries but %d submissions" (List.length ledger) (List.length subs);
+  let completed = ref 0 and failed = ref 0 and rejected = ref 0 in
+  List.iter
+    (fun e ->
+       (try ignore (Json.to_int_exn (Json.member "job" e)) with _ -> fail "ledger entry without job");
+       (try ignore (Json.to_string_exn (Json.member "class" e))
+        with _ -> fail "ledger entry without class");
+       let attempts =
+         try Json.to_int_exn (Json.member "attempts" e) with _ -> fail "entry without attempts"
+       in
+       let requeues =
+         try Json.to_int_exn (Json.member "requeues" e) with _ -> fail "entry without requeues"
+       in
+       if attempts < 0 || requeues < 0 then fail "negative attempts/requeues";
+       match Json.member "outcome" e with
+       | Json.String "completed" -> incr completed
+       | Json.String "failed" -> incr failed
+       | Json.String "rejected" ->
+         incr rejected;
+         (match Json.member "reason" e with
+          | Json.String r when List.mem r reject_reasons -> ()
+          | _ -> fail "rejected entry without a valid reason")
+       | Json.String other -> fail "non-terminal ledger outcome %S (lost job?)" other
+       | _ -> fail "ledger entry without outcome")
+    ledger;
+  (* counters must agree with the ledger recomputation *)
+  let counters = Json.member "counters" j in
+  let c k =
+    try Json.to_int_exn (Json.member k counters) with _ -> fail "counters missing %S" k
+  in
+  if c "accepted" <> !accepted then fail "accepted counter disagrees with submissions";
+  if c "rejected_queue_full" + c "rejected_breaker_open" + c "rejected_memory_pressure" <> !shed
+  then fail "rejection counters disagree with submissions";
+  if c "completions" <> !completed then fail "completions counter disagrees with ledger";
+  if c "failures" <> !failed then fail "failures counter disagrees with ledger";
+  if !rejected <> !shed then fail "rejected ledger entries disagree with shed submissions";
+  if c "duplicate_acks" <> 0 then fail "duplicate acknowledgements reported";
+  if c "wedges" <> c "respawns" then fail "wedge/respawn counters disagree";
+  (* trajectories: well-formed tuples over the logical clock *)
+  (match Json.member "quota_trajectory" j with
+   | Json.List moves ->
+     List.iter
+       (function
+         | Json.List [ Json.Int s; Json.Int k ] ->
+           if s < 1 then fail "quota move at non-positive step";
+           if k <= 0 then fail "non-positive quota in trajectory"
+         | _ -> fail "malformed quota move")
+       moves
+   | _ -> fail "no quota_trajectory");
+  (match Json.member "breaker_transitions" j with
+   | Json.List trans ->
+     List.iter
+       (function
+         | Json.List [ Json.Int s; Json.String _; Json.String st ] ->
+           if s < 0 then fail "breaker transition at negative step";
+           if not (List.mem st [ "closed"; "open"; "half_open" ]) then
+             fail "unknown breaker state %S" st
+         | _ -> fail "malformed breaker transition")
+       trans
+   | _ -> fail "no breaker_transitions");
+  (* the acceptance gate: the run's own oracle *)
+  let checks = Json.member "checks" j in
+  (match Json.member "ledger_verified" checks with
+   | Json.Bool true -> ()
+   | _ -> fail "ledger_verified is not true");
+  (match Json.member "violations" checks with
+   | Json.List [] -> ()
+   | Json.List vs -> fail "%d oracle violations reported" (List.length vs)
+   | _ -> fail "missing violations list");
+  (match Json.member "all_passed" checks with
+   | Json.Bool true -> ()
+   | _ -> fail "all_passed is not true");
+  Printf.printf "validate_soak: %s ok (%d submissions, %d accepted, %d completed)\n" path
+    (List.length subs) !accepted !completed
