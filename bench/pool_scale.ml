@@ -21,6 +21,7 @@ module Pool = Dfd_runtime.Pool
 module Psort = Dfd_runtime.Psort
 module Prng = Dfd_structures.Prng
 module Json = Dfd_trace.Json
+module Registry = Dfd_obs.Registry
 
 let rec fib n =
   if n < 2 then n
@@ -93,6 +94,44 @@ let point_json pt =
         Json.Float (if pt.time_s > 0.0 then float_of_int pt.tasks_run /. pt.time_s else 0.0) );
     ]
 
+(* Observability-overhead pair: the identical WS fib workload with the
+   metrics registry enabled vs disabled.  The hot path's cost when
+   disabled is one load + branch per instrumented site; the ratio is
+   recorded (never gated — CI hardware is noisy) so regressions in the
+   instrumentation show up in the perf trajectory. *)
+let obs_overhead ~fib_n ~reps ~p ~expect =
+  let timed registry =
+    let pool = Pool.create ~domains:(p - 1) ?registry Pool.Work_stealing in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+         let best = ref infinity in
+         for _ = 1 to reps do
+           let t0 = Unix.gettimeofday () in
+           let v = Pool.run pool (fun () -> fib fib_n) in
+           let dt = Unix.gettimeofday () -. t0 in
+           if v <> expect then failwith "pool_scale: wrong result (obs pair)";
+           if dt < !best then best := dt
+         done;
+         !best)
+  in
+  let disabled_s = timed None in
+  let enabled_s = timed (Some (Registry.create ())) in
+  Printf.printf "obs    ws   p=%d  disabled=%.4fs enabled=%.4fs ratio=%.3f\n%!" p disabled_s
+    enabled_s
+    (if disabled_s > 0.0 then enabled_s /. disabled_s else 0.0);
+  Json.Assoc
+    [
+      ("workload", Json.String "fib");
+      ("policy", Json.String "ws");
+      ("p", Json.Int p);
+      ("reps", Json.Int reps);
+      ("disabled_time_s", Json.Float disabled_s);
+      ("enabled_time_s", Json.Float enabled_s);
+      ( "overhead_ratio",
+        Json.Float (if disabled_s > 0.0 then enabled_s /. disabled_s else 0.0) );
+    ]
+
 (* speedup(p) = time(p=1) / time(p), per (workload, policy) group *)
 let speedups points =
   List.filter_map
@@ -151,6 +190,9 @@ let () =
            ps)
       policies
   in
+  let obs =
+    obs_overhead ~fib_n ~reps ~p:(List.fold_left max 1 ps) ~expect:fib_expect
+  in
   let report =
     Json.Assoc
       [
@@ -161,6 +203,7 @@ let () =
         ("sort_n", Json.Int sort_n);
         ("results", Json.List (List.map point_json points));
         ("speedups", Json.List (speedups points));
+        ("obs_overhead", obs);
       ]
   in
   let oc = open_out !out in

@@ -361,8 +361,16 @@ let soak_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let soak_run seed duration plan policy grace json_out =
-  exit (Soak.run_soak ~seed ~duration ~plan ~policy ~wedge_grace:grace ~json_out)
+let soak_flight_arg =
+  let doc =
+    "Enable the flight recorder's crash forensics: on a pool wedge, an attempt timeout or a \
+     supervisor give-up, dump the current pool incarnation's event ring as a JSON artifact \
+     under $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR" ~doc)
+
+let soak_run seed duration plan policy grace json_out flight_dir =
+  exit (Soak.run_soak ~seed ~duration ~plan ~policy ~wedge_grace:grace ~json_out ~flight_dir)
 
 let soak_cmd =
   let doc =
@@ -375,7 +383,89 @@ let soak_cmd =
   Cmd.v (Cmd.info "soak" ~doc)
     Term.(
       const soak_run $ seed_arg $ soak_duration_arg $ soak_plan_arg $ soak_policy_arg
-      $ soak_grace_arg $ soak_json_arg)
+      $ soak_grace_arg $ soak_json_arg $ soak_flight_arg)
+
+(* ------------------------------------------------------------------ *)
+(* metrics: one deterministic simulated run exposed through the         *)
+(* telemetry plane (OpenMetrics text + JSON snapshot + flight dump)     *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_text_arg =
+  let doc =
+    "Write the OpenMetrics v1 exposition to $(docv) instead of stdout.  The simulator is \
+     deterministic, so for fixed arguments the output is byte-identical across runs."
+  in
+  Arg.(value & opt (some string) None & info [ "text" ] ~docv:"FILE" ~doc)
+
+let metrics_snapshot_arg =
+  let doc = "Also write the registry snapshot as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let metrics_flight_arg =
+  let doc = "Also dump the run's flight-recorder ring as a JSON artifact to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+
+let metrics_run bench grain sched p k seed mode text_out json_out flight_out =
+  let b = find_bench bench grain in
+  let kopt = if k = 0 then None else Some k in
+  let cfg =
+    match mode with
+    | `A -> Dfd_machine.Config.analysis ~p ~mem_threshold:kopt ~seed ()
+    | `C -> Dfd_machine.Config.costed ~p ~mem_threshold:kopt ~seed ()
+  in
+  let prog = b.Dfd_benchmarks.Workload.prog () in
+  let s = Dfd_dag.Analysis.analyze prog in
+  let registry = Dfd_obs.Registry.create () in
+  let flight = Dfd_obs.Flight.create ~lanes:(p + 1) () in
+  (* with analysis in hand the budget gauge is the exact Oracle.thm44
+     bound: S1 + c * min(K, S1) * p * D (infinite K degrades to K = S1) *)
+  let s1 = s.Dfd_dag.Analysis.serial_space in
+  let headroom =
+    Dfd_obs.Headroom.create ~registry
+      ~policy:(Dfdeques_core.Engine.sched_name sched)
+      ~s1 ~depth:s.Dfd_dag.Analysis.depth ~p
+      ~k:(match kopt with Some k -> k | None -> s1)
+      ()
+  in
+  let (_ : Dfdeques_core.Engine.result) =
+    Dfdeques_core.Engine.run ~sched ~registry ~flight ~headroom cfg prog
+  in
+  let samples = Dfd_obs.Registry.snapshot registry in
+  (match text_out with
+   | None -> print_string (Dfd_obs.Openmetrics.render samples)
+   | Some path ->
+     writing path (fun () ->
+         let oc = open_out path in
+         Dfd_obs.Openmetrics.write_channel oc samples;
+         close_out oc);
+     Printf.printf "metrics text: %d samples -> %s\n" (List.length samples) path);
+  (match json_out with
+   | None -> ()
+   | Some path ->
+     writing path (fun () ->
+         let oc = open_out path in
+         Dfd_trace.Json.to_channel oc (Dfd_obs.Registry.Snapshot.to_json samples);
+         output_char oc '\n';
+         close_out oc);
+     Printf.printf "metrics snapshot: %s\n" path);
+  match flight_out with
+  | None -> ()
+  | Some path ->
+    writing path (fun () -> Dfd_obs.Flight.write_file ~path ~reason:"run" flight);
+    Printf.printf "flight dump: %d events -> %s\n" (Dfd_obs.Flight.recorded flight) path
+
+let metrics_cmd =
+  let doc =
+    "Run one benchmark under the live telemetry plane and emit the registry as OpenMetrics v1 \
+     text (and optionally a JSON snapshot and a flight-recorder dump).  The exposition carries \
+     the dfd_engine_* instruments and the Theorem-4.4 space-headroom gauge family \
+     (live/peak/budget bytes, headroom ratio, premature-node count and depth histogram), with \
+     the budget computed exactly as the offline Oracle.thm44 bound."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const metrics_run $ bench_arg $ grain_arg $ sched_arg $ p_arg $ k_arg $ seed_arg $ mode_arg
+      $ metrics_text_arg $ metrics_snapshot_arg $ metrics_flight_arg)
 
 let check_iters_arg =
   let doc = "Schedule-exploration budget: randomised schedules per scenario." in
@@ -437,4 +527,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group ~default info
           [ list_cmd; exp_cmd; run_cmd; analyze_cmd; trace_cmd; dot_cmd; chaos_cmd; soak_cmd;
-            check_cmd ]))
+            check_cmd; metrics_cmd ]))

@@ -38,6 +38,7 @@ module Breaker = Dfd_service.Breaker
 module Quota_ctl = Dfd_service.Quota_ctl
 module Pool = Dfd_runtime.Pool
 module Json = Dfd_trace.Json
+module Registry = Dfd_obs.Registry
 
 type plan = P_none | P_exns | P_wedges | P_spikes | P_mixed
 
@@ -143,21 +144,10 @@ let outcome_fields = function
     [ ("outcome", Json.String "rejected");
       ("reason", Json.String (Service.reject_reason_name r)) ]
 
-let counters_json (c : Service.counters) =
-  Json.Assoc
-    [
-      ("accepted", Json.Int c.accepted);
-      ("rejected_queue_full", Json.Int c.rejected_queue_full);
-      ("rejected_breaker_open", Json.Int c.rejected_breaker_open);
-      ("rejected_memory_pressure", Json.Int c.rejected_memory_pressure);
-      ("completions", Json.Int c.completions);
-      ("failures", Json.Int c.failures);
-      ("retries", Json.Int c.retries);
-      ("timeouts", Json.Int c.timeouts);
-      ("wedges", Json.Int c.wedges);
-      ("respawns", Json.Int c.respawns);
-      ("duplicate_acks", Json.Int c.duplicate_acks);
-    ]
+(* The counters object is rendered from the registry's sample type (the
+   same path `repro metrics` exposes); [Service.counter_samples] keeps the
+   exact key set and order this report has always had. *)
+let counters_json svc = Registry.Snapshot.to_flat_json (Service.counter_samples svc)
 
 let config_json ~policy_name ~queue_capacity ~with_quota =
   Json.Assoc
@@ -196,7 +186,7 @@ let config_json ~policy_name ~queue_capacity ~with_quota =
 (* The campaign                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out =
+let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_dir =
   if duration < 12 then begin
     prerr_endline "repro soak: --duration-steps must be at least 12";
     exit 2
@@ -230,9 +220,16 @@ let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out =
       on_pool_retired = Some on_pool_retired;
     }
   in
-  let svc = Service.create ~config pool_policy in
+  let svc = Service.create ?flight_dir ~config pool_policy in
   (* submission phase: one service step per schedule step *)
   let submissions = ref [] in
+  (* periodic stable telemetry snapshots for the report: only probes
+     registered stable (the dfd_service_* family) appear, so each snapshot
+     is a pure function of (seed, submission order) — byte-identical per
+     seed like the rest of the report *)
+  let snap_every = max 1 (duration / 4) in
+  let snaps = ref [] in
+  let take_snap s = snaps := (s, Service.metrics_snapshot ~stable_only:true svc) :: !snaps in
   for s = 1 to duration do
     List.iter
       (fun kind ->
@@ -257,10 +254,13 @@ let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out =
          in
          submissions := (s, kind, result) :: !submissions)
       (schedule plan ~duration s);
-    Service.step svc
+    Service.step svc;
+    if s mod snap_every = 0 then take_snap s
   done;
   (* drain: retries may still be pending *)
   Service.drive ~max_steps:(duration * 20) svc;
+  take_snap (Service.now svc);
+  let snaps = List.rev !snaps in
   let idle = Service.idle svc in
   let c = Service.counters svc in
   let entries = Service.ledger svc in
@@ -385,7 +385,22 @@ let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out =
                (fun (s, cl, st) ->
                   Json.List [ Json.Int s; Json.String cl; Json.String st ])
                breaker_trans) );
-        ("counters", counters_json c);
+        ("counters", counters_json svc);
+        ( "metrics",
+          Json.Assoc
+            [
+              ("snapshot_every", Json.Int snap_every);
+              ( "snapshots",
+                Json.List
+                  (List.map
+                     (fun (s, samples) ->
+                        Json.Assoc
+                          [
+                            ("step", Json.Int s);
+                            ("samples", Registry.Snapshot.to_json samples);
+                          ])
+                     snaps) );
+            ] );
         ( "checks",
           Json.Assoc
             [

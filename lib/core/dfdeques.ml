@@ -129,7 +129,7 @@ module P = struct
             match Dll.front t.r with Some f -> Dll.value f == d | None -> false
           in
           if not (was_leftmost && Deque.is_empty d.dq) then
-            Metrics.heavy_premature ctx.Sched_intf.metrics;
+            Metrics.heavy_premature ctx.Sched_intf.metrics ~depth:th.Thread_state.depth;
           let nd = new_deque t ~proc ~owner:(Some proc) in
           let new_node = Dll.insert_after t.r node nd in
           (* Stealing the last thread of an ownerless deque deletes it. *)

@@ -9,6 +9,9 @@ module Tracer = Dfd_trace.Tracer
 module Event = Dfd_trace.Event
 module Fault = Dfd_fault.Fault
 module Watchdog = Dfd_fault.Watchdog
+module Registry = Dfd_obs.Registry
+module Flight = Dfd_obs.Flight
+module Headroom = Dfd_obs.Headroom
 module T = Thread_state
 
 exception Deadlock of string
@@ -72,7 +75,8 @@ exception Malformed_run of string
 
 let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_000_000)
     ?(tracer = Tracer.disabled) ?(fault = Fault.none) ?(no_progress_limit = 1000) ?observer
-    ?sampler ~(sched : sched) (cfg : Config.t) (prog : Prog.t) : result =
+    ?sampler ?(registry = Registry.disabled) ?(flight = Flight.disabled) ?headroom
+    ~(sched : sched) (cfg : Config.t) (prog : Prog.t) : result =
   let p = cfg.p in
   let metrics = Metrics.create ~p in
   let rng = Prng.create cfg.seed in
@@ -164,6 +168,37 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
   let root = T.make_root pool prog in
   Memory.thread_created memory;
   P.register_root pol root;
+  (* Live exposition: probes close over this run's metrics/memory state,
+     so the registry answers mid-run queries and holds the final values
+     once the run returns (upsert registration rebinds the series on the
+     next run sharing the registry). *)
+  if Registry.enabled registry then begin
+    let cp name help f = Registry.probe registry ~kind:`Counter ~help name f in
+    let gp name help f = Registry.probe registry ~kind:`Gauge ~help name f in
+    gp "dfd_engine_time" "Simulated timestep clock." (fun () -> ctx.Sched_intf.now);
+    gp "dfd_engine_heap_bytes" "Live simulated heap bytes." (fun () -> Memory.heap_current memory);
+    gp "dfd_engine_live_threads" "Live (created, not yet exited) threads." (fun () ->
+        Memory.live_threads memory);
+    gp "dfd_engine_deques" "Deques currently in the global list R." (fun () ->
+        Metrics.deque_current metrics);
+    cp "dfd_engine_actions_total" "Unit actions executed." (fun () -> Metrics.actions metrics);
+    cp "dfd_engine_steals_total" "Successful steals." (fun () -> Metrics.steals metrics);
+    cp "dfd_engine_steal_attempts_total" "Steal attempts." (fun () ->
+        Metrics.steal_attempts metrics);
+    cp "dfd_engine_local_dispatches_total" "Threads obtained without a steal." (fun () ->
+        Metrics.local_dispatches metrics);
+    cp "dfd_engine_queue_dispatches_total" "Global-queue dispatches (FIFO/ADF)." (fun () ->
+        Metrics.queue_dispatches metrics);
+    cp "dfd_engine_quota_exhaustions_total" "Memory-threshold give-ups (Figure 5)." (fun () ->
+        Metrics.quota_exhaustions metrics);
+    cp "dfd_engine_dummy_threads_total" "Dummy threads of the Section 3.3 transformation."
+      (fun () -> Metrics.dummies metrics);
+    cp "dfd_engine_heavy_premature_total" "Heavy premature nodes (Lemma 4.2)." (fun () ->
+        Metrics.heavy_prematures metrics);
+    Registry.probe_histogram registry
+      ~help:"Fork depth at which heavy premature nodes were stolen." "dfd_engine_premature_depth"
+      (fun () -> Registry.hist_of_stats (Metrics.premature_depth metrics))
+  end;
   let malformed msg = raise (Malformed_run msg) in
 
   (* Charge the current processor [extra] stall timesteps beyond this one. *)
@@ -363,6 +398,9 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
             if Tracer.enabled tracer then
               Tracer.emit tracer ~ts:ctx.now ~proc ~tid:th.T.tid
                 (Event.Quota_exhausted { used = k_bytes - quota.(proc); quota = k_bytes });
+            if Flight.enabled flight then
+              Flight.recordk flight ~lane:proc ~ts:ctx.now ~proc ~tid:th.T.tid
+                (Event.Quota_exhausted { used = k_bytes - quota.(proc); quota = k_bytes });
             th.T.state <- T.Ready;
             P.on_quota_exhausted pol ~proc th;
             curr.(proc) <- None
@@ -477,6 +515,9 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
           if Tracer.enabled tracer then
             Tracer.emit tracer ~ts:ctx.now ~proc ~tid:(-1)
               (Event.Fault_injected { fault = "stall" });
+          if Flight.enabled flight then
+            Flight.recordk flight ~lane:proc ~ts:ctx.now ~proc ~tid:(-1)
+              (Event.Fault_injected { fault = "stall" });
           progress ();
           stall proc (s - 1))
     done;
@@ -489,6 +530,22 @@ let run ?(spin_locks = false) ?(check_invariants = false) ?(max_steps = 10_000_0
              heap = Memory.heap_current memory;
              threads = Memory.live_threads memory;
            });
+    (* The flight ring keeps a machine-wide counter track in its last lane:
+       on a wedge the dump shows the final few hundred timesteps of heap /
+       thread / deque history next to the per-proc fault and quota events. *)
+    if Flight.enabled flight then
+      Flight.recordk flight ~lane:p ~ts:ctx.now ~proc:(-1) ~tid:(-1)
+        (Event.Counter
+           {
+             deques = Metrics.deque_current metrics;
+             heap = Memory.heap_current memory;
+             threads = Memory.live_threads memory;
+           });
+    (match headroom with
+     | Some hr ->
+       Headroom.observe hr ~live_bytes:(Memory.heap_current memory);
+       Headroom.set_premature hr (Metrics.heavy_prematures metrics)
+     | None -> ());
     (match sampler with
      | Some (every, f) ->
        if ctx.now mod every = 0 then
@@ -595,6 +652,7 @@ let result_to_json r =
             ("steal_latency", histogram_to_json (Metrics.steal_latency r.metrics));
             ("deque_residency", histogram_to_json (Metrics.deque_residency r.metrics));
             ("quota_utilisation", histogram_to_json (Metrics.quota_utilisation r.metrics));
+            ("premature_depth", histogram_to_json (Metrics.premature_depth r.metrics));
           ] );
       ("per_proc_actions", ints (Metrics.per_proc_actions r.metrics));
       ("per_victim_steals", ints (Metrics.per_victim_steals r.metrics));

@@ -87,6 +87,9 @@ val run :
   ?no_progress_limit:int ->
   ?observer:(now:int -> proc:int -> Thread_state.t -> Dfd_dag.Action.t -> unit) ->
   ?sampler:int * (now:int -> heap:int -> threads:int -> deques:int -> unit) ->
+  ?registry:Dfd_obs.Registry.t ->
+  ?flight:Dfd_obs.Flight.t ->
+  ?headroom:Dfd_obs.Headroom.t ->
   sched:sched ->
   Dfd_machine.Config.t ->
   Dfd_dag.Prog.t ->
@@ -125,7 +128,19 @@ val run :
     actions are reported as [Work 1].
     [sampler] = [(every, f)]: call [f] every [every] timesteps with the
     live heap bytes, live thread count and peak deque count — the
-    memory-profile-over-time instrumentation behind `repro profile`. *)
+    memory-profile-over-time instrumentation behind `repro profile`.
+    [registry] (default {!Dfd_obs.Registry.disabled}): registers
+    [dfd_engine_*] probes closing over this run's live counters — the
+    registry answers mid-run snapshots and retains the final values after
+    the run returns.
+    [flight] (default {!Dfd_obs.Flight.disabled}): crash-forensics ring;
+    the engine records quota exhaustions and injected stalls on each
+    processor's lane and a machine-wide counter sample per timestep on
+    lane [p] (size the recorder with [~lanes:(p + 1)]).
+    [headroom] : a {!Dfd_obs.Headroom} gauge family fed every timestep
+    with the live heap bytes and the heavy-premature count; create it
+    from [Analysis.analyze] results so its budget equals the
+    [Oracle.thm44] bound. *)
 
 val pp_result : Format.formatter -> result -> unit
 

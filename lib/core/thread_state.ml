@@ -4,6 +4,7 @@ type state = Ready | Running | Blocked_join | Blocked_lock of int | Blocked_cond
 
 type t = {
   tid : int;
+  depth : int;
   mutable prog : Dfd_dag.Prog.t;
   parent : t option;
   mutable unjoined : t list;
@@ -29,6 +30,7 @@ let fresh_id pool =
 let make_root pool prog =
   {
     tid = fresh_id pool;
+    depth = 0;
     prog;
     parent = None;
     unjoined = [];
@@ -44,6 +46,7 @@ let mk_child pool ~parent prog ~is_dummy =
   let child =
     {
       tid = fresh_id pool;
+      depth = parent.depth + 1;
       prog;
       parent = Some parent;
       unjoined = [];

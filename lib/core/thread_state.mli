@@ -23,6 +23,7 @@ type state =
 
 type t = {
   tid : int;
+  depth : int;  (** fork depth: 0 for the root, parent's + 1 for a child. *)
   mutable prog : Dfd_dag.Prog.t;  (** remaining instruction stream. *)
   parent : t option;
   mutable unjoined : t list;  (** forked, not yet joined children; LIFO. *)

@@ -16,6 +16,7 @@ type t = {
   steal_latency : H.t;
   deque_residency : H.t;
   quota_utilisation : H.t;
+  premature_depth : H.t;
 }
 
 let create ~p =
@@ -34,6 +35,7 @@ let create ~p =
     steal_latency = H.create ();
     deque_residency = H.create ();
     quota_utilisation = H.create ();
+    premature_depth = H.create ();
   }
 
 let action_executed t ~proc ~units =
@@ -52,9 +54,13 @@ let quota_exhausted t = t.quota <- t.quota + 1
 
 let dummy_executed t = t.dummies <- t.dummies + 1
 
-let heavy_premature t = t.heavy_premature <- t.heavy_premature + 1
+let heavy_premature t ~depth =
+  t.heavy_premature <- t.heavy_premature + 1;
+  H.add t.premature_depth (float_of_int depth)
 
 let heavy_prematures t = t.heavy_premature
+
+let premature_depth t = t.premature_depth
 
 let deques_changed t n = W.add t.deques (n - W.current t.deques)
 

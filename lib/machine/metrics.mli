@@ -31,13 +31,18 @@ val quota_exhausted : t -> unit
 
 val dummy_executed : t -> unit
 
-val heavy_premature : t -> unit
+val heavy_premature : t -> depth:int -> unit
 (** A steal took a thread that was {e not} the highest-priority ready
     thread: its first node is a heavy premature node in the sense of
     Section 4.2 (executed out of 1DF order).  Lemma 4.2 bounds the expected
-    number of these by O(p * D). *)
+    number of these by O(p * D).  [depth] is the stolen thread's fork depth
+    (recorded into {!premature_depth}). *)
 
 val heavy_prematures : t -> int
+
+val premature_depth : t -> Dfd_structures.Stats.Histogram.t
+(** Fork depths of the stolen threads counted by {!heavy_premature} — the
+    depth distribution behind the [p * D] term. *)
 
 val deques_changed : t -> int -> unit
 (** Track the current number of deques in R (watermark kept). *)

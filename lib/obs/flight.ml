@@ -1,0 +1,81 @@
+module Event = Dfd_trace.Event
+module Json = Dfd_trace.Json
+
+let sentinel : Event.t = { ts = -1; proc = -1; tid = -1; kind = Event.Dummy_exec }
+
+type lane = {
+  ring : Event.t array;
+  (* arrival index per slot, for stable merge order among equal timestamps *)
+  arrivals : int array;
+  mutable written : int;  (** total events this lane ever recorded *)
+}
+
+type t = { on : bool; capacity : int; lanes : lane array }
+
+let disabled = { on = false; capacity = 0; lanes = [||] }
+
+let create ?(capacity = 256) ~lanes () =
+  if lanes <= 0 then invalid_arg "Flight.create: lanes must be positive";
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  {
+    on = true;
+    capacity;
+    lanes = Array.init lanes (fun _ -> { ring = Array.make capacity sentinel; arrivals = Array.make capacity 0; written = 0 });
+  }
+
+let enabled t = t.on
+
+let record t ~lane (e : Event.t) =
+  if t.on then begin
+    let n = Array.length t.lanes in
+    let l = t.lanes.(if lane >= 0 && lane < n then lane else ((lane mod n) + n) mod n) in
+    let slot = l.written mod t.capacity in
+    l.ring.(slot) <- e;
+    l.arrivals.(slot) <- l.written;
+    l.written <- l.written + 1
+  end
+
+let recordk t ~lane ~ts ~proc ~tid kind = if t.on then record t ~lane { Event.ts; proc; tid; kind }
+
+let recorded t = Array.fold_left (fun acc l -> acc + l.written) 0 t.lanes
+
+let dropped t = Array.fold_left (fun acc l -> acc + max 0 (l.written - t.capacity)) 0 t.lanes
+
+let events t =
+  let all = ref [] in
+  Array.iteri
+    (fun li l ->
+      let live = min l.written t.capacity in
+      for i = 0 to live - 1 do
+        let e = l.ring.(i) in
+        (* a torn slot (overwritten mid-read) can at worst surface the
+           sentinel; drop it rather than report a fake event *)
+        if e.Event.ts >= 0 then all := (e.Event.ts, li, l.arrivals.(i), e) :: !all
+      done)
+    t.lanes;
+  !all
+  |> List.sort (fun (ts1, l1, a1, _) (ts2, l2, a2, _) -> compare (ts1, l1, a1) (ts2, l2, a2))
+  |> List.map (fun (_, _, _, e) -> e)
+
+let to_json ~reason t =
+  Json.Assoc
+    [
+      ( "flight",
+        Json.Assoc
+          [
+            ("reason", Json.String reason);
+            ("lanes", Json.Int (Array.length t.lanes));
+            ("capacity", Json.Int t.capacity);
+            ("recorded", Json.Int (recorded t));
+            ("dropped", Json.Int (dropped t));
+            ("events", Json.List (List.map Event.to_json (events t)));
+          ] );
+    ]
+
+let write_file ~path ~reason t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc (to_json ~reason t);
+      output_char oc '\n')

@@ -1,0 +1,48 @@
+(** Always-on flight recorder: per-lane bounded rings of recent typed
+    events ({!Dfd_trace.Event.t}), dumped as a JSON artifact when
+    something dies — [Engine.Deadlock], [Pool.Timeout], a watchdog kill,
+    [Service.Supervisor_giveup] — so the last moments of a wedged run are
+    recoverable without having enabled full tracing.
+
+    Each lane is single-writer (one per worker domain or simulated
+    processor); recording overwrites the oldest entry once the ring is
+    full, tracking how many were dropped.  Readers merge lanes sorted by
+    [(ts, lane, arrival)], which is exact under the simulator's logical
+    clock and best-effort under wall-clock timestamps.  Dumping is
+    lock-free and tolerant of concurrent writers: forensics may tear a
+    lane's oldest entries but must never crash or block the crash path. *)
+
+type t
+
+val create : ?capacity:int -> lanes:int -> unit -> t
+(** [capacity] (default 256) is per lane.  [lanes] must be positive. *)
+
+val disabled : t
+(** Shared no-op recorder: {!record} is one load-and-branch. *)
+
+val enabled : t -> bool
+
+val record : t -> lane:int -> Dfd_trace.Event.t -> unit
+(** Out-of-range lanes clamp into the lane array (never raises). *)
+
+val recordk : t -> lane:int -> ts:int -> proc:int -> tid:int -> Dfd_trace.Event.kind -> unit
+(** Convenience wrapper building the event in place; when [t] is disabled
+    nothing is allocated — call sites still guard with {!enabled} if
+    computing the payload is itself costly. *)
+
+val recorded : t -> int
+(** Total events ever recorded (including ones since overwritten). *)
+
+val dropped : t -> int
+(** Events lost to ring overwrite. *)
+
+val events : t -> Dfd_trace.Event.t list
+(** Surviving events, merged across lanes in [(ts, lane, arrival)]
+    order. *)
+
+val to_json : reason:string -> t -> Dfd_trace.Json.t
+(** [{"flight": {"reason","lanes","capacity","recorded","dropped",
+    "events":[...]}}] with events in {!events} order and
+    {!Dfd_trace.Event.to_json} encoding. *)
+
+val write_file : path:string -> reason:string -> t -> unit

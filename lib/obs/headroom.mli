@@ -1,0 +1,82 @@
+(** Live Theorem-4.4 space-headroom profiler.
+
+    The paper's headline space claim — DFDeques(K) keeps live space within
+    [S1 + O(min(K, S1) * p * D)] — is checked offline by the test oracles;
+    this module turns it into gauges an operator (and the adaptive-K
+    controller) can watch while a run is in flight:
+
+    - [dfd_space_live_bytes{policy=...}] — current live heap bytes;
+    - [dfd_space_peak_bytes{...}] — its high watermark;
+    - [dfd_space_budget_bytes{...}] — [S1 + c * min(K, S1) * p * D], the
+      bound instantiated exactly as [Dfd_check.Oracle.thm44] computes it
+      (same constant [c], default 8), recomputed whenever the adaptive
+      controller moves K;
+    - [dfd_space_headroom_ratio{...}] — [(budget - peak) / budget];
+    - [dfd_space_premature_nodes{...}] and a log2 histogram
+      [dfd_space_premature_depth{...}] of the fork depths at which heavy
+      premature nodes (Lemma 4.2) were stolen — the term the bound's
+      [p * D] factor is made of;
+    - [dfd_space_alloc_rate_bytes{...}] — allocation pressure per control
+      interval, maintained by {!take_pressure}; the service's
+      [Quota_ctl] reads this gauge instead of re-deriving deltas from raw
+      pool counters, so degradation and observability share one source of
+      truth.
+
+    [s1] and [depth] come from [Analysis.analyze] when the program is
+    known (the simulator path, where the acceptance check against
+    [Oracle.thm44] is exact) and from configuration estimates on the
+    service path, where the true dag is unknown until executed. *)
+
+type t
+
+val create :
+  registry:Registry.t ->
+  policy:string ->
+  ?c:int ->
+  ?s1:int ->
+  ?depth:int ->
+  p:int ->
+  k:int ->
+  unit ->
+  t
+(** Registers the gauge family labeled [policy="..."] into [registry]
+    (upsert: a respawned owner re-binds the same series).  [c] defaults
+    to 8, matching [Oracle.thm44]; [s1] and [depth] default to 0, which
+    degrades the budget to the [S1] term alone. *)
+
+val budget : t -> int
+(** [s1 + c * min k s1 * p * depth] for the current [k]. *)
+
+val set_quota : t -> int -> unit
+(** The adaptive controller moved K: recompute and republish the
+    budget. *)
+
+val observe : t -> live_bytes:int -> unit
+(** Update the live gauge (and through it the peak watermark). *)
+
+val live : t -> int
+
+val peak : t -> int
+
+val headroom_ratio : t -> float
+(** [(budget - peak) / budget]; 1.0 while nothing has been observed, 0.0
+    when the budget is degenerate (0) and anything was observed. *)
+
+val note_premature : t -> depth:int -> unit
+(** One heavy premature node stolen at fork depth [depth]. *)
+
+val set_premature : t -> int -> unit
+(** Absolute premature count (for owners that already aggregate, like the
+    engine's {!Dfd_machine.Metrics}). *)
+
+val premature : t -> int
+
+val take_pressure : t -> cumulative_alloc:int -> int
+(** Pressure = non-negative delta of [cumulative_alloc] since the last
+    call (first call measures from 0); publishes it on the alloc-rate
+    gauge and returns it.  This is the exact quantity the service's
+    quota tick historically computed inline from [Pool.counters]. *)
+
+val reset_pressure : t -> unit
+(** Reset the {!take_pressure} baseline to 0 — called when the counter
+    source restarts (a fresh pool incarnation after a wedge). *)

@@ -1,0 +1,74 @@
+(* OpenMetrics v1 text renderer.  Deterministic: integer samples print as
+   decimal ints, float samples through one fixed %.12g format. *)
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f else Printf.sprintf "%.12g" f
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let type_name (v : Registry.value) =
+  match v with
+  | Registry.Counter_v _ -> "counter"
+  | Registry.Gauge_v _ | Registry.Float_v _ -> "gauge"
+  | Registry.Hist_v _ -> "histogram"
+
+(* [suffixed "fam" (Some "k=\"v\"") "_bucket" (Some "le=\"1\"")] =
+   [fam_bucket{k="v",le="1"}] — label plumbing shared by every series. *)
+let suffixed base labels suffix extra =
+  let labels =
+    match (labels, extra) with
+    | None, None -> ""
+    | Some l, None -> "{" ^ l ^ "}"
+    | None, Some e -> "{" ^ e ^ "}"
+    | Some l, Some e -> "{" ^ l ^ "," ^ e ^ "}"
+  in
+  base ^ suffix ^ labels
+
+let render_sample b (s : Registry.sample) =
+  let base, labels = Registry.split_labeled s.Registry.name in
+  match s.Registry.value with
+  | Registry.Counter_v n | Registry.Gauge_v n ->
+    Buffer.add_string b (Printf.sprintf "%s %d\n" (suffixed base labels "" None) n)
+  | Registry.Float_v f -> Buffer.add_string b (Printf.sprintf "%s %s\n" (suffixed base labels "" None) (fmt_float f))
+  | Registry.Hist_v h ->
+    let cum = ref 0 in
+    List.iter
+      (fun (ub, c) ->
+        cum := !cum + c;
+        Buffer.add_string b
+          (Printf.sprintf "%s %d\n"
+             (suffixed base labels "_bucket" (Some (Printf.sprintf "le=%S" (fmt_float ub))))
+             !cum))
+      h.Registry.h_buckets;
+    Buffer.add_string b
+      (Printf.sprintf "%s %d\n" (suffixed base labels "_bucket" (Some "le=\"+Inf\"")) h.Registry.h_count);
+    Buffer.add_string b (Printf.sprintf "%s %d\n" (suffixed base labels "_count" None) h.Registry.h_count);
+    Buffer.add_string b (Printf.sprintf "%s %s\n" (suffixed base labels "_sum" None) (fmt_float h.Registry.h_sum))
+
+let render samples =
+  let b = Buffer.create 4096 in
+  let last_family = ref "" in
+  List.iter
+    (fun (s : Registry.sample) ->
+      let base, _ = Registry.split_labeled s.Registry.name in
+      if base <> !last_family then begin
+        last_family := base;
+        if s.Registry.help <> "" then
+          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" base (escape_help s.Registry.help));
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" base (type_name s.Registry.value))
+      end;
+      render_sample b s)
+    samples;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let write_channel oc samples = output_string oc (render samples)

@@ -1,0 +1,17 @@
+(** OpenMetrics v1 text exposition over {!Registry} snapshots.
+
+    One metric family per distinct base name (label sets share the
+    family's [# TYPE] / [# HELP] header); histogram samples expand to the
+    cumulative [_bucket{le="..."}] series plus [_count] / [_sum]; output
+    ends with the mandatory [# EOF] terminator.  Rendering is a pure
+    function of the snapshot, so two snapshots of identical state produce
+    byte-identical text — the property the CI metrics job [cmp]s.
+
+    The renderer keeps registered names verbatim (a counter registered as
+    [foo_total] renders sample lines [foo_total], not [foo_total_total]);
+    [test/validate_metrics.ml] and the round-trip parser in [test/om_util]
+    define the accepted grammar. *)
+
+val render : Registry.sample list -> string
+
+val write_channel : out_channel -> Registry.sample list -> unit

@@ -6,6 +6,8 @@ module Schedpoint = Dfd_structures.Schedpoint
 module Tracer = Dfd_trace.Tracer
 module Event = Dfd_trace.Event
 module Fault = Dfd_fault.Fault
+module Registry = Dfd_obs.Registry
+module Flight = Dfd_obs.Flight
 
 exception Not_in_pool
 
@@ -40,6 +42,7 @@ type counters = {
   tasks_run : int;
   task_exns : int;
   alloc_bytes : int;
+  parks : int;
 }
 
 (* One record per worker, written only by that worker (thief-side events —
@@ -55,6 +58,27 @@ type wcounters = {
   mutable c_tasks_run : int;
   mutable c_task_exns : int;
   mutable c_alloc_bytes : int;
+  mutable c_parks : int;
+}
+
+(* Live-telemetry instruments (lib/obs).  With the default disabled
+   registry each of these is the shared no-op instrument: updating one is
+   a single immutable load and branch, which the obs-overhead pair in
+   bench/pool_scale.exe keeps honest.  With a real registry the pool's
+   hot-path events additionally land in sharded atomic cells that stay
+   queryable while the pool runs (and survive across the per-worker
+   records of respawned pool incarnations, since registration upserts). *)
+type obs = {
+  o_steals : Registry.Counter.t;
+  o_steal_failures : Registry.Counter.t;
+  o_local_pops : Registry.Counter.t;
+  o_quota_giveups : Registry.Counter.t;
+  o_tasks_run : Registry.Counter.t;
+  o_task_exns : Registry.Counter.t;
+  o_alloc_bytes : Registry.Counter.t;
+  o_parks : Registry.Counter.t;
+  o_deques_created : Registry.Counter.t;
+  o_deques_deleted : Registry.Counter.t;
 }
 
 type t = {
@@ -101,6 +125,10 @@ type t = {
       (** serialises tracer emits now that hot paths take no global lock;
           only ever taken when the tracer is enabled. *)
   fault : Fault.t;  (** fault-injection plan; {!Fault.none} by default. *)
+  obs : obs;  (** registry instruments; no-ops under {!Registry.disabled}. *)
+  flight : Flight.t;
+      (** always-on crash-forensics ring ({!Flight.disabled} by default);
+          only rare events are recorded, so the hot path stays clean. *)
   t0 : float;  (** pool creation wall clock; event stamps are µs since. *)
   next_did : int Atomic.t;
   last_active_us : int array;
@@ -165,6 +193,14 @@ let emit_locked pool ~proc kind =
   Tracer.emit pool.tracer ~ts:(now_us pool) ~proc ~tid:(-1) kind;
   Mutex.unlock pool.trace_lock
 
+(* Flight-recorder lane write: per-worker single-writer ring, so no lock;
+   the clock is only read when the recorder is live, mirroring the tracer
+   discipline.  Only rare events go through here (steal successes, quota
+   giveups, deque lifecycle, faults, task exceptions, parks). *)
+let flight_emit pool ~proc kind =
+  if Flight.enabled pool.flight then
+    Flight.recordk pool.flight ~lane:proc ~ts:(now_us pool) ~proc ~tid:(-1) kind
+
 let trace_steal_attempt pool w ~victim =
   if Tracer.enabled pool.tracer then emit_locked pool ~proc:w (Event.Steal_attempt { victim })
 
@@ -187,6 +223,7 @@ let trace_dq_removed pool ~proc d =
 let note_task_start pool w =
   let c = pool.per_worker.(w) in
   c.c_tasks_run <- c.c_tasks_run + 1;
+  Registry.Counter.incr pool.obs.o_tasks_run;
   if Tracer.enabled pool.tracer then begin
     Mutex.lock pool.trace_lock;
     let ts = now_us pool in
@@ -198,6 +235,8 @@ let note_task_start pool w =
 let note_steal_success pool w ~victim =
   let c = pool.per_worker.(w) in
   c.c_steals <- c.c_steals + 1;
+  Registry.Counter.incr pool.obs.o_steals;
+  flight_emit pool ~proc:w (Event.Steal_success { victim; latency = 0 });
   if Tracer.enabled pool.tracer then begin
     Mutex.lock pool.trace_lock;
     let ts = now_us pool in
@@ -208,7 +247,8 @@ let note_steal_success pool w ~victim =
 
 let note_steal_failure pool w =
   let c = pool.per_worker.(w) in
-  c.c_steal_failures <- c.c_steal_failures + 1
+  c.c_steal_failures <- c.c_steal_failures + 1;
+  Registry.Counter.incr pool.obs.o_steal_failures
 
 (* Injected steal failure (chaos testing): charge a failed attempt without
    touching any deque. *)
@@ -216,6 +256,7 @@ let injected_steal_failure pool w =
   let fail = Fault.steal_fails pool.fault in
   if fail then begin
     note_steal_failure pool w;
+    flight_emit pool ~proc:w (Event.Fault_injected { fault = "steal_fail" });
     if Tracer.enabled pool.tracer then
       emit_locked pool ~proc:w (Event.Fault_injected { fault = "steal_fail" })
   end;
@@ -238,7 +279,10 @@ let signal_work pool =
     Mutex.unlock pool.idle_lock
   end
 
-let park pool =
+let park pool w =
+  let c = pool.per_worker.(w) in
+  c.c_parks <- c.c_parks + 1;
+  Registry.Counter.incr pool.obs.o_parks;
   Mutex.lock pool.idle_lock;
   Atomic.incr pool.n_parked;
   while Atomic.get pool.live_tasks = 0 && not (Atomic.get pool.shutting_down) do
@@ -264,6 +308,8 @@ let new_dq pool ~proc ~owner =
       born_us;
     }
   in
+  Registry.Counter.incr pool.obs.o_deques_created;
+  flight_emit pool ~proc (Event.Deque_created { did = d.did });
   if Tracer.enabled pool.tracer then
     emit_locked pool ~proc (Event.Deque_created { did = d.did });
   d
@@ -292,6 +338,8 @@ let remove_if_dead pool ~proc d =
     if dead then begin
       Dll.remove pool.r node;
       d.node <- None;
+      Registry.Counter.incr pool.obs.o_deques_deleted;
+      flight_emit pool ~proc (Event.Deque_deleted { did = d.did; residency = 0 });
       trace_dq_removed pool ~proc d;
       true
     end
@@ -405,6 +453,7 @@ let try_get pool w =
       | Some t ->
         let c = pool.per_worker.(w) in
         c.c_local_pops <- c.c_local_pops + 1;
+        Registry.Counter.incr pool.obs.o_local_pops;
         Some t
       | None ->
         if injected_steal_failure pool w then None
@@ -430,6 +479,11 @@ let try_get pool w =
         (* memory quota exhausted: abandon the deque and steal *)
         let c = pool.per_worker.(w) in
         c.c_quota_giveups <- c.c_quota_giveups + 1;
+        Registry.Counter.incr pool.obs.o_quota_giveups;
+        (if Flight.enabled pool.flight then
+           let quota = Atomic.get pool.dfd_quota in
+           flight_emit pool ~proc:w
+             (Event.Quota_exhausted { used = quota - pool.quota_left.(w); quota }));
         if Tracer.enabled pool.tracer then begin
           let quota = Atomic.get pool.dfd_quota in
           emit_locked pool ~proc:w
@@ -467,7 +521,9 @@ let help_once pool w =
     (try run_task t
      with _ ->
        let c = pool.per_worker.(w) in
-       c.c_task_exns <- c.c_task_exns + 1);
+       c.c_task_exns <- c.c_task_exns + 1;
+       Registry.Counter.incr pool.obs.o_task_exns;
+       flight_emit pool ~proc:w (Event.Fault_injected { fault = "task_exn" }));
     true
   | None -> false
 
@@ -525,6 +581,8 @@ let fulfill pool pr f =
       let w = match self () with Some (w, _) -> w | None -> 0 in
       let c = pool.per_worker.(w) in
       c.c_task_exns <- c.c_task_exns + 1;
+      Registry.Counter.incr pool.obs.o_task_exns;
+      flight_emit pool ~proc:w (Event.Fault_injected { fault = "task_exn" });
       Failed e
   in
   Schedpoint.point Schedpoint.pool_fulfill;
@@ -566,7 +624,7 @@ let worker_loop pool w =
           (* nothing queued anywhere: bounded spin, then park until a
              push signals — no thundering herd, one signal wakes one *)
           if !misses >= park_threshold then begin
-            park pool;
+            park pool w;
             misses := 0
           end
           else backoff_wait pool.rngs.(w) !misses
@@ -580,7 +638,35 @@ let worker_loop pool w =
   in
   loop ()
 
-let make ~n_workers ~tracer ~fault policy =
+(* Register the pool's write-side instruments (hot-path counters) and
+   read-side probes (gauges over state the pool already maintains).
+   Registration upserts, so a respawned incarnation keeps appending to
+   the same series; the probes are re-pointed at the fresh pool. *)
+let make_obs registry =
+  let c name help = Registry.counter registry ~help name in
+  {
+    o_steals = c "dfd_pool_steals_total" "Successful steals (all disciplines).";
+    o_steal_failures = c "dfd_pool_steal_failures_total" "Steal attempts that found nothing (real or injected).";
+    o_local_pops = c "dfd_pool_local_pops_total" "Tasks taken from the worker's own deque.";
+    o_quota_giveups = c "dfd_pool_quota_giveups_total" "Deques abandoned on memory-quota exhaustion.";
+    o_tasks_run = c "dfd_pool_tasks_total" "Tasks executed (all paths, including inline).";
+    o_task_exns = c "dfd_pool_task_exns_total" "Tasks that raised (user, injected, or cancellation).";
+    o_alloc_bytes = c "dfd_pool_alloc_bytes_total" "Bytes reported via Pool.alloc_hint.";
+    o_parks = c "dfd_pool_parks_total" "Times an idle worker parked on the condition variable.";
+    o_deques_created = c "dfd_pool_deques_created_total" "Deques created (DFDeques R-list churn).";
+    o_deques_deleted = c "dfd_pool_deques_deleted_total" "Deques reaped from R (DFDeques R-list churn).";
+  }
+
+let register_probes registry pool =
+  let g name help f = Registry.probe registry ~kind:`Gauge ~help name f in
+  g "dfd_pool_live_tasks" "Tasks pushed but not yet taken." (fun () -> Atomic.get pool.live_tasks);
+  g "dfd_pool_parked_workers" "Workers currently parked on the idle condition." (fun () ->
+      Atomic.get pool.n_parked);
+  g "dfd_pool_workers" "Worker slots (domains + caller)." (fun () -> pool.n_workers);
+  g "dfd_pool_quota_bytes" "Current DFDeques memory threshold K (max_int under WS)." (fun () ->
+      Atomic.get pool.dfd_quota)
+
+let make ?(registry = Registry.disabled) ?(flight = Flight.disabled) ~n_workers ~tracer ~fault policy =
     {
       policy;
       n_workers;
@@ -606,6 +692,7 @@ let make ~n_workers ~tracer ~fault policy =
               c_tasks_run = 0;
               c_task_exns = 0;
               c_alloc_bytes = 0;
+              c_parks = 0;
             });
       idle_lock = Mutex.create ();
       idle_cond = Condition.create ();
@@ -616,6 +703,8 @@ let make ~n_workers ~tracer ~fault policy =
       tracer;
       trace_lock = Mutex.create ();
       fault;
+      obs = make_obs registry;
+      flight;
       t0 = Unix.gettimeofday ();
       next_did = Atomic.make n_workers;
       last_active_us = Array.make n_workers 0;
@@ -623,13 +712,18 @@ let make ~n_workers ~tracer ~fault policy =
       cancelled = Atomic.make false;
     }
 
-let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) policy =
+let make ?registry ?flight ~n_workers ~tracer ~fault policy =
+  let pool = make ?registry ?flight ~n_workers ~tracer ~fault policy in
+  (match registry with Some r -> register_probes r pool | None -> ());
+  pool
+
+let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) ?registry ?flight policy =
   let extra =
     match domains with
     | Some d -> max 0 d
     | None -> max 0 (Domain.recommended_domain_count () - 1)
   in
-  let pool = make ~n_workers:(extra + 1) ~tracer ~fault policy in
+  let pool = make ?registry ?flight ~n_workers:(extra + 1) ~tracer ~fault policy in
   pool.domains <- List.init extra (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
 
@@ -719,6 +813,7 @@ let alloc_hint n =
   | Some (w, pool) -> (
       let c = pool.per_worker.(w) in
       c.c_alloc_bytes <- c.c_alloc_bytes + n;
+      Registry.Counter.add pool.obs.o_alloc_bytes (max 0 n);
       match pool.policy with
       | Dfdeques _ ->
         (* owner-only slot: no lock needed *)
@@ -751,6 +846,7 @@ let counters pool =
          tasks_run = acc.tasks_run + c.c_tasks_run;
          task_exns = acc.task_exns + c.c_task_exns;
          alloc_bytes = acc.alloc_bytes + c.c_alloc_bytes;
+         parks = acc.parks + c.c_parks;
        })
     {
       steals = 0;
@@ -760,23 +856,33 @@ let counters pool =
       tasks_run = 0;
       task_exns = 0;
       alloc_bytes = 0;
+      parks = 0;
     }
     pool.per_worker
 
 let heartbeat pool =
   Array.fold_left (fun acc c -> acc + c.c_tasks_run) 0 pool.per_worker
 
-let stats pool =
+(* The registry snapshot type is the one flattening of the counters
+   record; [stats] (the legacy alist) and the service's counter
+   passthrough both derive from it instead of hand-rolling their own. *)
+let metrics_samples pool =
   let c = counters pool in
+  let s name value = { Registry.name; help = ""; stable = false; value = Registry.Counter_v value } in
   [
-    ("steals", c.steals);
-    ("steal_failures", c.steal_failures);
-    ("local_pops", c.local_pops);
-    ("quota_giveups", c.quota_giveups);
-    ("tasks_run", c.tasks_run);
-    ("task_exns", c.task_exns);
-    ("alloc_bytes", c.alloc_bytes);
+    s "steals" c.steals;
+    s "steal_failures" c.steal_failures;
+    s "local_pops" c.local_pops;
+    s "quota_giveups" c.quota_giveups;
+    s "tasks_run" c.tasks_run;
+    s "task_exns" c.task_exns;
+    s "alloc_bytes" c.alloc_bytes;
+    s "parks" c.parks;
   ]
+
+let stats pool = Registry.Snapshot.to_alist (metrics_samples pool)
+
+let flight pool = pool.flight
 
 (* Human-readable diagnostic dump for hang post-mortems: every counter,
    the live-task and cancellation state, and each deque's occupancy.

@@ -62,7 +62,13 @@ exception Cancelled
     {!fork_join}; [run] translates it to {!Timeout} at the boundary. *)
 
 val create :
-  ?domains:int -> ?tracer:Dfd_trace.Tracer.t -> ?fault:Dfd_fault.Fault.t -> policy -> t
+  ?domains:int ->
+  ?tracer:Dfd_trace.Tracer.t ->
+  ?fault:Dfd_fault.Fault.t ->
+  ?registry:Dfd_obs.Registry.t ->
+  ?flight:Dfd_obs.Flight.t ->
+  policy ->
+  t
 (** [create ~domains policy] starts a pool with [domains] extra worker
     domains (default: [Domain.recommended_domain_count () - 1]).  The
     caller participates as a worker while inside {!run}.
@@ -80,7 +86,25 @@ val create :
     plan for chaos testing.  The pool consults it at every steal attempt
     (forced failures, counted and traced as [Fault_injected]) and at every
     fork (injected task exceptions, which propagate to the joining parent
-    exactly like user exceptions). *)
+    exactly like user exceptions).
+
+    [registry] (default {!Dfd_obs.Registry.disabled}): live-telemetry
+    plane.  When enabled, the pool's hot-path events (steals and
+    failures, local pops, quota giveups, tasks, task exceptions, parks,
+    deque churn, [alloc_hint] bytes) additionally land in the registry's
+    sharded [dfd_pool_*] counters, and gauges over live state
+    (live tasks, parked workers, current K) are published as probes —
+    queryable while the pool runs.  With the default disabled registry
+    each instrument update is a single load-and-branch (measured by the
+    obs-overhead pair in [bench/pool_scale.exe]).  Registration upserts,
+    so pool incarnations respawned by a supervisor keep accumulating into
+    the same series.
+
+    [flight] (default {!Dfd_obs.Flight.disabled}): always-on crash
+    forensics.  Rare events (steal successes, quota giveups, deque
+    lifecycle, injected faults, task exceptions) are recorded into
+    per-worker bounded rings that a supervisor dumps on [Timeout],
+    watchdog kill or give-up — without enabling full tracing. *)
 
 val run : ?timeout:float -> t -> (unit -> 'a) -> 'a
 (** Execute a task (and all the parallel work it forks) to completion on
@@ -146,6 +170,7 @@ type counters = {
   tasks_run : int;  (** tasks executed (all paths, including inline) *)
   task_exns : int;  (** tasks that raised (user, injected, or cancellation) *)
   alloc_bytes : int;  (** total bytes reported via {!alloc_hint} (both policies) *)
+  parks : int;  (** times an idle worker parked on the condition variable *)
 }
 
 val counters : t -> counters
@@ -162,8 +187,19 @@ val heartbeat : t -> int
     periodically) — the pool never stamps wall-clock time on the hot path
     for liveness purposes. *)
 
+val metrics_samples : t -> Dfd_obs.Registry.sample list
+(** {!counters} as registry snapshot samples (unlabelled names, marked
+    unstable since native counters race) — the single flattening that
+    {!stats} and the service's counter passthrough both derive from. *)
+
 val stats : t -> (string * int) list
-(** {!counters} flattened to association-list form for quick printing. *)
+(** {!counters} flattened to association-list form for quick printing
+    ([Dfd_obs.Registry.Snapshot.to_alist] over {!metrics_samples}). *)
+
+val flight : t -> Dfd_obs.Flight.t
+(** The flight recorder passed at {!create}
+    ({!Dfd_obs.Flight.disabled} if none) — supervisors dump it on
+    wedge/timeout post-mortems. *)
 
 val snapshot : t -> string
 (** Human-readable diagnostic dump: policy, counters, live-task and

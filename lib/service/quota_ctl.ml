@@ -76,6 +76,9 @@ let observe t ~now ~pressure =
     Steady
   end
 
+let observe_headroom t ~now hr ~cumulative_alloc =
+  observe t ~now ~pressure:(Dfd_obs.Headroom.take_pressure hr ~cumulative_alloc)
+
 let quota t = t.k
 
 let ewma t = t.ewma

@@ -54,6 +54,15 @@ val observe : t -> now:int -> pressure:int -> action
 (** Feed one control interval's allocation pressure (bytes) at logical
     time [now]; returns the K adjustment to apply, if any. *)
 
+val observe_headroom : t -> now:int -> Dfd_obs.Headroom.t -> cumulative_alloc:int -> action
+(** Like {!observe}, but the pressure is taken {e through the headroom
+    profiler's alloc-rate gauge}
+    ({!Dfd_obs.Headroom.take_pressure} on [cumulative_alloc], the pool's
+    monotone [alloc_bytes] counter): the controller and the telemetry
+    plane see one number from one source instead of each re-deriving
+    deltas.  Numerically identical to the historical inline
+    [alloc_bytes] delta, so seeded trajectories are unchanged. *)
+
 val quota : t -> int
 (** The controller's current K. *)
 

@@ -1,6 +1,10 @@
 module Pool = Dfd_runtime.Pool
 module Tracer = Dfd_trace.Tracer
 module Event = Dfd_trace.Event
+module Registry = Dfd_obs.Registry
+module Openmetrics = Dfd_obs.Openmetrics
+module Flight = Dfd_obs.Flight
+module Headroom = Dfd_obs.Headroom
 
 type reject_reason = Queue_full | Breaker_open of string | Memory_pressure
 
@@ -72,6 +76,7 @@ type cell =
 
 type epoch = {
   pool : Pool.t;
+  flight : Flight.t;  (** this incarnation's crash-forensics ring. *)
   cell : cell Atomic.t;
   retired : bool Atomic.t;
   mutable exec : unit Domain.t option;
@@ -142,6 +147,11 @@ type t = {
   cfg : config;
   policy : Pool.policy;
   tracer : Tracer.t;
+  registry : Registry.t;  (** live telemetry; shared with every pool incarnation. *)
+  headroom : Headroom.t;
+      (** Theorem-4.4 gauges over the service's pool; also owns the
+          pressure baseline {!Quota_ctl.observe_headroom} consumes. *)
+  flight_dir : string option;  (** where wedge/timeout/give-up dumps land. *)
   mutable epoch : epoch;
   mutable retired_epochs : epoch list;
   mutable clock : int;
@@ -149,7 +159,6 @@ type t = {
   mutable pending : (int * job) list;  (** retries waiting for their due step. *)
   breakers : (string, Breaker.t) Hashtbl.t;
   qctl : Quota_ctl.t option;
-  mutable last_alloc_bytes : int;  (** pressure baseline for the current pool. *)
   slots : (int, ledger_slot) Hashtbl.t;
   mutable next_id : int;
   (* counters *)
@@ -175,40 +184,95 @@ let effective_policy ~policy ~qctl =
   | Pool.Dfdeques _, Some qc -> Pool.Dfdeques { quota = Quota_ctl.quota qc }
   | p, _ -> p
 
-let spawn_raw_epoch ~domains ~policy ~qctl =
-  let pool = Pool.create ~domains:(max 0 domains) (effective_policy ~policy ~qctl) in
-  let ep = { pool; cell = Atomic.make Idle; retired = Atomic.make false; exec = None } in
+let spawn_raw_epoch ~domains ~policy ~qctl ~registry =
+  let domains = max 0 domains in
+  (* each incarnation gets a fresh flight ring (forensics belong to one
+     pool's lifetime) but shares the registry, whose upsert registration
+     keeps the dfd_pool_* series continuous across respawns *)
+  let flight = Flight.create ~lanes:(domains + 1) () in
+  let pool = Pool.create ~domains ~registry ~flight (effective_policy ~policy ~qctl) in
+  let ep = { pool; flight; cell = Atomic.make Idle; retired = Atomic.make false; exec = None } in
   ep.exec <- Some (Domain.spawn (fun () -> executor_loop ep));
   ep
 
 let spawn_epoch t =
-  let ep = spawn_raw_epoch ~domains:t.cfg.domains ~policy:t.policy ~qctl:t.qctl in
-  t.last_alloc_bytes <- 0;
+  let ep = spawn_raw_epoch ~domains:t.cfg.domains ~policy:t.policy ~qctl:t.qctl ~registry:t.registry in
+  (* the fresh pool's alloc counter restarts at 0 *)
+  Headroom.reset_pressure t.headroom;
   ep
 
-let create ?(tracer = Tracer.disabled) ?(config = default_config) policy =
+(* The service's own supervision counters exposed as stable probes: they
+   are pure functions of (seed, submission order), so they may appear in
+   byte-deterministic reports — unlike the dfd_pool_* instruments the
+   shared registry also carries, which race with running domains and are
+   therefore registered unstable. *)
+let register_service_probes t =
+  let r = t.registry in
+  let c name help f = Registry.probe r ~stable:true ~kind:`Counter ~help name f in
+  let g name help f = Registry.probe r ~stable:true ~kind:`Gauge ~help name f in
+  c "dfd_service_accepted_total" "Submissions admitted to the queue." (fun () -> t.c_accepted);
+  c "dfd_service_rejected_total{reason=\"queue_full\"}" "Submissions shed, by reason." (fun () ->
+      t.c_rej_queue);
+  c "dfd_service_rejected_total{reason=\"breaker_open\"}" "" (fun () -> t.c_rej_breaker);
+  c "dfd_service_rejected_total{reason=\"memory_pressure\"}" "" (fun () -> t.c_rej_memory);
+  c "dfd_service_completions_total" "Jobs acknowledged Completed." (fun () -> t.c_completions);
+  c "dfd_service_failures_total" "Jobs acknowledged Failed (retry budget exhausted)." (fun () ->
+      t.c_failures);
+  c "dfd_service_retries_total" "Re-attempts scheduled with backoff." (fun () -> t.c_retries);
+  c "dfd_service_timeouts_total" "Attempts that hit their deadline." (fun () -> t.c_timeouts);
+  c "dfd_service_wedges_total" "Pool incarnations declared wedged." (fun () -> t.c_wedges);
+  c "dfd_service_respawns_total" "Fresh pool incarnations after a wedge." (fun () -> t.c_respawns);
+  c "dfd_service_duplicate_acks_total" "Terminal acks refused (0 in a correct run)." (fun () ->
+      t.c_dup_acks);
+  c "dfd_service_breaker_transitions_total" "Circuit-breaker state changes across classes."
+    (fun () ->
+      Hashtbl.fold (fun _ b acc -> acc + List.length (Breaker.transitions b)) t.breakers 0);
+  g "dfd_service_queue_depth" "Jobs queued, not yet dispatched." (fun () -> List.length t.queue);
+  g "dfd_service_pending_retries" "Retries waiting for their due step." (fun () ->
+      List.length t.pending);
+  g "dfd_service_clock" "The driver's logical clock (steps)." (fun () -> t.clock);
+  g "dfd_service_quota_bytes" "Current memory threshold K (0 under Work_stealing)." (fun () ->
+      match t.qctl with
+      | Some qc -> Quota_ctl.quota qc
+      | None -> ( match Pool.quota t.epoch.pool with Some k -> k | None -> 0))
+
+let create ?(tracer = Tracer.disabled) ?registry ?flight_dir ?headroom_s1 ?headroom_depth
+    ?(config = default_config) policy =
   if config.queue_capacity < 1 then invalid_arg "Service: queue_capacity must be >= 1";
   if config.wedge_grace <= 0.0 then invalid_arg "Service: wedge_grace must be positive";
   if config.max_respawns < 0 then invalid_arg "Service: max_respawns must be >= 0";
   Retry.validate config.retry;
+  let registry = match registry with Some r -> r | None -> Registry.create () in
   let qctl =
     match (policy, config.quota_ctl) with
     | Pool.Dfdeques _, Some qcfg -> Some (Quota_ctl.create qcfg)
     | _ -> None
+  in
+  let k0 =
+    match (qctl, policy) with
+    | Some qc, _ -> Quota_ctl.quota qc
+    | None, Pool.Dfdeques { quota } -> quota
+    | None, Pool.Work_stealing -> 0
+  in
+  let headroom =
+    Headroom.create ~registry ~policy:"service" ?s1:headroom_s1 ?depth:headroom_depth
+      ~p:(max 0 config.domains + 1) ~k:k0 ()
   in
   let t =
     {
       cfg = config;
       policy;
       tracer;
-      epoch = spawn_raw_epoch ~domains:config.domains ~policy ~qctl;
+      registry;
+      headroom;
+      flight_dir;
+      epoch = spawn_raw_epoch ~domains:config.domains ~policy ~qctl ~registry;
       retired_epochs = [];
       clock = 0;
       queue = [];
       pending = [];
       breakers = Hashtbl.create 8;
       qctl;
-      last_alloc_bytes = 0;
       slots = Hashtbl.create 64;
       next_id = 0;
       c_accepted = 0;
@@ -224,7 +288,18 @@ let create ?(tracer = Tracer.disabled) ?(config = default_config) policy =
       c_dup_acks = 0;
     }
   in
+  register_service_probes t;
   t
+
+(* Crash forensics: serialise the current incarnation's flight ring to
+   [flight_dir].  Best-effort by design — a dump failure must never mask
+   the wedge/timeout it is trying to explain. *)
+let flight_dump t ~reason =
+  match t.flight_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (Printf.sprintf "flight_%s_step%05d.json" reason t.clock) in
+    (try Flight.write_file ~path ~reason t.epoch.flight with Sys_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Ledger bookkeeping                                                  *)
@@ -334,11 +409,14 @@ let await_result t (job : job) =
 
 let respawn t ~in_flight =
   t.c_wedges <- t.c_wedges + 1;
-  if t.c_respawns >= t.cfg.max_respawns then
+  if t.c_respawns >= t.cfg.max_respawns then begin
+    flight_dump t ~reason:"giveup";
     raise
       (Supervisor_giveup
          (Printf.sprintf "pool wedged %d times (max_respawns %d); last snapshot:\n%s"
-            t.c_wedges t.cfg.max_respawns (Pool.snapshot t.epoch.pool)));
+            t.c_wedges t.cfg.max_respawns (Pool.snapshot t.epoch.pool)))
+  end;
+  flight_dump t ~reason:"wedge";
   t.c_respawns <- t.c_respawns + 1;
   let old = t.epoch in
   Atomic.set old.retired true;
@@ -373,6 +451,7 @@ let run_one t (job : job) =
     Breaker.record_success (breaker_for t job.class_) ~now:t.clock;
     ack t s Completed
   | Some R_timeout ->
+    flight_dump t ~reason:"timeout";
     t.c_timeouts <- t.c_timeouts + 1;
     s.l_attempts <- Retry.attempts job.retry + 1;
     fail_path t job "deadline exceeded"
@@ -405,13 +484,15 @@ let quota_tick t =
   match t.qctl with
   | None -> ()
   | Some qc ->
+    (* the headroom profiler owns the pressure baseline: one source of
+       truth for the controller, the alloc-rate gauge, and the trace *)
     let ab = (Pool.counters t.epoch.pool).Pool.alloc_bytes in
-    let pressure = max 0 (ab - t.last_alloc_bytes) in
-    t.last_alloc_bytes <- ab;
+    let pressure = Headroom.take_pressure t.headroom ~cumulative_alloc:ab in
     (match Quota_ctl.observe qc ~now:t.clock ~pressure with
      | Quota_ctl.Steady -> ()
      | Quota_ctl.Shrink { from_quota; to_quota } | Quota_ctl.Grow { from_quota; to_quota } ->
        Pool.set_quota t.epoch.pool to_quota;
+       Headroom.set_quota t.headroom to_quota;
        if Tracer.enabled t.tracer then
          Tracer.emit t.tracer ~ts:t.clock ~proc:(-1) ~tid:(-1)
            (Event.Quota_adjusted { from_quota; to_quota; pressure }))
@@ -520,6 +601,34 @@ let breaker_transitions t =
     classes
 
 let pool_counters t = Pool.counters t.epoch.pool
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry exposition                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let registry t = t.registry
+
+let headroom t = t.headroom
+
+let counter_samples t =
+  let mk name v = { Registry.name; help = ""; stable = true; value = Registry.Counter_v v } in
+  [
+    mk "accepted" t.c_accepted;
+    mk "rejected_queue_full" t.c_rej_queue;
+    mk "rejected_breaker_open" t.c_rej_breaker;
+    mk "rejected_memory_pressure" t.c_rej_memory;
+    mk "completions" t.c_completions;
+    mk "failures" t.c_failures;
+    mk "retries" t.c_retries;
+    mk "timeouts" t.c_timeouts;
+    mk "wedges" t.c_wedges;
+    mk "respawns" t.c_respawns;
+    mk "duplicate_acks" t.c_dup_acks;
+  ]
+
+let metrics_snapshot ?stable_only t = Registry.snapshot ?stable_only t.registry
+
+let metrics_text t = Openmetrics.render (Registry.snapshot t.registry)
 
 let shutdown ?(reap = false) t =
   let stop ep ~join =

@@ -83,10 +83,35 @@ exception Supervisor_giveup of string
 
 type t
 
-val create : ?tracer:Dfd_trace.Tracer.t -> ?config:config -> Dfd_runtime.Pool.policy -> t
+val create :
+  ?tracer:Dfd_trace.Tracer.t ->
+  ?registry:Dfd_obs.Registry.t ->
+  ?flight_dir:string ->
+  ?headroom_s1:int ->
+  ?headroom_depth:int ->
+  ?config:config ->
+  Dfd_runtime.Pool.policy ->
+  t
 (** Start the service: spawns the first pool incarnation and its
     executor domain.  Under [Dfdeques], an enabled quota controller
-    overrides the policy's initial K with its own [k_init]. *)
+    overrides the policy's initial K with its own [k_init].
+
+    [registry] (default: a fresh private {!Dfd_obs.Registry.t}) receives
+    the service's stable [dfd_service_*] probes, the pool's unstable
+    [dfd_pool_*] instruments (series continuous across respawns), and
+    the [policy="service"] {!Dfd_obs.Headroom} gauge family.  Pass
+    {!Dfd_obs.Registry.disabled} to run with zero-cost telemetry.
+
+    [flight_dir], when set, enables crash forensics: on a wedge, an
+    attempt timeout, or a supervisor give-up, the current incarnation's
+    flight-recorder ring is dumped to
+    [flight_dir/flight_<reason>_step<clock>.json] (best-effort; dump
+    failures never mask the fault being reported).
+
+    [headroom_s1] / [headroom_depth] (default 0) are configuration
+    estimates of serial space and dag depth for the Theorem-4.4 budget
+    gauge — the service cannot derive them because the dag is unknown
+    until executed; the simulator path computes them exactly. *)
 
 val submit :
   t -> ?class_:string -> ?deadline:float -> (unit -> unit) -> (int, reject_reason) result
@@ -157,6 +182,27 @@ val breaker_transitions : t -> (int * string * string) list
 
 val pool_counters : t -> Dfd_runtime.Pool.counters
 (** Counters of the {e current} pool incarnation. *)
+
+val registry : t -> Dfd_obs.Registry.t
+(** The telemetry registry this service publishes into. *)
+
+val headroom : t -> Dfd_obs.Headroom.t
+(** The [policy="service"] Theorem-4.4 gauge family. *)
+
+val counter_samples : t -> Dfd_obs.Registry.sample list
+(** The supervision counters as registry samples (short legacy names:
+    ["accepted"], ["rejected_queue_full"], …) — the exact key set and
+    order the soak report's counters object has always used; render with
+    {!Dfd_obs.Registry.Snapshot.to_flat_json}. *)
+
+val metrics_snapshot : ?stable_only:bool -> t -> Dfd_obs.Registry.sample list
+(** Snapshot the registry (see {!Dfd_obs.Registry.snapshot}).  With
+    [~stable_only:true] the result is a pure function of (seed,
+    submission order) and may be embedded in byte-deterministic
+    reports. *)
+
+val metrics_text : t -> string
+(** The full registry rendered as OpenMetrics v1 text. *)
 
 val shutdown : ?reap:bool -> t -> unit
 (** Stop the executor and the current pool.  [reap] (default [false])

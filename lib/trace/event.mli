@@ -3,9 +3,15 @@
     One event records one scheduler-level occurrence at a point in time on
     one processor, executing one thread.  Under the simulator the timestamp
     is the synchronous timestep; under the native pool it is wall-clock
-    microseconds since pool creation.  [proc] is the simulated processor or
-    worker-domain index; [tid] is the executing thread id ([-1] when no
-    thread is associated, e.g. counter samples).
+    microseconds since pool creation.  [proc] is the simulated processor
+    or worker-domain index, [-1] when the event is machine-wide rather
+    than tied to one processor; [tid] is the executing thread id, [-1]
+    when no thread is associated.  The two conventions are independent:
+    a {!kind.Quota_adjusted} decision has [proc = -1] but may carry a
+    [tid], while a {!kind.Counter} sample is machine-wide on both axes
+    and always carries [proc = -1] {e and} [tid = -1] (asserted by
+    [test/validate_trace.ml] on the exported trace and by [test_trace]
+    on the raw stream).
 
     The vocabulary covers everything the paper's Sections 4–6 reason
     about: steals and their outcomes, memory-quota exhaustions, dummy
@@ -42,7 +48,8 @@ type kind =
       (** [tid] executed an action of [units] work units on [proc]. *)
   | Counter of { deques : int; heap : int; threads : int }
       (** Periodic sample of live deques in R, live heap bytes and live
-          threads — the counter tracks of the Chrome export. *)
+          threads — the counter tracks of the Chrome export.  Emitted
+          machine-wide with both [proc = -1] and [tid = -1]. *)
   | Fault_injected of { fault : string }
       (** The fault-injection layer ({!Dfd_fault.Fault}) fired here;
           [fault] is the injected kind ("stall", "steal_fail", ...). *)

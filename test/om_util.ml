@@ -1,0 +1,142 @@
+(* A small OpenMetrics v1 text parser for the test validators and the
+   round-trip property tests.  Strict about the subset our renderer
+   emits: `# HELP f text`, `# TYPE f kind`, `name{k="v",...} value`
+   sample lines, and a final `# EOF` with nothing after it.  Raises
+   [Failure] with a line-numbered message on anything else. *)
+
+type typ = Counter | Gauge | Histogram | Other of string
+
+let typ_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+  | Other s -> s
+
+type family = { f_name : string; f_help : string option; f_type : typ }
+
+type point = {
+  p_name : string;  (** base name including any suffix, without labels. *)
+  p_labels : (string * string) list;
+  p_value : float;
+}
+
+type t = { families : family list; points : point list }
+
+let fail line fmt = Printf.ksprintf (fun m -> failwith (Printf.sprintf "line %d: %s" line m)) fmt
+
+let parse_typ = function
+  | "counter" -> Counter
+  | "gauge" -> Gauge
+  | "histogram" -> Histogram
+  | s -> Other s
+
+(* `k="v",k2="v2"` — our emitters never put '"' or ',' inside values. *)
+let parse_labels ln s =
+  if s = "" then []
+  else
+    List.map
+      (fun item ->
+        match String.index_opt item '=' with
+        | None -> fail ln "label item %S has no '='" item
+        | Some i ->
+          let k = String.sub item 0 i in
+          let v = String.sub item (i + 1) (String.length item - i - 1) in
+          let n = String.length v in
+          if n < 2 || v.[0] <> '"' || v.[n - 1] <> '"' then
+            fail ln "label value %S is not quoted" v
+          else (k, String.sub v 1 (n - 2)))
+      (String.split_on_char ',' s)
+
+let parse_sample ln line =
+  match String.index_opt line ' ' with
+  | None -> fail ln "sample line %S has no value" line
+  | Some sp ->
+    let series = String.sub line 0 sp in
+    let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+    let v =
+      match float_of_string_opt value with
+      | Some v -> v
+      | None -> fail ln "unparseable value %S" value
+    in
+    let name, labels =
+      match String.index_opt series '{' with
+      | None -> (series, [])
+      | Some b ->
+        if series.[String.length series - 1] <> '}' then fail ln "unterminated label set"
+        else
+          ( String.sub series 0 b,
+            parse_labels ln (String.sub series (b + 1) (String.length series - b - 2)) )
+    in
+    if name = "" then fail ln "empty metric name";
+    { p_name = name; p_labels = labels; p_value = v }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let families = ref [] in
+  let points = ref [] in
+  let saw_eof = ref false in
+  let find_family name = List.find_opt (fun f -> f.f_name = name) !families in
+  let upsert name f =
+    match find_family name with
+    | None -> families := f :: !families
+    | Some old ->
+      families := f :: List.filter (fun g -> g.f_name <> name) !families;
+      ignore old
+  in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      if line = "" then begin
+        (* only the trailing newline's empty split is allowed *)
+        if i <> List.length lines - 1 then fail ln "blank line inside exposition"
+      end
+      else if !saw_eof then fail ln "content after # EOF"
+      else if line = "# EOF" then saw_eof := true
+      else if String.length line > 7 && String.sub line 0 7 = "# HELP " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        match String.index_opt rest ' ' with
+        | None -> fail ln "HELP line without text"
+        | Some sp ->
+          let name = String.sub rest 0 sp in
+          let help = String.sub rest (sp + 1) (String.length rest - sp - 1) in
+          let t = match find_family name with Some f -> f.f_type | None -> Other "?" in
+          upsert name { f_name = name; f_help = Some help; f_type = t }
+      end
+      else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        match String.split_on_char ' ' rest with
+        | [ name; t ] ->
+          let help = match find_family name with Some f -> f.f_help | None -> None in
+          upsert name { f_name = name; f_help = help; f_type = parse_typ t }
+        | _ -> fail ln "malformed TYPE line %S" line
+      end
+      else if String.length line > 0 && line.[0] = '#' then fail ln "unknown comment %S" line
+      else points := parse_sample ln line :: !points)
+    lines;
+  if not !saw_eof then failwith "missing # EOF terminator";
+  { families = List.rev !families; points = List.rev !points }
+
+let find_point ?(labels = []) t name =
+  List.find_opt
+    (fun p -> p.p_name = name && List.for_all (fun kv -> List.mem kv p.p_labels) labels)
+    t.points
+
+let value ?labels t name = Option.map (fun p -> p.p_value) (find_point ?labels t name)
+
+let family t name = List.find_opt (fun f -> f.f_name = name) t.families
+
+(* The cumulative-bucket points of histogram family [name], as
+   (le, cumulative count) with +Inf mapped to [infinity], in file order. *)
+let buckets ?(labels = []) t name =
+  List.filter_map
+    (fun p ->
+      if
+        p.p_name = name ^ "_bucket"
+        && List.for_all (fun kv -> List.mem kv p.p_labels) labels
+      then
+        match List.assoc_opt "le" p.p_labels with
+        | Some "+Inf" -> Some (infinity, int_of_float p.p_value)
+        | Some le -> Some (float_of_string le, int_of_float p.p_value)
+        | None -> None
+      else None)
+    t.points

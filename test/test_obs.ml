@@ -1,0 +1,447 @@
+(* Tests for the telemetry plane (lib/obs): registry instruments under
+   concurrent domains, snapshot determinism, OpenMetrics round-trips
+   through the Om_util parser (unit + property), flight-recorder ring
+   semantics and dump-on-deadlock, and the live Theorem-4.4 headroom
+   profiler checked differentially against [Oracle.thm44]. *)
+
+module Registry = Dfd_obs.Registry
+module Openmetrics = Dfd_obs.Openmetrics
+module Flight = Dfd_obs.Flight
+module Headroom = Dfd_obs.Headroom
+module Event = Dfd_trace.Event
+module Json = Dfd_trace.Json
+module Prog = Dfd_dag.Prog
+module Analysis = Dfd_dag.Analysis
+module Config = Dfd_machine.Config
+module Engine = Dfdeques_core.Engine
+module Oracle = Dfd_check.Oracle
+module Pool = Dfd_runtime.Pool
+module Service = Dfd_service.Service
+module Retry = Dfd_service.Retry
+open Prog
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Registry instruments                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_concurrent () =
+  let reg = Registry.create ~shards:8 () in
+  let c = Registry.counter reg "t_incr_total" in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25_000 do
+              Registry.Counter.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  checki "4 domains x 25k increments" 100_000 (Registry.Counter.value c);
+  Registry.Counter.add c 5;
+  checki "add" 100_005 (Registry.Counter.value c);
+  checkb "negative add rejected" true
+    (try
+       Registry.Counter.add c (-1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gauge_peak () =
+  let reg = Registry.create () in
+  let g = Registry.gauge reg "t_gauge" in
+  Registry.Gauge.set g 5;
+  Registry.Gauge.add g 3;
+  checki "set+add" 8 (Registry.Gauge.value g);
+  checki "peak tracks" 8 (Registry.Gauge.peak g);
+  Registry.Gauge.set g 2;
+  checki "set down" 2 (Registry.Gauge.value g);
+  checki "peak keeps watermark" 8 (Registry.Gauge.peak g);
+  Registry.Gauge.add g (-4);
+  checki "negative delta" (-2) (Registry.Gauge.value g);
+  checki "peak unmoved" 8 (Registry.Gauge.peak g)
+
+let test_histogram_concurrent () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "t_hist" in
+  let per_domain = 1_000 in
+  let domains =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Registry.Histogram.observe h (i mod 7)
+            done))
+  in
+  List.iter Domain.join domains;
+  checki "count" (2 * per_domain) (Registry.Histogram.count h);
+  (* sum of (i mod 7) over 1000 consecutive i: 142 full cycles of 21 plus 0..5 *)
+  let serial = List.fold_left (fun a i -> a + (i mod 7)) 0 (List.init per_domain Fun.id) in
+  checki "sum" (2 * serial) (Registry.Histogram.sum h);
+  Registry.Histogram.observe h (-5);
+  checki "negative clamps to bucket 0" ((2 * per_domain) + 1) (Registry.Histogram.count h);
+  checki "negative adds nothing to sum" (2 * serial) (Registry.Histogram.sum h)
+
+let test_snapshot_sorted_stable () =
+  let reg = Registry.create () in
+  let b = Registry.gauge reg ~stable:true "t_b" in
+  let a = Registry.counter reg "t_a_total" in
+  Registry.probe reg ~kind:`Gauge ~stable:true "t_c" (fun () -> 42);
+  Registry.Gauge.set b 7;
+  Registry.Counter.incr a;
+  let names snap = List.map (fun s -> s.Registry.name) snap in
+  checkb "sorted by name" true
+    (let n = names (Registry.snapshot reg) in
+     n = List.sort compare n);
+  checkb "full snapshot has all three" true
+    (List.for_all (fun n -> List.mem n (names (Registry.snapshot reg))) [ "t_a_total"; "t_b"; "t_c" ]);
+  let stable = names (Registry.snapshot ~stable_only:true reg) in
+  checkb "stable_only keeps stable series" true (List.mem "t_b" stable && List.mem "t_c" stable);
+  checkb "stable_only drops unstable counter" false (List.mem "t_a_total" stable);
+  (* two snapshots of quiescent state are identical *)
+  checkb "snapshot deterministic" true (Registry.snapshot reg = Registry.snapshot reg)
+
+let test_disabled_noop () =
+  let reg = Registry.disabled in
+  checkb "disabled" false (Registry.enabled reg);
+  let c = Registry.counter reg "t_off_total" in
+  let g = Registry.gauge reg "t_off_gauge" in
+  let h = Registry.histogram reg "t_off_hist" in
+  Registry.Counter.incr c;
+  Registry.Gauge.set g 99;
+  Registry.Histogram.observe h 5;
+  checki "counter inert" 0 (Registry.Counter.value c);
+  checki "gauge inert" 0 (Registry.Gauge.value g);
+  checki "histogram inert" 0 (Registry.Histogram.count h);
+  checkb "snapshot empty" true (Registry.snapshot reg = [])
+
+let test_upsert () =
+  let reg = Registry.create () in
+  let c1 = Registry.counter reg "t_up_total" in
+  let c2 = Registry.counter reg "t_up_total" in
+  Registry.Counter.incr c1;
+  Registry.Counter.incr c2;
+  checki "same name accumulates into one series" 2 (Registry.Counter.value c1);
+  checkb "kind mismatch rejected" true
+    (try
+       ignore (Registry.gauge reg "t_up_total");
+       false
+     with Invalid_argument _ -> true);
+  let cell = ref 1 in
+  Registry.probe reg ~kind:`Gauge "t_up_probe" (fun () -> !cell);
+  let read () =
+    match List.find (fun s -> s.Registry.name = "t_up_probe") (Registry.snapshot reg) with
+    | { Registry.value = Registry.Gauge_v v; _ } -> v
+    | _ -> Alcotest.fail "probe sample missing"
+  in
+  checki "probe reads closure" 1 (read ());
+  Registry.probe reg ~kind:`Gauge "t_up_probe" (fun () -> 1000);
+  checki "re-registration replaces closure" 1000 (read ());
+  Registry.probe reg ~kind:`Gauge "t_up_raises" (fun () -> failwith "boom");
+  checkb "raising probe contributes no sample" false
+    (List.exists (fun s -> s.Registry.name = "t_up_raises") (Registry.snapshot reg))
+
+let test_split_labeled () =
+  checkb "labeled" true
+    (Registry.split_labeled "fam{k=\"v\"}" = ("fam", Some "k=\"v\""));
+  checkb "plain" true (Registry.split_labeled "fam_total" = ("fam_total", None));
+  checkb "bad leading digit rejected" true
+    (try
+       ignore (Registry.split_labeled "9fam");
+       false
+     with Invalid_argument _ -> true);
+  checkb "unterminated labels rejected" true
+    (try
+       ignore (Registry.split_labeled "fam{k=\"v\"");
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition round-trips                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_openmetrics_roundtrip_unit () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~help:"events" "om_events_total" in
+  let g = Registry.gauge reg "om_depth" in
+  let gl = Registry.gauge reg "om_live_bytes{policy=\"dfd\"}" in
+  let h = Registry.histogram reg "om_lat" in
+  Registry.Counter.add c 17;
+  Registry.Gauge.set g (-3);
+  Registry.Gauge.set gl 4096;
+  List.iter (Registry.Histogram.observe h) [ 0; 1; 1; 5; 300 ];
+  Registry.probe_float reg "om_ratio" (fun () -> 0.625);
+  let text = Openmetrics.render (Registry.snapshot reg) in
+  let om = Om_util.parse text in
+  let value name = Option.get (Om_util.value om name) in
+  checkb "counter survives" true (value "om_events_total" = 17.0);
+  checkb "gauge survives" true (value "om_depth" = -3.0);
+  checkb "float probe survives" true (value "om_ratio" = 0.625);
+  checkb "labeled gauge survives" true
+    (Om_util.value ~labels:[ ("policy", "dfd") ] om "om_live_bytes" = Some 4096.0);
+  (match Om_util.family om "om_events_total" with
+   | Some f ->
+     checkb "counter typed" true (f.Om_util.f_type = Om_util.Counter);
+     checkb "help preserved" true (f.Om_util.f_help = Some "events")
+   | None -> Alcotest.fail "family om_events_total missing");
+  let buckets = Om_util.buckets om "om_lat" in
+  checkb "bucket counts cumulative" true
+    (List.for_all2 ( <= ) (List.map snd buckets) (List.tl (List.map snd buckets) @ [ max_int ]));
+  (match List.rev buckets with
+   | (le, n) :: _ ->
+     checkb "+Inf last" true (le = infinity);
+     checki "+Inf equals count" 5 n
+   | [] -> Alcotest.fail "histogram has no buckets");
+  checkb "count line" true (value "om_lat_count" = 5.0);
+  checkb "sum line" true (value "om_lat_sum" = 307.0)
+
+(* Random mixtures of counters and gauges must survive a render + parse
+   cycle exactly (values are integers, so no float-precision caveats). *)
+let openmetrics_roundtrip_prop =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 10)
+        (pair bool (int_range (-100_000) 100_000)))
+  in
+  QCheck.Test.make ~name:"openmetrics render/parse roundtrip" ~count:100
+    (QCheck.make
+       ~print:(fun l ->
+         String.concat ";"
+           (List.map (fun (c, v) -> Printf.sprintf "(%b,%d)" c v) l))
+       gen)
+    (fun spec ->
+      let reg = Registry.create () in
+      let expect =
+        List.mapi
+          (fun i (is_counter, v) ->
+            if is_counter then begin
+              let name = Printf.sprintf "prop_c%d_total" i in
+              Registry.Counter.add (Registry.counter reg name) (abs v);
+              (name, abs v)
+            end
+            else begin
+              let name = Printf.sprintf "prop_g%d" i in
+              Registry.Gauge.set (Registry.gauge reg name) v;
+              (name, v)
+            end)
+          spec
+      in
+      let om = Om_util.parse (Openmetrics.render (Registry.snapshot reg)) in
+      List.for_all
+        (fun (name, v) -> Om_util.value om name = Some (float_of_int v))
+        expect)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flight_ring_wrap () =
+  let f = Flight.create ~capacity:4 ~lanes:2 () in
+  checkb "enabled" true (Flight.enabled f);
+  for i = 0 to 9 do
+    Flight.recordk f ~lane:0 ~ts:i ~proc:0 ~tid:0 (Event.Action_batch { units = 1 })
+  done;
+  checki "recorded counts everything" 10 (Flight.recorded f);
+  checki "dropped = overwritten" 6 (Flight.dropped f);
+  let evs = Flight.events f in
+  checki "ring keeps capacity" 4 (List.length evs);
+  checkb "survivors are the newest" true
+    (List.map (fun e -> e.Event.ts) evs = [ 6; 7; 8; 9 ])
+
+let test_flight_merge_order () =
+  let f = Flight.create ~capacity:8 ~lanes:2 () in
+  List.iter (fun ts -> Flight.recordk f ~lane:0 ~ts ~proc:0 ~tid:0 Event.Dummy_exec) [ 1; 3; 5 ];
+  List.iter (fun ts -> Flight.recordk f ~lane:1 ~ts ~proc:1 ~tid:0 Event.Dummy_exec) [ 2; 4 ];
+  checkb "lanes merge sorted by ts" true
+    (List.map (fun e -> e.Event.ts) (Flight.events f) = [ 1; 2; 3; 4; 5 ]);
+  (* out-of-range lanes clamp, never raise *)
+  Flight.recordk f ~lane:99 ~ts:6 ~proc:0 ~tid:0 Event.Dummy_exec;
+  checki "clamped lane recorded" 6 (Flight.recorded f)
+
+let test_flight_disabled () =
+  let f = Flight.disabled in
+  checkb "disabled" false (Flight.enabled f);
+  Flight.recordk f ~lane:0 ~ts:1 ~proc:0 ~tid:0 Event.Dummy_exec;
+  checki "record inert" 0 (Flight.recorded f);
+  checkb "no events" true (Flight.events f = [])
+
+let test_flight_dump_on_deadlock () =
+  (* Classic ABBA deadlock (same program as test_core): the engine dies
+     with [Engine.Deadlock], after which the flight ring must still dump
+     a parseable artifact holding the run's last moments. *)
+  let prog =
+    finish
+      (par
+         (lock 0 >> work 5 >> lock 1 >> work 1 >> unlock 1 >> unlock 0)
+         (lock 1 >> work 5 >> lock 0 >> work 1 >> unlock 0 >> unlock 1))
+  in
+  let flight = Flight.create ~capacity:64 ~lanes:3 () in
+  checkb "deadlock raised" true
+    (try
+       ignore (Engine.run ~sched:`Dfdeques ~flight (Config.analysis ~p:2 ()) prog);
+       false
+     with Engine.Deadlock _ -> true);
+  checkb "ring captured the run" true (Flight.recorded flight > 0);
+  let path = Filename.temp_file "dfd_flight" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Flight.write_file ~path ~reason:"deadlock" flight;
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let j = Json.of_string text in
+      let fl = Json.member "flight" j in
+      checks "reason recorded" "deadlock" (Json.to_string_exn (Json.member "reason" fl));
+      let events = Json.to_list_exn (Json.member "events" fl) in
+      checkb "events survive to the artifact" true (events <> []);
+      checki "artifact agrees with the live ring" (List.length (Flight.events flight))
+        (List.length events))
+
+(* ------------------------------------------------------------------ *)
+(* Headroom profiler                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_headroom_budget_arithmetic () =
+  let reg = Registry.create () in
+  let hr = Headroom.create ~registry:reg ~policy:"t" ~s1:100 ~depth:4 ~p:2 ~k:10 () in
+  checki "S1 + c*min(K,S1)*p*D" (100 + (8 * 10 * 2 * 4)) (Headroom.budget hr);
+  Headroom.observe hr ~live_bytes:50;
+  Headroom.observe hr ~live_bytes:30;
+  checki "live tracks last" 30 (Headroom.live hr);
+  checki "peak is a watermark" 50 (Headroom.peak hr);
+  checkb "ratio = (budget - peak) / budget" true
+    (let b = float_of_int (Headroom.budget hr) in
+     Float.abs (Headroom.headroom_ratio hr -. ((b -. 50.0) /. b)) < 1e-9);
+  Headroom.set_quota hr 200;
+  checki "min(K, S1) saturates at S1" (100 + (8 * 100 * 2 * 4)) (Headroom.budget hr);
+  Headroom.note_premature hr ~depth:3;
+  Headroom.note_premature hr ~depth:5;
+  checki "premature notes" 2 (Headroom.premature hr);
+  Headroom.set_premature hr 7;
+  checki "absolute premature" 7 (Headroom.premature hr);
+  checki "first pressure measures from 0" 100 (Headroom.take_pressure hr ~cumulative_alloc:100);
+  checki "pressure is the delta" 150 (Headroom.take_pressure hr ~cumulative_alloc:250);
+  Headroom.reset_pressure hr;
+  checki "reset rebases at 0" 50 (Headroom.take_pressure hr ~cumulative_alloc:50);
+  (* the gauges landed in the registry under the policy label *)
+  let names = List.map (fun s -> s.Registry.name) (Registry.snapshot reg) in
+  List.iter
+    (fun n -> checkb n true (List.mem (n ^ "{policy=\"t\"}") names))
+    [ "dfd_space_live_bytes"; "dfd_space_peak_bytes"; "dfd_space_budget_bytes" ]
+
+let test_headroom_degenerate () =
+  let reg = Registry.create () in
+  (* s1/depth default to 0: budget degrades to the S1 term (= 0) *)
+  let hr = Headroom.create ~registry:reg ~policy:"d" ~p:4 ~k:1000 () in
+  checki "degenerate budget" 0 (Headroom.budget hr);
+  checkb "pristine ratio is 1.0" true (Headroom.headroom_ratio hr = 1.0);
+  Headroom.observe hr ~live_bytes:10;
+  checkb "observed over zero budget is 0.0" true (Headroom.headroom_ratio hr = 0.0)
+
+let test_headroom_matches_thm44 () =
+  (* Differential: wire a live profiler into the same run Oracle.thm44
+     performs and the budget must agree bit-for-bit.  The peak gauge is
+     sampled at timestep boundaries so it may miss intra-step spikes the
+     engine's own per-alloc watermark catches: assert <=, and exact
+     equality only for the budget and the premature count. *)
+  let rec tree d = if d = 0 then alloc 64 >> work 3 >> free 64 else par (tree (d - 1)) (tree (d - 1)) in
+  let prog = finish (tree 4) in
+  List.iter
+    (fun (p, k) ->
+      let r = Oracle.thm44 ~p ~k prog in
+      let a = Analysis.analyze prog in
+      checki "oracle and analysis agree on S1" r.Oracle.s1 a.Analysis.serial_space;
+      let reg = Registry.create () in
+      let hr =
+        Headroom.create ~registry:reg ~policy:"dfd" ~s1:a.Analysis.serial_space
+          ~depth:a.Analysis.depth ~p ~k ()
+      in
+      let res =
+        Engine.run ~sched:`Dfdeques ~registry:reg ~headroom:hr
+          (Config.analysis ~p ~mem_threshold:(Some k) ())
+          prog
+      in
+      checki (Printf.sprintf "budget = thm44 bound (p=%d k=%d)" p k) r.Oracle.bound
+        (Headroom.budget hr);
+      checkb "live peak within the engine watermark" true (Headroom.peak hr <= r.Oracle.heap_peak);
+      checkb "something was observed" true (Headroom.peak hr > 0);
+      checki "premature gauge mirrors the engine" res.Engine.heavy_premature (Headroom.premature hr);
+      if r.Oracle.ok then
+        checkb "peak within budget when the theorem held" true
+          (Headroom.peak hr <= Headroom.budget hr))
+    [ (2, 128); (3, 256); (4, 64) ]
+
+(* ------------------------------------------------------------------ *)
+(* Service exposition                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_service_metrics_text () =
+  let config =
+    {
+      Service.default_config with
+      Service.seed = 7;
+      domains = 1;
+      retry = { Retry.max_attempts = 2; base_delay = 1; max_delay = 2 };
+    }
+  in
+  let svc = Service.create ~config Pool.Work_stealing in
+  Fun.protect
+    ~finally:(fun () -> try Service.shutdown svc with _ -> ())
+    (fun () ->
+      let om = Om_util.parse (Service.metrics_text svc) in
+      checkb "service counters exposed" true
+        (Om_util.value om "dfd_service_accepted_total" <> None);
+      checkb "headroom gauges exposed" true
+        (Om_util.value ~labels:[ ("policy", "service") ] om "dfd_space_budget_bytes" <> None);
+      (* the legacy counters object keeps its exact keys, in order *)
+      checkb "legacy counter keys preserved" true
+        (List.map fst (Registry.Snapshot.to_alist (Service.counter_samples svc))
+        = [
+            "accepted";
+            "rejected_queue_full";
+            "rejected_breaker_open";
+            "rejected_memory_pressure";
+            "completions";
+            "failures";
+            "retries";
+            "timeouts";
+            "wedges";
+            "respawns";
+            "duplicate_acks";
+          ]))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter under domains" `Quick test_counter_concurrent;
+          Alcotest.test_case "gauge peak" `Quick test_gauge_peak;
+          Alcotest.test_case "histogram under domains" `Quick test_histogram_concurrent;
+          Alcotest.test_case "snapshot sorted + stable filter" `Quick test_snapshot_sorted_stable;
+          Alcotest.test_case "disabled is inert" `Quick test_disabled_noop;
+          Alcotest.test_case "upsert semantics" `Quick test_upsert;
+          Alcotest.test_case "split_labeled" `Quick test_split_labeled;
+        ] );
+      ( "openmetrics",
+        [ Alcotest.test_case "roundtrip" `Quick test_openmetrics_roundtrip_unit ]
+        @ qsuite [ openmetrics_roundtrip_prop ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring wrap" `Quick test_flight_ring_wrap;
+          Alcotest.test_case "lane merge order" `Quick test_flight_merge_order;
+          Alcotest.test_case "disabled is inert" `Quick test_flight_disabled;
+          Alcotest.test_case "dump on deadlock" `Quick test_flight_dump_on_deadlock;
+        ] );
+      ( "headroom",
+        [
+          Alcotest.test_case "budget arithmetic" `Quick test_headroom_budget_arithmetic;
+          Alcotest.test_case "degenerate config" `Quick test_headroom_degenerate;
+          Alcotest.test_case "matches Oracle.thm44" `Quick test_headroom_matches_thm44;
+        ] );
+      ( "service",
+        [ Alcotest.test_case "metrics_text exposition" `Quick test_service_metrics_text ] );
+    ]

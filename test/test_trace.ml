@@ -189,6 +189,22 @@ let test_vocabulary_exercised () =
       Event.Counter { deques = 0; heap = 0; threads = 0 };
     ]
 
+let test_counter_convention () =
+  (* Counter samples are machine-wide: both proc and tid must be -1, and
+     every processor-attributed event must carry proc >= 0 (event.mli's
+     documented convention). *)
+  let tr = run_traced ~sched:`Dfdeques ~seed:42 () in
+  List.iter
+    (fun (e : Event.t) ->
+       match e.Event.kind with
+       | Event.Counter _ ->
+         checki "counter proc" (-1) e.Event.proc;
+         checki "counter tid" (-1) e.Event.tid
+       | Event.Action_batch _ | Event.Fork _ | Event.Steal_attempt _ | Event.Steal_success _ ->
+         checkb "attributed proc" true (e.Event.proc >= 0)
+       | _ -> ())
+    (Tracer.events tr)
+
 (* ------------------------------------------------------------------ *)
 (* Chrome export                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -242,6 +258,7 @@ let () =
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
           Alcotest.test_case "vocabulary exercised" `Quick test_vocabulary_exercised;
+          Alcotest.test_case "counter proc/tid convention" `Quick test_counter_convention;
         ] );
       ( "chrome", [ Alcotest.test_case "export" `Quick test_chrome_export ] );
     ]

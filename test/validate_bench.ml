@@ -57,5 +57,17 @@ let () =
        let p = try Json.to_int_exn (Json.member "p" s) with _ -> fail "speedups[%d]: missing p" i in
        if p < 2 then fail "speedups[%d]: speedup rows need p >= 2" i)
     speedups;
+  (* obs-overhead pair: structural checks only — the ratio itself is
+     timing and must never gate CI *)
+  let obs = Json.member "obs_overhead" j in
+  (match obs with
+   | Json.Assoc _ ->
+     let num k =
+       try to_number_exn (Json.member k obs) with _ -> fail "obs_overhead: missing number %S" k
+     in
+     if num "disabled_time_s" < 0.0 then fail "obs_overhead: negative disabled_time_s";
+     if num "enabled_time_s" < 0.0 then fail "obs_overhead: negative enabled_time_s";
+     if num "overhead_ratio" < 0.0 then fail "obs_overhead: negative overhead_ratio"
+   | _ -> fail "missing obs_overhead object");
   Printf.printf "validate_bench: %s ok (%d result points, %d speedup rows)\n" path
     (List.length results) (List.length speedups)

@@ -25,6 +25,19 @@ let check_trace path =
        (match Json.member "cat" e with
         | Json.String c -> Hashtbl.replace cats c ()
         | _ -> ());
+       (* Event.Counter samples are machine-wide (proc = tid = -1 in the
+          raw stream): the Chrome export must render them as processor-
+          less "C" records, and every instant/span must sit on a real
+          (non-negative) processor track. *)
+       (match Json.member "ph" e with
+        | Json.String "C" ->
+          if Json.member "tid" e <> Json.Null then
+            fail "%s: counter sample carries a tid track" path
+        | Json.String ("i" | "X") ->
+          (match Json.member "tid" e with
+           | Json.Int t when t >= 0 -> ()
+           | _ -> fail "%s: instant/span event without a processor track" path)
+        | _ -> ());
        (match (Json.member "ph" e, Json.member "name" e) with
         | Json.String "M", Json.String "thread_name" ->
           Hashtbl.replace threads (Json.to_int_exn (Json.member "tid" e)) ()
@@ -71,7 +84,7 @@ let check_metrics path =
               | _ -> fail "%s: histograms.%s.%s malformed" path h q)
            [ "count"; "p50"; "p90"; "p99" ]
        | _ -> fail "%s: histograms.%s missing" path h)
-    [ "steal_latency"; "deque_residency"; "quota_utilisation" ];
+    [ "steal_latency"; "deque_residency"; "quota_utilisation"; "premature_depth" ];
   (match Json.member "per_victim_steals" j with
    | Json.List _ -> ()
    | _ -> fail "%s: per_victim_steals missing" path);
