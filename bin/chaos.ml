@@ -185,16 +185,24 @@ let pool_report ~seed (name, policy) =
 (* ------------------------------------------------------------------ *)
 
 module Service = Dfd_service.Service
+module Tenant = Dfd_service.Tenant
 module Retry = Dfd_service.Retry
 
-(* A queue of capacity 2 sheds the third of a burst of three — typed
-   admission control, not an exception. *)
+(* A lane bounded at 2 sheds the third of a burst of three — typed
+   admission control on the handle, not an exception. *)
 let service_shed_campaign ~seed =
-  let config = { Service.default_config with Service.seed; queue_capacity = 2; domains = 1 } in
+  let config =
+    {
+      Service.default_config with
+      Service.seed;
+      tenants = [ Tenant.make ~queue_bound:2 "default" ];
+      domains = 1;
+    }
+  in
   let svc = Service.create ~config Pool.Work_stealing in
-  let r1 = Service.submit svc (fun () -> ()) in
-  let r2 = Service.submit svc (fun () -> ()) in
-  let r3 = Service.submit svc (fun () -> ()) in
+  let r1 = Service.admission (Service.submit svc (fun () -> ())) in
+  let r2 = Service.admission (Service.submit svc (fun () -> ())) in
+  let r3 = Service.admission (Service.submit svc (fun () -> ())) in
   Service.drive svc;
   let ok =
     Result.is_ok r1 && Result.is_ok r2
@@ -231,20 +239,25 @@ let service_fault_campaign ~seed =
     }
   in
   let svc = Service.create ~config (Pool.Dfdeques { quota = 4096 }) in
-  let exn_id = Result.get_ok (Service.submit svc ~class_:"exn" (fun () -> failwith "boom")) in
+  let exn_id =
+    Result.get_ok
+      (Service.admission (Service.submit svc ~class_:"exn" (fun () -> failwith "boom")))
+  in
   let tripped = Atomic.make false in
   let flaky_id =
     Result.get_ok
-      (Service.submit svc ~class_:"flaky" (fun () ->
-           if not (Atomic.exchange tripped true) then failwith "flaky"))
+      (Service.admission
+         (Service.submit svc ~class_:"flaky" (fun () ->
+              if not (Atomic.exchange tripped true) then failwith "flaky")))
   in
   let flag = Atomic.make false in
   let wedge_id =
     Result.get_ok
-      (Service.submit svc ~class_:"wedge" (fun () ->
-           while not (Atomic.get flag) do
-             Domain.cpu_relax ()
-           done))
+      (Service.admission
+         (Service.submit svc ~class_:"wedge" (fun () ->
+              while not (Atomic.get flag) do
+                Domain.cpu_relax ()
+              done)))
   in
   Hashtbl.replace wedge_flags wedge_id flag;
   Service.drive svc;

@@ -369,8 +369,21 @@ let soak_flight_arg =
   in
   Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR" ~doc)
 
-let soak_run seed duration plan policy grace json_out flight_dir =
-  exit (Soak.run_soak ~seed ~duration ~plan ~policy ~wedge_grace:grace ~json_out ~flight_dir)
+let soak_tenants_arg =
+  let doc =
+    "Run the multi-tenant open-loop campaign instead of a fault plan: `normal' (three tenants \
+     under steady seeded load; nothing may be shed) or `bully' (the lowest-weight tenant \
+     offers ~10x load laced with allocation spikes; the oracle checks it is shed first and \
+     alone, victims complete >= 99% with bounded p99, and per-tenant K budgets stay isolated)."
+  in
+  Arg.(value & opt (some (Arg.enum Soak.tenant_modes)) None
+       & info [ "tenants" ] ~docv:"MODE" ~doc)
+
+let soak_run seed duration plan tenants policy grace json_out flight_dir =
+  let tenants = match tenants with None -> Soak.T_off | Some m -> m in
+  exit
+    (Soak.run_soak ~seed ~duration ~plan ~tenants ~policy ~wedge_grace:grace ~json_out
+       ~flight_dir)
 
 let soak_cmd =
   let doc =
@@ -378,12 +391,15 @@ let soak_cmd =
      of well-behaved, raising, flaky, deadline-bound, allocation-spiking and pool-wedging \
      jobs, driven for a fixed number of logical steps and audited against the exactly-once \
      ledger (zero lost jobs, zero duplicated acknowledgements, outcome classes per \
-     archetype, wedge -> respawn -> requeue exactly once, adaptive-K shrink and recovery)."
+     archetype, wedge -> respawn -> requeue exactly once, adaptive-K shrink and recovery).  \
+     With $(b,--tenants) the campaign instead exercises the multi-tenant front door: \
+     weighted-fair lanes under seeded open-loop load, the overload backpressure ladder, \
+     duplicate coalescing and per-tenant adaptive-K isolation."
   in
   Cmd.v (Cmd.info "soak" ~doc)
     Term.(
-      const soak_run $ seed_arg $ soak_duration_arg $ soak_plan_arg $ soak_policy_arg
-      $ soak_grace_arg $ soak_json_arg $ soak_flight_arg)
+      const soak_run $ seed_arg $ soak_duration_arg $ soak_plan_arg $ soak_tenants_arg
+      $ soak_policy_arg $ soak_grace_arg $ soak_json_arg $ soak_flight_arg)
 
 (* ------------------------------------------------------------------ *)
 (* metrics: one deterministic simulated run exposed through the         *)

@@ -1,10 +1,13 @@
 (* repro soak — deterministic soak campaigns against the supervised job
    service (Dfd_service.Service).
 
-   A soak run drives the service for [duration] logical steps under a
-   named fault plan.  Each plan is a pure function from (step, duration)
-   to a list of job submissions, drawn from six archetypes whose outcome
-   *class* is deterministic even though pool timing is not:
+   Two families of campaigns share the driver:
+
+   {b Fault plans} (the historical single-tenant mode) drive the default
+   lane for [duration] logical steps under a named plan.  Each plan is a
+   pure function from (step, duration) to a list of job submissions,
+   drawn from six archetypes whose outcome *class* is deterministic even
+   though pool timing is not:
 
    - ok     small fork-join reduction with allocation hints; completes.
    - spike  one huge allocation hint; completes, but drives the adaptive
@@ -19,26 +22,38 @@
             respawn callback releases the flag, so the second attempt
             completes.  Expected: Completed with requeues = 1.
 
-   After the submission phase the service is driven to idle and audited:
-   the exactly-once ledger must verify, every accepted job must land in
-   its archetype's outcome class, wedge/respawn counters must equal the
-   number of accepted wedge jobs, and (under the dfd policy with spikes
-   in the plan) the quota trajectory must show the controller shrinking K
-   under pressure and regrowing it afterwards.
+   {b Tenant plans} (--tenants normal|bully) run the multi-tenant front
+   door under seeded open-loop load: three tenants (gold w4, silver w2,
+   bronze w1) submit per-step arrivals drawn from per-tenant splitmix64
+   streams.  Under `bully', bronze offers ~10x its normal load laced
+   with allocation spikes; the oracle then checks the isolation story —
+   the bully is shed first (and only the bully), victims complete
+   >= 99% with bounded p99, every lane stays within its bound, the
+   bully's K shrinks while the victims' K budgets never dip, and the
+   peak per-attempt allocation stays inside the Theorem-4.4 headroom
+   budget.  Per-tenant latency quantiles come from [Stats.Histogram];
+   the global distribution is their [Histogram.merge].
 
+   After the submission phase the service is driven to idle and audited.
    The JSON report contains only logical-clock facts — counters, the
-   ledger, quota and breaker trajectories, per-step submission results —
+   ledger, quota/breaker/ladder trajectories, per-tenant sections —
    never wall-clock readings, so two runs with the same seed and
    arguments are byte-identical.  The exit code is gated on the ledger
-   audit and the outcome oracle, never on timing. *)
+   audit and the oracle, never on timing. *)
 
 module Service = Dfd_service.Service
+module Handle = Dfd_service.Handle
+module Tenant = Dfd_service.Tenant
+module Ladder = Dfd_service.Ladder
 module Retry = Dfd_service.Retry
 module Breaker = Dfd_service.Breaker
 module Quota_ctl = Dfd_service.Quota_ctl
 module Pool = Dfd_runtime.Pool
 module Json = Dfd_trace.Json
 module Registry = Dfd_obs.Registry
+module Headroom = Dfd_obs.Headroom
+module Stats = Dfd_structures.Stats
+module Prng = Dfd_structures.Prng
 
 type plan = P_none | P_exns | P_wedges | P_spikes | P_mixed
 
@@ -52,6 +67,15 @@ let plan_name = function
 let plans =
   [ ("none", P_none); ("exns", P_exns); ("wedges", P_wedges); ("spikes", P_spikes);
     ("mixed", P_mixed) ]
+
+type tenant_mode = T_off | T_normal | T_bully
+
+let tenant_modes = [ ("normal", T_normal); ("bully", T_bully) ]
+
+let tenant_mode_name = function
+  | T_off -> "off"
+  | T_normal -> "tenants-normal"
+  | T_bully -> "tenants-bully"
 
 type kind = Ok_job | Spike | Exn | Flaky | Slow | Wedge
 
@@ -131,6 +155,27 @@ let soak_quota =
 
 let slow_deadline = 0.05
 
+(* The multi-tenant lanes: weight is declared importance, so the
+   low-weight bronze lane is where a bully is cheapest to run and the
+   first to be shed. *)
+let soak_tenants =
+  [
+    Tenant.make ~weight:4 ~queue_bound:16 "gold";
+    Tenant.make ~weight:2 ~queue_bound:12 "silver";
+    Tenant.make ~weight:1 ~queue_bound:8 "bronze";
+  ]
+
+(* Ladder thresholds for the tenant campaigns: with 36 aggregate slots, a
+   full bronze lane alone (8 jobs, 22%) must already read as overload. *)
+let soak_ladder = { Ladder.coalesce_at = 10; shed_at = 20; break_at = 95; calm_steps = 3 }
+
+(* Headroom estimates for the tenant campaigns: generous S1/D guesses
+   that make the Theorem-4.4 budget a real (finite, nonzero) ceiling the
+   400 kB spikes must stay under. *)
+let soak_headroom_s1 = 600_000
+
+let soak_headroom_depth = 2
+
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (logical-clock facts only)                           *)
 (* ------------------------------------------------------------------ *)
@@ -143,60 +188,190 @@ let outcome_fields = function
   | Some (Service.Rejected r) ->
     [ ("outcome", Json.String "rejected");
       ("reason", Json.String (Service.reject_reason_name r)) ]
+  | Some Service.Cancelled -> [ ("outcome", Json.String "cancelled") ]
 
 (* The counters object is rendered from the registry's sample type (the
    same path `repro metrics` exposes); [Service.counter_samples] keeps the
    exact key set and order this report has always had. *)
 let counters_json svc = Registry.Snapshot.to_flat_json (Service.counter_samples svc)
 
-let config_json ~policy_name ~queue_capacity ~with_quota =
+let config_json ~policy_name ~with_quota ~tenants ~ladder =
+  Json.Assoc
+    ([
+       ("policy", Json.String policy_name);
+       ( "tenants",
+         Json.List
+           (List.map
+              (fun (tn : Tenant.t) ->
+                 Json.Assoc
+                   [
+                     ("name", Json.String tn.Tenant.name);
+                     ("weight", Json.Int tn.Tenant.weight);
+                     ("queue_bound", Json.Int tn.Tenant.queue_bound);
+                   ])
+              tenants) );
+       ( "retry",
+         Json.Assoc
+           [
+             ("max_attempts", Json.Int soak_retry.Retry.max_attempts);
+             ("base_delay", Json.Int soak_retry.Retry.base_delay);
+             ("max_delay", Json.Int soak_retry.Retry.max_delay);
+           ] );
+       ( "breaker",
+         Json.Assoc
+           [
+             ("failure_threshold", Json.Int soak_breaker.Breaker.failure_threshold);
+             ("cooldown", Json.Int soak_breaker.Breaker.cooldown);
+             ("probe_budget", Json.Int soak_breaker.Breaker.probe_budget);
+           ] );
+       ( "quota_ctl",
+         if with_quota then
+           Json.Assoc
+             [
+               ("k_init", Json.Int soak_quota.Quota_ctl.k_init);
+               ("k_min", Json.Int soak_quota.Quota_ctl.k_min);
+               ("k_max", Json.Int soak_quota.Quota_ctl.k_max);
+               ("high_watermark", Json.Int soak_quota.Quota_ctl.high_watermark);
+               ("low_watermark", Json.Int soak_quota.Quota_ctl.low_watermark);
+               ("recover_steps", Json.Int soak_quota.Quota_ctl.recover_steps);
+             ]
+         else Json.Null );
+     ]
+     @
+     match ladder with
+     | None -> []
+     | Some (l : Ladder.config) ->
+       [
+         ( "ladder",
+           Json.Assoc
+             [
+               ("coalesce_at", Json.Int l.Ladder.coalesce_at);
+               ("shed_at", Json.Int l.Ladder.shed_at);
+               ("break_at", Json.Int l.Ladder.break_at);
+               ("calm_steps", Json.Int l.Ladder.calm_steps);
+             ] );
+       ])
+
+let quantile_json h =
+  let q p = match Stats.Histogram.quantile h p with Some v -> Json.Float v | None -> Json.Null in
   Json.Assoc
     [
-      ("policy", Json.String policy_name);
-      ("queue_capacity", Json.Int queue_capacity);
-      ( "retry",
-        Json.Assoc
-          [
-            ("max_attempts", Json.Int soak_retry.Retry.max_attempts);
-            ("base_delay", Json.Int soak_retry.Retry.base_delay);
-            ("max_delay", Json.Int soak_retry.Retry.max_delay);
-          ] );
-      ( "breaker",
-        Json.Assoc
-          [
-            ("failure_threshold", Json.Int soak_breaker.Breaker.failure_threshold);
-            ("cooldown", Json.Int soak_breaker.Breaker.cooldown);
-            ("probe_budget", Json.Int soak_breaker.Breaker.probe_budget);
-          ] );
-      ( "quota_ctl",
-        if with_quota then
-          Json.Assoc
-            [
-              ("k_init", Json.Int soak_quota.Quota_ctl.k_init);
-              ("k_min", Json.Int soak_quota.Quota_ctl.k_min);
-              ("k_max", Json.Int soak_quota.Quota_ctl.k_max);
-              ("high_watermark", Json.Int soak_quota.Quota_ctl.high_watermark);
-              ("low_watermark", Json.Int soak_quota.Quota_ctl.low_watermark);
-              ("recover_steps", Json.Int soak_quota.Quota_ctl.recover_steps);
-            ]
-        else Json.Null );
+      ("count", Json.Int (Stats.Histogram.count h));
+      ("p50", q 0.5);
+      ("p90", q 0.9);
+      ("p99", q 0.99);
     ]
 
+let tenant_json (ts : Service.tenant_stats) =
+  Json.Assoc
+    [
+      ("name", Json.String ts.Service.ts_name);
+      ("weight", Json.Int ts.Service.ts_weight);
+      ("queue_bound", Json.Int ts.Service.ts_bound);
+      ("accepted", Json.Int ts.Service.ts_accepted);
+      ("coalesced", Json.Int ts.Service.ts_coalesced);
+      ("completions", Json.Int ts.Service.ts_completions);
+      ("failures", Json.Int ts.Service.ts_failures);
+      ("cancelled", Json.Int ts.Service.ts_cancelled);
+      ( "rejected",
+        Json.Assoc
+          [
+            ("queue_full", Json.Int ts.Service.ts_rejected_queue_full);
+            ("breaker_open", Json.Int ts.Service.ts_rejected_breaker_open);
+            ("memory_pressure", Json.Int ts.Service.ts_rejected_memory_pressure);
+            ("overloaded", Json.Int ts.Service.ts_rejected_overloaded);
+          ] );
+      ( "first_shed_step",
+        match ts.Service.ts_first_shed with None -> Json.Null | Some s -> Json.Int s );
+      ("peak_depth", Json.Int ts.Service.ts_peak_depth);
+      ("latency_steps", quantile_json ts.Service.ts_latency);
+      ( "quota",
+        match ts.Service.ts_quota with None -> Json.Null | Some k -> Json.Int k );
+      ( "quota_trajectory",
+        Json.List
+          (List.map
+             (fun (s, k) -> Json.List [ Json.Int s; Json.Int k ])
+             ts.Service.ts_quota_trajectory) );
+    ]
+
+let ladder_json svc =
+  Json.Assoc
+    [
+      ("final", Json.String (Ladder.level_name (Service.ladder_level svc)));
+      ( "transitions",
+        Json.List
+          (List.map
+             (fun (s, lvl) -> Json.List [ Json.Int s; Json.String (Ladder.level_name lvl) ])
+             (Service.ladder_transitions svc)) );
+    ]
+
+let headroom_json svc =
+  let h = Service.headroom svc in
+  let peak = Headroom.peak h and budget = Headroom.budget h in
+  Json.Assoc
+    [
+      ("peak_bytes", Json.Int peak);
+      ("budget_bytes", Json.Int budget);
+      ("within_budget", Json.Bool (peak <= budget));
+    ]
+
+let ledger_json entries =
+  Json.List
+    (List.map
+       (fun (e : Service.entry) ->
+          Json.Assoc
+            ([
+               ("job", Json.Int e.Service.job);
+               ("tenant", Json.String e.Service.tenant);
+               ("class", Json.String e.Service.class_);
+               ("attempts", Json.Int e.Service.attempts);
+               ("requeues", Json.Int e.Service.requeues);
+             ]
+             @ outcome_fields e.Service.outcome))
+       entries)
+
+let breaker_json svc =
+  Json.List
+    (List.map
+       (fun (s, cl, st) -> Json.List [ Json.Int s; Json.String cl; Json.String st ])
+       (Service.breaker_transitions svc))
+
+let write_report ~json_out report =
+  match json_out with
+  | None -> ()
+  | Some path ->
+    (try
+       let oc = open_out path in
+       Json.to_channel oc report;
+       output_char oc '\n';
+       close_out oc
+     with Sys_error m ->
+       Printf.eprintf "repro: cannot write %s: %s\n" path m;
+       exit 1);
+    Printf.printf "report: %s\n" path
+
+let finish ~violations =
+  List.iter (fun m -> Printf.printf "  VIOLATION: %s\n" m) violations;
+  if violations = [] then begin
+    print_endline "soak: PASS";
+    0
+  end
+  else begin
+    print_endline "soak: FAIL";
+    1
+  end
+
 (* ------------------------------------------------------------------ *)
-(* The campaign                                                        *)
+(* The single-tenant fault campaign                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_dir =
-  if duration < 12 then begin
-    prerr_endline "repro soak: --duration-steps must be at least 12";
-    exit 2
-  end;
+let run_fault_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_dir =
   let dfd = policy = `Dfd in
   let pool_policy =
     if dfd then Pool.Dfdeques { quota = soak_quota.Quota_ctl.k_init } else Pool.Work_stealing
   in
   let policy_name = if dfd then "dfd" else "ws" in
-  let queue_capacity = 8 in
+  let tenants = [ Tenant.make ~weight:1 ~queue_bound:8 "default" ] in
   let wedge_flags : (int, bool Atomic.t) Hashtbl.t = Hashtbl.create 8 in
   let on_pool_retired ~in_flight =
     match in_flight with
@@ -209,7 +384,8 @@ let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_dir =
   let config =
     {
       Service.seed;
-      queue_capacity;
+      tenants;
+      ladder = Ladder.default_config;
       retry = soak_retry;
       breaker = soak_breaker;
       quota_ctl = (if dfd then Some soak_quota else None);
@@ -241,16 +417,17 @@ let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_dir =
              (* the release flag must be findable by the id [submit]
                 assigns, so the respawn callback can free the stuck task *)
              let flag = Atomic.make false in
-             let result = Service.submit svc ~class_ (wedge_body flag) in
+             let result = Service.admission (Service.submit svc ~class_ (wedge_body flag)) in
              (match result with
               | Ok id -> Hashtbl.replace wedge_flags id flag
               | Error _ -> ());
              result
-           | Ok_job -> Service.submit svc ~class_ ok_body
-           | Spike -> Service.submit svc ~class_ spike_body
-           | Exn -> Service.submit svc ~class_ exn_body
-           | Flaky -> Service.submit svc ~class_ (flaky_body (Atomic.make false))
-           | Slow -> Service.submit svc ~class_ ?deadline slow_body
+           | Ok_job -> Service.admission (Service.submit svc ~class_ ok_body)
+           | Spike -> Service.admission (Service.submit svc ~class_ spike_body)
+           | Exn -> Service.admission (Service.submit svc ~class_ exn_body)
+           | Flaky ->
+             Service.admission (Service.submit svc ~class_ (flaky_body (Atomic.make false)))
+           | Slow -> Service.admission (Service.submit svc ~class_ ?deadline slow_body)
          in
          submissions := (s, kind, result) :: !submissions)
       (schedule plan ~duration s);
@@ -297,7 +474,8 @@ let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_dir =
                    | Some Service.Completed -> "completed"
                    | Some (Service.Failed m) -> "failed: " ^ m
                    | Some (Service.Rejected r) ->
-                     "rejected: " ^ Service.reject_reason_name r)
+                     "rejected: " ^ Service.reject_reason_name r
+                   | Some Service.Cancelled -> "cancelled")
             in
             let completed = function Service.Completed -> true | _ -> false in
             let failed = function Service.Failed _ -> true | _ -> false in
@@ -349,7 +527,7 @@ let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_dir =
         ("plan", Json.String (plan_name plan));
         ("duration_steps", Json.Int duration);
         ("final_step", Json.Int (Service.now svc));
-        ("config", config_json ~policy_name ~queue_capacity ~with_quota:dfd);
+        ("config", config_json ~policy_name ~with_quota:dfd ~tenants ~ladder:None);
         ( "submissions",
           Json.List
             (List.map
@@ -363,28 +541,11 @@ let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_dir =
                        [ ("accepted", Json.Bool false);
                          ("reason", Json.String (Service.reject_reason_name r)) ]))
                submissions) );
-        ( "ledger",
-          Json.List
-            (List.map
-               (fun (e : Service.entry) ->
-                  Json.Assoc
-                    ([
-                       ("job", Json.Int e.Service.job);
-                       ("class", Json.String e.Service.class_);
-                       ("attempts", Json.Int e.Service.attempts);
-                       ("requeues", Json.Int e.Service.requeues);
-                     ]
-                     @ outcome_fields e.Service.outcome))
-               entries) );
+        ("ledger", ledger_json entries);
         ( "quota_trajectory",
           Json.List
             (List.map (fun (s, k) -> Json.List [ Json.Int s; Json.Int k ]) quota_traj) );
-        ( "breaker_transitions",
-          Json.List
-            (List.map
-               (fun (s, cl, st) ->
-                  Json.List [ Json.Int s; Json.String cl; Json.String st ])
-               breaker_trans) );
+        ("breaker_transitions", breaker_json svc);
         ("counters", counters_json svc);
         ( "metrics",
           Json.Assoc
@@ -411,32 +572,300 @@ let run_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_dir =
       ]
   in
   Service.shutdown ~reap:true svc;
-  (match json_out with
-   | None -> ()
-   | Some path ->
-     (try
-        let oc = open_out path in
-        Json.to_channel oc report;
-        output_char oc '\n';
-        close_out oc
-      with Sys_error m ->
-        Printf.eprintf "repro: cannot write %s: %s\n" path m;
-        exit 1);
-     Printf.printf "report: %s\n" path);
+  write_report ~json_out report;
   Printf.printf
     "soak[%s/%s]: %d submitted (%d accepted, %d shed), %d completed, %d failed, %d retries, %d \
      timeouts, %d wedges -> %d respawns, %d quota moves, %d breaker transitions\n"
     (plan_name plan) policy_name (List.length submissions) c.Service.accepted
     (c.Service.rejected_queue_full + c.Service.rejected_breaker_open
-     + c.Service.rejected_memory_pressure)
+     + c.Service.rejected_memory_pressure + c.Service.rejected_overloaded)
     c.Service.completions c.Service.failures c.Service.retries c.Service.timeouts
     c.Service.wedges c.Service.respawns (List.length quota_traj) (List.length breaker_trans);
-  List.iter (fun m -> Printf.printf "  VIOLATION: %s\n" m) violations;
-  if passed then begin
-    print_endline "soak: PASS";
-    0
-  end
-  else begin
-    print_endline "soak: FAIL";
-    1
-  end
+  finish ~violations
+
+(* ------------------------------------------------------------------ *)
+(* The multi-tenant open-loop campaign                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-step arrivals for one tenant, drawn from its own stream so adding
+   a tenant never shifts another's schedule.  Rates are per-mille per
+   step; in bully mode bronze offers a deterministic 2 plus a coin for a
+   third — roughly 10x its normal 0.25/step. *)
+let arrivals mode tenant rng =
+  let bernoulli rate = if Prng.int rng 1000 < rate then 1 else 0 in
+  match (tenant, mode) with
+  | "gold", _ -> bernoulli 250
+  | "silver", _ -> bernoulli 220
+  | "bronze", T_bully -> 2 + bernoulli 500
+  | "bronze", _ -> bernoulli 250
+  | _ -> 0
+
+type t_submission = {
+  u_step : int;
+  u_tenant : string;
+  u_class : string;
+  u_result : (int, Service.reject_reason) result;
+  u_coalesced : bool;
+}
+
+let run_tenant_soak ~seed ~duration ~mode ~policy ~wedge_grace ~json_out ~flight_dir =
+  let dfd = policy = `Dfd in
+  let pool_policy =
+    if dfd then Pool.Dfdeques { quota = soak_quota.Quota_ctl.k_init } else Pool.Work_stealing
+  in
+  let policy_name = if dfd then "dfd" else "ws" in
+  let config =
+    {
+      Service.seed;
+      tenants = soak_tenants;
+      ladder = soak_ladder;
+      retry = soak_retry;
+      breaker = soak_breaker;
+      quota_ctl = (if dfd then Some soak_quota else None);
+      default_deadline = None;
+      wedge_grace;
+      domains = 2;
+      max_respawns = 4;
+      on_pool_retired = None;
+    }
+  in
+  let svc =
+    Service.create ?flight_dir ~headroom_s1:soak_headroom_s1
+      ~headroom_depth:soak_headroom_depth ~config pool_policy
+  in
+  let master = Prng.create seed in
+  let streams =
+    List.map (fun (tn : Tenant.t) -> (tn.Tenant.name, Prng.split master)) soak_tenants
+  in
+  let submissions = ref [] in
+  let bronze_jobs = ref 0 in
+  let submit_one ~s tenant =
+    (* class, body and coalescing key per tenant: gold is plain load;
+       silver bursts a duplicate-keyed pair every 7th step (coalescing
+       fodder); bronze in bully mode offers distinct non-idempotent jobs
+       (a bully's flood must pile up, not coalesce away) and laces every
+       4th with an allocation spike that only its own K controller
+       should feel *)
+    let class_, key, body =
+      match tenant with
+      | "gold" -> ("ok", None, ok_body)
+      | "silver" ->
+        if s mod 7 = 3 then ("dup", Some (Printf.sprintf "silver-%d" s), ok_body)
+        else ("ok", None, ok_body)
+      | _ ->
+        incr bronze_jobs;
+        if mode = T_bully then
+          if !bronze_jobs mod 4 = 0 then ("spike", None, spike_body)
+          else ("bully", None, ok_body)
+        else ("ok", None, ok_body)
+    in
+    let before = (Service.counters svc).Service.coalesced in
+    let h = Service.submit svc ~tenant ~class_ ?key body in
+    let coalesced = (Service.counters svc).Service.coalesced > before in
+    submissions :=
+      {
+        u_step = s;
+        u_tenant = tenant;
+        u_class = class_;
+        u_result = Service.admission h;
+        u_coalesced = coalesced;
+      }
+      :: !submissions
+  in
+  for s = 1 to duration do
+    List.iter
+      (fun (name, rng) ->
+         let n = arrivals mode name rng in
+         let n = if name = "silver" && s mod 7 = 3 then n + 1 else n in
+         for _ = 1 to n do
+           submit_one ~s name
+         done)
+      streams;
+    Service.step svc
+  done;
+  Service.drive ~max_steps:(duration * 20) svc;
+  let submissions = List.rev !submissions in
+  let idle = Service.idle svc in
+  let c = Service.counters svc in
+  let entries = Service.ledger svc in
+  let stats = Service.tenant_stats svc in
+  let stat name = List.find (fun ts -> ts.Service.ts_name = name) stats in
+  let bronze = stat "bronze" and gold = stat "gold" and silver = stat "silver" in
+  (* ---- the oracle ---- *)
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  if not idle then violate "service not idle after drain";
+  (match Service.verify_ledger svc with
+   | Ok () -> ()
+   | Error m -> violate "ledger audit failed: %s" m);
+  if c.Service.duplicate_acks <> 0 then
+    violate "%d duplicate acknowledgements" c.Service.duplicate_acks;
+  (* every lane must stay within its configured bound, bully or not *)
+  List.iter
+    (fun ts ->
+       if ts.Service.ts_peak_depth > ts.Service.ts_bound then
+         violate "tenant %s peak queue depth %d exceeds bound %d" ts.Service.ts_name
+           ts.Service.ts_peak_depth ts.Service.ts_bound)
+    stats;
+  (* the per-attempt allocation peak must respect the Theorem-4.4 budget *)
+  let h = Service.headroom svc in
+  if Headroom.peak h > Headroom.budget h then
+    violate "headroom peak %d bytes exceeds Theorem-4.4 budget %d" (Headroom.peak h)
+      (Headroom.budget h);
+  (* victims complete >= 99% of their admitted work (coalesced riders
+     complete through their primary, so they count on both sides) *)
+  let completion_ratio ts =
+    let offered = ts.Service.ts_accepted + ts.Service.ts_coalesced in
+    if offered = 0 then 1.0 else float_of_int ts.Service.ts_completions /. float_of_int offered
+  in
+  List.iter
+    (fun ts ->
+       if completion_ratio ts < 0.99 then
+         violate "victim tenant %s completion ratio %.3f < 0.99" ts.Service.ts_name
+           (completion_ratio ts))
+    [ gold; silver ];
+  (match mode with
+   | T_bully ->
+     (* the ladder must have shed, and the bully strictly first *)
+     (match bronze.Service.ts_first_shed with
+      | None -> violate "bully was never shed by the overload ladder"
+      | Some bs ->
+        List.iter
+          (fun ts ->
+             match ts.Service.ts_first_shed with
+             | Some vs when vs <= bs ->
+               violate "victim %s shed at step %d, not after the bully (step %d)"
+                 ts.Service.ts_name vs bs
+             | _ -> ())
+          [ gold; silver ]);
+     if not (List.exists (fun (_, l) -> l = Ladder.Shed) (Service.ladder_transitions svc)) then
+       violate "ladder never reached the Shed rung under bully load";
+     if c.Service.coalesced = 0 then violate "no duplicate submission was coalesced under overload";
+     (* victims' tail latency stays bounded: DRR guarantees their share *)
+     List.iter
+       (fun ts ->
+          match Stats.Histogram.quantile ts.Service.ts_latency 0.99 with
+          | Some p99 when p99 > 20.0 ->
+            violate "victim %s p99 latency %.1f steps exceeds 20" ts.Service.ts_name p99
+          | _ -> ())
+       [ gold; silver ];
+     if dfd then begin
+       (* isolation of the K budgets: the bully's controller shrank,
+          the victims' never dipped below their initial K *)
+       if
+         not
+           (List.exists
+              (fun (_, k) -> k < soak_quota.Quota_ctl.k_init)
+              bronze.Service.ts_quota_trajectory)
+       then violate "bully's K never shrank despite allocation spikes";
+       List.iter
+         (fun ts ->
+            if
+              List.exists
+                (fun (_, k) -> k < soak_quota.Quota_ctl.k_init)
+                ts.Service.ts_quota_trajectory
+            then violate "victim %s's K dipped below k_init" ts.Service.ts_name)
+         [ gold; silver ]
+     end
+   | T_normal | T_off ->
+     (* under normal load nothing is shed anywhere; a transient Coalesce
+        blip on a small burst is benign, the Shed rung is not *)
+     let rejections ts =
+       ts.Service.ts_rejected_queue_full + ts.Service.ts_rejected_breaker_open
+       + ts.Service.ts_rejected_memory_pressure + ts.Service.ts_rejected_overloaded
+     in
+     List.iter
+       (fun ts ->
+          if rejections ts > 0 then
+            violate "tenant %s saw %d rejections under normal load" ts.Service.ts_name
+              (rejections ts))
+       stats;
+     if
+       List.exists
+         (fun (_, l) -> Ladder.level_index l >= Ladder.level_index Ladder.Shed)
+         (Service.ladder_transitions svc)
+     then violate "ladder reached the Shed rung under normal load");
+  let violations = List.rev !violations in
+  let passed = violations = [] in
+  (* the global latency distribution is the merge of the per-tenant
+     histograms — same observations, no re-binning *)
+  let merged =
+    List.fold_left
+      (fun acc ts -> Stats.Histogram.merge acc ts.Service.ts_latency)
+      (Stats.Histogram.create ()) stats
+  in
+  let report =
+    Json.Assoc
+      [
+        ("seed", Json.Int seed);
+        ("plan", Json.String (tenant_mode_name mode));
+        ("duration_steps", Json.Int duration);
+        ("final_step", Json.Int (Service.now svc));
+        ( "config",
+          config_json ~policy_name ~with_quota:dfd ~tenants:soak_tenants
+            ~ladder:(Some soak_ladder) );
+        ( "submissions",
+          Json.List
+            (List.map
+               (fun u ->
+                  Json.Assoc
+                    ([
+                       ("step", Json.Int u.u_step);
+                       ("tenant", Json.String u.u_tenant);
+                       ("kind", Json.String u.u_class);
+                     ]
+                     @
+                     match u.u_result with
+                     | Ok id ->
+                       [
+                         ("accepted", Json.Bool true);
+                         ("job", Json.Int id);
+                         ("coalesced", Json.Bool u.u_coalesced);
+                       ]
+                     | Error r ->
+                       [
+                         ("accepted", Json.Bool false);
+                         ("reason", Json.String (Service.reject_reason_name r));
+                       ]))
+               submissions) );
+        ("tenants", Json.List (List.map tenant_json stats));
+        ("latency_all_steps", quantile_json merged);
+        ("ladder", ladder_json svc);
+        ("headroom", headroom_json svc);
+        ("ledger", ledger_json entries);
+        ("breaker_transitions", breaker_json svc);
+        ("counters", counters_json svc);
+        ( "checks",
+          Json.Assoc
+            [
+              ("ledger_verified", Json.Bool (Service.verify_ledger svc = Ok ()));
+              ("violations", Json.List (List.map (fun m -> Json.String m) violations));
+              ("all_passed", Json.Bool passed);
+            ] );
+      ]
+  in
+  Service.shutdown ~reap:true svc;
+  write_report ~json_out report;
+  Printf.printf
+    "soak[%s/%s]: %d submitted (%d accepted, %d coalesced, %d shed), %d completed, %d failed; \
+     ladder %s with %d shifts; bully first shed %s\n"
+    (tenant_mode_name mode) policy_name (List.length submissions) c.Service.accepted
+    c.Service.coalesced
+    (c.Service.rejected_queue_full + c.Service.rejected_breaker_open
+     + c.Service.rejected_memory_pressure + c.Service.rejected_overloaded)
+    c.Service.completions c.Service.failures
+    (Ladder.level_name (Service.ladder_level svc))
+    (List.length (Service.ladder_transitions svc))
+    (match bronze.Service.ts_first_shed with
+     | Some s -> Printf.sprintf "at step %d" s
+     | None -> "never");
+  finish ~violations
+
+let run_soak ~seed ~duration ~plan ~tenants ~policy ~wedge_grace ~json_out ~flight_dir =
+  if duration < 12 then begin
+    prerr_endline "repro soak: --duration-steps must be at least 12";
+    exit 2
+  end;
+  match tenants with
+  | T_off -> run_fault_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_dir
+  | mode -> run_tenant_soak ~seed ~duration ~mode ~policy ~wedge_grace ~json_out ~flight_dir

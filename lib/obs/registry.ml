@@ -185,6 +185,29 @@ let split_labeled name =
       labels;
     (base, Some labels)
 
+let labeled base labels =
+  let escape v =
+    let buf = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+         match c with
+         | '\\' -> Buffer.add_string buf "\\\\"
+         | '"' -> Buffer.add_string buf "\\\""
+         | '\n' -> Buffer.add_string buf "\\n"
+         | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+  in
+  let name =
+    match labels with
+    | [] -> base
+    | _ ->
+      Printf.sprintf "%s{%s}" base
+        (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) labels))
+  in
+  ignore (split_labeled name);
+  name
+
 let register t name ~help ~stable ~kind make =
   ignore (split_labeled name);
   Mutex.protect t.lock (fun () ->

@@ -118,6 +118,13 @@ val hist_of_stats : Dfd_structures.Stats.Histogram.t -> hist
 (** Bridge a simulator histogram into the snapshot shape (bucket bounds
     coincide by construction). *)
 
+val labeled : string -> (string * string) list -> string
+(** [labeled "fam" [("tenant", "gold")]] -> ["fam{tenant=\"gold\"}"]:
+    build a labelled metric name, escaping backslash, quote and newline
+    in label values.  The result is validated with {!split_labeled}, so
+    a name this returns always registers and renders cleanly.  An empty
+    label list returns the bare family name. *)
+
 val split_labeled : string -> string * string option
 (** ["fam{k=\"v\"}"] -> [("fam", Some "k=\"v\"")]; plain names map to
     [(name, None)].  Raises [Invalid_argument] on names the renderer could

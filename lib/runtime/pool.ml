@@ -740,8 +740,15 @@ let drain pool =
     end
   done
 
-let run ?timeout pool f =
+let run ?timeout ?quota pool f =
   (match self () with Some _ -> raise Nested_run | None -> ());
+  (match quota with
+   | None -> ()
+   | Some k ->
+     if k <= 0 then invalid_arg "Pool.run: quota must be positive";
+     (match pool.policy with
+      | Work_stealing -> invalid_arg "Pool.run: Work_stealing pool has no quota"
+      | Dfdeques _ -> Atomic.set pool.dfd_quota k));
   let ctx = Domain.DLS.get worker_key in
   ctx := Some (0, pool);
   Atomic.set pool.cancelled false;

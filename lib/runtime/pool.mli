@@ -106,10 +106,17 @@ val create :
     per-worker bounded rings that a supervisor dumps on [Timeout],
     watchdog kill or give-up — without enabling full tracing. *)
 
-val run : ?timeout:float -> t -> (unit -> 'a) -> 'a
+val run : ?timeout:float -> ?quota:int -> t -> (unit -> 'a) -> 'a
 (** Execute a task (and all the parallel work it forks) to completion on
     the pool; the calling thread works too.  Re-entrant calls from inside
     pool tasks raise {!Nested_run}.
+
+    [quota]: apply this memory threshold K (bytes) for the run — exactly
+    {!set_quota} performed atomically with the run's start, so a
+    multi-tenant driver can give each dispatched job its own tenant's K
+    budget.  The value persists after the run (the next caller sets its
+    own).  Raises [Invalid_argument] on a {!Work_stealing} pool or a
+    non-positive quota, like {!set_quota}.
 
     [timeout] (seconds, wall clock): cancel the computation and raise
     {!Timeout} once the deadline passes.  Cancellation is cooperative —

@@ -13,6 +13,8 @@ type t = {
   mutable opened_at : int;
   mutable probes_inflight : int;
   mutable probe_successes : int;
+  mutable generation : int;  (** bumped on every state change *)
+  mutable stale : int;  (** results ignored because their window had closed *)
   mutable trans : (int * state) list;  (** newest first *)
 }
 
@@ -27,11 +29,14 @@ let create cfg =
     opened_at = 0;
     probes_inflight = 0;
     probe_successes = 0;
+    generation = 0;
+    stale = 0;
     trans = [];
   }
 
 let goto t ~now st =
   t.st <- st;
+  t.generation <- t.generation + 1;
   t.trans <- (now, st) :: t.trans
 
 (* Lazy open → half-open transition: there is no timer thread, so an
@@ -47,6 +52,10 @@ let state t ~now =
   sync t ~now;
   t.st
 
+let generation t = t.generation
+
+let stale_results t = t.stale
+
 let admit t ~now =
   sync t ~now;
   match t.st with
@@ -59,32 +68,52 @@ let admit t ~now =
     end
     else false
 
-let record_success t ~now =
+(* Every record_* decision is taken under ONE logical-clock read: sync
+   first (the only clock-driven transition), then compare the result's
+   admission generation against the post-sync generation.  A result
+   admitted under an older window — e.g. a job accepted while Closed
+   whose failure lands during a later Half_open probe window, or a
+   probe from a previous Half_open window — must neither consume the
+   fresh probe budget nor reopen the breaker; it is counted stale and
+   dropped.  Without the guard, two such decoupled results could both
+   debit the single probe budget or flap the state on ancient news. *)
+let fresh t ~now gen =
   sync t ~now;
-  match t.st with
-  | Closed -> t.streak <- 0
-  | Open -> ()  (* a late ack from before the trip; nothing to do *)
-  | Half_open ->
-    t.probes_inflight <- max 0 (t.probes_inflight - 1);
-    t.probe_successes <- t.probe_successes + 1;
-    if t.probe_successes >= t.cfg.probe_budget then begin
-      t.streak <- 0;
-      goto t ~now Closed
+  match gen with
+  | None -> true
+  | Some g ->
+    if g = t.generation then true
+    else begin
+      t.stale <- t.stale + 1;
+      false
     end
 
-let record_failure t ~now =
-  sync t ~now;
-  match t.st with
-  | Closed ->
-    t.streak <- t.streak + 1;
-    if t.streak >= t.cfg.failure_threshold then begin
+let record_success ?gen t ~now =
+  if fresh t ~now gen then
+    match t.st with
+    | Closed -> t.streak <- 0
+    | Open -> ()  (* a late ack from before the trip; nothing to do *)
+    | Half_open ->
+      t.probes_inflight <- max 0 (t.probes_inflight - 1);
+      t.probe_successes <- t.probe_successes + 1;
+      if t.probe_successes >= t.cfg.probe_budget then begin
+        t.streak <- 0;
+        goto t ~now Closed
+      end
+
+let record_failure ?gen t ~now =
+  if fresh t ~now gen then
+    match t.st with
+    | Closed ->
+      t.streak <- t.streak + 1;
+      if t.streak >= t.cfg.failure_threshold then begin
+        t.opened_at <- now;
+        goto t ~now Open
+      end
+    | Open -> ()
+    | Half_open ->
+      (* a failed probe reopens with a fresh cooldown *)
       t.opened_at <- now;
       goto t ~now Open
-    end
-  | Open -> ()
-  | Half_open ->
-    (* a failed probe reopens with a fresh cooldown *)
-    t.opened_at <- now;
-    goto t ~now Open
 
 let transitions t = List.rev t.trans

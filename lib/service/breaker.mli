@@ -1,4 +1,4 @@
-(** Per-job-class circuit breaker: closed → open → half-open → closed.
+(** Per-(tenant, class) circuit breaker: closed → open → half-open → closed.
 
     Fed by the service's failure/timeout and success counters, clocked by
     the service's {e logical} step clock (never wall time, so breaker
@@ -12,6 +12,18 @@
     - {b Half_open} — after the cooldown, up to [probe_budget] in-flight
       probes are admitted.  Any probe failure reopens (fresh cooldown);
       [probe_budget] successes close the breaker and clear the streak.
+
+    {b Generations.}  With the non-blocking front door, results arrive
+    long after admission: a job admitted while Closed can fail during a
+    later Half_open window, and a probe from one Half_open window can
+    resolve inside the next.  Each state change bumps a generation
+    counter; the service captures {!generation} at admission and passes
+    it back to [record_*].  A result whose generation no longer matches
+    is {e stale}: it neither consumes the fresh probe budget nor flips
+    the state — it is counted in {!stale_results} and dropped.  Every
+    [record_*] decision happens under one logical-clock read ([sync]
+    then compare), so two concurrent decoupled results cannot both
+    debit the single probe budget.
 
     The breaker is driven from the single service driver, so it needs no
     synchronisation. *)
@@ -38,13 +50,25 @@ val state : t -> now:int -> state
 (** Current state at logical time [now] (an elapsed cooldown reads as
     {!Half_open} even before the first probe is admitted). *)
 
+val generation : t -> int
+(** The current admission window; bumped on every state change.  Read
+    it {e after} a successful {!admit} (which may itself complete an
+    elapsed cooldown) and hand it back to [record_*] with the result. *)
+
 val admit : t -> now:int -> bool
 (** May a job of this class be admitted at time [now]?  In half-open
     state, admission consumes one probe slot. *)
 
-val record_success : t -> now:int -> unit
+val record_success : ?gen:int -> t -> now:int -> unit
+(** Report a success.  When [gen] is given and no longer matches
+    {!generation} (after the clock sync), the result is stale: counted
+    and otherwise ignored. *)
 
-val record_failure : t -> now:int -> unit
+val record_failure : ?gen:int -> t -> now:int -> unit
+(** Report a failure; same staleness rule as {!record_success}. *)
+
+val stale_results : t -> int
+(** Results dropped because their admission window had closed. *)
 
 val transitions : t -> (int * state) list
 (** Every state change as [(step, new_state)], oldest first — the

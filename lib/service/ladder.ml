@@ -1,0 +1,67 @@
+type level = Accept | Coalesce | Shed | Break
+
+let level_name = function
+  | Accept -> "accept"
+  | Coalesce -> "coalesce"
+  | Shed -> "shed"
+  | Break -> "break"
+
+let level_index = function Accept -> 0 | Coalesce -> 1 | Shed -> 2 | Break -> 3
+
+let of_index = function 0 -> Accept | 1 -> Coalesce | 2 -> Shed | _ -> Break
+
+type config = { coalesce_at : int; shed_at : int; break_at : int; calm_steps : int }
+
+let default_config = { coalesce_at = 50; shed_at = 75; break_at = 90; calm_steps = 4 }
+
+let validate cfg =
+  if cfg.coalesce_at < 1 then invalid_arg "Ladder: coalesce_at must be >= 1";
+  if cfg.shed_at < cfg.coalesce_at then invalid_arg "Ladder: shed_at must be >= coalesce_at";
+  if cfg.break_at < cfg.shed_at then invalid_arg "Ladder: break_at must be >= shed_at";
+  if cfg.calm_steps < 1 then invalid_arg "Ladder: calm_steps must be >= 1"
+
+type t = {
+  cfg : config;
+  mutable lvl : level;
+  mutable calm : int;  (* consecutive samples below the current rung's entry bar *)
+  mutable trans : (int * level) list;  (* newest first *)
+}
+
+let create cfg =
+  validate cfg;
+  { cfg; lvl = Accept; calm = 0; trans = [] }
+
+(* The rung a raw signal maps to, ignoring hysteresis. *)
+let target_of t signal =
+  if signal >= t.cfg.break_at then Break
+  else if signal >= t.cfg.shed_at then Shed
+  else if signal >= t.cfg.coalesce_at then Coalesce
+  else Accept
+
+let goto t ~now lvl =
+  let from = t.lvl in
+  t.lvl <- lvl;
+  t.calm <- 0;
+  t.trans <- (now, lvl) :: t.trans;
+  Some (from, lvl)
+
+let observe t ~now ~occupancy_pct ~pressure_pct =
+  let signal = max occupancy_pct pressure_pct in
+  let target = target_of t signal in
+  let cur = level_index t.lvl and want = level_index target in
+  if want > cur then
+    (* degradation is immediate: overload cannot wait out a calm window *)
+    goto t ~now target
+  else if want < cur then begin
+    (* recovery is hysteretic and one rung at a time *)
+    t.calm <- t.calm + 1;
+    if t.calm >= t.cfg.calm_steps then goto t ~now (of_index (cur - 1)) else None
+  end
+  else begin
+    t.calm <- 0;
+    None
+  end
+
+let level t = t.lvl
+
+let transitions t = List.rev t.trans

@@ -1,0 +1,60 @@
+(** The overload backpressure ladder: graceful degradation in four rungs.
+
+    The front door never falls off a cliff — as load climbs, it walks
+    down an explicit ladder, and each rung sheds {e less important} work
+    first:
+
+    - {b Accept} — normal admission.
+    - {b Coalesce} — duplicate jobs (same tenant and idempotency key)
+      ride an already-queued primary instead of occupying a second
+      slot.  Cheap, lossless for idempotent work.
+    - {b Shed} — new submissions from the {e lowest-weight} tenant are
+      rejected ([Overloaded]); higher-weight tenants are still served.
+      The bully (which is what usually drove the queues up) pays first.
+    - {b Break} — only the highest-weight tenant is still admitted;
+      everything else is rejected.  The service keeps a heartbeat
+      instead of wedging.
+
+    The ladder is driven by two smoothed signals sampled once per
+    driver step: queue {e occupancy} (total queued jobs as a percentage
+    of the aggregate bound) and allocation {e pressure} (the headroom
+    profiler's bytes/step as a percentage of the Theorem 4.4 budget
+    rate).  The rung is the highest one whose threshold the combined
+    signal exceeds; [calm_steps] consecutive below-threshold samples
+    are required before climbing back up one rung (hysteresis), so the
+    ladder never flaps on a single quiet step.  All integer arithmetic
+    on the logical clock — trajectories are deterministic per seed. *)
+
+type level = Accept | Coalesce | Shed | Break
+
+val level_name : level -> string
+(** "accept" / "coalesce" / "shed" / "break". *)
+
+val level_index : level -> int
+(** Accept 0 … Break 3. *)
+
+type config = {
+  coalesce_at : int;  (** signal %% that enters Coalesce (0 < c <= s). *)
+  shed_at : int;  (** signal %% that enters Shed. *)
+  break_at : int;  (** signal %% that enters Break (s <= b <= 100+). *)
+  calm_steps : int;  (** consecutive calm samples before stepping back up (>= 1). *)
+}
+
+val default_config : config
+(** coalesce at 50%%, shed at 75%%, break at 90%%, 4 calm steps. *)
+
+val validate : config -> unit
+
+type t
+
+val create : config -> t
+
+val observe : t -> now:int -> occupancy_pct:int -> pressure_pct:int -> (level * level) option
+(** Feed one driver step's signals; returns [Some (from, to_)] when the
+    rung changed.  The effective signal is [max occupancy pressure]:
+    either full queues {e or} memory pressure is enough to degrade. *)
+
+val level : t -> level
+
+val transitions : t -> (int * level) list
+(** Every rung change as [(step, new_level)], oldest first. *)

@@ -5,19 +5,24 @@ module Registry = Dfd_obs.Registry
 module Openmetrics = Dfd_obs.Openmetrics
 module Flight = Dfd_obs.Flight
 module Headroom = Dfd_obs.Headroom
+module Stats = Dfd_structures.Stats
 
-type reject_reason = Queue_full | Breaker_open of string | Memory_pressure
+type reject_reason = Queue_full | Breaker_open of string | Memory_pressure | Overloaded
 
 let reject_reason_name = function
   | Queue_full -> "queue_full"
   | Breaker_open _ -> "breaker_open"
   | Memory_pressure -> "memory_pressure"
+  | Overloaded -> "overloaded"
 
-type outcome = Completed | Failed of string | Rejected of reject_reason
+type outcome = Completed | Failed of string | Rejected of reject_reason | Cancelled
+
+type handle = outcome Handle.t
 
 type config = {
   seed : int;
-  queue_capacity : int;
+  tenants : Tenant.t list;
+  ladder : Ladder.config;
   retry : Retry.policy;
   breaker : Breaker.config;
   quota_ctl : Quota_ctl.config option;
@@ -31,7 +36,8 @@ type config = {
 let default_config =
   {
     seed = 0;
-    queue_capacity = 64;
+    tenants = [ Tenant.default ];
+    ladder = Ladder.default_config;
     retry = Retry.default;
     breaker = Breaker.default_config;
     quota_ctl = None;
@@ -48,12 +54,31 @@ exception Supervisor_giveup of string
 (* Jobs and the executor protocol                                      *)
 (* ------------------------------------------------------------------ *)
 
+type ledger_slot = {
+  l_id : int;
+  l_tenant : string;
+  l_class : string;
+  mutable l_attempts : int;
+  mutable l_requeues : int;
+  mutable l_outcome : outcome option;
+  mutable l_acks : int;
+}
+
 type job = {
   id : int;
+  tenant : string;
   class_ : string;
+  key : string option;
   deadline : float option;
   work : unit -> unit;
   retry : Retry.t;
+  submitted_at : int;
+  bgen : int;  (** breaker generation captured at admission. *)
+  handle : handle;
+  mutable run_quota : int option;  (** tenant K, stamped by the driver at dispatch. *)
+  mutable followers : (ledger_slot * handle * int) list;
+      (** coalesced duplicates riding this job: (slot, handle,
+          submitted_at), newest first. *)
 }
 
 type exec_result =
@@ -91,7 +116,7 @@ let executor_loop ep =
     match Atomic.get ep.cell with
     | Assigned job ->
       let result =
-        match Pool.run ?timeout:job.deadline ep.pool job.work with
+        match Pool.run ?timeout:job.deadline ?quota:job.run_quota ep.pool job.work with
         | () -> R_done
         | exception Pool.Timeout -> R_timeout
         | exception Pool.Cancelled -> R_cancelled_leak
@@ -109,38 +134,73 @@ let executor_loop ep =
   loop 0
 
 (* ------------------------------------------------------------------ *)
-(* Ledger                                                              *)
+(* Ledger and per-tenant lanes                                         *)
 (* ------------------------------------------------------------------ *)
 
 type entry = {
   job : int;
+  tenant : string;
   class_ : string;
   attempts : int;
   requeues : int;
   outcome : outcome option;
 }
 
-type ledger_slot = {
-  l_id : int;
-  l_class : string;
-  mutable l_attempts : int;
-  mutable l_requeues : int;
-  mutable l_outcome : outcome option;
-  mutable l_acks : int;
-}
-
 type counters = {
   accepted : int;
+  coalesced : int;
   rejected_queue_full : int;
   rejected_breaker_open : int;
   rejected_memory_pressure : int;
+  rejected_overloaded : int;
   completions : int;
   failures : int;
+  cancelled : int;
   retries : int;
   timeouts : int;
   wedges : int;
   respawns : int;
   duplicate_acks : int;
+}
+
+type tenant_stats = {
+  ts_name : string;
+  ts_weight : int;
+  ts_bound : int;
+  ts_accepted : int;
+  ts_coalesced : int;
+  ts_completions : int;
+  ts_failures : int;
+  ts_cancelled : int;
+  ts_rejected_queue_full : int;
+  ts_rejected_breaker_open : int;
+  ts_rejected_memory_pressure : int;
+  ts_rejected_overloaded : int;
+  ts_first_shed : int option;
+  ts_peak_depth : int;
+  ts_latency : Stats.Histogram.t;
+  ts_quota : int option;
+  ts_quota_trajectory : (int * int) list;
+}
+
+(* One admission lane's bookkeeping; the queue itself lives in the
+   shared Fair_queue. *)
+type lane = {
+  tn : Tenant.t;
+  l_qctl : Quota_ctl.t option;
+  lat : Stats.Histogram.t;
+  mutable in_flight : int;  (* 0 or 1 *)
+  mutable pending_retries : int;
+  mutable a_accepted : int;
+  mutable a_coalesced : int;
+  mutable a_completions : int;
+  mutable a_failures : int;
+  mutable a_cancelled : int;
+  mutable a_rej_queue : int;
+  mutable a_rej_breaker : int;
+  mutable a_rej_memory : int;
+  mutable a_rej_overload : int;
+  mutable a_first_shed : int option;
 }
 
 type t = {
@@ -150,24 +210,31 @@ type t = {
   registry : Registry.t;  (** live telemetry; shared with every pool incarnation. *)
   headroom : Headroom.t;
       (** Theorem-4.4 gauges over the service's pool; also owns the
-          pressure baseline {!Quota_ctl.observe_headroom} consumes. *)
+          pressure baseline the quota tick consumes. *)
   flight_dir : string option;  (** where wedge/timeout/give-up dumps land. *)
   mutable epoch : epoch;
   mutable retired_epochs : epoch list;
   mutable clock : int;
-  mutable queue : job list;  (** FIFO; wedge requeues go to the front. *)
+  queue : job Fair_queue.t;  (** per-tenant bounded lanes, DRR dispatch. *)
   mutable pending : (int * job) list;  (** retries waiting for their due step. *)
-  breakers : (string, Breaker.t) Hashtbl.t;
-  qctl : Quota_ctl.t option;
+  lanes : (string, lane) Hashtbl.t;
+  lane_order : string list;  (** registration (= DRR) order. *)
+  coalesce : (string, job) Hashtbl.t;  (** (tenant NUL key) -> queued primary. *)
+  breakers : (string, Breaker.t) Hashtbl.t;  (** keyed (tenant NUL class). *)
+  ladder : Ladder.t;
   slots : (int, ledger_slot) Hashtbl.t;
   mutable next_id : int;
-  (* counters *)
+  mutable press_ewma : int;  (** 4:1 smoothed global alloc bytes/step, for the ladder. *)
+  (* global counters *)
   mutable c_accepted : int;
+  mutable c_coalesced : int;
   mutable c_rej_queue : int;
   mutable c_rej_breaker : int;
   mutable c_rej_memory : int;
+  mutable c_rej_overload : int;
   mutable c_completions : int;
   mutable c_failures : int;
+  mutable c_cancelled : int;
   mutable c_retries : int;
   mutable c_timeouts : int;
   mutable c_wedges : int;
@@ -175,28 +242,41 @@ type t = {
   mutable c_dup_acks : int;
 }
 
+let lane_of t name =
+  match Hashtbl.find_opt t.lanes name with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Service: unknown tenant %S" name)
+
+let lanes_in_order t = List.map (fun n -> Hashtbl.find t.lanes n) t.lane_order
+
 (* ------------------------------------------------------------------ *)
 (* Pool incarnations                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let effective_policy ~policy ~qctl =
-  match (policy, qctl) with
-  | Pool.Dfdeques _, Some qc -> Pool.Dfdeques { quota = Quota_ctl.quota qc }
-  | p, _ -> p
+let max_lane_quota lanes =
+  List.fold_left
+    (fun acc l -> match l.l_qctl with Some qc -> max acc (Quota_ctl.quota qc) | None -> acc)
+    0 lanes
 
-let spawn_raw_epoch ~domains ~policy ~qctl ~registry =
+let effective_policy ~policy ~k0 =
+  match policy with
+  | Pool.Dfdeques _ when k0 > 0 -> Pool.Dfdeques { quota = k0 }
+  | p -> p
+
+let spawn_raw_epoch ~domains ~policy ~k0 ~registry =
   let domains = max 0 domains in
   (* each incarnation gets a fresh flight ring (forensics belong to one
      pool's lifetime) but shares the registry, whose upsert registration
      keeps the dfd_pool_* series continuous across respawns *)
   let flight = Flight.create ~lanes:(domains + 1) () in
-  let pool = Pool.create ~domains ~registry ~flight (effective_policy ~policy ~qctl) in
+  let pool = Pool.create ~domains ~registry ~flight (effective_policy ~policy ~k0) in
   let ep = { pool; flight; cell = Atomic.make Idle; retired = Atomic.make false; exec = None } in
   ep.exec <- Some (Domain.spawn (fun () -> executor_loop ep));
   ep
 
 let spawn_epoch t =
-  let ep = spawn_raw_epoch ~domains:t.cfg.domains ~policy:t.policy ~qctl:t.qctl ~registry:t.registry in
+  let k0 = max_lane_quota (lanes_in_order t) in
+  let ep = spawn_raw_epoch ~domains:t.cfg.domains ~policy:t.policy ~k0 ~registry:t.registry in
   (* the fresh pool's alloc counter restarts at 0 *)
   Headroom.reset_pressure t.headroom;
   ep
@@ -210,49 +290,107 @@ let register_service_probes t =
   let r = t.registry in
   let c name help f = Registry.probe r ~stable:true ~kind:`Counter ~help name f in
   let g name help f = Registry.probe r ~stable:true ~kind:`Gauge ~help name f in
-  c "dfd_service_accepted_total" "Submissions admitted to the queue." (fun () -> t.c_accepted);
+  c "dfd_service_accepted_total" "Submissions admitted to a lane." (fun () -> t.c_accepted);
+  c "dfd_service_coalesced_total" "Duplicate submissions that rode a queued job." (fun () ->
+      t.c_coalesced);
   c "dfd_service_rejected_total{reason=\"queue_full\"}" "Submissions shed, by reason." (fun () ->
       t.c_rej_queue);
   c "dfd_service_rejected_total{reason=\"breaker_open\"}" "" (fun () -> t.c_rej_breaker);
   c "dfd_service_rejected_total{reason=\"memory_pressure\"}" "" (fun () -> t.c_rej_memory);
+  c "dfd_service_rejected_total{reason=\"overloaded\"}" "" (fun () -> t.c_rej_overload);
   c "dfd_service_completions_total" "Jobs acknowledged Completed." (fun () -> t.c_completions);
   c "dfd_service_failures_total" "Jobs acknowledged Failed (retry budget exhausted)." (fun () ->
       t.c_failures);
+  c "dfd_service_cancelled_total" "Jobs cancelled before they ran." (fun () -> t.c_cancelled);
   c "dfd_service_retries_total" "Re-attempts scheduled with backoff." (fun () -> t.c_retries);
   c "dfd_service_timeouts_total" "Attempts that hit their deadline." (fun () -> t.c_timeouts);
   c "dfd_service_wedges_total" "Pool incarnations declared wedged." (fun () -> t.c_wedges);
   c "dfd_service_respawns_total" "Fresh pool incarnations after a wedge." (fun () -> t.c_respawns);
   c "dfd_service_duplicate_acks_total" "Terminal acks refused (0 in a correct run)." (fun () ->
       t.c_dup_acks);
-  c "dfd_service_breaker_transitions_total" "Circuit-breaker state changes across classes."
+  c "dfd_service_breaker_transitions_total" "Circuit-breaker state changes across lanes."
     (fun () ->
       Hashtbl.fold (fun _ b acc -> acc + List.length (Breaker.transitions b)) t.breakers 0);
-  g "dfd_service_queue_depth" "Jobs queued, not yet dispatched." (fun () -> List.length t.queue);
+  c "dfd_service_breaker_stale_total" "Breaker results dropped as stale (window closed)."
+    (fun () -> Hashtbl.fold (fun _ b acc -> acc + Breaker.stale_results b) t.breakers 0);
+  c "dfd_service_ladder_transitions_total" "Backpressure ladder rung changes." (fun () ->
+      List.length (Ladder.transitions t.ladder));
+  g "dfd_service_ladder_level" "Current backpressure rung (0 accept .. 3 break)." (fun () ->
+      Ladder.level_index (Ladder.level t.ladder));
+  g "dfd_service_queue_depth" "Jobs queued across all lanes, not yet dispatched." (fun () ->
+      Fair_queue.total t.queue);
   g "dfd_service_pending_retries" "Retries waiting for their due step." (fun () ->
       List.length t.pending);
   g "dfd_service_clock" "The driver's logical clock (steps)." (fun () -> t.clock);
-  g "dfd_service_quota_bytes" "Current memory threshold K (0 under Work_stealing)." (fun () ->
-      match t.qctl with
-      | Some qc -> Quota_ctl.quota qc
-      | None -> ( match Pool.quota t.epoch.pool with Some k -> k | None -> 0))
+  g "dfd_service_quota_bytes" "Largest tenant memory threshold K (0 under Work_stealing)."
+    (fun () ->
+      match max_lane_quota (lanes_in_order t) with
+      | 0 -> ( match Pool.quota t.epoch.pool with Some k -> k | None -> 0)
+      | k -> k);
+  (* per-tenant lanes, labelled so OpenMetrics renders one family *)
+  List.iter
+    (fun name ->
+       let lane = Hashtbl.find t.lanes name in
+       let lbl fam = Registry.labeled fam [ ("tenant", name) ] in
+       c (lbl "dfd_tenant_accepted_total") "Per-tenant admissions." (fun () -> lane.a_accepted);
+       c (lbl "dfd_tenant_coalesced_total") "Per-tenant coalesced duplicates." (fun () ->
+           lane.a_coalesced);
+       c (lbl "dfd_tenant_completions_total") "Per-tenant completions." (fun () ->
+           lane.a_completions);
+       c (lbl "dfd_tenant_shed_total") "Per-tenant rejections, all reasons." (fun () ->
+           lane.a_rej_queue + lane.a_rej_breaker + lane.a_rej_memory + lane.a_rej_overload);
+       g (lbl "dfd_tenant_queue_depth") "Per-tenant queued jobs." (fun () ->
+           Fair_queue.depth t.queue name);
+       g (lbl "dfd_tenant_quota_bytes") "Per-tenant memory threshold K." (fun () ->
+           match lane.l_qctl with Some qc -> Quota_ctl.quota qc | None -> 0))
+    t.lane_order
 
 let create ?(tracer = Tracer.disabled) ?registry ?flight_dir ?headroom_s1 ?headroom_depth
     ?(config = default_config) policy =
-  if config.queue_capacity < 1 then invalid_arg "Service: queue_capacity must be >= 1";
+  Tenant.validate_all config.tenants;
+  Ladder.validate config.ladder;
   if config.wedge_grace <= 0.0 then invalid_arg "Service: wedge_grace must be positive";
   if config.max_respawns < 0 then invalid_arg "Service: max_respawns must be >= 0";
   Retry.validate config.retry;
   let registry = match registry with Some r -> r | None -> Registry.create () in
-  let qctl =
-    match (policy, config.quota_ctl) with
-    | Pool.Dfdeques _, Some qcfg -> Some (Quota_ctl.create qcfg)
-    | _ -> None
-  in
+  let queue = Fair_queue.create () in
+  let lanes = Hashtbl.create 8 in
+  let lane_order = List.map (fun (tn : Tenant.t) -> tn.name) config.tenants in
+  List.iter
+    (fun (tn : Tenant.t) ->
+       Fair_queue.add_tenant queue ~name:tn.name ~weight:tn.weight ~bound:tn.queue_bound;
+       let l_qctl =
+         match policy with
+         | Pool.Work_stealing -> None
+         | Pool.Dfdeques _ -> (
+           match (tn.quota, config.quota_ctl) with
+           | Some qcfg, _ | None, Some qcfg -> Some (Quota_ctl.create qcfg)
+           | None, None -> None)
+       in
+       Hashtbl.replace lanes tn.name
+         {
+           tn;
+           l_qctl;
+           lat = Stats.Histogram.create ();
+           in_flight = 0;
+           pending_retries = 0;
+           a_accepted = 0;
+           a_coalesced = 0;
+           a_completions = 0;
+           a_failures = 0;
+           a_cancelled = 0;
+           a_rej_queue = 0;
+           a_rej_breaker = 0;
+           a_rej_memory = 0;
+           a_rej_overload = 0;
+           a_first_shed = None;
+         })
+    config.tenants;
+  let lane_list = List.map (fun n -> Hashtbl.find lanes n) lane_order in
   let k0 =
-    match (qctl, policy) with
-    | Some qc, _ -> Quota_ctl.quota qc
-    | None, Pool.Dfdeques { quota } -> quota
-    | None, Pool.Work_stealing -> 0
+    match max_lane_quota lane_list with
+    | 0 -> ( match policy with Pool.Dfdeques { quota } -> quota | Pool.Work_stealing -> 0)
+    | k -> k
   in
   let headroom =
     Headroom.create ~registry ~policy:"service" ?s1:headroom_s1 ?depth:headroom_depth
@@ -266,21 +404,28 @@ let create ?(tracer = Tracer.disabled) ?registry ?flight_dir ?headroom_s1 ?headr
       registry;
       headroom;
       flight_dir;
-      epoch = spawn_raw_epoch ~domains:config.domains ~policy ~qctl ~registry;
+      epoch = spawn_raw_epoch ~domains:config.domains ~policy ~k0 ~registry;
       retired_epochs = [];
       clock = 0;
-      queue = [];
+      queue;
       pending = [];
+      lanes;
+      lane_order;
+      coalesce = Hashtbl.create 32;
       breakers = Hashtbl.create 8;
-      qctl;
+      ladder = Ladder.create config.ladder;
       slots = Hashtbl.create 64;
       next_id = 0;
+      press_ewma = 0;
       c_accepted = 0;
+      c_coalesced = 0;
       c_rej_queue = 0;
       c_rej_breaker = 0;
       c_rej_memory = 0;
+      c_rej_overload = 0;
       c_completions = 0;
       c_failures = 0;
+      c_cancelled = 0;
       c_retries = 0;
       c_timeouts = 0;
       c_wedges = 0;
@@ -305,10 +450,20 @@ let flight_dump t ~reason =
 (* Ledger bookkeeping                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let new_slot t ~class_ =
+let new_slot t ~tenant ~class_ =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let s = { l_id = id; l_class = class_; l_attempts = 0; l_requeues = 0; l_outcome = None; l_acks = 0 } in
+  let s =
+    {
+      l_id = id;
+      l_tenant = tenant;
+      l_class = class_;
+      l_attempts = 0;
+      l_requeues = 0;
+      l_outcome = None;
+      l_acks = 0;
+    }
+  in
   Hashtbl.replace t.slots id s;
   s
 
@@ -320,58 +475,211 @@ let ack t (s : ledger_slot) out =
   | Some _ -> t.c_dup_acks <- t.c_dup_acks + 1
   | None ->
     s.l_outcome <- Some out;
+    let lane = lane_of t s.l_tenant in
     (match out with
-     | Completed -> t.c_completions <- t.c_completions + 1
-     | Failed _ -> t.c_failures <- t.c_failures + 1
+     | Completed ->
+       t.c_completions <- t.c_completions + 1;
+       lane.a_completions <- lane.a_completions + 1
+     | Failed _ ->
+       t.c_failures <- t.c_failures + 1;
+       lane.a_failures <- lane.a_failures + 1
+     | Cancelled ->
+       t.c_cancelled <- t.c_cancelled + 1;
+       lane.a_cancelled <- lane.a_cancelled + 1
      | Rejected _ -> ())
 
-let breaker_for t class_ =
-  match Hashtbl.find_opt t.breakers class_ with
+let breaker_key tenant class_ = tenant ^ "\x00" ^ class_
+
+let breaker_label tenant class_ = if tenant = "default" then class_ else tenant ^ "/" ^ class_
+
+let breaker_for t ~tenant ~class_ =
+  let key = breaker_key tenant class_ in
+  match Hashtbl.find_opt t.breakers key with
   | Some b -> b
   | None ->
     let b = Breaker.create t.cfg.breaker in
-    Hashtbl.replace t.breakers class_ b;
+    Hashtbl.replace t.breakers key b;
     b
+
+let coalesce_key tenant key = tenant ^ "\x00" ^ key
+
+(* Terminal outcome for a job: ledger, latency, handle, and every
+   coalesced follower riding it. *)
+let settle t (job : job) (s : ledger_slot) out =
+  let lane = lane_of t job.tenant in
+  ack t s out;
+  (match out with
+   | Completed -> Stats.Histogram.add lane.lat (float_of_int (t.clock - job.submitted_at))
+   | _ -> ());
+  let followers = List.rev job.followers in
+  job.followers <- [];
+  Handle.resolve job.handle out;
+  List.iter
+    (fun ((fs : ledger_slot), fh, f_submitted) ->
+       ack t fs out;
+       (match out with
+        | Completed -> Stats.Histogram.add lane.lat (float_of_int (t.clock - f_submitted))
+        | _ -> ());
+       Handle.resolve fh out)
+    followers
 
 (* ------------------------------------------------------------------ *)
 (* Admission control                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let submit t ?(class_ = "default") ?deadline work =
+(* Which tenants the current ladder rung refuses outright: at [Shed] the
+   minimum-weight lanes, at [Break] everything but the maximum-weight
+   lanes.  Weight is the declared importance, so the bully-shaped cheap
+   tenant pays first and the premium tenant survives longest. *)
+let ladder_refuses t lane =
+  match Ladder.level t.ladder with
+  | Ladder.Accept | Ladder.Coalesce -> false
+  | Ladder.Shed -> lane.tn.Tenant.weight <= Fair_queue.min_weight t.queue
+  | Ladder.Break ->
+    let max_w =
+      List.fold_left (fun m l -> max m l.tn.Tenant.weight) min_int (lanes_in_order t)
+    in
+    lane.tn.Tenant.weight < max_w
+
+let effective_load t lane =
+  Fair_queue.depth t.queue lane.tn.Tenant.name + lane.pending_retries + lane.in_flight
+
+let submit t ?(tenant = "default") ?(class_ = "default") ?key ?deadline ?on_done work =
+  let lane = lane_of t tenant in
+  let h = Handle.make ~id:t.next_id ~tenant in
+  (match on_done with Some f -> Handle.on_done h f | None -> ());
   let reject r =
-    let s = new_slot t ~class_ in
+    let s = new_slot t ~tenant ~class_ in
     ack t s (Rejected r);
     (match r with
-     | Queue_full -> t.c_rej_queue <- t.c_rej_queue + 1
-     | Breaker_open _ -> t.c_rej_breaker <- t.c_rej_breaker + 1
-     | Memory_pressure -> t.c_rej_memory <- t.c_rej_memory + 1);
-    Error r
+     | Queue_full ->
+       t.c_rej_queue <- t.c_rej_queue + 1;
+       lane.a_rej_queue <- lane.a_rej_queue + 1
+     | Breaker_open _ ->
+       t.c_rej_breaker <- t.c_rej_breaker + 1;
+       lane.a_rej_breaker <- lane.a_rej_breaker + 1
+     | Memory_pressure ->
+       t.c_rej_memory <- t.c_rej_memory + 1;
+       lane.a_rej_memory <- lane.a_rej_memory + 1
+     | Overloaded ->
+       t.c_rej_overload <- t.c_rej_overload + 1;
+       lane.a_rej_overload <- lane.a_rej_overload + 1;
+       if lane.a_first_shed = None then lane.a_first_shed <- Some t.clock);
+    Handle.resolve h (Rejected r);
+    h
   in
-  match t.qctl with
-  | Some qc when Quota_ctl.shedding qc -> reject Memory_pressure
-  | _ ->
-    (* capacity before the breaker: [Breaker.admit] consumes a half-open
-       probe slot, which must not be burned on a job the queue would
-       refuse anyway *)
-    if List.length t.queue >= t.cfg.queue_capacity then reject Queue_full
-    else if not (Breaker.admit (breaker_for t class_) ~now:t.clock) then
-      reject (Breaker_open class_)
-    else begin
-      let s = new_slot t ~class_ in
-      let deadline = match deadline with Some _ as d -> d | None -> t.cfg.default_deadline in
-      let job =
-        {
-          id = s.l_id;
-          class_;
-          deadline;
-          work;
-          retry = Retry.create t.cfg.retry ~seed:t.cfg.seed ~job:s.l_id;
-        }
-      in
-      t.queue <- t.queue @ [ job ];
-      t.c_accepted <- t.c_accepted + 1;
-      Ok s.l_id
-    end
+  let coalescible =
+    match key with
+    | Some k when Ladder.level_index (Ladder.level t.ladder) >= Ladder.level_index Ladder.Coalesce
+      -> Hashtbl.find_opt t.coalesce (coalesce_key tenant k)
+    | _ -> None
+  in
+  if ladder_refuses t lane then reject Overloaded
+  else if match lane.l_qctl with Some qc -> Quota_ctl.shedding qc | None -> false then
+    reject Memory_pressure
+  else
+    match coalescible with
+    | Some primary ->
+      (* ride the queued primary: own ledger slot, shared execution *)
+      let s = new_slot t ~tenant ~class_ in
+      primary.followers <- (s, h, t.clock) :: primary.followers;
+      t.c_coalesced <- t.c_coalesced + 1;
+      lane.a_coalesced <- lane.a_coalesced + 1;
+      h
+    | None ->
+      (* capacity before the breaker: [Breaker.admit] consumes a half-open
+         probe slot, which must not be burned on a job the lane would
+         refuse anyway.  The load counts pending retries and the in-flight
+         attempt, so forced retry pushes can never overrun the bound. *)
+      if effective_load t lane >= lane.tn.Tenant.queue_bound then reject Queue_full
+      else begin
+        let b = breaker_for t ~tenant ~class_ in
+        if not (Breaker.admit b ~now:t.clock) then
+          reject (Breaker_open (breaker_label tenant class_))
+        else begin
+          let s = new_slot t ~tenant ~class_ in
+          let deadline = match deadline with Some _ as d -> d | None -> t.cfg.default_deadline in
+          let job =
+            {
+              id = s.l_id;
+              tenant;
+              class_;
+              key;
+              deadline;
+              work;
+              retry = Retry.create t.cfg.retry ~seed:t.cfg.seed ~job:s.l_id;
+              submitted_at = t.clock;
+              bgen = Breaker.generation b;
+              handle = h;
+              run_quota = None;
+              followers = [];
+            }
+          in
+          Fair_queue.push_force t.queue ~tenant job;
+          (match key with
+           | Some k -> Hashtbl.replace t.coalesce (coalesce_key tenant k) job
+           | None -> ());
+          t.c_accepted <- t.c_accepted + 1;
+          lane.a_accepted <- lane.a_accepted + 1;
+          h
+        end
+      end
+
+let admission h =
+  match Handle.status h with
+  | Handle.Done (Rejected r) -> Error r
+  | _ -> Ok (Handle.id h)
+
+let poll = Handle.status
+
+(* Drop a queued primary's coalesce-table binding (dispatch, cancel). *)
+let uncoalesce t (job : job) =
+  match job.key with
+  | None -> ()
+  | Some k ->
+    let ck = coalesce_key job.tenant k in
+    (match Hashtbl.find_opt t.coalesce ck with
+     | Some j when j.id = job.id -> Hashtbl.remove t.coalesce ck
+     | _ -> ())
+
+let cancel t h =
+  if Handle.is_done h then false
+  else begin
+    let id = Handle.id h in
+    let tenant = Handle.tenant h in
+    match Fair_queue.remove t.queue ~tenant (fun (j : job) -> j.id = id) with
+    | Some job ->
+      uncoalesce t job;
+      settle t job (Hashtbl.find t.slots id) Cancelled;
+      true
+    | None -> (
+      match List.find_opt (fun (_, (j : job)) -> j.id = id) t.pending with
+      | Some (_, job) ->
+        t.pending <- List.filter (fun (_, (j : job)) -> j.id <> id) t.pending;
+        (lane_of t tenant).pending_retries <- (lane_of t tenant).pending_retries - 1;
+        settle t job (Hashtbl.find t.slots id) Cancelled;
+        true
+      | None ->
+        (* a coalesced follower: detach it from whichever primary carries it *)
+        let found = ref false in
+        Hashtbl.iter
+          (fun _ (primary : job) ->
+             if (not !found) && List.exists (fun (_, fh, _) -> Handle.id fh = id) primary.followers
+             then begin
+               let mine, rest =
+                 List.partition (fun (_, fh, _) -> Handle.id fh = id) primary.followers
+               in
+               primary.followers <- rest;
+               List.iter
+                 (fun ((fs : ledger_slot), fh, _) ->
+                    ack t fs Cancelled;
+                    Handle.resolve fh Cancelled)
+                 mine;
+               found := true
+             end)
+          t.coalesce;
+        !found)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Supervision: dispatch, wedge detection, respawn                     *)
@@ -429,73 +737,129 @@ let respawn t ~in_flight =
 
 (* Schedule a retry (with backoff) or acknowledge the final failure. *)
 let fail_path t (job : job) msg =
-  Breaker.record_failure (breaker_for t job.class_) ~now:t.clock;
+  let lane = lane_of t job.tenant in
+  Breaker.record_failure ~gen:job.bgen (breaker_for t ~tenant:job.tenant ~class_:job.class_)
+    ~now:t.clock;
   match Retry.next_delay job.retry with
   | Some d ->
     t.c_retries <- t.c_retries + 1;
+    lane.pending_retries <- lane.pending_retries + 1;
     t.pending <- (t.clock + d, job) :: t.pending
   | None ->
     let s = Hashtbl.find t.slots job.id in
     s.l_attempts <- Retry.attempts job.retry;
-    ack t s (Failed msg)
+    settle t job s (Failed msg)
 
+(* Run one attempt to completion, attributing its allocation delta to
+   the job's tenant.  Returns the measured delta (0 on a wedge). *)
 let run_one t (job : job) =
   let s = Hashtbl.find t.slots job.id in
+  let lane = lane_of t job.tenant in
+  lane.in_flight <- 1;
+  job.run_quota <- Option.map Quota_ctl.quota lane.l_qctl;
+  let before = (Pool.counters t.epoch.pool).Pool.alloc_bytes in
   (match Atomic.get t.epoch.cell with
    | Idle -> ()
    | _ -> assert false);
   Atomic.set t.epoch.cell (Assigned job);
-  match await_result t job with
-  | Some R_done ->
-    s.l_attempts <- Retry.attempts job.retry + 1;
-    Breaker.record_success (breaker_for t job.class_) ~now:t.clock;
-    ack t s Completed
-  | Some R_timeout ->
-    flight_dump t ~reason:"timeout";
-    t.c_timeouts <- t.c_timeouts + 1;
-    s.l_attempts <- Retry.attempts job.retry + 1;
-    fail_path t job "deadline exceeded"
-  | Some R_cancelled_leak ->
-    s.l_attempts <- Retry.attempts job.retry + 1;
-    fail_path t job "internal: Pool.Cancelled leaked to the run caller"
-  | Some (R_exn msg) ->
-    s.l_attempts <- Retry.attempts job.retry + 1;
-    fail_path t job msg
-  | None ->
-    (* wedged: respawn the pool, requeue the in-flight job exactly once
-       at the front.  The requeue consumes a retry attempt (a job that
-       wedges every incarnation must not respawn pools forever). *)
-    respawn t ~in_flight:(Some job.id);
-    s.l_requeues <- s.l_requeues + 1;
-    Breaker.record_failure (breaker_for t job.class_) ~now:t.clock;
-    (match Retry.next_delay job.retry with
-     | Some _ ->
-       t.c_retries <- t.c_retries + 1;
-       t.queue <- job :: t.queue
-     | None ->
-       s.l_attempts <- Retry.attempts job.retry;
-       ack t s (Failed "pool wedged; retry budget exhausted"))
+  let result = await_result t job in
+  let delta =
+    match result with
+    | None -> 0
+    | Some _ ->
+      (* the pool is idle again (the executor posted Finished), so the
+         counter sum is exact: the delta is this attempt's allocation *)
+      max 0 ((Pool.counters t.epoch.pool).Pool.alloc_bytes - before)
+  in
+  if delta > 0 then Headroom.observe t.headroom ~live_bytes:delta;
+  (match result with
+   | Some R_done ->
+     s.l_attempts <- Retry.attempts job.retry + 1;
+     Breaker.record_success ~gen:job.bgen
+       (breaker_for t ~tenant:job.tenant ~class_:job.class_)
+       ~now:t.clock;
+     settle t job s Completed
+   | Some R_timeout ->
+     flight_dump t ~reason:"timeout";
+     t.c_timeouts <- t.c_timeouts + 1;
+     s.l_attempts <- Retry.attempts job.retry + 1;
+     fail_path t job "deadline exceeded"
+   | Some R_cancelled_leak ->
+     s.l_attempts <- Retry.attempts job.retry + 1;
+     fail_path t job "internal: Pool.Cancelled leaked to the run caller"
+   | Some (R_exn msg) ->
+     s.l_attempts <- Retry.attempts job.retry + 1;
+     fail_path t job msg
+   | None ->
+     (* wedged: respawn the pool, requeue the in-flight job exactly once
+        at the front.  The requeue consumes a retry attempt (a job that
+        wedges every incarnation must not respawn pools forever). *)
+     respawn t ~in_flight:(Some job.id);
+     s.l_requeues <- s.l_requeues + 1;
+     Breaker.record_failure ~gen:job.bgen
+       (breaker_for t ~tenant:job.tenant ~class_:job.class_)
+       ~now:t.clock;
+     (match Retry.next_delay job.retry with
+      | Some _ ->
+        t.c_retries <- t.c_retries + 1;
+        Fair_queue.push_front t.queue ~tenant:job.tenant job
+      | None ->
+        s.l_attempts <- Retry.attempts job.retry;
+        settle t job s (Failed "pool wedged; retry budget exhausted")));
+  lane.in_flight <- 0;
+  delta
 
 (* ------------------------------------------------------------------ *)
 (* The driver clock                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let quota_tick t =
-  match t.qctl with
+(* Per-tenant quota control: the dispatched tenant observes its
+   attempt's measured allocation delta, every other lane observes 0 (its
+   EWMA decays, so an idle tenant's K recovers).  One tenant pinned at
+   its floor ([shedding]) degrades only its own admissions. *)
+let quota_tick t ~dispatched ~delta =
+  (* keep the global alloc-rate gauge and pressure baseline current *)
+  let ab = (Pool.counters t.epoch.pool).Pool.alloc_bytes in
+  let global = Headroom.take_pressure t.headroom ~cumulative_alloc:ab in
+  t.press_ewma <- ((3 * t.press_ewma) + global) / 4;
+  List.iter
+    (fun lane ->
+       match lane.l_qctl with
+       | None -> ()
+       | Some qc ->
+         let pressure =
+           match dispatched with Some name when name = lane.tn.Tenant.name -> delta | _ -> 0
+         in
+         (match Quota_ctl.observe qc ~now:t.clock ~pressure with
+          | Quota_ctl.Steady -> ()
+          | Quota_ctl.Shrink { from_quota; to_quota } | Quota_ctl.Grow { from_quota; to_quota }
+            ->
+            (* the budget gauge tracks the largest K still in use *)
+            Headroom.set_quota t.headroom (max_lane_quota (lanes_in_order t));
+            if Tracer.enabled t.tracer then
+              Tracer.emit t.tracer ~ts:t.clock ~proc:(-1) ~tid:(-1)
+                (Event.Quota_adjusted { from_quota; to_quota; pressure })))
+    (lanes_in_order t)
+
+(* Sample the overload signals and walk the ladder; every rung change is
+   traced. *)
+let ladder_tick t =
+  let total_bound = Fair_queue.total_bound t.queue in
+  let occupancy_pct = if total_bound <= 0 then 0 else 100 * Fair_queue.total t.queue / total_bound in
+  let budget = Headroom.budget t.headroom in
+  let pressure_pct = if budget <= 0 then 0 else 100 * t.press_ewma / budget in
+  match Ladder.observe t.ladder ~now:t.clock ~occupancy_pct ~pressure_pct with
   | None -> ()
-  | Some qc ->
-    (* the headroom profiler owns the pressure baseline: one source of
-       truth for the controller, the alloc-rate gauge, and the trace *)
-    let ab = (Pool.counters t.epoch.pool).Pool.alloc_bytes in
-    let pressure = Headroom.take_pressure t.headroom ~cumulative_alloc:ab in
-    (match Quota_ctl.observe qc ~now:t.clock ~pressure with
-     | Quota_ctl.Steady -> ()
-     | Quota_ctl.Shrink { from_quota; to_quota } | Quota_ctl.Grow { from_quota; to_quota } ->
-       Pool.set_quota t.epoch.pool to_quota;
-       Headroom.set_quota t.headroom to_quota;
-       if Tracer.enabled t.tracer then
-         Tracer.emit t.tracer ~ts:t.clock ~proc:(-1) ~tid:(-1)
-           (Event.Quota_adjusted { from_quota; to_quota; pressure }))
+  | Some (from, to_) ->
+    if Tracer.enabled t.tracer then
+      Tracer.emit t.tracer ~ts:t.clock ~proc:(-1) ~tid:(-1)
+        (Event.Ladder_shift
+           {
+             from_level = Ladder.level_index from;
+             to_level = Ladder.level_index to_;
+             occupancy = occupancy_pct;
+             pressure = pressure_pct;
+           })
 
 let step t =
   t.clock <- t.clock + 1;
@@ -504,15 +868,23 @@ let step t =
   let due, rest = List.partition (fun (d, _) -> d <= t.clock) t.pending in
   t.pending <- rest;
   let due = List.sort (fun (d1, j1) (d2, j2) -> compare (d1, j1.id) (d2, j2.id)) due in
-  t.queue <- t.queue @ List.map snd due;
-  quota_tick t;
-  match t.queue with
-  | [] -> ()
-  | job :: rest ->
-    t.queue <- rest;
-    run_one t job
+  List.iter
+    (fun (_, (job : job)) ->
+       (lane_of t job.tenant).pending_retries <- (lane_of t job.tenant).pending_retries - 1;
+       Fair_queue.push_force t.queue ~tenant:job.tenant job)
+    due;
+  ladder_tick t;
+  let dispatched, delta =
+    match Fair_queue.pop t.queue with
+    | None -> (None, 0)
+    | Some (tenant, job) ->
+      uncoalesce t job;
+      let delta = run_one t job in
+      (Some tenant, delta)
+  in
+  quota_tick t ~dispatched ~delta
 
-let idle t = t.queue = [] && t.pending = []
+let idle t = Fair_queue.total t.queue = 0 && t.pending = []
 
 let drive ?(max_steps = 10_000) t =
   let n = ref 0 in
@@ -520,6 +892,14 @@ let drive ?(max_steps = 10_000) t =
     step t;
     incr n
   done
+
+let await ?(max_steps = 10_000) t h =
+  let n = ref 0 in
+  while (not (Handle.is_done h)) && !n < max_steps do
+    step t;
+    incr n
+  done;
+  match Handle.status h with Handle.Done out -> Some out | _ -> None
 
 let now t = t.clock
 
@@ -530,17 +910,45 @@ let now t = t.clock
 let counters t =
   {
     accepted = t.c_accepted;
+    coalesced = t.c_coalesced;
     rejected_queue_full = t.c_rej_queue;
     rejected_breaker_open = t.c_rej_breaker;
     rejected_memory_pressure = t.c_rej_memory;
+    rejected_overloaded = t.c_rej_overload;
     completions = t.c_completions;
     failures = t.c_failures;
+    cancelled = t.c_cancelled;
     retries = t.c_retries;
     timeouts = t.c_timeouts;
     wedges = t.c_wedges;
     respawns = t.c_respawns;
     duplicate_acks = t.c_dup_acks;
   }
+
+let tenant_stats t =
+  List.map
+    (fun lane ->
+       {
+         ts_name = lane.tn.Tenant.name;
+         ts_weight = lane.tn.Tenant.weight;
+         ts_bound = lane.tn.Tenant.queue_bound;
+         ts_accepted = lane.a_accepted;
+         ts_coalesced = lane.a_coalesced;
+         ts_completions = lane.a_completions;
+         ts_failures = lane.a_failures;
+         ts_cancelled = lane.a_cancelled;
+         ts_rejected_queue_full = lane.a_rej_queue;
+         ts_rejected_breaker_open = lane.a_rej_breaker;
+         ts_rejected_memory_pressure = lane.a_rej_memory;
+         ts_rejected_overloaded = lane.a_rej_overload;
+         ts_first_shed = lane.a_first_shed;
+         ts_peak_depth = Fair_queue.peak_depth t.queue lane.tn.Tenant.name;
+         ts_latency = lane.lat;
+         ts_quota = Option.map Quota_ctl.quota lane.l_qctl;
+         ts_quota_trajectory =
+           (match lane.l_qctl with Some qc -> Quota_ctl.trajectory qc | None -> []);
+       })
+    (lanes_in_order t)
 
 let ledger t =
   let out = ref [] in
@@ -549,6 +957,7 @@ let ledger t =
     out :=
       {
         job = s.l_id;
+        tenant = s.l_tenant;
         class_ = s.l_class;
         attempts = s.l_attempts;
         requeues = s.l_requeues;
@@ -562,43 +971,80 @@ let verify_ledger t =
   let problem = ref None in
   let fail fmt = Printf.ksprintf (fun m -> if !problem = None then problem := Some m) fmt in
   if t.c_dup_acks > 0 then fail "%d duplicate acknowledgements" t.c_dup_acks;
-  let completions = ref 0 and failures = ref 0 and rejections = ref 0 in
+  let completions = ref 0
+  and failures = ref 0
+  and rejections = ref 0
+  and cancellations = ref 0 in
   for id = 0 to t.next_id - 1 do
     let s = Hashtbl.find t.slots id in
     (match s.l_outcome with
      | None -> fail "job %d has no terminal outcome (lost)" id
      | Some Completed -> incr completions
      | Some (Failed _) -> incr failures
-     | Some (Rejected _) -> incr rejections);
+     | Some (Rejected _) -> incr rejections
+     | Some Cancelled -> incr cancellations);
     if s.l_acks <> 1 then fail "job %d acknowledged %d times" id s.l_acks
   done;
   if !completions <> t.c_completions then
     fail "completion counter %d but %d completed entries" t.c_completions !completions;
   if !failures <> t.c_failures then
     fail "failure counter %d but %d failed entries" t.c_failures !failures;
-  let rej = t.c_rej_queue + t.c_rej_breaker + t.c_rej_memory in
+  if !cancellations <> t.c_cancelled then
+    fail "cancellation counter %d but %d cancelled entries" t.c_cancelled !cancellations;
+  let rej = t.c_rej_queue + t.c_rej_breaker + t.c_rej_memory + t.c_rej_overload in
   if !rejections <> rej then fail "rejection counters %d but %d rejected entries" rej !rejections;
-  if t.c_accepted + rej <> t.next_id then
-    fail "accepted %d + rejected %d <> %d submissions" t.c_accepted rej t.next_id;
+  if t.c_accepted + t.c_coalesced + rej <> t.next_id then
+    fail "accepted %d + coalesced %d + rejected %d <> %d submissions" t.c_accepted t.c_coalesced
+      rej t.next_id;
+  (* per-tenant counters must sum to the global ones *)
+  let sum f = List.fold_left (fun acc l -> acc + f l) 0 (lanes_in_order t) in
+  if sum (fun l -> l.a_accepted) <> t.c_accepted then fail "per-tenant accepted sum mismatch";
+  if sum (fun l -> l.a_completions) <> t.c_completions then
+    fail "per-tenant completion sum mismatch";
+  if
+    sum (fun l -> l.a_rej_queue + l.a_rej_breaker + l.a_rej_memory + l.a_rej_overload) <> rej
+  then fail "per-tenant rejection sum mismatch";
   match !problem with None -> Ok () | Some m -> Error m
 
 let quota t =
-  match t.qctl with
-  | Some qc -> Some (Quota_ctl.quota qc)
-  | None -> Pool.quota t.epoch.pool
+  match max_lane_quota (lanes_in_order t) with
+  | 0 -> Pool.quota t.epoch.pool
+  | k -> Some k
 
 let quota_trajectory t =
-  match t.qctl with Some qc -> Quota_ctl.trajectory qc | None -> []
+  let all =
+    List.concat_map
+      (fun lane -> match lane.l_qctl with Some qc -> Quota_ctl.trajectory qc | None -> [])
+      (lanes_in_order t)
+  in
+  List.stable_sort (fun (s1, _) (s2, _) -> compare s1 s2) all
+
+let ladder_level t = Ladder.level t.ladder
+
+let ladder_transitions t = Ladder.transitions t.ladder
 
 let breaker_transitions t =
-  let classes = Hashtbl.fold (fun c _ acc -> c :: acc) t.breakers [] in
-  let classes = List.sort compare classes in
+  let labels =
+    Hashtbl.fold
+      (fun key _ acc ->
+         match String.index_opt key '\x00' with
+         | Some i ->
+           let tenant = String.sub key 0 i in
+           let class_ = String.sub key (i + 1) (String.length key - i - 1) in
+           (breaker_label tenant class_, key) :: acc
+         | None -> (key, key) :: acc)
+      t.breakers []
+  in
+  let labels = List.sort compare labels in
   List.concat_map
-    (fun c ->
+    (fun (label, key) ->
        List.map
-         (fun (step, st) -> (step, c, Breaker.state_name st))
-         (Breaker.transitions (Hashtbl.find t.breakers c)))
-    classes
+         (fun (step, st) -> (step, label, Breaker.state_name st))
+         (Breaker.transitions (Hashtbl.find t.breakers key)))
+    labels
+
+let breaker_stale_results t =
+  Hashtbl.fold (fun _ b acc -> acc + Breaker.stale_results b) t.breakers 0
 
 let pool_counters t = Pool.counters t.epoch.pool
 
@@ -614,11 +1060,14 @@ let counter_samples t =
   let mk name v = { Registry.name; help = ""; stable = true; value = Registry.Counter_v v } in
   [
     mk "accepted" t.c_accepted;
+    mk "coalesced" t.c_coalesced;
     mk "rejected_queue_full" t.c_rej_queue;
     mk "rejected_breaker_open" t.c_rej_breaker;
     mk "rejected_memory_pressure" t.c_rej_memory;
+    mk "rejected_overloaded" t.c_rej_overload;
     mk "completions" t.c_completions;
     mk "failures" t.c_failures;
+    mk "cancelled" t.c_cancelled;
     mk "retries" t.c_retries;
     mk "timeouts" t.c_timeouts;
     mk "wedges" t.c_wedges;

@@ -1,64 +1,99 @@
-(** A long-lived, supervised job service wrapping {!Dfd_runtime.Pool}.
+(** A multi-tenant, supervised front door over {!Dfd_runtime.Pool}.
 
     [Pool.run] is a one-shot, fail-open entry point: an unhandled worker
     wedge, a saturated queue, or sustained memory pressure has no
-    recovery path.  This module owns that path:
+    recovery path, and a single greedy caller starves every other one.
+    This module owns both problems:
 
-    - {b Admission control} — a bounded submission queue; submissions are
-      accepted or rejected with a typed {!reject_reason} (queue full,
-      circuit breaker open for the job's class, memory pressure).
+    - {b Non-blocking admission} — {!submit} never blocks and never
+      runs the job inline: it returns a {!handle} immediately.  The
+      caller observes progress through {!poll} / {!await} / completion
+      callbacks ({!Handle.on_done}) and may {!cancel} a job that has not
+      started.
+    - {b Weighted-fair isolation} ({!Tenant}, {!Fair_queue}) — each
+      tenant owns a bounded lane dispatched by deficit round-robin, its
+      own circuit breakers, and (under [Dfdeques]) its own adaptive-K
+      budget.  A bully tenant can exhaust only its own lane, trip only
+      its own breakers and shrink only its own K — the admission-level
+      analogue of the paper's per-deque isolation.
+    - {b Graceful degradation} ({!Ladder}) — as queue occupancy or
+      allocation pressure climbs, the service walks an explicit
+      backpressure ladder: accept → coalesce duplicate jobs → shed the
+      lowest-weight tenant ([Overloaded]) → admit only the
+      highest-weight tenant.  Every rung change is traced
+      ([Ladder_shift]) and counted; recovery is hysteretic so the
+      ladder never flaps.
     - {b Deadlines and retries} — each attempt runs under
       [Pool.run ?timeout]; failures and timeouts are retried under a
       seeded full-jitter backoff policy ({!Retry}) with a per-job budget.
     - {b Supervision} — jobs execute on a dedicated executor domain; the
       driver watches {!Dfd_runtime.Pool.heartbeat} while an attempt is in
       flight.  If the pool stops making progress for [wedge_grace]
-      seconds (a task looping beyond the reach of cooperative
-      cancellation), the pool is declared wedged: it is killed
-      ({!Dfd_runtime.Pool.kill}), a fresh pool and executor are spawned,
-      and the in-flight job is requeued {e exactly once} at the front —
-      the ledger guarantees zero lost jobs and zero duplicated
-      completion acknowledgements (a late result from a retired epoch is
-      structurally ignored).
-    - {b Per-class circuit breakers} ({!Breaker}) — consecutive failures
-      of a class trip it open; submissions are rejected during the
-      cooldown; half-open probes decide recovery.
-    - {b Adaptive K} ({!Quota_ctl}) — under a [Dfdeques] policy the
-      observed allocation pressure (the pool's [alloc_bytes] counter)
-      drives the memory threshold K down toward the Theorem 4.4 space
-      bound and back up when pressure subsides, emitting
-      [Quota_adjusted] trace events.
+      seconds, the pool is declared wedged: it is killed, a fresh pool
+      and executor are spawned, and the in-flight job is requeued
+      {e exactly once} at the front — the ledger guarantees zero lost
+      jobs and zero duplicated completion acknowledgements (a late
+      result from a retired epoch is structurally ignored).
+    - {b Per-(tenant, class) circuit breakers} ({!Breaker}) —
+      consecutive failures trip a breaker open; submissions are rejected
+      during the cooldown; half-open probes decide recovery.  Results
+      are generation-tagged at admission so a stale result from an older
+      breaker window can neither consume the probe budget nor flip the
+      state.
+    - {b Per-tenant adaptive K} ({!Quota_ctl}) — under a [Dfdeques]
+      policy each tenant's observed allocation pressure drives {e its}
+      memory threshold K down toward the Theorem 4.4 space bound and
+      back up when pressure subsides; each dispatch applies the job's
+      tenant K to the pool ([Pool.run ?quota]), so one tenant degrading
+      to K = k_min never costs its neighbours their locality.
 
     The service is {e step-driven} from one driver thread: {!step}
-    advances a logical clock by one, promotes due retries, runs the
-    quota-control interval, and executes at most one queued job attempt
-    to completion.  All scheduling decisions (retry delays, breaker and
-    quota trajectories, rejection reasons) are functions of the seed and
-    the submission order, never of wall-clock time — which is what makes
-    `repro soak` reports byte-identical per seed.  Only the {e timing}
-    inside the pool is nondeterministic; outcome classes are not. *)
+    advances a logical clock by one, promotes due retries, samples the
+    backpressure ladder, dispatches at most one queued attempt (in DRR
+    order) to completion, and runs the quota-control interval.  All
+    scheduling decisions (DRR order, retry delays, breaker / quota /
+    ladder trajectories, rejection reasons, latencies in steps) are
+    functions of the seed and the submission order, never of wall-clock
+    time — which is what makes `repro soak` reports byte-identical per
+    seed.  Only the {e timing} inside the pool is nondeterministic;
+    outcome classes are not. *)
 
 type reject_reason =
-  | Queue_full
-  | Breaker_open of string  (** the job's class whose breaker is open. *)
+  | Queue_full  (** the tenant's own lane (queued + retrying + in flight) is at its bound. *)
+  | Breaker_open of string
+      (** the job's breaker is open; the payload is the breaker label
+          (["class"] for the default tenant, ["tenant/class"] otherwise). *)
   | Memory_pressure
+      (** the tenant's adaptive K is pinned at its floor with pressure
+          still high: shrinking can degrade no further. *)
+  | Overloaded
+      (** the backpressure ladder is at [Shed] (lowest-weight tenants
+          rejected) or [Break] (all but the highest-weight rejected). *)
 
 val reject_reason_name : reject_reason -> string
-(** "queue_full" / "breaker_open" / "memory_pressure". *)
+(** "queue_full" / "breaker_open" / "memory_pressure" / "overloaded". *)
 
 type outcome =
   | Completed
   | Failed of string  (** retry budget exhausted; the last error. *)
-  | Rejected of reject_reason
+  | Rejected of reject_reason  (** shed at admission; assigned synchronously by {!submit}. *)
+  | Cancelled  (** {!cancel} removed the job before it ran. *)
+
+type handle = outcome Handle.t
+(** The caller's view of one submission; see {!Handle}. *)
 
 type config = {
   seed : int;  (** master seed for every retry stream. *)
-  queue_capacity : int;  (** bound on queued (not yet dispatched) jobs. *)
+  tenants : Tenant.t list;
+      (** the admission lanes; must be non-empty with unique names.
+          Single-tenant services use [[Tenant.default]]. *)
+  ladder : Ladder.config;  (** overload backpressure thresholds. *)
   retry : Retry.policy;
   breaker : Breaker.config;
   quota_ctl : Quota_ctl.config option;
-      (** [Some _] enables the adaptive-K controller (Dfdeques pools
-          only; ignored under Work_stealing). *)
+      (** [Some template] enables a per-tenant adaptive-K controller
+          (Dfdeques pools only; ignored under Work_stealing).  A tenant
+          with its own [Tenant.quota] overrides the template. *)
   default_deadline : float option;  (** per-attempt [Pool.run] timeout, seconds. *)
   wedge_grace : float;
       (** seconds without pool heartbeat progress (while an attempt is in
@@ -73,9 +108,9 @@ type config = {
 }
 
 val default_config : config
-(** seed 0, capacity 64, {!Retry.default}, {!Breaker.default_config},
-    no quota controller, no default deadline, grace 5 s, 2 extra
-    domains, 8 respawns. *)
+(** seed 0, the single [Tenant.default] lane, {!Ladder.default_config},
+    {!Retry.default}, {!Breaker.default_config}, no quota controller, no
+    default deadline, grace 5 s, 2 extra domains, 8 respawns. *)
 
 exception Supervisor_giveup of string
 (** More than [max_respawns] pool respawns: the supervisor refuses to
@@ -93,13 +128,14 @@ val create :
   Dfd_runtime.Pool.policy ->
   t
 (** Start the service: spawns the first pool incarnation and its
-    executor domain.  Under [Dfdeques], an enabled quota controller
-    overrides the policy's initial K with its own [k_init].
+    executor domain.  Under [Dfdeques], enabled quota controllers
+    override the policy's initial K with the largest tenant [k_init].
 
     [registry] (default: a fresh private {!Dfd_obs.Registry.t}) receives
-    the service's stable [dfd_service_*] probes, the pool's unstable
-    [dfd_pool_*] instruments (series continuous across respawns), and
-    the [policy="service"] {!Dfd_obs.Headroom} gauge family.  Pass
+    the service's stable [dfd_service_*] probes (including per-tenant
+    lanes labelled [tenant="..."]), the pool's unstable [dfd_pool_*]
+    instruments (series continuous across respawns), and the
+    [policy="service"] {!Dfd_obs.Headroom} gauge family.  Pass
     {!Dfd_obs.Registry.disabled} to run with zero-cost telemetry.
 
     [flight_dir], when set, enables crash forensics: on a wedge, an
@@ -114,18 +150,57 @@ val create :
     until executed; the simulator path computes them exactly. *)
 
 val submit :
-  t -> ?class_:string -> ?deadline:float -> (unit -> unit) -> (int, reject_reason) result
-(** Offer a job (default class ["default"]).  [Ok id] — accepted and
-    queued; [Error reason] — shed, with the reason recorded in the
-    ledger under the same id scheme.  [deadline] overrides the config's
-    per-attempt timeout.  The work closure runs inside [Pool.run] on the
-    executor domain, so it may use [Pool.fork_join], [Pool.alloc_hint],
-    etc. *)
+  t ->
+  ?tenant:string ->
+  ?class_:string ->
+  ?key:string ->
+  ?deadline:float ->
+  ?on_done:(outcome -> unit) ->
+  (unit -> unit) ->
+  handle
+(** Offer a job to [tenant]'s lane (default ["default"]; unknown tenants
+    raise [Invalid_argument]).  Never blocks, never runs the job inline:
+    the returned handle is either [Queued] (admitted — possibly
+    {e coalesced} onto an already-queued job with the same [(tenant,
+    key)] when the ladder is at [Coalesce] or beyond) or already
+    [Done (Rejected _)] (shed, with the reason also recorded in the
+    ledger).  [key] marks the job idempotent for coalescing; jobs
+    without a key are never coalesced.  [deadline] overrides the
+    config's per-attempt timeout.  [on_done] is registered on the handle
+    before admission is decided, so even a synchronous rejection fires
+    it.  The work closure runs inside [Pool.run] on the executor domain,
+    so it may use [Pool.fork_join], [Pool.alloc_hint], etc.
+
+    Admission checks run in a fixed order — overload ladder, tenant
+    memory pressure, coalescing, lane capacity, circuit breaker — so a
+    duplicate is coalesced rather than counted against the full lane,
+    and a breaker probe slot is never burned on a job that would have
+    been shed anyway. *)
+
+val admission : handle -> (int, reject_reason) result
+(** [Ok id] — the submission was admitted (queued or coalesced);
+    [Error r] — it was shed synchronously.  Sound to call right after
+    {!submit} because [Rejected] is only ever assigned at admission. *)
+
+val poll : handle -> outcome Handle.status
+(** Alias for {!Handle.status}. *)
+
+val await : ?max_steps:int -> t -> handle -> outcome option
+(** Drive {!step} until the handle is terminal; [None] if [max_steps]
+    (default 10_000) elapse first.  Single-driver-thread only. *)
+
+val cancel : t -> handle -> bool
+(** Remove a not-yet-started job: queued, waiting between retries, or
+    riding another job as a coalesced follower.  On success the job is
+    acknowledged [Cancelled] (callbacks fire) and [true] is returned;
+    cancelling a queued {e primary} also cancels every follower riding
+    it.  [false] if the job already started or finished. *)
 
 val step : t -> unit
-(** Advance the logical clock by one: promote due retries, run one
-    quota-control interval, then dispatch and fully execute at most one
-    queued attempt (blocking, with wedge supervision). *)
+(** Advance the logical clock by one: promote due retries, sample the
+    backpressure ladder, dispatch and fully execute at most one queued
+    attempt (in DRR order, under the job's tenant K, blocking, with
+    wedge supervision), then run the quota-control interval. *)
 
 val drive : ?max_steps:int -> t -> unit
 (** {!step} until the service is idle (no queued jobs, no pending
@@ -138,11 +213,14 @@ val idle : t -> bool
 
 type counters = {
   accepted : int;
+  coalesced : int;  (** submissions that rode an already-queued job. *)
   rejected_queue_full : int;
   rejected_breaker_open : int;
   rejected_memory_pressure : int;
+  rejected_overloaded : int;  (** shed by the backpressure ladder. *)
   completions : int;
   failures : int;
+  cancelled : int;
   retries : int;  (** re-attempts scheduled with backoff. *)
   timeouts : int;  (** attempts that hit their deadline. *)
   wedges : int;  (** pool incarnations declared wedged. *)
@@ -152,10 +230,37 @@ type counters = {
 
 val counters : t -> counters
 
+(** Per-tenant isolation report (deterministic per seed). *)
+type tenant_stats = {
+  ts_name : string;
+  ts_weight : int;
+  ts_bound : int;
+  ts_accepted : int;
+  ts_coalesced : int;
+  ts_completions : int;
+  ts_failures : int;
+  ts_cancelled : int;
+  ts_rejected_queue_full : int;
+  ts_rejected_breaker_open : int;
+  ts_rejected_memory_pressure : int;
+  ts_rejected_overloaded : int;
+  ts_first_shed : int option;  (** first step at which the ladder shed this tenant. *)
+  ts_peak_depth : int;  (** high watermark of the tenant's queued jobs. *)
+  ts_latency : Dfd_structures.Stats.Histogram.t;
+      (** completion latency in steps (submit → terminal ack), completed
+          jobs and their coalesced followers. *)
+  ts_quota : int option;  (** the tenant's current K; [None] without a controller. *)
+  ts_quota_trajectory : (int * int) list;
+}
+
+val tenant_stats : t -> tenant_stats list
+(** One entry per tenant, in registration (= DRR) order. *)
+
 type entry = {
   job : int;
+  tenant : string;
   class_ : string;
-  attempts : int;  (** attempts consumed (0 for rejected jobs). *)
+  attempts : int;  (** attempts consumed (0 for rejected/coalesced/cancelled jobs). *)
   requeues : int;  (** wedge requeues (each exactly one per wedge). *)
   outcome : outcome option;  (** [None] only while still queued/retrying. *)
 }
@@ -167,18 +272,33 @@ val verify_ledger : t -> (unit, string) result
 (** The exactly-once audit, meaningful once {!idle}: every entry carries
     exactly one terminal outcome (no lost jobs), no duplicate
     acknowledgements were attempted, and the counters are consistent
-    with the entries.  [Error msg] pinpoints the first violation. *)
+    with the entries (accepted + coalesced + rejected = submissions).
+    [Error msg] pinpoints the first violation. *)
 
 val quota : t -> int option
-(** Current memory threshold K ([None] under Work_stealing). *)
+(** The largest current per-tenant K — the value the Theorem-4.4 budget
+    gauge is computed from ([None] under Work_stealing). *)
 
 val quota_trajectory : t -> (int * int) list
-(** The adaptive controller's K changes as [(step, new_K)], oldest
-    first; empty without a controller. *)
+(** All tenants' K changes as [(step, new_K)] merged in step order
+    (stable within a step by tenant registration order); empty without a
+    controller.  With a single tenant this is exactly that tenant's
+    trajectory. *)
+
+val ladder_level : t -> Ladder.level
+(** The backpressure ladder's current rung. *)
+
+val ladder_transitions : t -> (int * Ladder.level) list
+(** Every rung change as [(step, new_level)], oldest first. *)
 
 val breaker_transitions : t -> (int * string * string) list
-(** Every breaker state change as [(step, class, state)], sorted by
-    class then step — deterministic for the soak report. *)
+(** Every breaker state change as [(step, label, state)], sorted by
+    label then step — deterministic for the soak report.  Labels are
+    ["class"] for the default tenant and ["tenant/class"] otherwise. *)
+
+val breaker_stale_results : t -> int
+(** Results dropped across all breakers because their admission window
+    had closed (see {!Breaker.stale_results}). *)
 
 val pool_counters : t -> Dfd_runtime.Pool.counters
 (** Counters of the {e current} pool incarnation. *)
@@ -187,12 +307,16 @@ val registry : t -> Dfd_obs.Registry.t
 (** The telemetry registry this service publishes into. *)
 
 val headroom : t -> Dfd_obs.Headroom.t
-(** The [policy="service"] Theorem-4.4 gauge family. *)
+(** The [policy="service"] Theorem-4.4 gauge family.  The live gauge is
+    fed the per-attempt allocation delta (a deterministic live-space
+    proxy), so [peak <= budget] is a checkable, seeded acceptance
+    condition. *)
 
 val counter_samples : t -> Dfd_obs.Registry.sample list
 (** The supervision counters as registry samples (short legacy names:
-    ["accepted"], ["rejected_queue_full"], …) — the exact key set and
-    order the soak report's counters object has always used; render with
+    ["accepted"], ["rejected_queue_full"], … plus ["coalesced"],
+    ["rejected_overloaded"], ["cancelled"]) — the key set the soak
+    report's counters object uses; render with
     {!Dfd_obs.Registry.Snapshot.to_flat_json}. *)
 
 val metrics_snapshot : ?stable_only:bool -> t -> Dfd_obs.Registry.sample list

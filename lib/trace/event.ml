@@ -13,6 +13,7 @@ type kind =
   | Counter of { deques : int; heap : int; threads : int }
   | Fault_injected of { fault : string }
   | Quota_adjusted of { from_quota : int; to_quota : int; pressure : int }
+  | Ladder_shift of { from_level : int; to_level : int; occupancy : int; pressure : int }
 
 type t = { ts : int; proc : int; tid : int; kind : kind }
 
@@ -31,6 +32,7 @@ let kind_index = function
   | Counter _ -> 11
   | Fault_injected _ -> 12
   | Quota_adjusted _ -> 13
+  | Ladder_shift _ -> 14
 
 let kind_names =
   [|
@@ -48,6 +50,7 @@ let kind_names =
     "counter";
     "fault_injected";
     "quota_adjusted";
+    "ladder_shift";
   |]
 
 let n_kinds = Array.length kind_names
@@ -83,6 +86,13 @@ let to_json e =
         ("to_quota", Json.Int to_quota);
         ("pressure", Json.Int pressure);
       ]
+    | Ladder_shift { from_level; to_level; occupancy; pressure } ->
+      [
+        ("from_level", Json.Int from_level);
+        ("to_level", Json.Int to_level);
+        ("occupancy", Json.Int occupancy);
+        ("pressure", Json.Int pressure);
+      ]
   in
   Json.Assoc
     ([
@@ -115,6 +125,14 @@ let of_json j =
     | "quota_adjusted" ->
       Quota_adjusted
         { from_quota = int "from_quota"; to_quota = int "to_quota"; pressure = int "pressure" }
+    | "ladder_shift" ->
+      Ladder_shift
+        {
+          from_level = int "from_level";
+          to_level = int "to_level";
+          occupancy = int "occupancy";
+          pressure = int "pressure";
+        }
     | s -> raise (Json.Parse_error ("unknown event kind " ^ s))
   in
   { ts = int "ts"; proc = int "proc"; tid = int "tid"; kind }

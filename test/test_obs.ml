@@ -394,16 +394,21 @@ let test_service_metrics_text () =
         (Om_util.value om "dfd_service_accepted_total" <> None);
       checkb "headroom gauges exposed" true
         (Om_util.value ~labels:[ ("policy", "service") ] om "dfd_space_budget_bytes" <> None);
-      (* the legacy counters object keeps its exact keys, in order *)
+      (* the counters object keeps an exact key set, in order (the
+         legacy keys plus the front-door additions: coalesced,
+         rejected_overloaded, cancelled) *)
       checkb "legacy counter keys preserved" true
         (List.map fst (Registry.Snapshot.to_alist (Service.counter_samples svc))
         = [
             "accepted";
+            "coalesced";
             "rejected_queue_full";
             "rejected_breaker_open";
             "rejected_memory_pressure";
+            "rejected_overloaded";
             "completions";
             "failures";
+            "cancelled";
             "retries";
             "timeouts";
             "wedges";

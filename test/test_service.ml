@@ -1,18 +1,27 @@
 (* Tests for the supervised job service (lib/service): the seeded
    full-jitter retry policy (property-tested), the per-class circuit
-   breaker and adaptive-K quota controller state machines (unit-tested on
-   the logical clock), and the service itself end-to-end against a real
-   pool — exactly-once ledger, admission control, deadline/retry
-   layering, wedge detection with pool respawn, and the adaptive-K
-   control loop reacting to allocation pressure. *)
+   breaker — including the generation-tagged staleness rule — the
+   adaptive-K quota controller and the backpressure ladder state
+   machines (unit-tested on the logical clock), the weighted-fair
+   admission queue (DRR order unit-tested, the weight-share bound
+   property-tested), submission handles, and the service itself
+   end-to-end against a real pool — exactly-once ledger, non-blocking
+   admission, coalescing, cancellation, deadline/retry layering, wedge
+   detection with pool respawn, multi-tenant shed ordering, and the
+   adaptive-K control loop reacting to allocation pressure. *)
 
 module Service = Dfd_service.Service
+module Handle = Dfd_service.Handle
+module Tenant = Dfd_service.Tenant
+module Fair_queue = Dfd_service.Fair_queue
+module Ladder = Dfd_service.Ladder
 module Retry = Dfd_service.Retry
 module Breaker = Dfd_service.Breaker
 module Quota_ctl = Dfd_service.Quota_ctl
 module Pool = Dfd_runtime.Pool
 module Tracer = Dfd_trace.Tracer
 module Event = Dfd_trace.Event
+module Stats = Dfd_structures.Stats
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -120,6 +129,192 @@ let test_breaker_probe_failure_reopens () =
     [ "open"; "half_open"; "open"; "half_open" ]
     (List.map (fun (_, s) -> Breaker.state_name s) (Breaker.transitions b))
 
+(* Regression for the half-open probe accounting: with a non-blocking
+   front door, results arrive long after admission, so a result from an
+   older breaker window must be dropped — it can neither consume the
+   single fresh probe budget nor flip the state. *)
+let test_breaker_stale_generation () =
+  let cfg = { Breaker.failure_threshold = 1; cooldown = 2; probe_budget = 1 } in
+  let b = Breaker.create cfg in
+  (* a job admitted in the initial closed world carries this window *)
+  checkb "closed admits" true (Breaker.admit b ~now:0);
+  let gen_closed = Breaker.generation b in
+  Breaker.record_failure b ~now:1;
+  (* cooldown elapsed: a probe is admitted in the half-open window *)
+  checkb "probe admitted" true (Breaker.admit b ~now:3);
+  let gen_probe = Breaker.generation b in
+  checkb "state change bumped the generation" true (gen_probe <> gen_closed);
+  (* the probe fails: reopen (fresh window) *)
+  Breaker.record_failure ~gen:gen_probe b ~now:4;
+  checkb "failed probe reopened" false (Breaker.admit b ~now:4);
+  (* the closed-world job's success lands now: stale, dropped, no close *)
+  Breaker.record_success ~gen:gen_closed b ~now:4;
+  checkb "stale success cannot close an open breaker" false (Breaker.admit b ~now:4);
+  checki "stale result counted" 1 (Breaker.stale_results b);
+  (* second half-open window: our probe consumes the whole budget *)
+  checkb "second probe admitted" true (Breaker.admit b ~now:6);
+  checkb "budget of one consumed" false (Breaker.admit b ~now:6);
+  (* a success from the PREVIOUS half-open window must not complete
+     this window's probe *)
+  Breaker.record_success ~gen:gen_probe b ~now:6;
+  checkb "stale probe success did not close" true
+    (Breaker.state b ~now:6 = Breaker.Half_open);
+  checki "second stale result counted" 2 (Breaker.stale_results b);
+  (* the current window's own success does close *)
+  Breaker.record_success ~gen:(Breaker.generation b) b ~now:7;
+  checkb "fresh probe success closes" true (Breaker.admit b ~now:7);
+  Alcotest.(check (list string)) "only fresh results drove the machine"
+    [ "open"; "half_open"; "open"; "half_open"; "closed" ]
+    (List.map (fun (_, s) -> Breaker.state_name s) (Breaker.transitions b))
+
+(* ------------------------------------------------------------------ *)
+(* Fair queue: DRR dispatch                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fair_queue_drr_order () =
+  let q = Fair_queue.create () in
+  Fair_queue.add_tenant q ~name:"a" ~weight:2 ~bound:8;
+  Fair_queue.add_tenant q ~name:"b" ~weight:1 ~bound:8;
+  List.iter (fun i -> ignore (Fair_queue.push q ~tenant:"a" i)) [ 1; 2; 3; 4 ];
+  List.iter (fun i -> ignore (Fair_queue.push q ~tenant:"b" i)) [ 10; 20 ];
+  let pops = List.init 6 (fun _ -> Option.get (Fair_queue.pop q)) in
+  Alcotest.(check (list (pair string int)))
+    "weight-2 lane gets two pops per round"
+    [ ("a", 1); ("a", 2); ("b", 10); ("a", 3); ("a", 4); ("b", 20) ]
+    pops;
+  checkb "drained" true (Fair_queue.pop q = None)
+
+let test_fair_queue_bounds_and_remove () =
+  let q = Fair_queue.create () in
+  Fair_queue.add_tenant q ~name:"a" ~weight:1 ~bound:2;
+  checkb "push ok" true (Fair_queue.push q ~tenant:"a" 1 = Ok ());
+  checkb "push ok" true (Fair_queue.push q ~tenant:"a" 2 = Ok ());
+  checkb "bound refuses" true (Fair_queue.push q ~tenant:"a" 3 = Error `Queue_full);
+  Fair_queue.push_force q ~tenant:"a" 3;
+  checki "forced push bypasses the bound" 3 (Fair_queue.depth q "a");
+  Fair_queue.push_front q ~tenant:"a" 0;
+  checki "peak depth tracked" 4 (Fair_queue.peak_depth q "a");
+  checkb "front requeue pops first" true (Fair_queue.pop q = Some ("a", 0));
+  checkb "remove finds a queued job" true
+    (Fair_queue.remove q ~tenant:"a" (fun x -> x = 2) = Some 2);
+  checkb "removed job is gone" true (Fair_queue.remove q ~tenant:"a" (fun x -> x = 2) = None);
+  checki "total" 2 (Fair_queue.total q);
+  checki "total_bound" 2 (Fair_queue.total_bound q);
+  checki "min_weight" 1 (Fair_queue.min_weight q)
+
+(* The isolation property behind the whole front door: over any interval
+   in which every lane stays backlogged, each lane's dispatch count is
+   within one quantum (its weight) of its weight-proportional share. *)
+let fq_case =
+  QCheck.(pair (list_of_size Gen.(int_range 2 4) (int_range 1 5)) (int_range 1 60))
+
+let qcheck_fair_share =
+  QCheck.Test.make ~count:300
+    ~name:"DRR dispatch share within one quantum of weight share" fq_case
+    (fun (weights, n) ->
+       let q = Fair_queue.create () in
+       List.iteri
+         (fun i w -> Fair_queue.add_tenant q ~name:(string_of_int i) ~weight:w ~bound:n)
+         weights;
+       (* every lane holds n jobs, so no lane drains within n pops *)
+       List.iteri
+         (fun i _ ->
+            for j = 1 to n do
+              ignore (Fair_queue.push q ~tenant:(string_of_int i) j)
+            done)
+         weights;
+       let counts = Array.make (List.length weights) 0 in
+       for _ = 1 to n do
+         match Fair_queue.pop q with
+         | Some (t, _) ->
+           let i = int_of_string t in
+           counts.(i) <- counts.(i) + 1
+         | None -> ()
+       done;
+       let total_w = List.fold_left ( + ) 0 weights in
+       (* |count_i - n * w_i / W| <= w_i, compared without rounding *)
+       List.for_all
+         (fun (i, w) -> abs ((total_w * counts.(i)) - (n * w)) <= w * total_w)
+         (List.mapi (fun i w -> (i, w)) weights))
+
+(* ------------------------------------------------------------------ *)
+(* Ladder: immediate degradation, hysteretic one-rung recovery         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ladder_degrade_and_recover () =
+  let cfg = { Ladder.coalesce_at = 50; shed_at = 75; break_at = 90; calm_steps = 2 } in
+  let l = Ladder.create cfg in
+  checkb "starts at accept" true (Ladder.level l = Ladder.Accept);
+  (match Ladder.observe l ~now:1 ~occupancy_pct:60 ~pressure_pct:0 with
+   | Some (Ladder.Accept, Ladder.Coalesce) -> ()
+   | _ -> Alcotest.fail "expected accept -> coalesce");
+  (* the signal is max(occupancy, pressure): memory pressure alone can
+     degrade, and degradation jumps straight to the target rung *)
+  (match Ladder.observe l ~now:2 ~occupancy_pct:10 ~pressure_pct:95 with
+   | Some (Ladder.Coalesce, Ladder.Break) -> ()
+   | _ -> Alcotest.fail "expected coalesce -> break on a pressure spike");
+  (* one calm sample is not enough *)
+  checkb "no recovery after one calm step" true
+    (Ladder.observe l ~now:3 ~occupancy_pct:0 ~pressure_pct:0 = None);
+  (* a loud sample resets the calm counter *)
+  checkb "loud sample holds the rung" true
+    (Ladder.observe l ~now:4 ~occupancy_pct:95 ~pressure_pct:0 = None);
+  checkb "calm counter was reset" true
+    (Ladder.observe l ~now:5 ~occupancy_pct:0 ~pressure_pct:0 = None);
+  (match Ladder.observe l ~now:6 ~occupancy_pct:0 ~pressure_pct:0 with
+   | Some (Ladder.Break, Ladder.Shed) -> ()
+   | _ -> Alcotest.fail "expected one-rung recovery break -> shed");
+  (* recovery climbs one rung per calm window, never jumps *)
+  ignore (Ladder.observe l ~now:7 ~occupancy_pct:0 ~pressure_pct:0);
+  (match Ladder.observe l ~now:8 ~occupancy_pct:0 ~pressure_pct:0 with
+   | Some (Ladder.Shed, Ladder.Coalesce) -> ()
+   | _ -> Alcotest.fail "expected shed -> coalesce");
+  ignore (Ladder.observe l ~now:9 ~occupancy_pct:0 ~pressure_pct:0);
+  ignore (Ladder.observe l ~now:10 ~occupancy_pct:0 ~pressure_pct:0);
+  checkb "back to accept" true (Ladder.level l = Ladder.Accept);
+  Alcotest.(check (list string)) "full trajectory recorded"
+    [ "coalesce"; "break"; "shed"; "coalesce"; "accept" ]
+    (List.map (fun (_, lvl) -> Ladder.level_name lvl) (Ladder.transitions l))
+
+let test_ladder_validates () =
+  let bad cfg = try Ladder.validate cfg; false with Invalid_argument _ -> true in
+  let base = Ladder.default_config in
+  checkb "coalesce_at >= 1" true (bad { base with Ladder.coalesce_at = 0 });
+  checkb "shed_at >= coalesce_at" true
+    (bad { base with Ladder.shed_at = base.Ladder.coalesce_at - 1 });
+  checkb "break_at >= shed_at" true (bad { base with Ladder.break_at = base.Ladder.shed_at - 1 });
+  checkb "calm_steps >= 1" true (bad { base with Ladder.calm_steps = 0 })
+
+(* ------------------------------------------------------------------ *)
+(* Handle: status machine and callbacks                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_handle_lifecycle () =
+  let h = Handle.make ~id:7 ~tenant:"t" in
+  checki "id" 7 (Handle.id h);
+  Alcotest.(check string) "tenant" "t" (Handle.tenant h);
+  checkb "fresh handle is queued" true (Handle.status h = Handle.Queued);
+  checkb "not done" false (Handle.is_done h);
+  let log = ref [] in
+  Handle.on_done h (fun v -> log := ("a", v) :: !log);
+  Handle.on_done h (fun v -> log := ("b", v) :: !log);
+  Handle.set_running h;
+  checkb "running" true (Handle.status h = Handle.Running);
+  Handle.set_queued h;
+  checkb "back to queued on retry" true (Handle.status h = Handle.Queued);
+  Handle.resolve h 1;
+  checkb "done" true (Handle.is_done h);
+  Alcotest.(check (list (pair string int)))
+    "callbacks fired once, in registration order"
+    [ ("b", 1); ("a", 1) ] !log;
+  Handle.resolve h 2;
+  checkb "second resolve ignored" true (Handle.status h = Handle.Done 1);
+  Handle.set_running h;
+  checkb "set_running after done is a no-op" true (Handle.status h = Handle.Done 1);
+  Handle.on_done h (fun v -> log := ("late", v) :: !log);
+  checkb "late registration fires immediately with the settled value" true
+    (List.hd !log = ("late", 1))
+
 (* ------------------------------------------------------------------ *)
 (* Quota controller: AIMD on the logical clock                         *)
 (* ------------------------------------------------------------------ *)
@@ -189,13 +384,17 @@ let with_service ?(config = base_config) ?tracer policy f =
 
 let entry svc id = List.find (fun e -> e.Service.job = id) (Service.ledger svc)
 
+(* submit-and-check-admission, the migration of the old result API *)
+let sub svc ?tenant ?class_ ?key ?deadline f =
+  Service.admission (Service.submit svc ?tenant ?class_ ?key ?deadline f)
+
 let test_all_complete_exactly_once () =
   with_service Pool.Work_stealing (fun svc ->
       let ran = Atomic.make 0 in
       let ids =
         List.init 20 (fun _ ->
             Result.get_ok
-              (Service.submit svc (fun () ->
+              (sub svc (fun () ->
                    Atomic.incr ran;
                    ignore (Pool.parallel_reduce ~zero:0 ~op:( + ) ~lo:0 ~hi:64 Fun.id))))
       in
@@ -220,7 +419,7 @@ let test_retry_to_budget_then_failed () =
       let runs = Atomic.make 0 in
       let id =
         Result.get_ok
-          (Service.submit svc ~class_:"boom" (fun () ->
+          (sub svc ~class_:"boom" (fun () ->
                Atomic.incr runs;
                failwith "boom"))
       in
@@ -241,7 +440,7 @@ let test_flaky_recovers_after_one_retry () =
       let tripped = Atomic.make false in
       let id =
         Result.get_ok
-          (Service.submit svc ~class_:"flaky" (fun () ->
+          (sub svc ~class_:"flaky" (fun () ->
                if not (Atomic.exchange tripped true) then failwith "flaky"))
       in
       Service.drive svc;
@@ -251,12 +450,21 @@ let test_flaky_recovers_after_one_retry () =
       checki "one retry" 1 (Service.counters svc).Service.retries)
 
 let test_queue_full_sheds () =
-  let config = { base_config with Service.queue_capacity = 2 } in
+  let config =
+    { base_config with Service.tenants = [ Tenant.make ~queue_bound:2 "default" ] }
+  in
   with_service ~config Pool.Work_stealing (fun svc ->
-      checkb "first accepted" true (Result.is_ok (Service.submit svc (fun () -> ())));
-      checkb "second accepted" true (Result.is_ok (Service.submit svc (fun () -> ())));
-      checkb "third shed" true
-        (Service.submit svc (fun () -> ()) = Error Service.Queue_full);
+      checkb "first accepted" true (Result.is_ok (sub svc (fun () -> ())));
+      checkb "second accepted" true (Result.is_ok (sub svc (fun () -> ())));
+      let fired = ref None in
+      let h3 = Service.submit svc ~on_done:(fun o -> fired := Some o) (fun () -> ()) in
+      checkb "third shed" true (Service.admission h3 = Error Service.Queue_full);
+      (* a synchronous rejection is terminal on the handle and fires the
+         completion callback — the caller needs no second code path *)
+      checkb "shed handle resolved synchronously" true
+        (Handle.status h3 = Handle.Done (Service.Rejected Service.Queue_full));
+      checkb "on_done fired for the rejection" true
+        (!fired = Some (Service.Rejected Service.Queue_full));
       Service.drive svc;
       let c = Service.counters svc in
       checki "queue_full counted" 1 c.Service.rejected_queue_full;
@@ -267,6 +475,129 @@ let test_queue_full_sheds () =
        | Ok () -> ()
        | Error m -> Alcotest.fail ("ledger audit: " ^ m)))
 
+let test_handle_await_poll_callbacks () =
+  with_service Pool.Work_stealing (fun svc ->
+      let seen = ref None in
+      let h = Service.submit svc ~on_done:(fun o -> seen := Some o) (fun () -> ()) in
+      checkb "queued right after submit" true (Service.poll h = Handle.Queued);
+      (match Service.await svc h with
+       | Some Service.Completed -> ()
+       | _ -> Alcotest.fail "await must drive the job to its outcome");
+      checkb "poll agrees" true (Service.poll h = Handle.Done Service.Completed);
+      checkb "callback fired with the outcome" true (!seen = Some Service.Completed);
+      (* await on a settled handle returns without stepping *)
+      checkb "await is idempotent" true (Service.await svc h = Some Service.Completed))
+
+let test_cancel_queued_job () =
+  with_service Pool.Work_stealing (fun svc ->
+      let ran = Atomic.make false in
+      let victim = Service.submit svc (fun () -> Atomic.set ran true) in
+      let bystander = Service.submit svc (fun () -> ()) in
+      checkb "cancel succeeds while queued" true (Service.cancel svc victim);
+      checkb "cancel is terminal on the handle" true
+        (Handle.status victim = Handle.Done Service.Cancelled);
+      checkb "second cancel returns false" false (Service.cancel svc victim);
+      Service.drive svc;
+      checkb "cancelled work never ran" false (Atomic.get ran);
+      checkb "bystander unaffected" true
+        (Handle.status bystander = Handle.Done Service.Completed);
+      checkb "cannot cancel a finished job" false (Service.cancel svc bystander);
+      checki "cancelled counted" 1 (Service.counters svc).Service.cancelled;
+      (match Service.verify_ledger svc with
+       | Ok () -> ()
+       | Error m -> Alcotest.fail ("ledger audit: " ^ m)))
+
+(* Coalescing: at ladder >= Coalesce, a duplicate (tenant, key) rides the
+   queued primary — the work runs once, both handles settle. *)
+let test_coalesce_duplicates () =
+  let config =
+    {
+      base_config with
+      Service.tenants = [ Tenant.make ~queue_bound:8 "default" ];
+      ladder = { Ladder.coalesce_at = 10; shed_at = 90; break_at = 100; calm_steps = 2 };
+    }
+  in
+  with_service ~config Pool.Work_stealing (fun svc ->
+      let ran = Atomic.make 0 in
+      let body () = Atomic.incr ran in
+      let filler = Service.submit svc ~class_:"filler" body in
+      let primary = Service.submit svc ~key:"A" body in
+      (* the ladder samples at the step: occupancy 2/8 = 25% >= 10 *)
+      Service.step svc;
+      checkb "ladder reached coalesce" true (Service.ladder_level svc = Ladder.Coalesce);
+      let dup = Service.submit svc ~key:"A" body in
+      checkb "duplicate admitted" true (Result.is_ok (Service.admission dup));
+      checki "coalesce counted" 1 (Service.counters svc).Service.coalesced;
+      (* a distinct key does not coalesce *)
+      let other = Service.submit svc ~key:"B" body in
+      checki "distinct key queued normally" 1 (Service.counters svc).Service.coalesced;
+      Service.drive svc;
+      checki "coalesced work ran once per primary" 3 (Atomic.get ran);
+      checkb "follower settled with the primary's outcome" true
+        (Handle.status dup = Handle.Done Service.Completed);
+      checkb "primary completed" true (Handle.status primary = Handle.Done Service.Completed);
+      checkb "filler completed" true (Handle.status filler = Handle.Done Service.Completed);
+      checkb "other key completed" true (Handle.status other = Handle.Done Service.Completed);
+      (match Service.verify_ledger svc with
+       | Ok () -> ()
+       | Error m -> Alcotest.fail ("ledger audit: " ^ m)))
+
+(* The isolation story end-to-end: a bully filling its low-weight lane
+   drives the ladder to Shed; only the bully is refused, the victim is
+   admitted throughout and its tail latency stays bounded. *)
+let test_bully_shed_first_victims_bounded () =
+  let config =
+    {
+      base_config with
+      Service.tenants =
+        [ Tenant.make ~weight:4 ~queue_bound:16 "gold";
+          Tenant.make ~weight:1 ~queue_bound:4 "bronze" ];
+      ladder = { Ladder.coalesce_at = 10; shed_at = 20; break_at = 95; calm_steps = 2 };
+    }
+  in
+  with_service ~config Pool.Work_stealing (fun svc ->
+      (* the bully fills its whole lane: 4 of 20 slots = 20% occupancy *)
+      for _ = 1 to 4 do
+        checkb "bully backlog admitted" true (Result.is_ok (sub svc ~tenant:"bronze" (fun () -> ())))
+      done;
+      Service.step svc;
+      checkb "ladder degraded to shed" true
+        (Ladder.level_index (Service.ladder_level svc) >= Ladder.level_index Ladder.Shed);
+      (match sub svc ~tenant:"bronze" (fun () -> ()) with
+       | Error Service.Overloaded -> ()
+       | _ -> Alcotest.fail "the lowest-weight tenant must be shed first");
+      checkb "the victim is still admitted at Shed" true
+        (Result.is_ok (sub svc ~tenant:"gold" (fun () -> ())));
+      Service.drive svc;
+      let stats = Service.tenant_stats svc in
+      let stat n = List.find (fun ts -> ts.Service.ts_name = n) stats in
+      let bronze = stat "bronze" and gold = stat "gold" in
+      checkb "bully has a first-shed step" true (bronze.Service.ts_first_shed <> None);
+      checkb "victim was never shed" true (gold.Service.ts_first_shed = None);
+      checki "victim saw zero rejections" 0
+        (gold.Service.ts_rejected_overloaded + gold.Service.ts_rejected_queue_full
+         + gold.Service.ts_rejected_breaker_open + gold.Service.ts_rejected_memory_pressure);
+      checki "one overloaded shed, attributed to the bully" 1
+        bronze.Service.ts_rejected_overloaded;
+      (* DRR gives the weight-4 victim its share: latency stays small
+         even with the bully's backlog ahead of it in wall order *)
+      (match Stats.Histogram.quantile gold.Service.ts_latency 0.99 with
+       | Some p99 -> checkb "victim p99 bounded" true (p99 <= 10.0)
+       | None -> Alcotest.fail "victim completed nothing");
+      checkb "lane depth stayed within its bound" true
+        (bronze.Service.ts_peak_depth <= bronze.Service.ts_bound);
+      (match Service.verify_ledger svc with
+       | Ok () -> ()
+       | Error m -> Alcotest.fail ("ledger audit: " ^ m)))
+
+let test_unknown_tenant_rejected () =
+  with_service Pool.Work_stealing (fun svc ->
+      checkb "unknown tenant raises" true
+        (try
+           ignore (Service.submit svc ~tenant:"nope" (fun () -> ()));
+           false
+         with Invalid_argument _ -> true))
+
 let test_deadline_enforced () =
   let config =
     { base_config with Service.retry = { Retry.max_attempts = 2; base_delay = 1; max_delay = 2 } }
@@ -274,7 +605,7 @@ let test_deadline_enforced () =
   with_service ~config Pool.Work_stealing (fun svc ->
       let id =
         Result.get_ok
-          (Service.submit svc ~class_:"slow" ~deadline:0.05 (fun () ->
+          (sub svc ~class_:"slow" ~deadline:0.05 (fun () ->
                let rec loop () =
                  ignore (Pool.fork_join (fun () -> ()) (fun () -> ()));
                  loop ()
@@ -291,6 +622,7 @@ let test_deadline_enforced () =
            (match o with
             | Some Service.Completed -> "completed"
             | Some (Service.Rejected _) -> "rejected"
+            | Some Service.Cancelled -> "cancelled"
             | _ -> "unresolved"));
       checki "every attempt timed out" 2 (Service.counters svc).Service.timeouts)
 
@@ -307,21 +639,20 @@ let test_breaker_cycle_through_service () =
   in
   with_service ~config Pool.Work_stealing (fun svc ->
       let fail_job () = failwith "x" in
-      checkb "f1 accepted" true (Result.is_ok (Service.submit svc ~class_:"x" fail_job));
+      checkb "f1 accepted" true (Result.is_ok (sub svc ~class_:"x" fail_job));
       Service.step svc;
-      checkb "f2 accepted" true (Result.is_ok (Service.submit svc ~class_:"x" fail_job));
+      checkb "f2 accepted" true (Result.is_ok (sub svc ~class_:"x" fail_job));
       Service.step svc;
       (* threshold reached at step 2: the breaker for "x" is open *)
-      (match Service.submit svc ~class_:"x" (fun () -> ()) with
+      (match sub svc ~class_:"x" (fun () -> ()) with
        | Error (Service.Breaker_open "x") -> ()
        | _ -> Alcotest.fail "expected Breaker_open rejection");
-      checkb "other classes unaffected" true
-        (Result.is_ok (Service.submit svc ~class_:"y" (fun () -> ())));
+      checkb "other classes unaffected" true (Result.is_ok (sub svc ~class_:"y" (fun () -> ())));
       Service.drive svc;
       (* idle steps let the cooldown elapse on the logical clock *)
       Service.step svc;
       Service.step svc;
-      let probe = Service.submit svc ~class_:"x" (fun () -> ()) in
+      let probe = sub svc ~class_:"x" (fun () -> ()) in
       checkb "probe admitted after cooldown" true (Result.is_ok probe);
       Service.drive svc;
       Alcotest.(check (list string)) "breaker walked the full cycle"
@@ -330,6 +661,7 @@ let test_breaker_cycle_through_service () =
            (fun (_, cl, st) -> if cl = "x" then Some st else None)
            (Service.breaker_transitions svc));
       checki "one shed while open" 1 (Service.counters svc).Service.rejected_breaker_open;
+      checki "no stale results in a serial run" 0 (Service.breaker_stale_results svc);
       match Service.verify_ledger svc with
       | Ok () -> ()
       | Error m -> Alcotest.fail ("ledger audit: " ^ m))
@@ -360,10 +692,11 @@ let test_wedge_respawn_exactly_once () =
   let flag = Atomic.make false in
   let wedge_id =
     Result.get_ok
-      (Service.submit svc ~class_:"wedge" (fun () ->
-           while not (Atomic.get flag) do
-             Domain.cpu_relax ()
-           done))
+      (Service.admission
+         (Service.submit svc ~class_:"wedge" (fun () ->
+              while not (Atomic.get flag) do
+                Domain.cpu_relax ()
+              done)))
   in
   Hashtbl.replace wedge_flags wedge_id flag;
   Service.drive svc;
@@ -376,7 +709,7 @@ let test_wedge_respawn_exactly_once () =
   checki "one respawn" 1 c.Service.respawns;
   checki "no duplicate acks" 0 c.Service.duplicate_acks;
   (* the respawned pool is a working pool *)
-  let after = Result.get_ok (Service.submit svc (fun () -> ())) in
+  let after = Result.get_ok (Service.admission (Service.submit svc (fun () -> ()))) in
   Service.drive svc;
   checkb "post-respawn job completes" true
     ((entry svc after).Service.outcome = Some Service.Completed);
@@ -393,10 +726,11 @@ let test_supervisor_gives_up () =
   let flag = Atomic.make false in
   ignore
     (Result.get_ok
-       (Service.submit svc (fun () ->
-            while not (Atomic.get flag) do
-              Domain.cpu_relax ()
-            done)));
+       (Service.admission
+          (Service.submit svc (fun () ->
+               while not (Atomic.get flag) do
+                 Domain.cpu_relax ()
+               done))));
   checkb "giveup past max_respawns" true
     (try
        Service.drive svc;
@@ -408,7 +742,7 @@ let test_supervisor_gives_up () =
 
 (* The ISSUE acceptance test for the control loop: an allocation spike
    observed through the pool's [alloc_bytes] counter drives K down (via
-   [Pool.set_quota], with [Quota_adjusted] trace events), and a calm
+   [Pool.run ?quota], with [Quota_adjusted] trace events), and a calm
    stretch restores it to the ceiling. *)
 let test_adaptive_quota_reacts () =
   let qcfg =
@@ -426,9 +760,15 @@ let test_adaptive_quota_reacts () =
   with_service ~config ~tracer (Pool.Dfdeques { quota = 32_000 }) (fun svc ->
       checki "starts at k_init" 32_000 (Option.get (Service.quota svc));
       (* allocation spikes: each job reports 200 kB, far above the
-         high watermark *)
-      for _ = 1 to 4 do
-        ignore (Result.get_ok (Service.submit svc ~class_:"spike" (fun () -> Pool.alloc_hint 200_000)));
+         high watermark.  Once K pins at the floor the service may start
+         shedding spikes (Memory_pressure) — that is the intended
+         degradation, tested separately, so only the first admission is
+         asserted here *)
+      checkb "first spike admitted" true
+        (Result.is_ok (sub svc ~class_:"spike" (fun () -> Pool.alloc_hint 200_000)));
+      Service.step svc;
+      for _ = 1 to 3 do
+        ignore (Service.submit svc ~class_:"spike" (fun () -> Pool.alloc_hint 200_000));
         Service.step svc
       done;
       Service.step svc;
@@ -463,11 +803,10 @@ let test_memory_pressure_sheds () =
   in
   let config = { base_config with Service.quota_ctl = Some qcfg } in
   with_service ~config (Pool.Dfdeques { quota = 1_000 }) (fun svc ->
-      ignore
-        (Result.get_ok (Service.submit svc ~class_:"spike" (fun () -> Pool.alloc_hint 10_000)));
+      ignore (Result.get_ok (sub svc ~class_:"spike" (fun () -> Pool.alloc_hint 10_000)));
       Service.step svc;
       Service.step svc;
-      (match Service.submit svc (fun () -> ()) with
+      (match sub svc (fun () -> ()) with
        | Error Service.Memory_pressure -> ()
        | _ -> Alcotest.fail "expected Memory_pressure rejection");
       checki "shed counted" 1 (Service.counters svc).Service.rejected_memory_pressure;
@@ -489,7 +828,21 @@ let () =
         [
           Alcotest.test_case "trip and recover" `Quick test_breaker_trip_and_recover;
           Alcotest.test_case "probe failure reopens" `Quick test_breaker_probe_failure_reopens;
+          Alcotest.test_case "stale generation dropped" `Quick test_breaker_stale_generation;
         ] );
+      ( "fair_queue",
+        [
+          Alcotest.test_case "DRR dispatch order" `Quick test_fair_queue_drr_order;
+          Alcotest.test_case "bounds, requeue, remove" `Quick test_fair_queue_bounds_and_remove;
+          QCheck_alcotest.to_alcotest ~long:false qcheck_fair_share;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "degrade and recover" `Quick test_ladder_degrade_and_recover;
+          Alcotest.test_case "config validation" `Quick test_ladder_validates;
+        ] );
+      ( "handle",
+        [ Alcotest.test_case "lifecycle and callbacks" `Quick test_handle_lifecycle ] );
       ( "quota_ctl",
         [
           Alcotest.test_case "shrink, floor, recover" `Quick test_quota_ctl_shrink_floor_recover;
@@ -502,6 +855,12 @@ let () =
             test_retry_to_budget_then_failed;
           Alcotest.test_case "flaky recovers" `Quick test_flaky_recovers_after_one_retry;
           Alcotest.test_case "queue full sheds" `Quick test_queue_full_sheds;
+          Alcotest.test_case "await, poll, callbacks" `Quick test_handle_await_poll_callbacks;
+          Alcotest.test_case "cancel queued job" `Quick test_cancel_queued_job;
+          Alcotest.test_case "coalesce duplicates" `Quick test_coalesce_duplicates;
+          Alcotest.test_case "bully shed first, victims bounded" `Quick
+            test_bully_shed_first_victims_bounded;
+          Alcotest.test_case "unknown tenant rejected" `Quick test_unknown_tenant_rejected;
           Alcotest.test_case "deadline enforced" `Quick test_deadline_enforced;
           Alcotest.test_case "breaker cycle" `Quick test_breaker_cycle_through_service;
           Alcotest.test_case "wedge respawn exactly once" `Quick

@@ -2,15 +2,26 @@
    checks plus the acceptance criteria — the exactly-once ledger audits
    clean, counters are consistent with the ledger, no duplicate
    acknowledgements, and the run's own oracle found no violations.
+
+   Handles both report families: the single-tenant fault plans (none /
+   exns / wedges / spikes / mixed) and the multi-tenant open-loop
+   campaigns (tenants-normal / tenants-bully), which additionally carry
+   per-tenant sections, the backpressure-ladder trajectory, and the
+   Theorem-4.4 headroom audit.
+
    Usage: validate_soak report.json *)
 
 module Json = Dfd_trace.Json
 
 let fail fmt = Json_util.failf ~prog:"validate_soak" fmt
 
-let kinds = [ "ok"; "spike"; "exn"; "flaky"; "slow"; "wedge" ]
+let fault_kinds = [ "ok"; "spike"; "exn"; "flaky"; "slow"; "wedge" ]
 
-let reject_reasons = [ "queue_full"; "breaker_open"; "memory_pressure" ]
+let tenant_kinds = [ "ok"; "dup"; "bully"; "spike" ]
+
+let reject_reasons = [ "queue_full"; "breaker_open"; "memory_pressure"; "overloaded" ]
+
+let ladder_levels = [ "accept"; "coalesce"; "shed"; "break" ]
 
 let () =
   let path = match Sys.argv with [| _; p |] -> p | _ -> fail "usage: validate_soak FILE" in
@@ -21,18 +32,42 @@ let () =
   ignore (int_at "seed");
   let duration = int_at "duration_steps" in
   if int_at "final_step" < duration then fail "final_step before duration_steps";
-  (match Json.member "plan" j with
-   | Json.String p when List.mem p [ "none"; "exns"; "wedges"; "spikes"; "mixed" ] -> ()
-   | Json.String p -> fail "unknown plan %S" p
-   | _ -> fail "missing plan");
+  let tenant_mode =
+    match Json.member "plan" j with
+    | Json.String ("none" | "exns" | "wedges" | "spikes" | "mixed") -> false
+    | Json.String ("tenants-normal" | "tenants-bully") -> true
+    | Json.String p -> fail "unknown plan %S" p
+    | _ -> fail "missing plan"
+  in
+  let kinds = if tenant_mode then tenant_kinds else fault_kinds in
   let config = Json.member "config" j in
   (match Json.member "policy" config with
    | Json.String ("dfd" | "ws") -> ()
    | _ -> fail "config missing policy");
+  (match Json.member "tenants" config with
+   | Json.List (_ :: _ as ts) ->
+     List.iter
+       (fun t ->
+          (try ignore (Json.to_string_exn (Json.member "name" t))
+           with _ -> fail "config tenant without name");
+          if Json.to_int_exn (Json.member "weight" t) < 1 then fail "non-positive tenant weight";
+          if Json.to_int_exn (Json.member "queue_bound" t) < 1 then
+            fail "non-positive tenant queue_bound")
+       ts
+   | _ -> fail "config without tenants");
+  if tenant_mode then (
+    match Json.member "ladder" config with
+    | Json.Assoc _ as l ->
+      List.iter
+        (fun k ->
+           try ignore (Json.to_int_exn (Json.member k l))
+           with _ -> fail "config ladder missing %S" k)
+        [ "coalesce_at"; "shed_at"; "break_at"; "calm_steps" ]
+    | _ -> fail "tenant-mode config without ladder");
   (* submissions: every entry well-formed, accepted ones carry a job id *)
   let subs = try Json.to_list_exn (Json.member "submissions" j) with _ -> fail "no submissions" in
   if subs = [] then fail "empty submissions";
-  let accepted = ref 0 and shed = ref 0 in
+  let accepted = ref 0 and shed = ref 0 and coalesced_subs = ref 0 in
   List.iter
     (fun s ->
        let step = try Json.to_int_exn (Json.member "step" s) with _ -> fail "submission without step" in
@@ -41,11 +76,19 @@ let () =
         | Json.String k when List.mem k kinds -> ()
         | Json.String k -> fail "unknown job kind %S" k
         | _ -> fail "submission without kind");
+       if tenant_mode then
+         (try ignore (Json.to_string_exn (Json.member "tenant" s))
+          with _ -> fail "tenant-mode submission without tenant");
        match Json.member "accepted" s with
        | Json.Bool true ->
          incr accepted;
          (try ignore (Json.to_int_exn (Json.member "job" s))
-          with _ -> fail "accepted submission without job id")
+          with _ -> fail "accepted submission without job id");
+         if tenant_mode then (
+           match Json.member "coalesced" s with
+           | Json.Bool true -> incr coalesced_subs
+           | Json.Bool false -> ()
+           | _ -> fail "tenant-mode submission without coalesced flag")
        | Json.Bool false ->
          incr shed;
          (match Json.member "reason" s with
@@ -58,10 +101,12 @@ let () =
   let ledger = try Json.to_list_exn (Json.member "ledger" j) with _ -> fail "no ledger" in
   if List.length ledger <> List.length subs then
     fail "ledger has %d entries but %d submissions" (List.length ledger) (List.length subs);
-  let completed = ref 0 and failed = ref 0 and rejected = ref 0 in
+  let completed = ref 0 and failed = ref 0 and rejected = ref 0 and cancelled = ref 0 in
   List.iter
     (fun e ->
        (try ignore (Json.to_int_exn (Json.member "job" e)) with _ -> fail "ledger entry without job");
+       (try ignore (Json.to_string_exn (Json.member "tenant" e))
+        with _ -> fail "ledger entry without tenant");
        (try ignore (Json.to_string_exn (Json.member "class" e))
         with _ -> fail "ledger entry without class");
        let attempts =
@@ -74,6 +119,7 @@ let () =
        match Json.member "outcome" e with
        | Json.String "completed" -> incr completed
        | Json.String "failed" -> incr failed
+       | Json.String "cancelled" -> incr cancelled
        | Json.String "rejected" ->
          incr rejected;
          (match Json.member "reason" e with
@@ -87,25 +133,36 @@ let () =
   let c k =
     try Json.to_int_exn (Json.member k counters) with _ -> fail "counters missing %S" k
   in
-  if c "accepted" <> !accepted then fail "accepted counter disagrees with submissions";
-  if c "rejected_queue_full" + c "rejected_breaker_open" + c "rejected_memory_pressure" <> !shed
+  (* the accepted flag covers both queued and coalesced admissions *)
+  if c "accepted" + c "coalesced" <> !accepted then
+    fail "accepted + coalesced counters disagree with submissions";
+  if c "coalesced" <> !coalesced_subs && tenant_mode then
+    fail "coalesced counter disagrees with submission flags";
+  if
+    c "rejected_queue_full" + c "rejected_breaker_open" + c "rejected_memory_pressure"
+    + c "rejected_overloaded"
+    <> !shed
   then fail "rejection counters disagree with submissions";
   if c "completions" <> !completed then fail "completions counter disagrees with ledger";
   if c "failures" <> !failed then fail "failures counter disagrees with ledger";
+  if c "cancelled" <> !cancelled then fail "cancelled counter disagrees with ledger";
   if !rejected <> !shed then fail "rejected ledger entries disagree with shed submissions";
   if c "duplicate_acks" <> 0 then fail "duplicate acknowledgements reported";
   if c "wedges" <> c "respawns" then fail "wedge/respawn counters disagree";
+  let check_quota_moves moves =
+    List.iter
+      (function
+        | Json.List [ Json.Int s; Json.Int k ] ->
+          if s < 1 then fail "quota move at non-positive step";
+          if k <= 0 then fail "non-positive quota in trajectory"
+        | _ -> fail "malformed quota move")
+      moves
+  in
   (* trajectories: well-formed tuples over the logical clock *)
-  (match Json.member "quota_trajectory" j with
-   | Json.List moves ->
-     List.iter
-       (function
-         | Json.List [ Json.Int s; Json.Int k ] ->
-           if s < 1 then fail "quota move at non-positive step";
-           if k <= 0 then fail "non-positive quota in trajectory"
-         | _ -> fail "malformed quota move")
-       moves
-   | _ -> fail "no quota_trajectory");
+  if not tenant_mode then (
+    match Json.member "quota_trajectory" j with
+    | Json.List moves -> check_quota_moves moves
+    | _ -> fail "no quota_trajectory");
   (match Json.member "breaker_transitions" j with
    | Json.List trans ->
      List.iter
@@ -117,6 +174,99 @@ let () =
          | _ -> fail "malformed breaker transition")
        trans
    | _ -> fail "no breaker_transitions");
+  (* tenant-mode sections: per-tenant stats, ladder, headroom, merged
+     latency — all schema-checked and cross-checked against the global
+     counters *)
+  if tenant_mode then begin
+    let quantiles q =
+      let count = try Json.to_int_exn (Json.member "count" q) with _ -> fail "quantiles without count" in
+      if count < 0 then fail "negative latency count";
+      List.iter
+        (fun k ->
+           match Json.member k q with
+           | Json.Float v -> if v < 0.0 then fail "negative latency quantile"
+           | Json.Int v -> if v < 0 then fail "negative latency quantile"
+           | Json.Null when count = 0 -> ()
+           | _ -> fail "latency section missing %S" k)
+        [ "p50"; "p90"; "p99" ];
+      count
+    in
+    let tenants =
+      try Json.to_list_exn (Json.member "tenants" j) with _ -> fail "no tenants section"
+    in
+    if tenants = [] then fail "empty tenants section";
+    let sum_acc = ref 0 and sum_coal = ref 0 and sum_rej = ref 0 and sum_lat = ref 0 in
+    List.iter
+      (fun t ->
+         let ti k =
+           try Json.to_int_exn (Json.member k t) with _ -> fail "tenant stats missing %S" k
+         in
+         (try ignore (Json.to_string_exn (Json.member "name" t))
+          with _ -> fail "tenant stats without name");
+         if ti "weight" < 1 then fail "non-positive tenant weight in stats";
+         let bound = ti "queue_bound" in
+         if ti "peak_depth" > bound then fail "tenant peak_depth exceeds its bound";
+         sum_acc := !sum_acc + ti "accepted";
+         sum_coal := !sum_coal + ti "coalesced";
+         ignore (ti "completions");
+         ignore (ti "failures");
+         ignore (ti "cancelled");
+         let rej = Json.member "rejected" t in
+         List.iter
+           (fun k ->
+              let v =
+                try Json.to_int_exn (Json.member k rej)
+                with _ -> fail "tenant rejected section missing %S" k
+              in
+              sum_rej := !sum_rej + v)
+           reject_reasons;
+         (match Json.member "first_shed_step" t with
+          | Json.Null -> ()
+          | Json.Int s -> if s < 1 then fail "first_shed_step before step 1"
+          | _ -> fail "malformed first_shed_step");
+         sum_lat := !sum_lat + quantiles (Json.member "latency_steps" t);
+         (match Json.member "quota" t with
+          | Json.Null | Json.Int _ -> ()
+          | _ -> fail "malformed tenant quota");
+         match Json.member "quota_trajectory" t with
+         | Json.List moves -> check_quota_moves moves
+         | _ -> fail "tenant stats without quota_trajectory")
+      tenants;
+    if !sum_acc <> c "accepted" then fail "per-tenant accepted do not sum to the global counter";
+    if !sum_coal <> c "coalesced" then
+      fail "per-tenant coalesced do not sum to the global counter";
+    if !sum_rej <> !shed then fail "per-tenant rejections do not sum to the shed submissions";
+    let merged = quantiles (Json.member "latency_all_steps" j) in
+    if merged <> !sum_lat then
+      fail "merged latency count %d but per-tenant histograms hold %d" merged !sum_lat;
+    let ladder = Json.member "ladder" j in
+    (match Json.member "final" ladder with
+     | Json.String l when List.mem l ladder_levels -> ()
+     | _ -> fail "ladder section without a valid final level");
+    (match Json.member "transitions" ladder with
+     | Json.List trans ->
+       List.iter
+         (function
+           | Json.List [ Json.Int s; Json.String l ] ->
+             if s < 1 then fail "ladder transition before step 1";
+             if not (List.mem l ladder_levels) then fail "unknown ladder level %S" l
+           | _ -> fail "malformed ladder transition")
+         trans
+     | _ -> fail "ladder section without transitions");
+    let headroom = Json.member "headroom" j in
+    let peak =
+      try Json.to_int_exn (Json.member "peak_bytes" headroom)
+      with _ -> fail "headroom without peak_bytes"
+    in
+    let budget =
+      try Json.to_int_exn (Json.member "budget_bytes" headroom)
+      with _ -> fail "headroom without budget_bytes"
+    in
+    if peak > budget then fail "headroom peak %d exceeds the Theorem-4.4 budget %d" peak budget;
+    match Json.member "within_budget" headroom with
+    | Json.Bool true -> ()
+    | _ -> fail "headroom within_budget is not true"
+  end;
   (* the acceptance gate: the run's own oracle *)
   let checks = Json.member "checks" j in
   (match Json.member "ledger_verified" checks with
