@@ -22,6 +22,7 @@ module Psort = Dfd_runtime.Psort
 module Prng = Dfd_structures.Prng
 module Json = Dfd_trace.Json
 module Registry = Dfd_obs.Registry
+module Stats = Dfd_structures.Stats
 
 let rec fib n =
   if n < 2 then n
@@ -43,6 +44,9 @@ type point = {
   steals : int;
   steal_failures : int;
   local_pops : int;
+  r_inserts : int;
+  r_removes : int;
+  rank_hist : Stats.Histogram.t;
 }
 
 (* Best-of-[reps] wall time for [f] on a fresh pool; counters are from the
@@ -60,10 +64,10 @@ let measure ~policy ~p ~reps f check =
          if not (check v) then failwith "pool_scale: wrong result";
          if dt < !best then best := dt
        done;
-       (!best, Pool.counters pool))
+       (!best, Pool.counters pool, Pool.rank_error pool))
 
 let point ~workload ~policy_name ~policy ~p ~reps f check =
-  let time_s, c = measure ~policy ~p ~reps f check in
+  let time_s, c, rank_hist = measure ~policy ~p ~reps f check in
   Printf.printf "%-6s %-4s p=%d  %.4fs  tasks=%d steals=%d\n%!" workload policy_name p time_s
     c.Pool.tasks_run c.Pool.steals;
   {
@@ -76,6 +80,9 @@ let point ~workload ~policy_name ~policy ~p ~reps f check =
     steals = c.Pool.steals;
     steal_failures = c.Pool.steal_failures;
     local_pops = c.Pool.local_pops;
+    r_inserts = c.Pool.r_inserts;
+    r_removes = c.Pool.r_removes;
+    rank_hist;
   }
 
 let point_json pt =
@@ -131,6 +138,53 @@ let obs_overhead ~fib_n ~reps ~p ~expect =
       ( "overhead_ratio",
         Json.Float (if disabled_s > 0.0 then enabled_s /. disabled_s else 0.0) );
     ]
+
+(* Rank-error histogram of the relaxed R-list, one row per dfd point.
+   Quantiles come from the log2-bucketed Stats.Histogram merged across
+   workers; zero rows (no steals) carry count=0 and omit nothing — the
+   schema checker wants the row either way. *)
+let rank_error_rows points =
+  List.filter_map
+    (fun pt ->
+       if pt.policy_name <> "dfd" then None
+       else
+         let h = pt.rank_hist in
+         let q x = match Stats.Histogram.quantile h x with Some v -> v | None -> 0.0 in
+         Some
+           (Json.Assoc
+              [
+                ("workload", Json.String pt.workload);
+                ("policy", Json.String pt.policy_name);
+                ("p", Json.Int pt.p);
+                ("count", Json.Int (Stats.Histogram.count h));
+                ("p50", Json.Float (q 0.5));
+                ("p90", Json.Float (q 0.9));
+                ("p99", Json.Float (q 0.99));
+                ( "max",
+                  Json.Float (match Stats.Histogram.max_opt h with Some v -> v | None -> 0.0)
+                );
+              ]))
+    points
+
+(* Membership traffic on the R-list: inserts/removes per dfd point.  The
+   relaxed structure does one CAS publish per insert and one per remove;
+   the old design additionally rebuilt a leftmost-p snapshot under a
+   global lock on every one of these. *)
+let r_membership_rows points =
+  List.filter_map
+    (fun pt ->
+       if pt.policy_name <> "dfd" then None
+       else
+         Some
+           (Json.Assoc
+              [
+                ("workload", Json.String pt.workload);
+                ("policy", Json.String pt.policy_name);
+                ("p", Json.Int pt.p);
+                ("inserts", Json.Int pt.r_inserts);
+                ("removes", Json.Int pt.r_removes);
+              ]))
+    points
 
 (* speedup(p) = time(p=1) / time(p), per (workload, policy) group *)
 let speedups points =
@@ -203,6 +257,8 @@ let () =
         ("sort_n", Json.Int sort_n);
         ("results", Json.List (List.map point_json points));
         ("speedups", Json.List (speedups points));
+        ("rank_error", Json.List (rank_error_rows points));
+        ("r_membership_ops", Json.List (r_membership_rows points));
         ("obs_overhead", obs);
       ]
   in

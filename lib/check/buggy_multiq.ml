@@ -1,0 +1,62 @@
+(* A deliberately broken relaxed R-list, used to demonstrate that the
+   explorer finds membership races in Multiq-shaped code within its
+   default budget.
+
+   Shaped like Dfd_structures.Multiq (shards of immutable sorted entry
+   arrays, CAS insert publication, one-winner liveness flip) except that
+   [remove]'s physical unpublish replaces the compare-and-set republish
+   loop with a non-atomic read-filter-store: between reading the shard
+   array and storing the filtered copy (the window marked by
+   [Schedpoint.multiq_remove_commit] — the correct structure has a CAS
+   there and hence no such window) a concurrent insert's CAS can land,
+   and the remover's store then tears it out of the shard.  The lost
+   entry is still live by its own flag but unreachable through the
+   shard arrays — a member no thief can ever sample and no walk can
+   see.  The [multiq_buggy] scenario drives this through the explorer;
+   the identical scenario shape over the real Multiq passes. *)
+
+module Schedpoint = Dfd_structures.Schedpoint
+
+type 'a entry = { e_tag : int; e_value : 'a; e_live : bool Atomic.t }
+
+type 'a t = { shard : 'a entry array Atomic.t; next_tag : int Atomic.t }
+
+(* One shard: every membership operation collides, maximising the torn
+   window without changing the bug. *)
+let create () = { shard = Atomic.make [||]; next_tag = Atomic.make 0 }
+
+let value e = e.e_value
+
+let is_live e = Atomic.get e.e_live
+
+(* Correct CAS publication, same as the real structure. *)
+let insert q v =
+  let e = { e_tag = Atomic.fetch_and_add q.next_tag 1; e_value = v; e_live = Atomic.make true } in
+  let rec publish () =
+    let arr = Atomic.get q.shard in
+    Schedpoint.point Schedpoint.multiq_insert;
+    let n = Array.length arr in
+    let out = Array.make (n + 1) e in
+    Array.blit arr 0 out 0 n;
+    if not (Atomic.compare_and_set q.shard arr out) then publish ()
+  in
+  publish ();
+  e
+
+(* THE BUG: read-filter-store instead of a compare-and-set retry loop.
+   The liveness flip is still one-winner, so the tear is purely in the
+   physical membership. *)
+let remove q e =
+  if Atomic.compare_and_set e.e_live true false then begin
+    let arr = Atomic.get q.shard in
+    Schedpoint.point Schedpoint.multiq_remove_commit;
+    Atomic.set q.shard (Array.of_list (List.filter (fun x -> x != e) (Array.to_list arr)));
+    true
+  end
+  else false
+
+let members q =
+  List.filter is_live (Array.to_list (Atomic.get q.shard))
+  |> List.sort (fun a b -> compare a.e_tag b.e_tag)
+
+let to_list q = List.map value (members q)

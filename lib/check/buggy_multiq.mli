@@ -1,0 +1,38 @@
+(** A deliberately broken relaxed R-list ({b checker demonstration
+    only}).
+
+    Shaped like {!Dfd_structures.Multiq}, except [remove]'s physical
+    unpublish is a non-atomic read-filter-store instead of a CAS retry
+    loop.  In the window between its read and its store (marked by the
+    {!Dfd_structures.Schedpoint.multiq_remove_commit} yield point — the
+    correct structure has a compare-and-set there and hence no such
+    window) a concurrent insert can publish and then be torn out of the
+    shard: the entry stays live by its own flag but becomes unreachable
+    through the membership arrays.  The [multiq_buggy] scenario drives
+    this through the explorer, and the test suite asserts the torn
+    membership is found and shrunk within the default budget; the
+    identical scenario shape over the real Multiq passes. *)
+
+type 'a t
+
+type 'a entry
+
+val create : unit -> 'a t
+(** Single shard (every operation collides; the bug needs no spread). *)
+
+val insert : 'a t -> 'a -> 'a entry
+(** Correct CAS publication, as in the real structure. *)
+
+val remove : 'a t -> 'a entry -> bool
+(** One-winner liveness flip, then the {b racy-by-design} torn
+    unpublish described above. *)
+
+val value : 'a entry -> 'a
+
+val is_live : 'a entry -> bool
+
+val members : 'a t -> 'a entry list
+(** Live entries still reachable through the shard array, in insertion
+    order — a torn insert is live but missing here. *)
+
+val to_list : 'a t -> 'a list

@@ -12,6 +12,7 @@
 
 module Prng = Dfd_structures.Prng
 module Clev = Dfd_structures.Clev
+module Multiq = Dfd_structures.Multiq
 module Pool = Dfd_runtime.Pool
 
 (* Every pushed value delivered exactly once.  [got] is the concatenation
@@ -204,6 +205,159 @@ let clev_buggy =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Multiq scenarios (the relaxed R-list behind the DFDeques pool)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Exactly-once membership under concurrent insert/remove: thread 0
+   inserts (front and after random anchors), threads 1-2 race to remove
+   a shared prefix.  Oracle: each removal had exactly one winner, and
+   the live set visible through the shards is exactly
+   {inserted} \ {removed}. *)
+let multiq_ops =
+  {
+    Explore.name = "multiq_ops";
+    descr = "multiq: CAS membership — concurrent inserts vs racing removers";
+    n_threads = 3;
+    approx_steps = 60;
+    prepare =
+      (fun rng ->
+        let q = Multiq.create ~shards:2 () in
+        let pre = Array.init 3 (fun v -> Multiq.insert_front q v) in
+        let n_ins = 2 + Prng.int rng 2 in
+        let anchors = Array.init n_ins (fun _ -> Prng.int rng 4) in
+        let inserted = ref [] in
+        let wins = [| ref []; ref [] |] in
+        let body i =
+          if i = 0 then
+            for k = 0 to n_ins - 1 do
+              let v = 100 + k in
+              let e =
+                if anchors.(k) = 3 then Multiq.insert_front q v
+                else Multiq.insert_after q pre.(anchors.(k)) v
+              in
+              inserted := e :: !inserted
+            done
+          else
+            Array.iter
+              (fun e -> if Multiq.remove q e then wins.(i - 1) := e :: !(wins.(i - 1)))
+              pre
+        in
+        let oracle () =
+          let won_by_both =
+            List.exists (fun e -> List.memq e !(wins.(1))) !(wins.(0))
+          in
+          let n_wins = List.length !(wins.(0)) + List.length !(wins.(1)) in
+          let live = List.map Multiq.value (Multiq.members q) |> List.sort compare in
+          let expect = List.init n_ins (fun k -> 100 + k) in
+          if won_by_both then Error "a removal had two winners"
+          else if n_wins <> 3 then
+            Error (Printf.sprintf "3 removals, %d winners" n_wins)
+          else if Array.exists Multiq.is_live pre then Error "removed entry still live"
+          else if List.exists (fun e -> not (Multiq.is_live e)) !inserted then
+            Error "inserted entry not live"
+          else if live <> expect then
+            Error
+              (Printf.sprintf "membership torn: live=[%s] expected=[%s]"
+                 (String.concat "," (List.map string_of_int live))
+                 (String.concat "," (List.map string_of_int expect)))
+          else if Multiq.size q <> n_ins then
+            Error (Printf.sprintf "size=%d, expected %d" (Multiq.size q) n_ins)
+          else Ok ()
+        in
+        (body, oracle));
+  }
+
+(* Two-choice sampling under membership churn: thread 0 churns (inserts
+   then removes its own entries), thread 1 samples and verifies inline —
+   sound under the explorer because no yield point lies between
+   [sample]'s head reads and the verification scan — that each victim is
+   live, and is the leftmost member of both sampled shards (the property
+   that confines rank error to the unsampled shards). *)
+let multiq_two_choice =
+  {
+    Explore.name = "multiq_two_choice";
+    descr = "multiq: two-choice samples are leftmost-of-both-shards members";
+    n_threads = 2;
+    approx_steps = 60;
+    prepare =
+      (fun rng ->
+        let q = Multiq.create ~shards:2 () in
+        let anchor = Multiq.insert_front q (-1) in
+        let n_ops = 3 + Prng.int rng 2 in
+        let plan = Array.init n_ops (fun _ -> Prng.int rng 2) in
+        let draws = Array.init 4 (fun _ -> (Prng.int rng 2, Prng.int rng 2)) in
+        let bad = ref None in
+        let body i =
+          if i = 0 then begin
+            let mine = ref [] in
+            Array.iter
+              (fun op ->
+                if op = 0 || !mine = [] then
+                  mine := Multiq.insert_after q anchor (List.length !mine) :: !mine
+                else begin
+                  ignore (Multiq.remove q (List.hd !mine));
+                  mine := List.tl !mine
+                end)
+              plan
+          end
+          else
+            Array.iter
+              (fun (i, j) ->
+                match Multiq.sample q i j with
+                | None ->
+                  if Multiq.head q i <> None || Multiq.head q j <> None then
+                    bad := Some "sample None with a non-empty sampled shard"
+                | Some v ->
+                  if not (Multiq.is_live v) then bad := Some "sampled a dead entry"
+                  else
+                    List.iter
+                      (fun k ->
+                        List.iter
+                          (fun m ->
+                            if Multiq.compare_entries v m > 0 then
+                              bad := Some "sample not leftmost of its two shards")
+                          (Multiq.members_of_shard q k))
+                      [ i; j ])
+              draws
+        in
+        let oracle () = match !bad with None -> Ok () | Some r -> Error r in
+        (body, oracle));
+  }
+
+(* The planted bug: Buggy_multiq's read-filter-store remove racing a
+   CAS insert.  The explorer must find the torn (lost) insert. *)
+let multiq_buggy =
+  {
+    Explore.name = "multiq_buggy";
+    descr = "deliberately torn multiq remove (read-filter-store): explorer must find it";
+    n_threads = 2;
+    approx_steps = 30;
+    prepare =
+      (fun _rng ->
+        let q = Buggy_multiq.create () in
+        let pre = Array.init 2 (fun v -> Buggy_multiq.insert q v) in
+        let inserted = ref [] in
+        let body i =
+          if i = 0 then
+            for v = 100 to 102 do
+              inserted := Buggy_multiq.insert q v :: !inserted
+            done
+          else Array.iter (fun e -> ignore (Buggy_multiq.remove q e)) pre
+        in
+        let oracle () =
+          let live = Buggy_multiq.to_list q |> List.sort compare in
+          let expect = [ 100; 101; 102 ] in
+          if live <> expect then
+            Error
+              (Printf.sprintf "membership torn: live=[%s] expected=[%s]"
+                 (String.concat "," (List.map string_of_int live))
+                 (String.concat "," (List.map string_of_int expect)))
+          else Ok ()
+        in
+        (body, oracle));
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Pool scenarios                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -288,8 +442,9 @@ let pool_dfd =
 
 (* ------------------------------------------------------------------ *)
 
-let all = [ clev_ops; clev_grow; clev_wrap; pool_ws; pool_dfd ]
+let all = [ clev_ops; clev_grow; clev_wrap; multiq_ops; multiq_two_choice; pool_ws; pool_dfd ]
 
 let buggy = clev_buggy
 
-let find name = List.find_opt (fun s -> s.Explore.name = name) (buggy :: all)
+let find name =
+  List.find_opt (fun s -> s.Explore.name = name) (clev_buggy :: multiq_buggy :: all)

@@ -17,6 +17,15 @@ val clev_grow : Explore.scenario
 val clev_wrap : Explore.scenario
 (** Deque started at [max_int - 3]: churn across the overflow boundary. *)
 
+val multiq_ops : Explore.scenario
+(** Relaxed R-list ({!Dfd_structures.Multiq}): concurrent CAS inserts
+    against two racing removers; oracle checks one-winner removal and
+    untorn membership. *)
+
+val multiq_two_choice : Explore.scenario
+(** Two-choice sampling under membership churn: every sampled victim
+    must be a live member and the leftmost of both sampled shards. *)
+
 val pool_ws : Explore.scenario
 (** Fork-join fib on the work-stealing pool, two helping workers. *)
 
@@ -27,6 +36,10 @@ val pool_dfd : Explore.scenario
 val clev_buggy : Explore.scenario
 (** Drives {!Buggy_clev}; the explorer is expected to {e fail} this one.
     Excluded from {!all}. *)
+
+val multiq_buggy : Explore.scenario
+(** Drives {!Buggy_multiq} (torn membership on remove); the explorer is
+    expected to {e fail} this one.  Excluded from {!all}. *)
 
 val buggy : Explore.scenario
 (** Alias for {!clev_buggy}. *)

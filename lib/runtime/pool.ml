@@ -1,6 +1,7 @@
 module Deque = Dfd_structures.Deque
 module Clev = Dfd_structures.Clev
-module Dll = Dfd_structures.Dll
+module Multiq = Dfd_structures.Multiq
+module Stats = Dfd_structures.Stats
 module Prng = Dfd_structures.Prng
 module Schedpoint = Dfd_structures.Schedpoint
 module Tracer = Dfd_trace.Tracer
@@ -23,13 +24,16 @@ type policy = Work_stealing | Dfdeques of { quota : int }
 
 (* A deque of the global list R (DFDeques only; the WS policy uses raw
    Chase–Lev deques).  Task transfer is guarded by the per-deque [dq_lock];
-   [owner] and [node] (its position in R) are written under [r_lock].
+   R membership lives in the lock-free [Multiq] (the deque's position is
+   the [Multiq.entry] handle held in [dfd_deque] or by a sampling thief).
+   [owner] is atomic so reapers can read it without any global lock: once
+   it goes [None] the deque is never re-owned, so no further pushes can
+   occur and "empty and unowned" observed under [dq_lock] is stable.
    [did]/[born_us] feed the deque-lifecycle trace events. *)
 type dq = {
   tasks : task Deque.t;
   dq_lock : Mutex.t;
-  mutable owner : int option;
-  mutable node : dq Dll.node option;  (** [None] once removed from R. *)
+  owner : int option Atomic.t;
   did : int;
   born_us : int;
 }
@@ -43,6 +47,8 @@ type counters = {
   task_exns : int;
   alloc_bytes : int;
   parks : int;
+  r_inserts : int;
+  r_removes : int;
 }
 
 (* One record per worker, written only by that worker (thief-side events —
@@ -59,6 +65,11 @@ type wcounters = {
   mutable c_task_exns : int;
   mutable c_alloc_bytes : int;
   mutable c_parks : int;
+  mutable c_r_inserts : int;  (** R-membership inserts charged to this worker. *)
+  mutable c_r_removes : int;  (** R-membership removals this worker won. *)
+  c_rank_err : Stats.Histogram.t;
+      (** rank error of this worker's successful steals; merged across
+          workers by {!val-rank_error}.  Single-writer like the ints. *)
 }
 
 (* Live-telemetry instruments (lib/obs).  With the default disabled
@@ -79,6 +90,7 @@ type obs = {
   o_parks : Registry.Counter.t;
   o_deques_created : Registry.Counter.t;
   o_deques_deleted : Registry.Counter.t;
+  o_rank_error : Registry.Histogram.t;
 }
 
 type t = {
@@ -86,18 +98,16 @@ type t = {
   n_workers : int;  (** worker domains + the caller *)
   (* --- Work_stealing: one lock-free deque per worker --------------- *)
   ws_deques : task Clev.t array;
-  (* --- Dfdeques: the ordered list R ---------------------------------
-     Lock hierarchy (outer to inner): r_lock > dq_lock > trace_lock.
-     [r_lock] guards only R membership (insert/remove/ownership) and the
-     victim-snapshot rebuild; task transfer takes just the deque's own
-     [dq_lock]; thieves pick victims from [victims] without any lock. *)
-  r_lock : Mutex.t;
-  r : dq Dll.t;
-  dfd_deque : dq option array;  (** each worker's owned deque; owner-written. *)
-  victims : dq array Atomic.t;
-      (** leftmost-min(p,|R|) snapshot of R, republished under [r_lock] on
-          every membership change; thieves read it lock-free (stale reads
-          only cost a failed steal). *)
+  (* --- Dfdeques: the relaxed ordered list R -------------------------
+     Lock hierarchy (outer to inner): dq_lock > trace_lock — there is no
+     global lock left on any DFDeques path.  R membership (insert,
+     remove, the thief's insert-after-victim) is lock-free CAS in the
+     [Multiq]; victim selection is two-choice sampling over its shards;
+     task transfer takes just the deque's own [dq_lock]. *)
+  r : dq Multiq.t;
+  dfd_deque : dq Multiq.entry option array;
+      (** each worker's owned deque, as its R-membership handle;
+          owner-written.  The deque itself is [Multiq.value]. *)
   quota_left : int array;  (** owner-written only. *)
   dfd_quota : int Atomic.t;
       (** the current memory threshold K.  Seeded from the policy and
@@ -292,8 +302,8 @@ let park pool w =
   Mutex.unlock pool.idle_lock
 
 (* ------------------------------------------------------------------ *)
-(* DFDeques: R-list membership (under [r_lock]) and task transfer       *)
-(* (under the per-deque lock)                                           *)
+(* DFDeques: lock-free R membership (Multiq CAS paths) and task         *)
+(* transfer (under the per-deque lock)                                  *)
 (* ------------------------------------------------------------------ *)
 
 let new_dq pool ~proc ~owner =
@@ -302,8 +312,7 @@ let new_dq pool ~proc ~owner =
     {
       tasks = Deque.create ();
       dq_lock = Mutex.create ();
-      owner;
-      node = None;
+      owner = Atomic.make owner;
       did = Atomic.fetch_and_add pool.next_did 1;
       born_us;
     }
@@ -314,51 +323,41 @@ let new_dq pool ~proc ~owner =
     emit_locked pool ~proc (Event.Deque_created { did = d.did });
   d
 
-(* Republish the leftmost-min(p,|R|) window.  Caller holds [r_lock]. *)
-let rebuild_victims pool =
-  let n = min pool.n_workers (Dll.length pool.r) in
-  let rec collect node k acc =
-    if k = 0 then acc
-    else
-      match node with
-      | None -> acc
-      | Some nd -> collect (Dll.next nd) (k - 1) (Dll.value nd :: acc)
-  in
-  let vs = Array.of_list (List.rev (collect (Dll.front pool.r) n [])) in
-  Atomic.set pool.victims vs
+let note_r_insert pool w =
+  let c = pool.per_worker.(w) in
+  c.c_r_inserts <- c.c_r_inserts + 1
 
-(* Caller holds [r_lock].  Remove [d] from R if it is empty and unowned;
-   returns whether membership changed (caller then rebuilds the window). *)
-let remove_if_dead pool ~proc d =
-  match d.node with
-  | Some node when Dll.is_member node ->
+(* Reap [e]'s deque from R if it is empty and unowned.  Needs no global
+   lock: once [owner] is [None] the deque is never re-owned (an
+   abandoning worker forgets its handle and builds a fresh deque next
+   push), so no push can follow and emptiness observed under [dq_lock]
+   is stable.  Abandon and steal paths race to reap the same entry;
+   [Multiq.remove]'s one-winner CAS charges the removal exactly once. *)
+let reap_if_dead pool ~proc e =
+  let d = Multiq.value e in
+  if Multiq.is_live e then begin
     Mutex.lock d.dq_lock;
-    let dead = Deque.is_empty d.tasks && d.owner = None in
+    let dead = Deque.is_empty d.tasks && Atomic.get d.owner = None in
     Mutex.unlock d.dq_lock;
-    if dead then begin
-      Dll.remove pool.r node;
-      d.node <- None;
+    if dead && Multiq.remove pool.r e then begin
+      let c = pool.per_worker.(proc) in
+      c.c_r_removes <- c.c_r_removes + 1;
       Registry.Counter.incr pool.obs.o_deques_deleted;
       flight_emit pool ~proc (Event.Deque_deleted { did = d.did; residency = 0 });
-      trace_dq_removed pool ~proc d;
-      true
+      trace_dq_removed pool ~proc d
     end
-    else false
-  | _ -> false
+  end
 
-(* The worker's own deque, creating and pushing it onto the front of R if
+(* The worker's own deque, creating and inserting it at the front of R if
    it has none (a worker that just gave its deque away or is pushing its
    first task). *)
 let dfd_own_deque pool w =
   match pool.dfd_deque.(w) with
-  | Some d -> d
+  | Some e -> Multiq.value e
   | None ->
     let d = new_dq pool ~proc:w ~owner:(Some w) in
-    Mutex.lock pool.r_lock;
-    d.node <- Some (Dll.push_front pool.r d);
-    rebuild_victims pool;
-    Mutex.unlock pool.r_lock;
-    pool.dfd_deque.(w) <- Some d;
+    pool.dfd_deque.(w) <- Some (Multiq.insert_front pool.r d);
+    note_r_insert pool w;
     d
 
 (* Abandon the worker's deque (quota exhausted, or found empty): mark it
@@ -368,61 +367,76 @@ let dfd_own_deque pool w =
 let dfd_abandon pool w =
   match pool.dfd_deque.(w) with
   | None -> ()
-  | Some d ->
+  | Some e ->
     pool.dfd_deque.(w) <- None;
-    Mutex.lock pool.r_lock;
-    d.owner <- None;
-    if remove_if_dead pool ~proc:w d then rebuild_victims pool;
-    Mutex.unlock pool.r_lock
+    Atomic.set (Multiq.value e).owner None;
+    reap_if_dead pool ~proc:w e
+
+(* Rank error of a successful steal: how far the sampled victim sat
+   outside the exact leftmost-min(p,|R|) window the paper steals from.
+   The O(|R|) rank scan runs on every successful steal — a bargain
+   against the old design, which rebuilt an O(p) snapshot under a global
+   lock on every membership change; and it is what turns the relaxation
+   into a measured quantity instead of a hope. *)
+let note_rank_error pool w e =
+  let rank = Multiq.rank pool.r e in
+  let window = min pool.n_workers (max 1 (Multiq.size pool.r)) in
+  let err = max 0 (rank - (window - 1)) in
+  let c = pool.per_worker.(w) in
+  Stats.Histogram.add c.c_rank_err (float_of_int err);
+  Registry.Histogram.observe pool.obs.o_rank_error err;
+  if Tracer.enabled pool.tracer then
+    emit_locked pool ~proc:w
+      (Event.Steal_rank { victim = (Multiq.value e).did; rank; err })
 
 (* A successful DFD steal: the thief takes ownership of a fresh deque
    inserted immediately to the right of the victim (paper invariant: a
-   thief's new deque sits just after the deque it stole from), and the
-   victim is reaped if the steal emptied an unowned deque. *)
-let dfd_adopt_after pool w victim =
+   thief's new deque sits just after the deque it stole from — the
+   victim entry's right gap is split by CAS, and a victim that died
+   concurrently still anchors the position it held), and the victim is
+   reaped if the steal emptied an unowned deque. *)
+let dfd_adopt_after pool w victim_e =
   let d = new_dq pool ~proc:w ~owner:(Some w) in
-  Mutex.lock pool.r_lock;
-  (match victim.node with
-   | Some vnode when Dll.is_member vnode -> d.node <- Some (Dll.insert_after pool.r vnode d)
-   | _ ->
-     (* the victim left R while we held its task: a stale-snapshot steal;
-        our deque takes its place at the front of the window *)
-     d.node <- Some (Dll.push_front pool.r d));
-  ignore (remove_if_dead pool ~proc:w victim);
-  rebuild_victims pool;
-  Mutex.unlock pool.r_lock;
-  pool.dfd_deque.(w) <- Some d
+  let e = Multiq.insert_after pool.r victim_e d in
+  note_r_insert pool w;
+  reap_if_dead pool ~proc:w victim_e;
+  pool.dfd_deque.(w) <- Some e
 
 let dfd_steal pool w =
   if injected_steal_failure pool w then None
   else begin
-    (* victim draw over the leftmost-p window, snapshot read lock-free:
-       k >= |snapshot| is a failed attempt, as with the old in-lock
-       nth-node walk, preserving the paper's bias toward short R *)
-    let k = Prng.int pool.rngs.(w) pool.n_workers in
-    trace_steal_attempt pool w ~victim:k;
-    let vs = Atomic.get pool.victims in
-    if k >= Array.length vs then begin
+    (* two-choice victim draw: sample two shards, steal from the
+       more-leftmost of their heads.  Both empty is a failed attempt, as
+       the old k >= |snapshot| draw was, preserving the paper's bias
+       toward short R. *)
+    let rng = pool.rngs.(w) in
+    let n_sh = Multiq.shard_count pool.r in
+    let i = Prng.int rng n_sh in
+    let j = Prng.int rng n_sh in
+    trace_steal_attempt pool w ~victim:i;
+    match Multiq.sample pool.r i j with
+    | None ->
       note_steal_failure pool w;
       None
-    end
-    else begin
-      let victim = vs.(k) in
+    | Some victim_e ->
+      let victim = Multiq.value victim_e in
       Mutex.lock victim.dq_lock;
       let got = Deque.pop_bottom victim.tasks in
       Mutex.unlock victim.dq_lock;
-      match got with
-      | None ->
-        note_steal_failure pool w;
-        None
-      | Some task ->
-        note_steal_success pool w ~victim:k;
-        dfd_adopt_after pool w victim;
-        (* refill from the current K: a runtime quota adjustment takes
-           effect here, at the worker's next steal *)
-        pool.quota_left.(w) <- Atomic.get pool.dfd_quota;
-        Some task
-    end
+      (match got with
+       | None ->
+         (* drained between sample and lock; reap it if fully dead *)
+         reap_if_dead pool ~proc:w victim_e;
+         note_steal_failure pool w;
+         None
+       | Some task ->
+         note_steal_success pool w ~victim:victim.did;
+         note_rank_error pool w victim_e;
+         dfd_adopt_after pool w victim_e;
+         (* refill from the current K: a runtime quota adjustment takes
+            effect here, at the worker's next steal *)
+         pool.quota_left.(w) <- Atomic.get pool.dfd_quota;
+         Some task)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -491,7 +505,8 @@ let try_get pool w =
         end;
         dfd_abandon pool w;
         dfd_steal pool w
-      | Some d -> (
+      | Some e -> (
+          let d = Multiq.value e in
           Mutex.lock d.dq_lock;
           let got = Deque.pop_top d.tasks in
           Mutex.unlock d.dq_lock;
@@ -545,7 +560,8 @@ let try_pop_exact pool w task =
     | Dfdeques _ -> (
         match pool.dfd_deque.(w) with
         | None -> false
-        | Some d ->
+        | Some e ->
+          let d = Multiq.value e in
           Mutex.lock d.dq_lock;
           let hit =
             match Deque.peek_top d.tasks with
@@ -655,6 +671,10 @@ let make_obs registry =
     o_parks = c "dfd_pool_parks_total" "Times an idle worker parked on the condition variable.";
     o_deques_created = c "dfd_pool_deques_created_total" "Deques created (DFDeques R-list churn).";
     o_deques_deleted = c "dfd_pool_deques_deleted_total" "Deques reaped from R (DFDeques R-list churn).";
+    o_rank_error =
+      Registry.histogram registry
+        ~help:"Rank error per successful DFDeques steal (positions outside the exact leftmost-p window)."
+        "dfd_pool_steal_rank_error";
   }
 
 let register_probes registry pool =
@@ -664,17 +684,20 @@ let register_probes registry pool =
       Atomic.get pool.n_parked);
   g "dfd_pool_workers" "Worker slots (domains + caller)." (fun () -> pool.n_workers);
   g "dfd_pool_quota_bytes" "Current DFDeques memory threshold K (max_int under WS)." (fun () ->
-      Atomic.get pool.dfd_quota)
+      Atomic.get pool.dfd_quota);
+  g "dfd_pool_r_deques" "Live deques in the relaxed R-list (DFDeques)." (fun () ->
+      Multiq.size pool.r)
 
 let make ?(registry = Registry.disabled) ?(flight = Flight.disabled) ~n_workers ~tracer ~fault policy =
     {
       policy;
       n_workers;
       ws_deques = Array.init n_workers (fun _ -> Clev.create ());
-      r_lock = Mutex.create ();
-      r = Dll.create ();
+      (* 2 shards per worker: enough spread that concurrent membership
+         CAS retries stay rare, small enough that two-choice sampling
+         still sees a meaningful fraction of R *)
+      r = Multiq.create ~shards:(2 * n_workers) ();
       dfd_deque = Array.make n_workers None;
-      victims = Atomic.make [||];
       quota_left =
         Array.make n_workers
           (match policy with Dfdeques { quota } -> quota | Work_stealing -> max_int);
@@ -693,6 +716,9 @@ let make ?(registry = Registry.disabled) ?(flight = Flight.disabled) ~n_workers 
               c_task_exns = 0;
               c_alloc_bytes = 0;
               c_parks = 0;
+              c_r_inserts = 0;
+              c_r_removes = 0;
+              c_rank_err = Stats.Histogram.create ();
             });
       idle_lock = Mutex.create ();
       idle_cond = Condition.create ();
@@ -854,6 +880,8 @@ let counters pool =
          task_exns = acc.task_exns + c.c_task_exns;
          alloc_bytes = acc.alloc_bytes + c.c_alloc_bytes;
          parks = acc.parks + c.c_parks;
+         r_inserts = acc.r_inserts + c.c_r_inserts;
+         r_removes = acc.r_removes + c.c_r_removes;
        })
     {
       steals = 0;
@@ -864,8 +892,16 @@ let counters pool =
       task_exns = 0;
       alloc_bytes = 0;
       parks = 0;
+      r_inserts = 0;
+      r_removes = 0;
     }
     pool.per_worker
+
+(* Per-worker single-writer histograms merged at read, like the ints. *)
+let rank_error pool =
+  Array.fold_left
+    (fun acc c -> Stats.Histogram.merge acc c.c_rank_err)
+    (Stats.Histogram.create ()) pool.per_worker
 
 let heartbeat pool =
   Array.fold_left (fun acc c -> acc + c.c_tasks_run) 0 pool.per_worker
@@ -885,6 +921,8 @@ let metrics_samples pool =
     s "task_exns" c.task_exns;
     s "alloc_bytes" c.alloc_bytes;
     s "parks" c.parks;
+    s "r_inserts" c.r_inserts;
+    s "r_removes" c.r_removes;
   ]
 
 let stats pool = Registry.Snapshot.to_alist (metrics_samples pool)
@@ -893,9 +931,9 @@ let flight pool = pool.flight
 
 (* Human-readable diagnostic dump for hang post-mortems: every counter,
    the live-task and cancellation state, and each deque's occupancy.
-   Counter reads are per-worker aggregates (exact once idle); the R walk
-   takes [r_lock] so the DFD section is internally consistent.  Call it
-   from a watchdog, not a hot path. *)
+   Counter reads are per-worker aggregates and the R walk is a lock-free
+   Multiq snapshot — both exact once idle, slightly stale while running.
+   Call it from a watchdog, not a hot path. *)
 let snapshot pool =
   let b = Buffer.create 256 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -921,15 +959,18 @@ let snapshot pool =
        (fun i d -> pf "  deque[worker %d]: %d tasks\n" i (Clev.length d))
        pool.ws_deques
    | Dfdeques _ ->
-     Mutex.lock pool.r_lock;
-     pf "  R has %d deques\n" (Dll.length pool.r);
-     Dll.iter
-       (fun d ->
-          pf "  deque #%d owner=%s: %d tasks\n" d.did
-            (match d.owner with None -> "-" | Some w -> string_of_int w)
-            (Deque.length d.tasks))
-       pool.r;
-     Mutex.unlock pool.r_lock;
+     (* lock-free Multiq walk: approximate while membership churns,
+        exact once the pool is idle — same contract as the counters *)
+     let ms = Multiq.members pool.r in
+     pf "  R has %d deques across %d shards\n" (List.length ms)
+       (Multiq.shard_count pool.r);
+     List.iter
+       (fun e ->
+          let d = Multiq.value e in
+          pf "  deque #%d owner=%s shard=%d: %d tasks\n" d.did
+            (match Atomic.get d.owner with None -> "-" | Some w -> string_of_int w)
+            (Multiq.shard_of e) (Deque.length d.tasks))
+       ms;
      pf "  K=%d\n" (Atomic.get pool.dfd_quota);
      Array.iteri (fun i q -> pf "  quota_left[worker %d]=%d\n" i q) pool.quota_left);
   Buffer.contents b

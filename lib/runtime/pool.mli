@@ -10,17 +10,23 @@
       (Blumofe–Leiserson / Cilk).  The owner's push/pop takes no lock and
       no CAS except on the last element; steals are arbitrated by one CAS.
     - {!Dfdeques} — the paper's algorithm: a globally ordered list R of
-      deques; thieves pop the bottom of a random deque among the leftmost
-      [p]; a cooperative memory quota (fed by {!alloc_hint}) makes a worker
-      abandon its deque and steal once it has allocated more than K bytes
-      since its last steal, exactly the DFDeques(K) discipline at task
-      granularity.  Unlike the paper's fully serialised Pthreads
-      implementation (Section 5), the critical sections are split: task
-      transfer takes only the target deque's own lock, the global lock
-      covers just R-membership changes, and thieves pick victims from a
-      lock-free snapshot of the leftmost-[p] window (a stale snapshot
-      costs at most a failed steal).  DESIGN.md §10 documents the lock
-      hierarchy and the memory-ordering argument.
+      deques; thieves pop the bottom of a deque near the leftmost-[p]
+      window; a cooperative memory quota (fed by {!alloc_hint}) makes a
+      worker abandon its deque and steal once it has allocated more than
+      K bytes since its last steal, exactly the DFDeques(K) discipline at
+      task granularity.  Unlike the paper's fully serialised Pthreads
+      implementation (Section 5), there is {e no global lock at all}: R
+      is a relaxed MultiQueue ({!Dfd_structures.Multiq}) of [2p] shards —
+      membership insert/remove/thief-insert-after-victim are lock-free
+      CAS on order-labelled entries, victim selection is two-choice
+      sampling over shard heads, and task transfer takes only the target
+      deque's own lock.  The price is a bounded {e rank error} (a victim
+      may sit a few positions right of the exact window), which the pool
+      measures per steal and exposes via {!rank_error}, the
+      [dfd_pool_steal_rank_error] registry histogram and [Steal_rank]
+      trace events.  DESIGN.md §15 documents the structure, the
+      rank-error argument and the memory-ordering audit; §10 the
+      remaining (per-deque) lock hierarchy.
 
     Fork-join is work-first: {!fork_join} pushes the left branch and runs
     the right inline; on return it pops the left branch back if nobody
@@ -178,13 +184,27 @@ type counters = {
   task_exns : int;  (** tasks that raised (user, injected, or cancellation) *)
   alloc_bytes : int;  (** total bytes reported via {!alloc_hint} (both policies) *)
   parks : int;  (** times an idle worker parked on the condition variable *)
+  r_inserts : int;
+      (** R-membership inserts (own-deque creations + thief adoptions;
+          DFDeques only) *)
+  r_removes : int;  (** deques reaped from R (DFDeques only) *)
 }
 
 val counters : t -> counters
 (** Typed snapshot of the pool's scheduling counters, aggregated across
     the per-worker records.  Each worker updates only its own record
-    without synchronisation, so a snapshot taken while tasks are running
-    may be slightly stale; it is exact once the pool is idle. *)
+    without synchronisation (this includes the DFD membership counters —
+    no lock is taken to read any of them), so a snapshot taken while
+    tasks are running may be slightly stale; it is exact once the pool
+    is idle. *)
+
+val rank_error : t -> Dfd_structures.Stats.Histogram.t
+(** Distribution of the rank error of every successful DFDeques steal:
+    how many positions outside the exact leftmost-[min(p,|R|)] window
+    the sampled victim sat (0 = the steal was indistinguishable from
+    the exact discipline).  Merged from per-worker single-writer
+    histograms at read, like {!val-counters}; always empty under
+    {!Work_stealing}. *)
 
 val heartbeat : t -> int
 (** Monotonic progress counter: total tasks started across all workers.
@@ -211,9 +231,11 @@ val flight : t -> Dfd_obs.Flight.t
 val snapshot : t -> string
 (** Human-readable diagnostic dump: policy, counters, live-task and
     cancellation state, per-deque occupancy (and per-worker quota under
-    {!Dfdeques}), and the total injected-fault count.  Taken under the
-    pool lock, so internally consistent; intended for hang post-mortems
-    and watchdog reports, not hot paths. *)
+    {!Dfdeques}), and the total injected-fault count.  All reads are
+    lock-free (per-worker counter aggregates; a relaxed walk of the R
+    shards) — exact once the pool is idle, slightly stale while it runs;
+    intended for hang post-mortems and watchdog reports, not hot
+    paths. *)
 
 val shutdown : t -> unit
 (** Stop the worker domains.  The pool must be idle. *)

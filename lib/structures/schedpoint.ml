@@ -50,6 +50,14 @@ let pool_fulfill = 12
 
 let clev_steal_commit = 13
 
+let multiq_insert = 14
+
+let multiq_remove = 15
+
+let multiq_sample = 16
+
+let multiq_remove_commit = 17
+
 let names =
   [|
     "start";
@@ -66,6 +74,10 @@ let names =
     "pool_await";
     "pool_fulfill";
     "clev_steal_commit";
+    "multiq_insert";
+    "multiq_remove";
+    "multiq_sample";
+    "multiq_remove_commit";
   |]
 
 let name id = if id >= 0 && id < Array.length names then names.(id) else Printf.sprintf "p%d" id

@@ -49,6 +49,21 @@ val clev_steal_commit : int
     instant between its (non-atomic) top check and top store, where the
     correct deque has a single CAS and hence no such point. *)
 
+val multiq_insert : int
+(** Inside a multiq shard-publish or gap-split CAS retry window. *)
+
+val multiq_remove : int
+(** Inside a multiq shard-unpublish CAS retry window. *)
+
+val multiq_sample : int
+(** Before a two-choice sample reads its two shard heads. *)
+
+val multiq_remove_commit : int
+(** Only emitted by the checker's deliberately buggy multiq variant: the
+    instant between its shard read and its (non-CAS) republish on remove,
+    where the correct structure has a compare_and_set and hence no such
+    window. *)
+
 val name : int -> string
 (** Human-readable name of a point id. *)
 

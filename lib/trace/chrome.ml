@@ -1,7 +1,7 @@
 let category (k : Event.kind) =
   match k with
   | Event.Fork _ | Event.Join _ -> "task"
-  | Event.Steal_attempt _ | Event.Steal_success _ -> "steal"
+  | Event.Steal_attempt _ | Event.Steal_success _ | Event.Steal_rank _ -> "steal"
   | Event.Quota_exhausted _ | Event.Quota_adjusted _ -> "quota"
   | Event.Ladder_shift _ -> "ladder"
   | Event.Dummy_exec -> "dummy"
@@ -119,6 +119,11 @@ let render (e : Event.t) : Json.t list =
           ("pressure", Json.Int pressure);
         ];
       counter_event ~ts:e.ts "ladder level" "level" to_level;
+    ]
+  | Event.Steal_rank { victim; rank; err } ->
+    [
+      instant e
+        [ ("victim", Json.Int victim); ("rank", Json.Int rank); ("err", Json.Int err) ];
     ]
 
 let to_json ~p events =

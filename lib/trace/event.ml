@@ -14,6 +14,7 @@ type kind =
   | Fault_injected of { fault : string }
   | Quota_adjusted of { from_quota : int; to_quota : int; pressure : int }
   | Ladder_shift of { from_level : int; to_level : int; occupancy : int; pressure : int }
+  | Steal_rank of { victim : int; rank : int; err : int }
 
 type t = { ts : int; proc : int; tid : int; kind : kind }
 
@@ -33,6 +34,7 @@ let kind_index = function
   | Fault_injected _ -> 12
   | Quota_adjusted _ -> 13
   | Ladder_shift _ -> 14
+  | Steal_rank _ -> 15
 
 let kind_names =
   [|
@@ -51,6 +53,7 @@ let kind_names =
     "fault_injected";
     "quota_adjusted";
     "ladder_shift";
+    "steal_rank";
   |]
 
 let n_kinds = Array.length kind_names
@@ -93,6 +96,8 @@ let to_json e =
         ("occupancy", Json.Int occupancy);
         ("pressure", Json.Int pressure);
       ]
+    | Steal_rank { victim; rank; err } ->
+      [ ("victim", Json.Int victim); ("rank", Json.Int rank); ("err", Json.Int err) ]
   in
   Json.Assoc
     ([
@@ -133,6 +138,7 @@ let of_json j =
           occupancy = int "occupancy";
           pressure = int "pressure";
         }
+    | "steal_rank" -> Steal_rank { victim = int "victim"; rank = int "rank"; err = int "err" }
     | s -> raise (Json.Parse_error ("unknown event kind " ^ s))
   in
   { ts = int "ts"; proc = int "proc"; tid = int "tid"; kind }

@@ -64,6 +64,12 @@ type kind =
           ({!Dfd_service.Ladder}) moved between rungs (0 accept,
           1 coalesce, 2 shed, 3 break) on the combined queue-[occupancy]
           / allocation-[pressure] signal (both percentages). *)
+  | Steal_rank of { victim : int; rank : int; err : int }
+      (** A successful DFDeques steal under the relaxed R-list: the
+          victim deque [victim] (its [did]) sat at 0-based position
+          [rank] in the relaxed global order; [err] is how far outside
+          the exact leftmost-[p] window that is ([max 0 (rank - (p-1))],
+          0 when the relaxation cost nothing on this steal). *)
 
 type t = { ts : int; proc : int; tid : int; kind : kind }
 

@@ -77,6 +77,38 @@ let test_replay_rejects_wrong_scenario () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+(* Same headline property for the multiq planted bug (torn membership on
+   remove): found, shrunk, and reproducible through a replay file.  Seed
+   chosen so the failure lands within a few iterations. *)
+let multiq_buggy_seed = 2
+
+let test_multiq_buggy_caught () =
+  let r = Explore.run ~seed:multiq_buggy_seed Scenarios.multiq_buggy in
+  match r.Explore.r_failure with
+  | None -> Alcotest.fail "explorer missed the torn multiq remove"
+  | Some f ->
+    checkb "found within default budget" true (r.Explore.r_iterations <= r.Explore.r_budget);
+    checkb "shrunk" true f.Explore.f_shrunk;
+    checkb "minimal trace nonempty" true (f.Explore.f_choices <> []);
+    checkb "minimal trace short" true (List.length f.Explore.f_choices <= 16);
+    checkb "torn membership is the reason" true
+      (String.length f.Explore.f_reason > 0
+       && String.sub f.Explore.f_reason 0 (min 10 (String.length f.Explore.f_reason))
+          = "membership");
+    let path = Filename.temp_file "replay_multiq" ".json" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Explore.write_replay path f;
+        let f' = Explore.read_replay path in
+        checkb "replay file roundtrips" true (f = f');
+        checkb "replay from file reproduces" true
+          (Explore.replay Scenarios.multiq_buggy f' <> None));
+    (* the serial fallback schedule never opens the remove window *)
+    let serial = { f with Explore.f_choices = []; f_points = [] } in
+    checkb "serial fallback schedule passes" true
+      (Explore.replay Scenarios.multiq_buggy serial = None)
+
 let test_correct_scenarios_pass () =
   List.iter
     (fun sc ->
@@ -160,6 +192,8 @@ let () =
             test_replay_roundtrip;
           Alcotest.test_case "replay rejects wrong scenario" `Quick
             test_replay_rejects_wrong_scenario;
+          Alcotest.test_case "multiq torn remove caught and shrunk" `Quick
+            test_multiq_buggy_caught;
           Alcotest.test_case "correct scenarios pass" `Quick test_correct_scenarios_pass;
         ] );
       ( "oracles",

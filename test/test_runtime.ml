@@ -6,6 +6,7 @@
 
 module Pool = Dfd_runtime.Pool
 module Watchdog = Dfd_fault.Watchdog
+module Stats = Dfd_structures.Stats
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -206,13 +207,28 @@ let test_alloc_hint_quota () =
       let giveups = List.assoc "quota_giveups" (Pool.stats pool) in
       checkb "quota giveups occur under DFDeques" true (giveups >= 0))
 
+let test_rank_error_instrumented () =
+  with_pool (Pool.Dfdeques { quota = 2048 }) (fun pool ->
+      ignore (Pool.run pool (fun () -> fib 16));
+      let c = Pool.counters pool in
+      let h = Pool.rank_error pool in
+      (* one rank-error sample per successful steal, and the membership
+         counters reconcile: every reaped deque was first inserted *)
+      checki "rank samples = steals" c.Pool.steals (Stats.Histogram.count h);
+      checkb "inserts cover removes" true (c.Pool.r_inserts >= c.Pool.r_removes);
+      checkb "removes non-negative" true (c.Pool.r_removes >= 0));
+  with_pool Pool.Work_stealing (fun pool ->
+      ignore (Pool.run pool (fun () -> fib 12));
+      checkb "WS records no rank error" true
+        (Stats.Histogram.is_empty (Pool.rank_error pool)))
+
 let test_stats_counters () =
   with_pool Pool.Work_stealing (fun pool ->
       ignore (Pool.run pool (fun () -> fib 15));
       let stats = Pool.stats pool in
       checkb "tasks ran" true (List.assoc "tasks_run" stats > 0);
       (* one alist entry per field of the [Pool.counters] record *)
-      checkb "all counters present" true (List.length stats = 8))
+      checkb "all counters present" true (List.length stats = 10))
 
 let test_heartbeat_monotonic () =
   List.iter
@@ -433,6 +449,7 @@ let () =
           Alcotest.test_case "fork_join outside run" `Quick test_fork_join_outside_run_rejected;
           Alcotest.test_case "alloc_hint quota" `Quick test_alloc_hint_quota;
           Alcotest.test_case "stats" `Quick test_stats_counters;
+          Alcotest.test_case "rank error instrumented" `Quick test_rank_error_instrumented;
           Alcotest.test_case "heartbeat" `Quick test_heartbeat_monotonic;
           Alcotest.test_case "sequential runs" `Quick test_many_sequential_runs;
           Alcotest.test_case "deep nesting" `Quick test_deep_nesting;

@@ -3,6 +3,7 @@
 
 module Deque = Dfd_structures.Deque
 module Dll = Dfd_structures.Dll
+module Multiq = Dfd_structures.Multiq
 module Om = Dfd_structures.Order_maint
 module Pheap = Dfd_structures.Pheap
 module Prng = Dfd_structures.Prng
@@ -476,6 +477,194 @@ let test_fmt_bytes () =
   check Alcotest.string "kb" "50.0kB" (Stats.fmt_bytes (50 * 1024));
   check Alcotest.string "mb" "2.0MB" (Stats.fmt_bytes (2 * 1024 * 1024))
 
+(* ------------------------------------------------------------------ *)
+(* Multiq (relaxed R-list; serial tests — concurrency is lib/check's)  *)
+(* ------------------------------------------------------------------ *)
+
+let test_multiq_front_order () =
+  let q = Multiq.create ~shards:4 () in
+  let a = Multiq.insert_front q "a" in
+  let b = Multiq.insert_front q "b" in
+  let c = Multiq.insert_front q "c" in
+  checki "size" 3 (Multiq.size q);
+  checki "shards" 4 (Multiq.shard_count q);
+  (* later front insertions are strictly more leftmost *)
+  check Alcotest.(list string) "order" [ "c"; "b"; "a" ] (Multiq.to_list q);
+  checkb "front tags descend" true (Multiq.tag c < Multiq.tag b && Multiq.tag b < Multiq.tag a);
+  checki "rank of front" 0 (Multiq.rank q c);
+  checki "rank of back" 2 (Multiq.rank q a)
+
+let test_multiq_insert_after () =
+  let q = Multiq.create ~shards:2 () in
+  let a = Multiq.insert_front q 0 in
+  let b = Multiq.insert_after q a 1 in
+  let c = Multiq.insert_after q a 2 in
+  (* the DFDeques thief invariant: each later insert-after lands
+     immediately right of the anchor, left of its elder siblings *)
+  check Alcotest.(list int) "anchor, youngest child first" [ 0; 2; 1 ] (Multiq.to_list q);
+  checkb "tags nest" true (Multiq.tag a < Multiq.tag c && Multiq.tag c < Multiq.tag b);
+  let d = Multiq.insert_after q b 3 in
+  check Alcotest.(list int) "after middle" [ 0; 2; 1; 3 ] (Multiq.to_list q);
+  checki "rank" 3 (Multiq.rank q d)
+
+let test_multiq_remove_once () =
+  let q = Multiq.create ~shards:2 () in
+  let a = Multiq.insert_front q "a" in
+  let b = Multiq.insert_front q "b" in
+  checkb "first remove wins" true (Multiq.remove q a);
+  checkb "second remove loses" false (Multiq.remove q a);
+  checkb "dead" false (Multiq.is_live a);
+  checki "size" 1 (Multiq.size q);
+  check Alcotest.(list string) "only b" [ "b" ] (Multiq.to_list q);
+  (* sampling any pair of shards can only ever surface the live member *)
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      match Multiq.sample q i j with
+      | None -> ()
+      | Some e -> checkb "sample live" true (Multiq.is_live e && Multiq.value e = "b")
+    done
+  done;
+  checkb "b removed too" true (Multiq.remove q b);
+  checki "empty" 0 (Multiq.size q);
+  checkb "sample empty" true (Multiq.sample q 0 1 = None);
+  (* insert-after a dead anchor is allowed: takes the anchor's position *)
+  let c = Multiq.insert_after q a "c" in
+  checkb "re-populated" true (Multiq.to_list q = [ "c" ] && Multiq.is_live c)
+
+(* Exhaust one anchor's right gap (front_stride = 2^30, so 30 halvings)
+   and keep going: insertions past exhaustion tie on tags and fall back
+   to the deterministic seq tie-break, with each later insertion more
+   leftmost among the tied — relaxed but still a total order. *)
+let test_multiq_gap_exhaustion_tiebreak () =
+  let q = Multiq.create ~shards:3 () in
+  let a = Multiq.insert_front q (-1) in
+  let children = Array.init 70 (fun i -> Multiq.insert_after q a i) in
+  checki "all inserted" 71 (Multiq.size q);
+  let tied = Array.to_list children |> List.filter (fun e -> Multiq.tag e = Multiq.tag a) in
+  checkb "gap exhausted within 70 inserts" true (List.length tied > 0);
+  (* compare_entries is a strict total order over all 71 entries *)
+  let all = Multiq.members q in
+  checki "members sees all" 71 (List.length all);
+  let rec strictly_sorted = function
+    | x :: (y :: _ as rest) -> Multiq.compare_entries x y < 0 && strictly_sorted rest
+    | _ -> true
+  in
+  checkb "strict total order despite ties" true (strictly_sorted all);
+  (* among tied entries (in insertion order), each later insertion is
+     more leftmost than its predecessor *)
+  let rec pairs = function
+    | earlier :: (later :: _ as rest) ->
+      checkb "later tied insert more leftmost" true
+        (Multiq.compare_entries later earlier < 0);
+      pairs rest
+    | _ -> ()
+  in
+  pairs tied
+
+(* As long as no gap is exhausted, the relaxed labels reproduce the exact
+   serial Order_maint order: replay the same insert trace into both and
+   compare the resulting total orders. *)
+let test_multiq_matches_order_maint () =
+  let rng = Prng.create 99 in
+  let q = Multiq.create ~shards:4 () in
+  let om, base = Om.create () in
+  let e0 = Multiq.insert_front q 0 in
+  (* (multiq entry, om label) pairs, same insertion ids *)
+  let pairs = ref [ (e0, base) ] in
+  for v = 1 to 25 do
+    if Prng.int rng 3 = 0 then begin
+      (* new front member = before the current om minimum *)
+      let e = Multiq.insert_front q v in
+      let _, om_min =
+        List.fold_left
+          (fun ((_, ml) as acc) ((_, l) as p) -> if Om.compare l ml < 0 then p else acc)
+          (List.hd !pairs) (List.tl !pairs)
+      in
+      pairs := (e, Om.insert_before om om_min) :: !pairs
+    end
+    else begin
+      let anchor_e, anchor_l = List.nth !pairs (Prng.int rng (List.length !pairs)) in
+      let e = Multiq.insert_after q anchor_e v in
+      pairs := (e, Om.insert_after om anchor_l) :: !pairs
+    end
+  done;
+  List.iter
+    (fun (e1, l1) ->
+       List.iter
+         (fun (e2, l2) ->
+            let sgn x = compare x 0 in
+            checki "same order as Order_maint"
+              (sgn (Om.compare l1 l2))
+              (sgn (Multiq.compare_entries e1 e2)))
+         !pairs)
+    !pairs
+
+(* Random serial membership trace: after every operation, a two-choice
+   sample must return a current live member that is the minimum of its two
+   sampled shards — so every strictly-more-leftmost member lives in an
+   unsampled shard, which is what bounds the rank error by the (shard
+   count - 2) other shards rather than by |R|. *)
+let multiq_sample_prop =
+  QCheck.Test.make ~name:"multiq samples are current leftmost-of-two members" ~count:200
+    QCheck.(pair small_int (list (int_bound 2)))
+    (fun (seed, ops) ->
+       let rng = Prng.create (succ seed) in
+       let q = Multiq.create ~shards:3 () in
+       let live = ref [] in
+       let dead = ref [] in
+       let next = ref 0 in
+       let ok = ref true in
+       let assert_ok b = if not b then ok := false in
+       let do_op op =
+         (match (op, !live) with
+          | 0, _ ->
+            incr next;
+            live := Multiq.insert_front q !next :: !live
+          | 1, e :: _ when Prng.int rng 2 = 0 ->
+            incr next;
+            live := Multiq.insert_after q e !next :: !live
+          | 1, _ ->
+            (match !dead with
+             | de :: _ ->
+               incr next;
+               live := Multiq.insert_after q de !next :: !live
+             | [] ->
+               incr next;
+               live := Multiq.insert_front q !next :: !live)
+          | _, e :: rest ->
+            assert_ok (Multiq.remove q e);
+            assert_ok (not (Multiq.remove q e));
+            dead := e :: !dead;
+            live := rest
+          | _, [] -> ());
+         let i = Prng.int rng 3 and j = Prng.int rng 3 in
+         match Multiq.sample q i j with
+         | None -> assert_ok (List.length !live = 0 || (Multiq.head q i = None && Multiq.head q j = None))
+         | Some v ->
+           assert_ok (Multiq.is_live v);
+           assert_ok (List.exists (fun e -> e == v) !live);
+           (* v is the minimum of the two sampled shards... *)
+           List.iter
+             (fun k ->
+                List.iter
+                  (fun m -> assert_ok (Multiq.compare_entries v m <= 0))
+                  (Multiq.members_of_shard q k))
+             [ i; j ];
+           (* ...so anything more leftmost sits in an unsampled shard,
+              bounding the rank error by the other shards' members *)
+           let more_leftmost =
+             List.filter (fun m -> Multiq.compare_entries m v < 0) (Multiq.members q)
+           in
+           assert_ok
+             (List.for_all
+                (fun m -> Multiq.shard_of m <> i mod 3 && Multiq.shard_of m <> j mod 3)
+                more_leftmost);
+           assert_ok (Multiq.rank q v = List.length more_leftmost)
+       in
+       List.iter do_op ops;
+       assert_ok (Multiq.size q = List.length !live);
+       !ok)
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -507,6 +696,16 @@ let () =
           Alcotest.test_case "delete" `Quick test_om_delete;
         ]
         @ qsuite [ om_random_prop ] );
+      ( "multiq",
+        [
+          Alcotest.test_case "front order" `Quick test_multiq_front_order;
+          Alcotest.test_case "insert after" `Quick test_multiq_insert_after;
+          Alcotest.test_case "remove once" `Quick test_multiq_remove_once;
+          Alcotest.test_case "gap exhaustion tie-break" `Quick
+            test_multiq_gap_exhaustion_tiebreak;
+          Alcotest.test_case "matches order_maint" `Quick test_multiq_matches_order_maint;
+        ]
+        @ qsuite [ multiq_sample_prop ] );
       ( "pheap",
         [ Alcotest.test_case "basic" `Quick test_pheap_basic ]
         @ qsuite [ pheap_sort_prop; pheap_interleave_prop ] );

@@ -69,6 +69,7 @@ let all_kinds =
     Event.Fault_injected { fault = "steal_fail" };
     Event.Quota_adjusted { from_quota = 50_000; to_quota = 25_000; pressure = 80_000 };
     Event.Ladder_shift { from_level = 0; to_level = 2; occupancy = 81; pressure = 40 };
+    Event.Steal_rank { victim = 11; rank = 5; err = 2 };
   ]
 
 let test_event_roundtrip () =
@@ -109,6 +110,8 @@ let event_gen =
           (fun from_level to_level occupancy ->
              Event.Ladder_shift { from_level; to_level; occupancy; pressure = occupancy / 2 })
           (0 -- 3) (0 -- 3) (0 -- 150);
+        map3 (fun victim rank err -> Event.Steal_rank { victim; rank; err }) small (0 -- 64)
+          (0 -- 64);
       ]
   in
   map2

@@ -57,6 +57,52 @@ let () =
        let p = try Json.to_int_exn (Json.member "p" s) with _ -> fail "speedups[%d]: missing p" i in
        if p < 2 then fail "speedups[%d]: speedup rows need p >= 2" i)
     speedups;
+  (* rank-error histograms of the relaxed R-list: one row per dfd point;
+     quantiles must be ordered and nonnegative when any steal happened *)
+  let rank_rows =
+    try Json.to_list_exn (Json.member "rank_error" j)
+    with _ -> fail "missing rank_error list"
+  in
+  if rank_rows = [] then fail "rank_error must be nonempty";
+  List.iteri
+    (fun i r ->
+       let int k = try Json.to_int_exn (Json.member k r) with _ -> fail "rank_error[%d]: missing int %S" i k in
+       let num k = try to_number_exn (Json.member k r) with _ -> fail "rank_error[%d]: missing number %S" i k in
+       (match Json.member "policy" r with
+        | Json.String "dfd" -> ()
+        | _ -> fail "rank_error[%d]: policy must be \"dfd\"" i);
+       if int "p" < 1 then fail "rank_error[%d]: p must be >= 1" i;
+       let count = int "count" in
+       if count < 0 then fail "rank_error[%d]: negative count" i;
+       if count > 0 then begin
+         let p50 = num "p50" and p90 = num "p90" and p99 = num "p99" and mx = num "max" in
+         if p50 < 0.0 then fail "rank_error[%d]: negative p50" i;
+         if p90 < p50 then fail "rank_error[%d]: p90 < p50" i;
+         if p99 < p90 then fail "rank_error[%d]: p99 < p90" i;
+         if mx < p99 then fail "rank_error[%d]: max < p99" i
+       end)
+    rank_rows;
+  (* R-list membership traffic: every deque publication is one insert,
+     every reap one remove, so inserts bound removes from above *)
+  let memb_rows =
+    try Json.to_list_exn (Json.member "r_membership_ops" j)
+    with _ -> fail "missing r_membership_ops list"
+  in
+  if memb_rows = [] then fail "r_membership_ops must be nonempty";
+  List.iteri
+    (fun i r ->
+       let int k =
+         try Json.to_int_exn (Json.member k r)
+         with _ -> fail "r_membership_ops[%d]: missing int %S" i k
+       in
+       (match Json.member "policy" r with
+        | Json.String "dfd" -> ()
+        | _ -> fail "r_membership_ops[%d]: policy must be \"dfd\"" i);
+       if int "p" < 1 then fail "r_membership_ops[%d]: p must be >= 1" i;
+       let inserts = int "inserts" and removes = int "removes" in
+       if removes < 0 then fail "r_membership_ops[%d]: negative removes" i;
+       if inserts < removes then fail "r_membership_ops[%d]: inserts < removes" i)
+    memb_rows;
   (* obs-overhead pair: structural checks only — the ratio itself is
      timing and must never gate CI *)
   let obs = Json.member "obs_overhead" j in
@@ -69,5 +115,5 @@ let () =
      if num "enabled_time_s" < 0.0 then fail "obs_overhead: negative enabled_time_s";
      if num "overhead_ratio" < 0.0 then fail "obs_overhead: negative overhead_ratio"
    | _ -> fail "missing obs_overhead object");
-  Printf.printf "validate_bench: %s ok (%d result points, %d speedup rows)\n" path
-    (List.length results) (List.length speedups)
+  Printf.printf "validate_bench: %s ok (%d result points, %d speedup rows, %d rank rows)\n" path
+    (List.length results) (List.length speedups) (List.length rank_rows)
