@@ -46,6 +46,7 @@ type point = {
   local_pops : int;
   r_inserts : int;
   r_removes : int;
+  sync_ops : int;
   rank_hist : Stats.Histogram.t;
 }
 
@@ -82,6 +83,7 @@ let point ~workload ~policy_name ~policy ~p ~reps f check =
     local_pops = c.Pool.local_pops;
     r_inserts = c.Pool.r_inserts;
     r_removes = c.Pool.r_removes;
+    sync_ops = c.Pool.sync_ops;
     rank_hist;
   }
 
@@ -186,6 +188,28 @@ let r_membership_rows points =
               ]))
     points
 
+(* Synchronization operations (the Rito & Paulino metric the CAS-only
+   deque is optimizing): atomic RMWs + publishing stores executed by the
+   task-transfer paths, including failed CAS attempts, one row per point.
+   WS rows are structurally zero (its deque is mutex-based and
+   uninstrumented) but are emitted anyway so the per-p shape is uniform;
+   never timing-gated. *)
+let sync_ops_rows points =
+  List.map
+    (fun pt ->
+       Json.Assoc
+         [
+           ("workload", Json.String pt.workload);
+           ("policy", Json.String pt.policy_name);
+           ("p", Json.Int pt.p);
+           ("sync_ops", Json.Int pt.sync_ops);
+           ( "sync_ops_per_task",
+             Json.Float
+               (if pt.tasks_run > 0 then float_of_int pt.sync_ops /. float_of_int pt.tasks_run
+                else 0.0) );
+         ])
+    points
+
 (* speedup(p) = time(p=1) / time(p), per (workload, policy) group *)
 let speedups points =
   List.filter_map
@@ -259,6 +283,7 @@ let () =
         ("speedups", Json.List (speedups points));
         ("rank_error", Json.List (rank_error_rows points));
         ("r_membership_ops", Json.List (r_membership_rows points));
+        ("sync_ops", Json.List (sync_ops_rows points));
         ("obs_overhead", obs);
       ]
   in

@@ -16,7 +16,7 @@ let list_scenarios () =
   List.iter
     (fun s ->
       Printf.printf "%-16s %d threads  %s\n" s.Explore.name s.Explore.n_threads s.Explore.descr)
-    (Scenarios.clev_buggy :: Scenarios.multiq_buggy :: Scenarios.all);
+    (Scenarios.clev_buggy :: Scenarios.multiq_buggy :: Scenarios.lfdeque_buggy :: Scenarios.all);
   0
 
 let replay_file path =
@@ -58,7 +58,7 @@ let run_check ~seed ~budget ~depth ~scenario ~replay ~replay_out ~list =
               (String.concat ", "
                  (List.map
                     (fun s -> s.Explore.name)
-                    (Scenarios.clev_buggy :: Scenarios.multiq_buggy :: Scenarios.all)));
+                    (Scenarios.clev_buggy :: Scenarios.multiq_buggy :: Scenarios.lfdeque_buggy :: Scenarios.all)));
             exit 2)
       in
       let failed = ref None in

@@ -1,0 +1,101 @@
+(* A deliberately broken lock-free DFDeques deque, used to demonstrate
+   that the explorer finds real ordering bugs in the lfdeque discipline
+   within its default budget.
+
+   Identical in shape to Dfd_structures.Lfdeque — including the sticky
+   [owner] certificate and [is_dead], so the abandonment scenarios can
+   run over it unchanged — except that [steal] replaces the single
+   compare-and-set on [top] with a non-atomic check-then-store: two
+   thieves can both observe [top = t], both pass the check, and both take
+   element [t] (double delivery), after which the second store pushes
+   [top] past an element nobody took (loss).  The window between the
+   check and the store carries its own yield point
+   ([Schedpoint.lfdeque_steal_commit]) — in the correct deque that window
+   does not exist, because the CAS is one atomic step.
+
+   Fixed capacity (no grow): the seeded scenarios never exceed it, and
+   resizing is irrelevant to the bug being planted. *)
+
+module Schedpoint = Dfd_structures.Schedpoint
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  mask : int;
+  cells : 'a option Atomic.t array;
+  owner : int option Atomic.t;
+}
+
+let create ?(capacity = 64) ?owner () =
+  let cap = max 2 capacity in
+  let rec pow2 c = if c >= cap then c else pow2 (c * 2) in
+  let cap = pow2 1 in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    mask = cap - 1;
+    cells = Array.init cap (fun _ -> Atomic.make None);
+    owner = Atomic.make owner;
+  }
+
+let cell q i = q.cells.(i land q.mask)
+
+let owner q = Atomic.get q.owner
+
+let abandon q =
+  Schedpoint.point Schedpoint.lfdeque_abandon;
+  Atomic.set q.owner None
+
+let is_dead q =
+  let unowned = Atomic.get q.owner = None in
+  Schedpoint.point Schedpoint.lfdeque_reap;
+  unowned && Atomic.get q.bottom - Atomic.get q.top <= 0
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  Schedpoint.point Schedpoint.lfdeque_push_cell;
+  Atomic.set (cell q b) (Some x);
+  Schedpoint.point Schedpoint.lfdeque_push_publish;
+  Atomic.set q.bottom (b + 1)
+
+let take c =
+  let x = Atomic.get c in
+  Atomic.set c None;
+  x
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  Schedpoint.point Schedpoint.lfdeque_pop_reserve;
+  let t = Atomic.get q.top in
+  let d = b - t in
+  if d < 0 then begin
+    Atomic.set q.bottom t;
+    None
+  end
+  else if d = 0 then begin
+    Schedpoint.point Schedpoint.lfdeque_pop_race;
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (t + 1);
+    if won then take (cell q b) else None
+  end
+  else take (cell q b)
+
+(* THE BUG: check-then-store instead of compare-and-set. *)
+let steal q =
+  let t = Atomic.get q.top in
+  Schedpoint.point Schedpoint.lfdeque_steal_read;
+  let b = Atomic.get q.bottom in
+  if b - t <= 0 then None
+  else begin
+    let x = Atomic.get (cell q t) in
+    Schedpoint.point Schedpoint.lfdeque_steal_cell;
+    if Atomic.get q.top = t then begin
+      Schedpoint.point Schedpoint.lfdeque_steal_commit;
+      Atomic.set q.top (t + 1);
+      x
+    end
+    else None
+  end
+
+let length q = max 0 (Atomic.get q.bottom - Atomic.get q.top)

@@ -1,0 +1,38 @@
+(** A deliberately broken lock-free DFDeques deque ({b checker
+    demonstration only}).
+
+    Shaped like {!Dfd_structures.Lfdeque} — including the sticky
+    ownership certificate and death-certificate reap test — but [steal]
+    replaces the correct deque's single compare-and-set on [top] with a
+    non-atomic check-then-store, opening a window (marked by the
+    {!Dfd_structures.Schedpoint.lfdeque_steal_commit} yield point) in
+    which two thieves can both take the same element and advance [top]
+    twice — double delivery plus element loss.  The [lfdeque_buggy]
+    scenario drives this deque through the explorer, and the test suite
+    asserts the bug is found, shrunk and replayed within the default
+    budget; the identical scenario shape over the real
+    {!Dfd_structures.Lfdeque} passes. *)
+
+type 'a t
+
+val create : ?capacity:int -> ?owner:int -> unit -> 'a t
+(** Fixed capacity (default 64, rounded to a power of two); no resizing. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only (this end is implemented correctly). *)
+
+val steal : 'a t -> 'a option
+(** Any thread — {b racy by design}, see above. *)
+
+val owner : 'a t -> int option
+
+val abandon : 'a t -> unit
+(** Sticky owner give-up (implemented correctly). *)
+
+val is_dead : 'a t -> bool
+(** Unowned and empty (implemented correctly). *)
+
+val length : 'a t -> int

@@ -12,6 +12,7 @@
 
 module Prng = Dfd_structures.Prng
 module Clev = Dfd_structures.Clev
+module Lfdeque = Dfd_structures.Lfdeque
 module Multiq = Dfd_structures.Multiq
 module Pool = Dfd_runtime.Pool
 
@@ -199,6 +200,212 @@ let clev_buggy =
         in
         let oracle () =
           let rest = drain (fun () -> Buggy_clev.pop q) in
+          multiset_result ~pushed ~got:(!(thief_got.(0)) @ !(thief_got.(1)) @ rest)
+        in
+        (body, oracle));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lfdeque scenarios (the CAS-only DFDeques deque)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Owner/thief linearizability: a seeded owner push/pop mix against two
+   concurrent thieves, same oracle shape as [clev_ops] — exactly-once
+   delivery across owner pops, thief steals and the final drain. *)
+let lfdeque_ops =
+  {
+    Explore.name = "lfdeque_ops";
+    descr = "lfdeque: seeded owner push/pop mix vs two concurrent thieves";
+    n_threads = 3;
+    approx_steps = 60;
+    prepare =
+      (fun rng ->
+        let q = Lfdeque.create ~min_capacity:2 ~owner:0 () in
+        let n_ops = 6 + Prng.int rng 4 in
+        let plan = List.init n_ops (fun _ -> Prng.int rng 3 < 2) in
+        let pushed =
+          let n = List.length (List.filter Fun.id plan) in
+          List.init n Fun.id
+        in
+        let owner_got = ref [] in
+        let thief_got = [| ref []; ref [] |] in
+        let body i =
+          if i = 0 then begin
+            let next = ref 0 in
+            List.iter
+              (fun is_push ->
+                if is_push then begin
+                  Lfdeque.push q !next;
+                  incr next
+                end
+                else
+                  match Lfdeque.pop q with
+                  | Some v -> owner_got := v :: !owner_got
+                  | None -> ())
+              plan
+          end
+          else
+            for _ = 1 to 3 do
+              match Lfdeque.steal q with
+              | Some v -> thief_got.(i - 1) := v :: !(thief_got.(i - 1))
+              | None -> ()
+            done
+        in
+        let oracle () =
+          let rest = drain (fun () -> Lfdeque.pop q) in
+          multiset_result ~pushed
+            ~got:(!owner_got @ !(thief_got.(0)) @ !(thief_got.(1)) @ rest)
+        in
+        (body, oracle));
+  }
+
+(* The abandonment/reap discipline against a concurrent thief: the deque
+   lives in a Multiq (as in the pool's R), the owner pushes then
+   abandons mid-stream and tries to reap, a thief steals and tries to
+   reap, a second thief only steals.  Oracle: exactly-once delivery, the
+   entry was removed by at most one winner, and removal implies the
+   death certificate held (unowned + empty) — a reap must never strand
+   a task inside an unlinked deque. *)
+let lfdeque_abandon =
+  {
+    Explore.name = "lfdeque_abandon";
+    descr = "lfdeque: owner abandonment and reap racing concurrent thieves";
+    n_threads = 3;
+    approx_steps = 70;
+    prepare =
+      (fun rng ->
+        let r = Multiq.create ~shards:2 () in
+        let q = Lfdeque.create ~min_capacity:2 ~owner:0 () in
+        let e = Multiq.insert_front r q in
+        let n_push = 2 + Prng.int rng 3 in
+        let pushed = List.init n_push Fun.id in
+        let owner_got = ref [] in
+        let thief_got = [| ref []; ref [] |] in
+        let removed_by = [| ref false; ref false; ref false |] in
+        let try_reap i =
+          if Lfdeque.is_dead q && Multiq.remove r e then removed_by.(i) := true
+        in
+        let body i =
+          if i = 0 then begin
+            List.iter (Lfdeque.push q) pushed;
+            (match Lfdeque.pop q with
+             | Some v -> owner_got := v :: !owner_got
+             | None -> ());
+            (* quota exhausted: sticky give-up, then the owner's own
+               reap attempt — exactly the pool's [dfd_abandon] *)
+            Lfdeque.abandon q;
+            try_reap 0
+          end
+          else begin
+            for _ = 1 to 3 do
+              match Lfdeque.steal q with
+              | Some v -> thief_got.(i - 1) := v :: !(thief_got.(i - 1))
+              | None -> ()
+            done;
+            if i = 1 then try_reap 1
+          end
+        in
+        let oracle () =
+          let was_empty = Lfdeque.is_empty q in
+          let was_live = Multiq.is_live e in
+          let winners =
+            Array.fold_left (fun n r -> if !r then n + 1 else n) 0 removed_by
+          in
+          let rest = drain (fun () -> Lfdeque.steal q) in
+          match
+            multiset_result ~pushed
+              ~got:(!owner_got @ !(thief_got.(0)) @ !(thief_got.(1)) @ rest)
+          with
+          | Error _ as err -> err
+          | Ok () ->
+            if winners > 1 then Error "deque reaped by two winners"
+            else if (not was_live) && winners = 0 then
+              Error "entry dead with no reap winner"
+            else if (not was_live) && not was_empty then
+              Error "deque reaped while still holding tasks"
+            else if was_live && Lfdeque.owner q <> None then
+              Error "owner certificate not sticky: still owned after abandon"
+            else Ok ()
+        in
+        (body, oracle));
+  }
+
+(* The reap-decision window itself: a pre-abandoned nonempty deque, one
+   reaper looping the [is_dead]-then-remove sequence against a thief
+   draining it.  The yield point inside [is_dead] (between the owner
+   read and the emptiness read) is exactly where a wrong read order
+   would let the reaper unlink a deque that still holds a task. *)
+let lfdeque_reap =
+  {
+    Explore.name = "lfdeque_reap";
+    descr = "lfdeque: death-certificate reap racing a draining thief";
+    n_threads = 2;
+    approx_steps = 50;
+    prepare =
+      (fun rng ->
+        let r = Multiq.create ~shards:2 () in
+        let q = Lfdeque.create ~min_capacity:2 ~owner:0 () in
+        let e = Multiq.insert_front r q in
+        let n_push = 1 + Prng.int rng 3 in
+        let pushed = List.init n_push Fun.id in
+        List.iter (Lfdeque.push q) pushed;
+        Lfdeque.abandon q;
+        let thief_got = ref [] in
+        let reaped = ref false in
+        let body i =
+          if i = 0 then
+            for _ = 1 to 3 do
+              if (not !reaped) && Lfdeque.is_dead q && Multiq.remove r e then
+                reaped := true
+            done
+          else
+            for _ = 1 to n_push do
+              match Lfdeque.steal q with
+              | Some v -> thief_got := v :: !thief_got
+              | None -> ()
+            done
+        in
+        let oracle () =
+          let was_empty = Lfdeque.is_empty q in
+          let rest = drain (fun () -> Lfdeque.steal q) in
+          match multiset_result ~pushed ~got:(!thief_got @ rest) with
+          | Error _ as err -> err
+          | Ok () ->
+            if !reaped && not was_empty then
+              Error "deque reaped while still holding tasks"
+            else if !reaped && Multiq.is_live e then
+              Error "reap won but entry still live"
+            else if (not !reaped) && not (Multiq.is_live e) then
+              Error "entry dead but no reap was recorded"
+            else Ok ()
+        in
+        (body, oracle));
+  }
+
+(* The planted bug: two thieves over Buggy_lfdeque's check-then-store
+   [steal].  The explorer must find the double delivery. *)
+let lfdeque_buggy =
+  {
+    Explore.name = "lfdeque_buggy";
+    descr =
+      "deliberately broken lfdeque steal (check-then-store): explorer must find it";
+    n_threads = 2;
+    approx_steps = 25;
+    prepare =
+      (fun _rng ->
+        let q = Buggy_lfdeque.create ~capacity:8 ~owner:0 () in
+        let pushed = [ 0; 1; 2 ] in
+        List.iter (Buggy_lfdeque.push q) pushed;
+        let thief_got = [| ref []; ref [] |] in
+        let body i =
+          for _ = 1 to 2 do
+            match Buggy_lfdeque.steal q with
+            | Some v -> thief_got.(i) := v :: !(thief_got.(i))
+            | None -> ()
+          done
+        in
+        let oracle () =
+          let rest = drain (fun () -> Buggy_lfdeque.pop q) in
           multiset_result ~pushed ~got:(!(thief_got.(0)) @ !(thief_got.(1)) @ rest)
         in
         (body, oracle));
@@ -442,9 +649,23 @@ let pool_dfd =
 
 (* ------------------------------------------------------------------ *)
 
-let all = [ clev_ops; clev_grow; clev_wrap; multiq_ops; multiq_two_choice; pool_ws; pool_dfd ]
+let all =
+  [
+    clev_ops;
+    clev_grow;
+    clev_wrap;
+    lfdeque_ops;
+    lfdeque_abandon;
+    lfdeque_reap;
+    multiq_ops;
+    multiq_two_choice;
+    pool_ws;
+    pool_dfd;
+  ]
 
 let buggy = clev_buggy
 
 let find name =
-  List.find_opt (fun s -> s.Explore.name = name) (clev_buggy :: multiq_buggy :: all)
+  List.find_opt
+    (fun s -> s.Explore.name = name)
+    (clev_buggy :: multiq_buggy :: lfdeque_buggy :: all)

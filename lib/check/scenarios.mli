@@ -17,6 +17,19 @@ val clev_grow : Explore.scenario
 val clev_wrap : Explore.scenario
 (** Deque started at [max_int - 3]: churn across the overflow boundary. *)
 
+val lfdeque_ops : Explore.scenario
+(** CAS-only DFDeques deque ({!Dfd_structures.Lfdeque}): seeded owner
+    push/pop mix against two concurrent thieves, exactly-once delivery. *)
+
+val lfdeque_abandon : Explore.scenario
+(** Owner abandonment (sticky give-up) and reap racing two thieves:
+    exactly-once delivery, one-winner reap, and a reap only ever unlinks
+    a deque whose death certificate held. *)
+
+val lfdeque_reap : Explore.scenario
+(** The reap-decision window: a pre-abandoned deque, a reaper looping
+    [is_dead]-then-remove against a draining thief. *)
+
 val multiq_ops : Explore.scenario
 (** Relaxed R-list ({!Dfd_structures.Multiq}): concurrent CAS inserts
     against two racing removers; oracle checks one-winner removal and
@@ -40,6 +53,10 @@ val clev_buggy : Explore.scenario
 val multiq_buggy : Explore.scenario
 (** Drives {!Buggy_multiq} (torn membership on remove); the explorer is
     expected to {e fail} this one.  Excluded from {!all}. *)
+
+val lfdeque_buggy : Explore.scenario
+(** Drives {!Buggy_lfdeque} (check-then-store steal commit); the explorer
+    is expected to {e fail} this one.  Excluded from {!all}. *)
 
 val buggy : Explore.scenario
 (** Alias for {!clev_buggy}. *)

@@ -1,4 +1,4 @@
-module Deque = Dfd_structures.Deque
+module Lfdeque = Dfd_structures.Lfdeque
 module Clev = Dfd_structures.Clev
 module Multiq = Dfd_structures.Multiq
 module Stats = Dfd_structures.Stats
@@ -23,20 +23,14 @@ type task = unit -> unit
 type policy = Work_stealing | Dfdeques of { quota : int }
 
 (* A deque of the global list R (DFDeques only; the WS policy uses raw
-   Chase–Lev deques).  Task transfer is guarded by the per-deque [dq_lock];
-   R membership lives in the lock-free [Multiq] (the deque's position is
-   the [Multiq.entry] handle held in [dfd_deque] or by a sampling thief).
-   [owner] is atomic so reapers can read it without any global lock: once
-   it goes [None] the deque is never re-owned, so no further pushes can
-   occur and "empty and unowned" observed under [dq_lock] is stable.
-   [did]/[born_us] feed the deque-lifecycle trace events. *)
-type dq = {
-  tasks : task Deque.t;
-  dq_lock : Mutex.t;
-  owner : int option Atomic.t;
-  did : int;
-  born_us : int;
-}
+   Chase–Lev deques).  Task transfer is CAS-only through [Lfdeque] —
+   owner push/pop at the bottom, thief steals at the top, the sticky
+   owner certificate and the [is_dead] reap test all live inside the
+   structure, so there is no per-deque lock at all.  R membership lives
+   in the lock-free [Multiq] (the deque's position is the [Multiq.entry]
+   handle held in [dfd_deque] or by a sampling thief).  [did]/[born_us]
+   feed the deque-lifecycle trace events. *)
+type dq = { tasks : task Lfdeque.t; did : int; born_us : int }
 
 type counters = {
   steals : int;
@@ -49,6 +43,7 @@ type counters = {
   parks : int;
   r_inserts : int;
   r_removes : int;
+  sync_ops : int;
 }
 
 (* One record per worker, written only by that worker (thief-side events —
@@ -67,6 +62,16 @@ type wcounters = {
   mutable c_parks : int;
   mutable c_r_inserts : int;  (** R-membership inserts charged to this worker. *)
   mutable c_r_removes : int;  (** R-membership removals this worker won. *)
+  c_sync : int ref;
+      (** synchronization ops (atomic RMWs and publishing stores, CAS
+          retries included) this worker executed on DFDeques scheduling
+          paths — the Lfdeque/Multiq [?ops] cells all point here.  A ref
+          rather than a mutable field so the structures can bump it
+          directly; still single-writer (thief-side ops are charged to
+          the thief).  Aggregated by {!val-sync_ops} — deliberately not
+          mirrored into a registry counter on the hot path, which would
+          add an atomic RMW per operation just to count atomic RMWs; the
+          registry exposes it as a lazy probe instead. *)
   c_rank_err : Stats.Histogram.t;
       (** rank error of this worker's successful steals; merged across
           workers by {!val-rank_error}.  Single-writer like the ints. *)
@@ -99,11 +104,12 @@ type t = {
   (* --- Work_stealing: one lock-free deque per worker --------------- *)
   ws_deques : task Clev.t array;
   (* --- Dfdeques: the relaxed ordered list R -------------------------
-     Lock hierarchy (outer to inner): dq_lock > trace_lock — there is no
-     global lock left on any DFDeques path.  R membership (insert,
-     remove, the thief's insert-after-victim) is lock-free CAS in the
-     [Multiq]; victim selection is two-choice sampling over its shards;
-     task transfer takes just the deque's own [dq_lock]. *)
+     Lock hierarchy: [trace_lock] only (plus the idle-parking pair,
+     which no task-holding path touches).  R membership (insert, remove,
+     the thief's insert-after-victim) is lock-free CAS in the [Multiq];
+     victim selection is two-choice sampling over its shards; task
+     transfer is CAS-only through [Lfdeque] — no DFDeques path takes a
+     mutex while holding or transferring a task. *)
   r : dq Multiq.t;
   dfd_deque : dq Multiq.entry option array;
       (** each worker's owned deque, as its R-membership handle;
@@ -302,17 +308,19 @@ let park pool w =
   Mutex.unlock pool.idle_lock
 
 (* ------------------------------------------------------------------ *)
-(* DFDeques: lock-free R membership (Multiq CAS paths) and task         *)
-(* transfer (under the per-deque lock)                                  *)
+(* DFDeques: lock-free R membership (Multiq CAS paths) and CAS-only     *)
+(* task transfer (Lfdeque)                                              *)
 (* ------------------------------------------------------------------ *)
+
+(* The worker's sync-op cell, handed to every Lfdeque/Multiq mutating
+   call on its behalf. *)
+let sync_cell pool w = pool.per_worker.(w).c_sync
 
 let new_dq pool ~proc ~owner =
   let born_us = if Tracer.enabled pool.tracer then now_us pool else 0 in
   let d =
     {
-      tasks = Deque.create ();
-      dq_lock = Mutex.create ();
-      owner = Atomic.make owner;
+      tasks = Lfdeque.create ?owner ();
       did = Atomic.fetch_and_add pool.next_did 1;
       born_us;
     }
@@ -327,25 +335,22 @@ let note_r_insert pool w =
   let c = pool.per_worker.(w) in
   c.c_r_inserts <- c.c_r_inserts + 1
 
-(* Reap [e]'s deque from R if it is empty and unowned.  Needs no global
-   lock: once [owner] is [None] the deque is never re-owned (an
-   abandoning worker forgets its handle and builds a fresh deque next
-   push), so no push can follow and emptiness observed under [dq_lock]
-   is stable.  Abandon and steal paths race to reap the same entry;
-   [Multiq.remove]'s one-winner CAS charges the removal exactly once. *)
+(* Reap [e]'s deque from R if it carries the death certificate.
+   Entirely lock-free: [Lfdeque.is_dead] reads owner-then-emptiness, and
+   because abandonment is sticky (a deque is never re-owned, so no push
+   can follow the [None]) the certificate is stable once observed.
+   Abandon and steal paths race to reap the same entry; [Multiq.remove]'s
+   one-winner CAS charges the removal exactly once. *)
 let reap_if_dead pool ~proc e =
   let d = Multiq.value e in
-  if Multiq.is_live e then begin
-    Mutex.lock d.dq_lock;
-    let dead = Deque.is_empty d.tasks && Atomic.get d.owner = None in
-    Mutex.unlock d.dq_lock;
-    if dead && Multiq.remove pool.r e then begin
-      let c = pool.per_worker.(proc) in
-      c.c_r_removes <- c.c_r_removes + 1;
-      Registry.Counter.incr pool.obs.o_deques_deleted;
-      flight_emit pool ~proc (Event.Deque_deleted { did = d.did; residency = 0 });
-      trace_dq_removed pool ~proc d
-    end
+  if Multiq.is_live e && Lfdeque.is_dead d.tasks
+     && Multiq.remove ~ops:(sync_cell pool proc) pool.r e
+  then begin
+    let c = pool.per_worker.(proc) in
+    c.c_r_removes <- c.c_r_removes + 1;
+    Registry.Counter.incr pool.obs.o_deques_deleted;
+    flight_emit pool ~proc (Event.Deque_deleted { did = d.did; residency = 0 });
+    trace_dq_removed pool ~proc d
   end
 
 (* The worker's own deque, creating and inserting it at the front of R if
@@ -356,20 +361,23 @@ let dfd_own_deque pool w =
   | Some e -> Multiq.value e
   | None ->
     let d = new_dq pool ~proc:w ~owner:(Some w) in
-    pool.dfd_deque.(w) <- Some (Multiq.insert_front pool.r d);
+    pool.dfd_deque.(w) <- Some (Multiq.insert_front ~ops:(sync_cell pool w) pool.r d);
     note_r_insert pool w;
     d
 
-(* Abandon the worker's deque (quota exhausted, or found empty): mark it
-   unowned and drop it from R if there is nothing left to steal from it.
-   The paper's discipline — a nonempty abandoned deque stays in R for
-   thieves. *)
+(* Abandon the worker's deque (quota exhausted, or found empty): publish
+   the sticky owner give-up and drop the deque from R if there is nothing
+   left to steal from it.  The paper's discipline — a nonempty abandoned
+   deque stays in R for thieves.  Forgetting the handle *before* the
+   sticky store becomes visible is what makes [Lfdeque.is_dead] sound:
+   once any reader sees [owner = None], this worker can no longer reach
+   the deque to push. *)
 let dfd_abandon pool w =
   match pool.dfd_deque.(w) with
   | None -> ()
   | Some e ->
     pool.dfd_deque.(w) <- None;
-    Atomic.set (Multiq.value e).owner None;
+    Lfdeque.abandon ~ops:(sync_cell pool w) (Multiq.value e).tasks;
     reap_if_dead pool ~proc:w e
 
 (* Rank error of a successful steal: how far the sampled victim sat
@@ -397,7 +405,7 @@ let note_rank_error pool w e =
    reaped if the steal emptied an unowned deque. *)
 let dfd_adopt_after pool w victim_e =
   let d = new_dq pool ~proc:w ~owner:(Some w) in
-  let e = Multiq.insert_after pool.r victim_e d in
+  let e = Multiq.insert_after ~ops:(sync_cell pool w) pool.r victim_e d in
   note_r_insert pool w;
   reap_if_dead pool ~proc:w victim_e;
   pool.dfd_deque.(w) <- Some e
@@ -420,12 +428,13 @@ let dfd_steal pool w =
       None
     | Some victim_e ->
       let victim = Multiq.value victim_e in
-      Mutex.lock victim.dq_lock;
-      let got = Deque.pop_bottom victim.tasks in
-      Mutex.unlock victim.dq_lock;
-      (match got with
+      (* CAS-only steal of the victim's oldest task.  [None] covers both
+         a genuinely drained deque and a lost top-CAS race — either way
+         the attempt failed and the caller retries with backoff, exactly
+         like a WS thief losing a Chase–Lev race. *)
+      (match Lfdeque.steal ~ops:(sync_cell pool w) victim.tasks with
        | None ->
-         (* drained between sample and lock; reap it if fully dead *)
+         (* drained (or raced) between sample and steal; reap if dead *)
          reap_if_dead pool ~proc:w victim_e;
          note_steal_failure pool w;
          None
@@ -452,13 +461,12 @@ let push_local pool w task =
    | Work_stealing -> Clev.push pool.ws_deques.(w) task
    | Dfdeques _ ->
      let d = dfd_own_deque pool w in
-     Mutex.lock d.dq_lock;
-     Deque.push_top d.tasks task;
-     Mutex.unlock d.dq_lock);
+     Lfdeque.push ~ops:(sync_cell pool w) d.tasks task);
   signal_work pool
 
-(* One attempt to obtain a task; lock-free for WS, per-deque locks for
-   DFD.  Does not touch [live_tasks]; callers do. *)
+(* One attempt to obtain a task; lock-free on every path — WS and DFD
+   both go through CAS-only deques.  Does not touch [live_tasks];
+   callers do. *)
 let try_get pool w =
   Schedpoint.point Schedpoint.pool_get;
   match pool.policy with
@@ -507,10 +515,7 @@ let try_get pool w =
         dfd_steal pool w
       | Some e -> (
           let d = Multiq.value e in
-          Mutex.lock d.dq_lock;
-          let got = Deque.pop_top d.tasks in
-          Mutex.unlock d.dq_lock;
-          match got with
+          match Lfdeque.pop ~ops:(sync_cell pool w) d.tasks with
           | Some t ->
             let c = pool.per_worker.(w) in
             c.c_local_pops <- c.c_local_pops + 1;
@@ -543,9 +548,11 @@ let help_once pool w =
   | None -> false
 
 (* Pop our most recent push if it is still on top (the fork_join fast
-   path).  Physical equality identifies the task.  Under WS the owner pop
-   is lock-free; a pop that surfaces some other task (possible only if
-   ours was stolen) is pushed straight back. *)
+   path).  Physical equality identifies the task.  Both policies use the
+   same lock-free discipline: owner pop, and a pop that surfaces some
+   other task (possible only if ours was stolen) is pushed straight
+   back — the push-back is safe because only the owner pops its own
+   deque, so nothing was reordered underneath it. *)
 let try_pop_exact pool w task =
   Schedpoint.point Schedpoint.pool_pop_exact;
   let got =
@@ -560,18 +567,15 @@ let try_pop_exact pool w task =
     | Dfdeques _ -> (
         match pool.dfd_deque.(w) with
         | None -> false
-        | Some e ->
-          let d = Multiq.value e in
-          Mutex.lock d.dq_lock;
-          let hit =
-            match Deque.peek_top d.tasks with
-            | Some t when t == task ->
-              ignore (Deque.pop_top d.tasks);
-              true
-            | _ -> false
-          in
-          Mutex.unlock d.dq_lock;
-          hit)
+        | Some e -> (
+            let d = Multiq.value e in
+            let ops = sync_cell pool w in
+            match Lfdeque.pop ~ops d.tasks with
+            | Some t when t == task -> true
+            | Some other ->
+              Lfdeque.push ~ops d.tasks other;
+              false
+            | None -> false))
   in
   if got then begin
     Atomic.decr pool.live_tasks;
@@ -686,7 +690,14 @@ let register_probes registry pool =
   g "dfd_pool_quota_bytes" "Current DFDeques memory threshold K (max_int under WS)." (fun () ->
       Atomic.get pool.dfd_quota);
   g "dfd_pool_r_deques" "Live deques in the relaxed R-list (DFDeques)." (fun () ->
-      Multiq.size pool.r)
+      Multiq.size pool.r);
+  (* a probe, not a write-side counter: mirroring every sync op into a
+     registry cell would add an atomic RMW per operation just to count
+     atomic RMWs.  The per-worker cells are summed lazily at scrape. *)
+  Registry.probe registry ~kind:`Counter
+    ~help:"Synchronization ops (atomic RMWs, CAS retries included) on DFDeques scheduling paths."
+    "dfd_pool_sync_ops"
+    (fun () -> Array.fold_left (fun acc c -> acc + !(c.c_sync)) 0 pool.per_worker)
 
 let make ?(registry = Registry.disabled) ?(flight = Flight.disabled) ~n_workers ~tracer ~fault policy =
     {
@@ -718,6 +729,7 @@ let make ?(registry = Registry.disabled) ?(flight = Flight.disabled) ~n_workers 
               c_parks = 0;
               c_r_inserts = 0;
               c_r_removes = 0;
+              c_sync = ref 0;
               c_rank_err = Stats.Histogram.create ();
             });
       idle_lock = Mutex.create ();
@@ -882,6 +894,7 @@ let counters pool =
          parks = acc.parks + c.c_parks;
          r_inserts = acc.r_inserts + c.c_r_inserts;
          r_removes = acc.r_removes + c.c_r_removes;
+         sync_ops = acc.sync_ops + !(c.c_sync);
        })
     {
       steals = 0;
@@ -894,8 +907,17 @@ let counters pool =
       parks = 0;
       r_inserts = 0;
       r_removes = 0;
+      sync_ops = 0;
     }
     pool.per_worker
+
+(* Total synchronization operations (atomic RMWs + publishing stores,
+   CAS retries included) executed on DFDeques scheduling paths, summed
+   across workers — the Rito & Paulino sync-overhead metric, measured
+   rather than assumed.  Zero under WS (the Clev paths predate the
+   accounting and stay unmeasured).  Same staleness contract as
+   {!val-counters}. *)
+let sync_ops pool = Array.fold_left (fun acc c -> acc + !(c.c_sync)) 0 pool.per_worker
 
 (* Per-worker single-writer histograms merged at read, like the ints. *)
 let rank_error pool =
@@ -923,6 +945,7 @@ let metrics_samples pool =
     s "parks" c.parks;
     s "r_inserts" c.r_inserts;
     s "r_removes" c.r_removes;
+    s "sync_ops" c.sync_ops;
   ]
 
 let stats pool = Registry.Snapshot.to_alist (metrics_samples pool)
@@ -968,8 +991,8 @@ let snapshot pool =
        (fun e ->
           let d = Multiq.value e in
           pf "  deque #%d owner=%s shard=%d: %d tasks\n" d.did
-            (match Atomic.get d.owner with None -> "-" | Some w -> string_of_int w)
-            (Multiq.shard_of e) (Deque.length d.tasks))
+            (match Lfdeque.owner d.tasks with None -> "-" | Some w -> string_of_int w)
+            (Multiq.shard_of e) (Lfdeque.length d.tasks))
        ms;
      pf "  K=%d\n" (Atomic.get pool.dfd_quota);
      Array.iteri (fun i q -> pf "  quota_left[worker %d]=%d\n" i q) pool.quota_left);

@@ -19,14 +19,19 @@
       is a relaxed MultiQueue ({!Dfd_structures.Multiq}) of [2p] shards —
       membership insert/remove/thief-insert-after-victim are lock-free
       CAS on order-labelled entries, victim selection is two-choice
-      sampling over shard heads, and task transfer takes only the target
-      deque's own lock.  The price is a bounded {e rank error} (a victim
-      may sit a few positions right of the exact window), which the pool
-      measures per steal and exposes via {!rank_error}, the
-      [dfd_pool_steal_rank_error] registry histogram and [Steal_rank]
-      trace events.  DESIGN.md §15 documents the structure, the
-      rank-error argument and the memory-ordering audit; §10 the
-      remaining (per-deque) lock hierarchy.
+      sampling over shard heads, and task transfer is CAS-only through
+      {!Dfd_structures.Lfdeque} (owner push/pop, thief steal, sticky
+      abandonment and the lock-free death-certificate reap) — no
+      DFDeques path takes a mutex at all.  The price is a bounded
+      {e rank error} (a victim may sit a few positions right of the
+      exact window), which the pool measures per steal and exposes via
+      {!rank_error}, the [dfd_pool_steal_rank_error] registry histogram
+      and [Steal_rank] trace events; the synchronization cost of the
+      CAS discipline is itself measured ({!sync_ops},
+      [dfd_pool_sync_ops]).  DESIGN.md §15 documents the MultiQueue and
+      §16 the lock-free deque (CAS commit points, ABA and
+      memory-ordering audit); §10 the lock hierarchy, now [trace_lock]
+      only.
 
     Fork-join is work-first: {!fork_join} pushes the left branch and runs
     the right inline; on return it pops the left branch back if nobody
@@ -188,6 +193,10 @@ type counters = {
       (** R-membership inserts (own-deque creations + thief adoptions;
           DFDeques only) *)
   r_removes : int;  (** deques reaped from R (DFDeques only) *)
+  sync_ops : int;
+      (** synchronization operations (atomic RMWs and publishing stores,
+          CAS retries included) on DFDeques scheduling paths; 0 under
+          {!Work_stealing} *)
 }
 
 val counters : t -> counters
@@ -197,6 +206,19 @@ val counters : t -> counters
     no lock is taken to read any of them), so a snapshot taken while
     tasks are running may be slightly stale; it is exact once the pool
     is idle. *)
+
+val sync_ops : t -> int
+(** Total synchronization operations (atomic RMWs and publishing stores,
+    CAS retries included) executed on DFDeques scheduling paths — push,
+    pop, steal, abandonment, reap, and R membership — summed across the
+    per-worker single-writer cells.  The Rito & Paulino sync-overhead
+    metric: what the lock removal is measured by, not assumed from.
+    Always 0 under {!Work_stealing}.  Exposed to the registry as the
+    lazily-summed [dfd_pool_sync_ops] probe (the pool deliberately does
+    not mirror it into a write-side counter — that would add an atomic
+    RMW per operation just to count atomic RMWs) and per p in the
+    [sync_ops] section of [BENCH_pool.json].  Same staleness contract as
+    {!val-counters}. *)
 
 val rank_error : t -> Dfd_structures.Stats.Histogram.t
 (** Distribution of the rank error of every successful DFDeques steal:

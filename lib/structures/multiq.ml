@@ -92,19 +92,28 @@ let without arr e =
     Some (Array.of_list (List.filter (fun x -> x != e) (Array.to_list arr)))
   else None
 
-let rec publish t e =
+(* Sync-op accounting: every atomic RMW (CAS attempts included, failed
+   or not) and counter bump on the mutating paths charges the caller's
+   optional [ops] cell — the pool aggregates these per worker into
+   [Pool.sync_ops].  Plain atomic loads are not counted. *)
+let bump ops n = match ops with None -> () | Some r -> r := !r + n
+
+let rec publish ops t e =
   let cell = t.shards.(e.e_shard) in
   let arr = Atomic.get cell in
   Schedpoint.point Schedpoint.multiq_insert;
-  if not (Atomic.compare_and_set cell arr (insert_sorted arr e)) then publish t e
+  bump ops 1;
+  if not (Atomic.compare_and_set cell arr (insert_sorted arr e)) then publish ops t e
 
-let rec unpublish t e =
+let rec unpublish ops t e =
   let cell = t.shards.(e.e_shard) in
   let arr = Atomic.get cell in
   Schedpoint.point Schedpoint.multiq_remove;
   match without arr e with
   | None -> ()  (* already physically gone *)
-  | Some arr' -> if not (Atomic.compare_and_set cell arr arr') then unpublish t e
+  | Some arr' ->
+    bump ops 1;
+    if not (Atomic.compare_and_set cell arr arr') then unpublish ops t e
 
 (* ------------------------------------------------------------------ *)
 (* Membership                                                          *)
@@ -120,38 +129,44 @@ let fresh t ~tag ~bound v =
     e_live = Atomic.make true;
   }
 
-let insert t e =
-  publish t e;
+let insert ops t e =
+  publish ops t e;
   Atomic.incr t.population;
+  bump ops 1;
   e
 
-let insert_front t v =
+let insert_front ?ops t v =
   let tag = Atomic.fetch_and_add t.next_front (-front_stride) in
-  insert t (fresh t ~tag ~bound:(tag + front_stride) v)
+  bump ops 3;  (* next_front + the two allocator RMWs in [fresh] *)
+  insert ops t (fresh t ~tag ~bound:(tag + front_stride) v)
 
 (* Split the anchor's right gap: the child takes the midpoint and
    inherits the upper half as its own child gap, so repeated splits
    nest exactly (each later child lands closer to the anchor — more
    leftmost — than its elder siblings).  Gap exhausted: tie with the
    anchor, broken by seq in [compare_entries]. *)
-let rec alloc_after anchor =
+let rec alloc_after ops anchor =
   let b = Atomic.get anchor.e_bound in
   let gap = b - anchor.e_tag in
   if gap < 2 then (anchor.e_tag, b)
   else begin
     let mid = anchor.e_tag + (gap / 2) in
     Schedpoint.point Schedpoint.multiq_insert;
-    if Atomic.compare_and_set anchor.e_bound b mid then (mid, b) else alloc_after anchor
+    bump ops 1;
+    if Atomic.compare_and_set anchor.e_bound b mid then (mid, b) else alloc_after ops anchor
   end
 
-let insert_after t anchor v =
-  let tag, bound = alloc_after anchor in
-  insert t (fresh t ~tag ~bound v)
+let insert_after ?ops t anchor v =
+  let tag, bound = alloc_after ops anchor in
+  bump ops 2;  (* the two allocator RMWs in [fresh] *)
+  insert ops t (fresh t ~tag ~bound v)
 
-let remove t e =
+let remove ?ops t e =
+  bump ops 1;
   if Atomic.compare_and_set e.e_live true false then begin
     Atomic.decr t.population;
-    unpublish t e;
+    bump ops 1;
+    unpublish ops t e;
     true
   end
   else false

@@ -68,16 +68,18 @@ val compare_entries : 'a entry -> 'a entry -> int
     closer to the shared anchor).  O(1), never raises, valid on dead
     entries. *)
 
-val insert_front : 'a t -> 'a -> 'a entry
+val insert_front : ?ops:int ref -> 'a t -> 'a -> 'a entry
 (** New leftmost-region member: its label is allocated a fixed stride to
-    the left of every previous front insertion. *)
+    the left of every previous front insertion.  [ops] accumulates the
+    atomic RMW count of the operation, CAS retries included (the
+    sync-op metric; see {!Lfdeque}). *)
 
-val insert_after : 'a t -> 'a entry -> 'a -> 'a entry
+val insert_after : ?ops:int ref -> 'a t -> 'a entry -> 'a -> 'a entry
 (** New member immediately to the right of [anchor] (the DFDeques thief
     invariant): splits the anchor's right gap by CAS.  Inserting after a
     dead anchor is allowed and takes the anchor's old position. *)
 
-val remove : 'a t -> 'a entry -> bool
+val remove : ?ops:int ref -> 'a t -> 'a entry -> bool
 (** Exactly-one-winner removal: [true] for the single caller that flips
     the entry dead (and unpublishes it from its shard), [false] for every
     other and for repeated calls. *)

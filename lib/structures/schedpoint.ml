@@ -58,6 +58,26 @@ let multiq_sample = 16
 
 let multiq_remove_commit = 17
 
+let lfdeque_push_cell = 18
+
+let lfdeque_push_publish = 19
+
+let lfdeque_pop_reserve = 20
+
+let lfdeque_pop_race = 21
+
+let lfdeque_steal_read = 22
+
+let lfdeque_steal_cell = 23
+
+let lfdeque_grow_publish = 24
+
+let lfdeque_abandon = 25
+
+let lfdeque_reap = 26
+
+let lfdeque_steal_commit = 27
+
 let names =
   [|
     "start";
@@ -78,6 +98,16 @@ let names =
     "multiq_remove";
     "multiq_sample";
     "multiq_remove_commit";
+    "lfdeque_push_cell";
+    "lfdeque_push_publish";
+    "lfdeque_pop_reserve";
+    "lfdeque_pop_race";
+    "lfdeque_steal_read";
+    "lfdeque_steal_cell";
+    "lfdeque_grow_publish";
+    "lfdeque_abandon";
+    "lfdeque_reap";
+    "lfdeque_steal_commit";
   |]
 
 let name id = if id >= 0 && id < Array.length names then names.(id) else Printf.sprintf "p%d" id

@@ -64,6 +64,40 @@ val multiq_remove_commit : int
     where the correct structure has a compare_and_set and hence no such
     window. *)
 
+val lfdeque_push_cell : int
+(** Lfdeque push: after the bottom read, before the cell write. *)
+
+val lfdeque_push_publish : int
+(** Lfdeque push: between the cell write and the bottom publish. *)
+
+val lfdeque_pop_reserve : int
+(** Lfdeque pop: between the bottom decrement and the top read. *)
+
+val lfdeque_pop_race : int
+(** Lfdeque pop: before the last-element CAS against a thief. *)
+
+val lfdeque_steal_read : int
+(** Lfdeque steal: between the top read and the bottom read. *)
+
+val lfdeque_steal_cell : int
+(** Lfdeque steal: between the cell read and the top CAS. *)
+
+val lfdeque_grow_publish : int
+(** Lfdeque grow: between building the new buffer and republishing. *)
+
+val lfdeque_abandon : int
+(** Lfdeque abandon: before the sticky owner-to-[None] store — the
+    ownership-transfer window a concurrent thief races. *)
+
+val lfdeque_reap : int
+(** Lfdeque [is_dead]: between the owner read and the emptiness read —
+    the reap-decision window a concurrent steal races. *)
+
+val lfdeque_steal_commit : int
+(** Only emitted by the checker's deliberately buggy lfdeque variant: the
+    instant between its non-atomic top check and top store, where the
+    correct deque has a single CAS and hence no such window. *)
+
 val name : int -> string
 (** Human-readable name of a point id. *)
 

@@ -109,6 +109,38 @@ let test_multiq_buggy_caught () =
     checkb "serial fallback schedule passes" true
       (Explore.replay Scenarios.multiq_buggy serial = None)
 
+(* Same headline property for the lfdeque planted bug (check-then-store
+   steal commit): found, shrunk, and reproducible through a replay file.
+   Seed chosen so the failure lands within a few iterations. *)
+let lfdeque_buggy_seed = 5
+
+let test_lfdeque_buggy_caught () =
+  let r = Explore.run ~seed:lfdeque_buggy_seed Scenarios.lfdeque_buggy in
+  match r.Explore.r_failure with
+  | None -> Alcotest.fail "explorer missed the lfdeque steal-commit race"
+  | Some f ->
+    checkb "found within default budget" true (r.Explore.r_iterations <= r.Explore.r_budget);
+    checkb "shrunk" true f.Explore.f_shrunk;
+    checkb "minimal trace nonempty" true (f.Explore.f_choices <> []);
+    checkb "minimal trace short" true (List.length f.Explore.f_choices <= 16);
+    checkb "double delivery is the reason" true
+      (String.length f.Explore.f_reason > 0
+       && String.sub f.Explore.f_reason 0 (min 8 (String.length f.Explore.f_reason))
+          = "delivery");
+    let path = Filename.temp_file "replay_lfdeque" ".json" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Explore.write_replay path f;
+        let f' = Explore.read_replay path in
+        checkb "replay file roundtrips" true (f = f');
+        checkb "replay from file reproduces" true
+          (Explore.replay Scenarios.lfdeque_buggy f' <> None));
+    (* the serial fallback schedule never opens the commit window *)
+    let serial = { f with Explore.f_choices = []; f_points = [] } in
+    checkb "serial fallback schedule passes" true
+      (Explore.replay Scenarios.lfdeque_buggy serial = None)
+
 let test_correct_scenarios_pass () =
   List.iter
     (fun sc ->
@@ -121,6 +153,143 @@ let test_correct_scenarios_pass () =
       checki (sc.Explore.name ^ ": full budget used") 30 r.Explore.r_iterations)
     Scenarios.all;
   checkb "yield-point handler uninstalled after runs" false (Schedpoint.active ())
+
+(* ------------------------------------------------------------------ *)
+(* Schedpoint coverage: the yield-point registry must not silently rot  *)
+(* ------------------------------------------------------------------ *)
+
+module Clev = Dfd_structures.Clev
+module Lfdeque = Dfd_structures.Lfdeque
+module Multiq = Dfd_structures.Multiq
+module Pool = Dfd_runtime.Pool
+module Buggy_clev = Dfd_check.Buggy_clev
+module Buggy_lfdeque = Dfd_check.Buggy_lfdeque
+module Buggy_multiq = Dfd_check.Buggy_multiq
+
+(* Number of registered point ids, discovered by walking the name table
+   until it falls back to the "p%d" rendering of an unknown id.  Walking
+   instead of hard-coding means a new id added without a name entry (or
+   vice versa) trips the roundtrip check below rather than hiding. *)
+let registered_points =
+  let rec go i = if Schedpoint.of_name (Schedpoint.name i) = Some i then go (i + 1) else i in
+  go 0
+
+let test_point_ids_distinct () =
+  checkb "all known ids registered" true (registered_points >= 28);
+  let names = List.init registered_points Schedpoint.name in
+  checki "names pairwise distinct" registered_points
+    (List.length (List.sort_uniq compare names));
+  List.iteri
+    (fun i n -> checkb (n ^ " roundtrips through of_name") true (Schedpoint.of_name n = Some i))
+    names
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Every yield point must appear, by name, in DESIGN.md's yield-point
+   map — a rename or an undocumented addition fails here. *)
+let test_points_documented () =
+  let design = In_channel.with_open_text "../DESIGN.md" In_channel.input_all in
+  for id = 0 to registered_points - 1 do
+    checkb
+      (Printf.sprintf "point %d (%s) documented in DESIGN.md" id (Schedpoint.name id))
+      true
+      (contains_substring design (Schedpoint.name id))
+  done
+
+(* Every id is actually emitted by the instrumented code: install a
+   recording handler (not an explorer session — [Explore.with_session]
+   owns the handler slot, so this drives the structures directly) and
+   walk each structure through the operations that carry its points.
+
+   [start] is the one exemption: it is a pseudo-point emitted by the
+   explorer itself to park controlled threads before their first step,
+   not by any instrumented structure, and explorer sessions cannot nest
+   under a recording handler. *)
+let test_points_hit () =
+  let seen = Array.init (registered_points + 1) (fun _ -> Atomic.make false) in
+  let record id = if id >= 0 && id < Array.length seen then Atomic.set seen.(id) true in
+  Schedpoint.install record;
+  Fun.protect ~finally:Schedpoint.uninstall (fun () ->
+      (* Chase–Lev: push/grow/steal/pop, then the last-element race *)
+      let q = Clev.create ~min_capacity:2 () in
+      List.iter (Clev.push q) [ 1; 2; 3 ];
+      ignore (Clev.steal q);
+      ignore (Clev.pop q);
+      ignore (Clev.pop q);
+      (* Lfdeque: same walk plus the ownership lifecycle *)
+      let lq = Lfdeque.create ~min_capacity:2 ~owner:0 () in
+      List.iter (Lfdeque.push lq) [ 1; 2; 3 ];
+      ignore (Lfdeque.steal lq);
+      ignore (Lfdeque.pop lq);
+      ignore (Lfdeque.pop lq);
+      Lfdeque.abandon lq;
+      ignore (Lfdeque.is_dead lq);
+      (* the buggy variants own the commit-window points *)
+      let bq = Buggy_clev.create () in
+      Buggy_clev.push bq 1;
+      ignore (Buggy_clev.steal bq);
+      let blq = Buggy_lfdeque.create () in
+      Buggy_lfdeque.push blq 1;
+      ignore (Buggy_lfdeque.steal blq);
+      let bm = Buggy_multiq.create () in
+      let be = Buggy_multiq.insert bm 0 in
+      ignore (Buggy_multiq.remove bm be);
+      (* multiq membership and sampling *)
+      let m = Multiq.create ~shards:2 () in
+      let e = Multiq.insert_front m 0 in
+      let e' = Multiq.insert_after m e 1 in
+      ignore (Multiq.sample m 0 1);
+      ignore (Multiq.remove m e);
+      ignore (Multiq.remove m e');
+      (* pool points, including a deterministic await: the forked task
+         [fa] is stolen by a helper domain and holds its promise open
+         until the parent's await loop has emitted [pool_await], so the
+         slow path is taken every run, not by luck.  Spin-waits are
+         bounded: if the handshake wedges, the task returns and the
+         coverage assertion fails instead of the test hanging. *)
+      let pool = Pool.For_testing.create_detached ~workers:2 Pool.Work_stealing in
+      let stolen = Atomic.make false in
+      let finished = Atomic.make false in
+      let bounded_spin cond =
+        let spins = ref 0 in
+        while (not (cond ())) && !spins < 200_000_000 do
+          incr spins;
+          Domain.cpu_relax ()
+        done
+      in
+      let helper =
+        Domain.spawn (fun () ->
+            Pool.For_testing.as_worker pool 1 (fun () ->
+                while not (Atomic.get finished) do
+                  ignore (Pool.For_testing.help pool 1);
+                  Domain.cpu_relax ()
+                done))
+      in
+      Pool.For_testing.as_worker pool 0 (fun () ->
+          let a, b =
+            Pool.fork_join
+              (fun () ->
+                Atomic.set stolen true;
+                bounded_spin (fun () -> Atomic.get seen.(Schedpoint.pool_await));
+                1)
+              (fun () ->
+                bounded_spin (fun () -> Atomic.get stolen);
+                2)
+          in
+          checki "handshake fork_join result" 3 (a + b));
+      Atomic.set finished true;
+      Domain.join helper);
+  for id = 0 to registered_points - 1 do
+    if id <> Schedpoint.start then
+      checkb
+        (Printf.sprintf "point %d (%s) hit" id (Schedpoint.name id))
+        true
+        (Atomic.get seen.(id))
+  done;
+  checkb "start is the only exemption" true (Schedpoint.start = 0)
 
 (* ------------------------------------------------------------------ *)
 (* Theorem oracles                                                     *)
@@ -194,7 +363,16 @@ let () =
             test_replay_rejects_wrong_scenario;
           Alcotest.test_case "multiq torn remove caught and shrunk" `Quick
             test_multiq_buggy_caught;
+          Alcotest.test_case "lfdeque steal-commit race caught and shrunk" `Quick
+            test_lfdeque_buggy_caught;
           Alcotest.test_case "correct scenarios pass" `Quick test_correct_scenarios_pass;
+        ] );
+      ( "schedpoint coverage",
+        [
+          Alcotest.test_case "ids distinct and named" `Quick test_point_ids_distinct;
+          Alcotest.test_case "every point documented in DESIGN.md" `Quick
+            test_points_documented;
+          Alcotest.test_case "every point hit by instrumented code" `Quick test_points_hit;
         ] );
       ( "oracles",
         [

@@ -228,7 +228,8 @@ let test_stats_counters () =
       let stats = Pool.stats pool in
       checkb "tasks ran" true (List.assoc "tasks_run" stats > 0);
       (* one alist entry per field of the [Pool.counters] record *)
-      checkb "all counters present" true (List.length stats = 10))
+      checkb "all counters present" true (List.length stats = 11);
+      checki "WS runs zero sync ops" 0 (List.assoc "sync_ops" stats))
 
 let test_heartbeat_monotonic () =
   List.iter

@@ -3,6 +3,7 @@
 
 module Deque = Dfd_structures.Deque
 module Dll = Dfd_structures.Dll
+module Lfdeque = Dfd_structures.Lfdeque
 module Multiq = Dfd_structures.Multiq
 module Om = Dfd_structures.Order_maint
 module Pheap = Dfd_structures.Pheap
@@ -665,6 +666,84 @@ let multiq_sample_prop =
        assert_ok (Multiq.size q = List.length !live);
        !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Lfdeque (sequential model properties)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exactly-once delivery: over any sequential mix of push / pop / steal
+   plus a final drain, the delivered multiset equals the pushed multiset.
+   Values are distinct by construction, so a sorted-list comparison
+   catches both duplication and loss in one shot. *)
+let lfdeque_multiset_prop =
+  QCheck.Test.make ~name:"lfdeque preserves the pushed multiset" ~count:500
+    QCheck.(list (int_range 0 2))
+    (fun ops ->
+       let q : int Lfdeque.t = Lfdeque.create ~min_capacity:2 ~owner:0 () in
+       let next = ref 0 in
+       let pushed = ref [] in
+       let taken = ref [] in
+       List.iter
+         (fun op ->
+            match op with
+            | 0 ->
+              incr next;
+              pushed := !next :: !pushed;
+              Lfdeque.push q !next
+            | 1 -> ( match Lfdeque.pop q with Some v -> taken := v :: !taken | None -> ())
+            | _ -> ( match Lfdeque.steal q with Some v -> taken := v :: !taken | None -> ()))
+         ops;
+       let rec drain () =
+         match Lfdeque.steal q with
+         | Some v ->
+           taken := v :: !taken;
+           drain ()
+         | None -> ()
+       in
+       drain ();
+       Lfdeque.is_empty q && List.sort compare !taken = List.sort compare !pushed)
+
+(* Order laws against a list model kept oldest-first: [steal] must return
+   the oldest live element (FIFO at the top — the paper's locality
+   argument needs thieves to take the shallowest work) and [pop] the
+   youngest (LIFO at the bottom), at every prefix of a random operation
+   sequence, with the length agreeing throughout. *)
+let lfdeque_order_prop =
+  QCheck.Test.make ~name:"lfdeque steals FIFO at top, pops LIFO at bottom" ~count:500
+    QCheck.(list (int_range 0 2))
+    (fun ops ->
+       let q : int Lfdeque.t = Lfdeque.create ~min_capacity:2 ~owner:0 () in
+       let model = ref [] in
+       let next = ref 0 in
+       let ok = ref true in
+       let assert_ok b = if not b then ok := false in
+       let rec split_last = function
+         | [] -> (None, [])
+         | [ x ] -> (Some x, [])
+         | x :: rest ->
+           let last, front = split_last rest in
+           (last, x :: front)
+       in
+       List.iter
+         (fun op ->
+            (match op with
+             | 0 ->
+               incr next;
+               Lfdeque.push q !next;
+               model := !model @ [ !next ]
+             | 1 ->
+               let expect, rest = split_last !model in
+               assert_ok (Lfdeque.pop q = expect);
+               model := rest
+             | _ -> (
+               match !model with
+               | [] -> assert_ok (Lfdeque.steal q = None)
+               | oldest :: rest ->
+                 assert_ok (Lfdeque.steal q = Some oldest);
+                 model := rest));
+            assert_ok (Lfdeque.length q = List.length !model))
+         ops;
+       !ok)
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -706,6 +785,7 @@ let () =
           Alcotest.test_case "matches order_maint" `Quick test_multiq_matches_order_maint;
         ]
         @ qsuite [ multiq_sample_prop ] );
+      ("lfdeque", qsuite [ lfdeque_multiset_prop; lfdeque_order_prop ]);
       ( "pheap",
         [ Alcotest.test_case "basic" `Quick test_pheap_basic ]
         @ qsuite [ pheap_sort_prop; pheap_interleave_prop ] );

@@ -103,6 +103,48 @@ let () =
        if removes < 0 then fail "r_membership_ops[%d]: negative removes" i;
        if inserts < removes then fail "r_membership_ops[%d]: inserts < removes" i)
     memb_rows;
+  (* sync-op counts of the CAS-only task-transfer paths: one row per
+     result point, both policies (ws rows are structurally zero).  Counts
+     are facts about the execution, not timings, so missing or negative
+     counters crash-gate; magnitudes never do.  At least one dfd row must
+     have actually synchronized — a dfd run that did zero atomic ops means
+     the instrumentation came unwired. *)
+  let sync_rows =
+    try Json.to_list_exn (Json.member "sync_ops" j)
+    with _ -> fail "missing sync_ops list"
+  in
+  if sync_rows = [] then fail "sync_ops must be nonempty";
+  let dfd_sync_total = ref 0 in
+  let seen_dfd = ref false in
+  List.iteri
+    (fun i r ->
+       let int k =
+         try Json.to_int_exn (Json.member k r)
+         with _ -> fail "sync_ops[%d]: missing int %S" i k
+       in
+       let num k =
+         try to_number_exn (Json.member k r)
+         with _ -> fail "sync_ops[%d]: missing number %S" i k
+       in
+       let policy =
+         try Json.to_string_exn (Json.member "policy" r)
+         with _ -> fail "sync_ops[%d]: missing string \"policy\"" i
+       in
+       if not (List.mem policy [ "ws"; "dfd" ]) then
+         fail "sync_ops[%d]: unknown policy %S" i policy;
+       if int "p" < 1 then fail "sync_ops[%d]: p must be >= 1" i;
+       let ops = int "sync_ops" in
+       if ops < 0 then fail "sync_ops[%d]: negative sync_ops" i;
+       if num "sync_ops_per_task" < 0.0 then fail "sync_ops[%d]: negative sync_ops_per_task" i;
+       if policy = "ws" && ops <> 0 then
+         fail "sync_ops[%d]: ws path is uninstrumented and must report 0" i;
+       if policy = "dfd" then begin
+         seen_dfd := true;
+         dfd_sync_total := !dfd_sync_total + ops
+       end)
+    sync_rows;
+  if not !seen_dfd then fail "sync_ops has no dfd row";
+  if !dfd_sync_total = 0 then fail "sync_ops: all dfd rows are zero (instrumentation unwired?)";
   (* obs-overhead pair: structural checks only — the ratio itself is
      timing and must never gate CI *)
   let obs = Json.member "obs_overhead" j in
@@ -115,5 +157,7 @@ let () =
      if num "enabled_time_s" < 0.0 then fail "obs_overhead: negative enabled_time_s";
      if num "overhead_ratio" < 0.0 then fail "obs_overhead: negative overhead_ratio"
    | _ -> fail "missing obs_overhead object");
-  Printf.printf "validate_bench: %s ok (%d result points, %d speedup rows, %d rank rows)\n" path
-    (List.length results) (List.length speedups) (List.length rank_rows)
+  Printf.printf
+    "validate_bench: %s ok (%d result points, %d speedup rows, %d rank rows, %d sync rows)\n"
+    path (List.length results) (List.length speedups) (List.length rank_rows)
+    (List.length sync_rows)
