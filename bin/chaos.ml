@@ -23,6 +23,8 @@ module Prng = Dfd_structures.Prng
 module Json = Dfd_trace.Json
 module Engine = Dfdeques_core.Engine
 module Pool = Dfd_runtime.Pool
+module Registry = Dfd_obs.Registry
+module Headroom = Dfd_obs.Headroom
 
 type sim_outcome =
   | Ok_run of Engine.result
@@ -161,6 +163,109 @@ let pool_ws_lockfree_campaign ~seed =
             ("owner_only_correct", Json.Bool owner_only_correct);
             ("zero_steals_under_total_injection", Json.Bool zero_steals);
           ] ))
+
+(* --- per-worker crash-domain campaign (--crash) --------------------- *)
+
+(* Parallel mergesort on the pool: enough forked tasks that the worker
+   domains are certain to take some — which is what arms the seeded
+   crash below. *)
+let merge l r =
+  let nl = Array.length l and nr = Array.length r in
+  let out = Array.make (nl + nr) 0 in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to nl + nr - 1 do
+    if !i < nl && (!j >= nr || l.(!i) <= r.(!j)) then begin
+      out.(k) <- l.(!i);
+      incr i
+    end
+    else begin
+      out.(k) <- r.(!j);
+      incr j
+    end
+  done;
+  out
+
+let rec psort a =
+  let n = Array.length a in
+  if n <= 256 then begin
+    Array.sort compare a;
+    a
+  end
+  else begin
+    let mid = n / 2 in
+    let left = Array.sub a 0 mid and right = Array.sub a mid (n - mid) in
+    let l, r = Pool.fork_join (fun () -> psort left) (fun () -> psort right) in
+    merge l r
+  end
+
+(* Seeded worker crash mid-sort.  The logical take-clock trigger fires on
+   the first top-level take by a worker domain (>= 1), which dies holding
+   the task; a peer quarantines the slot, requeues the held task through
+   the orphan stack and (under DFDeques) abandons the dead owner's deque.
+   Every reported fact is deterministic even though the crash's victim
+   and interleaving are not: the sort still returns the right answer at
+   p-1, exactly one quarantine episode with exactly one requeue is on the
+   lineage ledger, the ledger audits clean (no task lost, none run
+   twice), the live Theorem-4.4 budget gauge agrees with the degraded-p
+   formula, and spending the respawn budget restores full strength for a
+   clean second run. *)
+let pool_crash_campaign ~seed (name, policy) =
+  let domains = 3 in
+  let p = domains + 1 in
+  let rates = { Fault.zero_rates with Fault.worker_crash = Some 1 } in
+  let fault = Fault.create ~rates ~seed () in
+  let s1 = 4096 and depth = 16 and c = 8 in
+  let k = match policy with Pool.Dfdeques { quota } -> quota | Pool.Work_stealing -> s1 in
+  let registry = Registry.create () in
+  let headroom = Headroom.create ~registry ~policy:name ~c ~s1 ~depth ~p ~k () in
+  let pool = Pool.create ~domains ~fault ~respawn_budget:1 policy in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+       let n = 20_000 in
+       let input = Array.init n (fun i -> i * 106_039 land 0xffff) in
+       let expect = Array.copy input in
+       Array.sort compare expect;
+       let sorted = Pool.run pool (fun () -> psort (Array.copy input)) in
+       let sorted_ok = sorted = expect in
+       let crash_fired = List.assoc "worker_crash" (Fault.counts fault) = 1 in
+       let quarantine_ok = Pool.quarantines pool = 1 in
+       let degraded_ok = Pool.degraded_p pool = p - 1 in
+       let requeue_ok =
+         List.length (List.filter (fun e -> e.Pool.requeued) (Pool.lineage pool)) = 1
+       in
+       let lineage_ok = Pool.verify_lineage pool = Ok () in
+       Headroom.set_p headroom (Pool.degraded_p pool);
+       let headroom_ok = Headroom.budget headroom = s1 + (c * min k s1 * (p - 1) * depth) in
+       let victim =
+         match Pool.lineage pool with e :: _ -> e.Pool.worker | [] -> 0
+       in
+       let respawn_ok = victim > 0 && Pool.respawn_worker pool victim in
+       let restored_ok = Pool.degraded_p pool = p in
+       let clean_after = clean_sum pool 2000 in
+       let lineage_after_ok = Pool.verify_lineage pool = Ok () in
+       let passed =
+         sorted_ok && crash_fired && quarantine_ok && degraded_ok && requeue_ok && lineage_ok
+         && headroom_ok && respawn_ok && restored_ok && clean_after && lineage_after_ok
+       in
+       let injected = List.fold_left (fun a (_, n) -> a + n) 0 (Fault.counts fault) in
+       ( passed,
+         injected,
+         Json.Assoc
+           [
+             ("policy", Json.String name);
+             ("sorted_at_degraded_p", Json.Bool sorted_ok);
+             ("crash_fired_once", Json.Bool crash_fired);
+             ("exactly_one_quarantine", Json.Bool quarantine_ok);
+             ("degraded_p_is_p_minus_1", Json.Bool degraded_ok);
+             ("held_task_requeued_exactly_once", Json.Bool requeue_ok);
+             ("lineage_audit_ok", Json.Bool lineage_ok);
+             ("headroom_budget_matches_degraded_p", Json.Bool headroom_ok);
+             ("respawn_under_budget", Json.Bool respawn_ok);
+             ("full_strength_restored", Json.Bool restored_ok);
+             ("clean_run_after_respawn", Json.Bool clean_after);
+             ("lineage_audit_after_respawn_ok", Json.Bool lineage_after_ok);
+           ] ))
 
 let pool_report ~seed (name, policy) =
   let exn_propagates, clean_after_exn = pool_exn_campaign ~seed policy in
@@ -303,7 +408,7 @@ let service_report ~seed =
 (* The campaign driver                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool ~service =
+let run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool ~service ~crash =
   let ok = ref 0
   and invariants = ref 0
   and deadlocks = ref 0
@@ -351,10 +456,23 @@ let run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool ~service =
       (passed, Some j)
     end
   in
+  let crash_passed, crash_json =
+    if not crash then (true, None)
+    else begin
+      let results = List.map (pool_crash_campaign ~seed) pool_policies in
+      List.iter2
+        (fun (name, _) (passed, injected, _) ->
+           faults := !faults + injected;
+           Printf.printf "crash %-4s %s\n%!" name (if passed then "ok" else "FAILED"))
+        pool_policies results;
+      ( List.for_all (fun (passed, _, _) -> passed) results,
+        Some (Json.List (List.map (fun (_, _, j) -> j) results)) )
+    end
+  in
   let sim_total = List.length scheds * campaigns in
   let all_passed =
     !ok = sim_total && !invariants = 0 && !deadlocks = 0 && !errors = 0 && pool_passed
-    && service_passed
+    && service_passed && crash_passed
   in
   let report =
     Json.Assoc
@@ -366,6 +484,7 @@ let run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool ~service =
          ("pool", Json.List pool_json);
        ]
        @ (match service_json with Some j -> [ ("service", j) ] | None -> [])
+       @ (match crash_json with Some j -> [ ("crash", j) ] | None -> [])
        @ [
            ( "summary",
              Json.Assoc
@@ -379,6 +498,7 @@ let run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool ~service =
                   ("pool_passed", Json.Bool pool_passed);
                 ]
                 @ (if service then [ ("service_passed", Json.Bool service_passed) ] else [])
+                @ (if crash then [ ("crash_passed", Json.Bool crash_passed) ] else [])
                 @ [ ("all_passed", Json.Bool all_passed) ]) );
          ])
   in

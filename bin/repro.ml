@@ -317,19 +317,30 @@ let chaos_service_arg =
   in
   Arg.(value & flag & info [ "service" ] ~doc)
 
-let chaos_run seed campaigns p json_out skip_pool service =
-  exit (Chaos.run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool ~service)
+let chaos_crash_arg =
+  let doc =
+    "Also run the per-worker crash-domain campaigns: a seeded worker crash is injected \
+     mid-sort into each native pool policy; the pool must quarantine the dead worker, \
+     recover its held task exactly once (lineage-ledger audit), finish correctly at p-1 \
+     with the live Theorem-4.4 budget agreeing with the degraded p, then respawn the slot \
+     under budget and complete a clean run at full strength."
+  in
+  Arg.(value & flag & info [ "crash" ] ~doc)
+
+let chaos_run seed campaigns p json_out skip_pool service crash =
+  exit (Chaos.run_chaos ~seed ~campaigns ~p ~json_out ~skip_pool ~service ~crash)
 
 let chaos_cmd =
   let doc =
     "Run seeded fault-injection campaigns (stalls, forced steal failures, task exceptions, \
-     allocation spikes, lock delays) against every scheduler and the native pool, checking \
-     invariants, exception propagation, timeouts and graceful degradation."
+     allocation spikes, lock delays, worker crashes) against every scheduler and the native \
+     pool, checking invariants, exception propagation, timeouts, graceful degradation and \
+     crash recovery."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const chaos_run $ seed_arg $ chaos_campaigns_arg $ p_arg $ chaos_json_arg
-      $ chaos_skip_pool_arg $ chaos_service_arg)
+      $ chaos_skip_pool_arg $ chaos_service_arg $ chaos_crash_arg)
 
 let soak_duration_arg =
   let doc = "Logical duration of the submission phase, in service steps (>= 12)." in

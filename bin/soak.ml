@@ -393,6 +393,7 @@ let run_fault_soak ~seed ~duration ~plan ~policy ~wedge_grace ~json_out ~flight_
       wedge_grace;
       domains = 2;
       max_respawns = 16;
+      worker_respawn_budget = 0;
       on_pool_retired = Some on_pool_retired;
     }
   in
@@ -626,6 +627,7 @@ let run_tenant_soak ~seed ~duration ~mode ~policy ~wedge_grace ~json_out ~flight
       wedge_grace;
       domains = 2;
       max_respawns = 4;
+      worker_respawn_budget = 0;
       on_pool_retired = None;
     }
   in

@@ -14,6 +14,7 @@ module Prng = Dfd_structures.Prng
 module Clev = Dfd_structures.Clev
 module Lfdeque = Dfd_structures.Lfdeque
 module Multiq = Dfd_structures.Multiq
+module Fault = Dfd_fault.Fault
 module Pool = Dfd_runtime.Pool
 
 (* Every pushed value delivered exactly once.  [got] is the concatenation
@@ -647,6 +648,121 @@ let pool_dfd =
     ~policy:(Pool.Dfdeques { quota = 32 })
     ~leaf:(fun () -> Pool.alloc_hint 64)
 
+(* The quarantine protocol under the explorer: the same fork-join fib,
+   but with a one-shot [worker_crash] armed.  Helpers 1-2 take through
+   the crash-eligible top-of-loop path ([help_top]); the take that trips
+   the trigger kills its worker while it holds exactly one unstarted
+   task.  Survivors quarantine the certificate (worker 0's await loop
+   also scans), the held task flows back exactly once through the orphan
+   stack, and the computation completes at p-1.  The crash is
+   schedule-dependent — it fires only on interleavings where a helper
+   wins enough takes — so the oracle is layered: result, leak and
+   task-count accounting plus the lineage audit hold unconditionally;
+   when the crash did fire, exactly one quarantine, one requeue and a
+   degraded worker count must follow. *)
+let pool_crash_scenario ~name ~descr ~policy ~trigger =
+  {
+    Explore.name;
+    descr;
+    n_threads = 3;
+    approx_steps = 450;
+    prepare =
+      (fun rng ->
+        let depth = 4 in
+        let fault =
+          Fault.create
+            ~rates:{ Fault.zero_rates with Fault.worker_crash = Some trigger }
+            ~seed:(Prng.int rng 1_000_000)
+            ()
+        in
+        let pool = Pool.For_testing.create_detached ~fault ~workers:3 policy in
+        let result = ref (-1) in
+        let finished = Atomic.make false in
+        let body i =
+          if i = 0 then
+            Pool.For_testing.as_worker pool 0 (fun () ->
+              let rec go n =
+                if n < 2 then n
+                else begin
+                  let a, b =
+                    Pool.fork_join (fun () -> go (n - 1)) (fun () -> go (n - 2))
+                  in
+                  a + b
+                end
+              in
+              result := go depth;
+              Atomic.set finished true)
+          else
+            Pool.For_testing.as_worker pool i (fun () ->
+              let rec loop () =
+                if not (Atomic.get finished) then
+                  match Pool.For_testing.help_top pool i with
+                  | `Stopped -> () (* crashed: this worker's domain is dead *)
+                  | `Ran -> loop ()
+                  | `Idle ->
+                    ignore (Pool.For_testing.scan pool ~proc:i);
+                    loop ()
+              in
+              loop ())
+        in
+        let oracle () =
+          let crashed = List.assoc "worker_crash" (Fault.counts fault) in
+          if !result <> fib depth then
+            Error (Printf.sprintf "fib %d = %d, expected %d" depth !result (fib depth))
+          else if Pool.For_testing.live_tasks pool <> 0 then
+            Error
+              (Printf.sprintf "%d task(s) leaked in the pool"
+                 (Pool.For_testing.live_tasks pool))
+          else begin
+            let c = Pool.counters pool in
+            let expect = forks_of_fib depth in
+            if c.tasks_run <> expect then
+              Error
+                (Printf.sprintf "tasks_run=%d, expected %d (forks of fib %d)"
+                   c.tasks_run expect depth)
+            else
+              match Pool.verify_lineage pool with
+              | Error m -> Error (Printf.sprintf "lineage audit: %s" m)
+              | Ok () ->
+                if crashed = 0 then
+                  if Pool.quarantines pool <> 0 then
+                    Error "quarantine recorded without a crash"
+                  else Ok ()
+                else if crashed <> 1 then
+                  Error (Printf.sprintf "one-shot crash fired %d times" crashed)
+                else if Pool.quarantines pool <> 1 then
+                  Error
+                    (Printf.sprintf "crash fired but %d quarantine(s) recorded"
+                       (Pool.quarantines pool))
+                else if Pool.degraded_p pool <> 2 then
+                  Error (Printf.sprintf "degraded_p=%d, expected 2" (Pool.degraded_p pool))
+                else if
+                  List.length (List.filter (fun e -> e.Pool.requeued) (Pool.lineage pool))
+                  <> 1
+                then Error "held task not requeued exactly once"
+                else Ok ()
+          end
+        in
+        (body, oracle));
+  }
+
+(* Trigger 1: the victim dies on its very first take — the leanest
+   quarantine, no deque to abandon.  Under work stealing the dead
+   worker's Chase-Lev deque stays in place as a steal target. *)
+let pool_crash_ws =
+  pool_crash_scenario ~name:"pool_crash_ws"
+    ~descr:"native pool, work stealing: injected worker crash, quarantine and steal-back"
+    ~policy:Pool.Work_stealing ~trigger:1
+
+(* Trigger 2: the victim has usually run a task first, so under
+   DFDeques it owns an R-list deque that quarantine must abandon via the
+   death-certificate protocol and reap. *)
+let pool_crash_dfd =
+  pool_crash_scenario ~name:"pool_crash_dfd"
+    ~descr:"native pool, DFDeques(K): crash after first task, quarantine abandons the deque"
+    ~policy:(Pool.Dfdeques { quota = 32 })
+    ~trigger:2
+
 (* ------------------------------------------------------------------ *)
 
 let all =
@@ -661,6 +777,8 @@ let all =
     multiq_two_choice;
     pool_ws;
     pool_dfd;
+    pool_crash_ws;
+    pool_crash_dfd;
   ]
 
 let buggy = clev_buggy

@@ -46,6 +46,18 @@ val pool_dfd : Explore.scenario
 (** Same computation under DFDeques(K) with a quota small enough that
     every leaf allocation forces a give-up through the R-list. *)
 
+val pool_crash_ws : Explore.scenario
+(** Fork-join fib with a one-shot [worker_crash] armed on the
+    work-stealing pool: the victim dies holding one unstarted task,
+    survivors quarantine it and steal its leftovers back; the oracle
+    audits the lineage ledger (no task lost, none run twice) and the
+    degraded worker count. *)
+
+val pool_crash_dfd : Explore.scenario
+(** Same crash injection under DFDeques(K), triggered after the victim
+    has usually run a task — quarantine must also abandon and reap the
+    dead owner's R-list deque via the death-certificate protocol. *)
+
 val clev_buggy : Explore.scenario
 (** Drives {!Buggy_clev}; the explorer is expected to {e fail} this one.
     Excluded from {!all}. *)

@@ -57,25 +57,26 @@ let events t =
   |> List.sort (fun (ts1, l1, a1, _) (ts2, l2, a2, _) -> compare (ts1, l1, a1) (ts2, l2, a2))
   |> List.map (fun (_, _, _, e) -> e)
 
-let to_json ~reason t =
+let to_json ?snapshot ~reason t =
   Json.Assoc
     [
       ( "flight",
         Json.Assoc
-          [
-            ("reason", Json.String reason);
-            ("lanes", Json.Int (Array.length t.lanes));
-            ("capacity", Json.Int t.capacity);
-            ("recorded", Json.Int (recorded t));
-            ("dropped", Json.Int (dropped t));
-            ("events", Json.List (List.map Event.to_json (events t)));
-          ] );
+          ([
+             ("reason", Json.String reason);
+             ("lanes", Json.Int (Array.length t.lanes));
+             ("capacity", Json.Int t.capacity);
+             ("recorded", Json.Int (recorded t));
+             ("dropped", Json.Int (dropped t));
+             ("events", Json.List (List.map Event.to_json (events t)));
+           ]
+           @ match snapshot with None -> [] | Some s -> [ ("snapshot", Json.String s) ]) );
     ]
 
-let write_file ~path ~reason t =
+let write_file ?snapshot ~path ~reason t =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Json.to_channel oc (to_json ~reason t);
+      Json.to_channel oc (to_json ?snapshot ~reason t);
       output_char oc '\n')

@@ -40,9 +40,12 @@ val events : t -> Dfd_trace.Event.t list
 (** Surviving events, merged across lanes in [(ts, lane, arrival)]
     order. *)
 
-val to_json : reason:string -> t -> Dfd_trace.Json.t
+val to_json : ?snapshot:string -> reason:string -> t -> Dfd_trace.Json.t
 (** [{"flight": {"reason","lanes","capacity","recorded","dropped",
     "events":[...]}}] with events in {!events} order and
-    {!Dfd_trace.Event.to_json} encoding. *)
+    {!Dfd_trace.Event.to_json} encoding.  [snapshot] (a human-readable
+    diagnostic dump, e.g. [Pool.snapshot]) is embedded as a top-level
+    ["snapshot"] string so the post-mortem state travels with the
+    artifact instead of living only in an exception message. *)
 
-val write_file : path:string -> reason:string -> t -> unit
+val write_file : ?snapshot:string -> path:string -> reason:string -> t -> unit

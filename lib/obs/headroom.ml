@@ -6,7 +6,7 @@ type t = {
   c : int;
   s1 : int;
   depth : int;
-  p : int;
+  mutable p : int;
   mutable k : int;
   mutable last_alloc : int;
   live_g : Registry.Gauge.t;
@@ -58,6 +58,14 @@ let budget t = compute_budget ~c:t.c ~s1:t.s1 ~depth:t.depth ~p:t.p ~k:t.k
 
 let set_quota t k =
   t.k <- k;
+  Registry.Gauge.set t.budget_g (budget t)
+
+(* Degraded-mode rescale: a quarantined worker shrinks the live processor
+   count, and the Theorem 4.4 budget S1 + c*min(K,S1)*p*D shrinks with
+   it — the bound degrades gracefully in p, and the gauge must agree with
+   the pool's [degraded_p] after a crash domain fires. *)
+let set_p t p =
+  t.p <- max 1 p;
   Registry.Gauge.set t.budget_g (budget t)
 
 let observe t ~live_bytes = Registry.Gauge.set t.live_g live_bytes

@@ -51,6 +51,13 @@ val set_quota : t -> int -> unit
 (** The adaptive controller moved K: recompute and republish the
     budget. *)
 
+val set_p : t -> int -> unit
+(** The live processor count changed (a worker was quarantined, or
+    respawned): recompute and republish the budget with the degraded
+    [p] — the Theorem 4.4 bound shrinks gracefully to
+    [S1 + c*min(K,S1)*(p-1)*D] after a crash domain fires.  Clamped to
+    at least 1. *)
+
 val observe : t -> live_bytes:int -> unit
 (** Update the live gauge (and through it the peak watermark). *)
 

@@ -18,6 +18,11 @@ exception Timeout
 
 exception Cancelled
 
+(* Internal control-flow signal: a worker domain hit its injected crash
+   (or was quarantined out from under a wedge) and must unwind its
+   worker loop without running anything else.  Never escapes the pool. *)
+exception Worker_stop
+
 type task = unit -> unit
 
 type policy = Work_stealing | Dfdeques of { quota : int }
@@ -46,6 +51,23 @@ type counters = {
   sync_ops : int;
 }
 
+(* One audit record per crash-domain transition, newest first in the
+   pool's lineage ledger.  [cause] is "crash" (the worker's own death
+   certificate), "wedge" (a supervisor's verdict) or "respawn" (a fresh
+   domain spawned into the slot).  [requeued]: the worker held a
+   taken-but-not-started task that was recovered exactly once through the
+   orphan stack.  [abandoned]: a DFDeques deque was abandoned on the dead
+   owner's behalf. *)
+type lineage_entry = { worker : int; cause : string; requeued : bool; abandoned : bool }
+
+type worker_state = {
+  w_activity : int;  (** scheduler interactions (take attempts); rises while alive *)
+  w_heartbeat : int;  (** tasks started by this worker *)
+  w_holding : bool;  (** a taken-but-not-started task sits in the slot *)
+  w_stopped : bool;  (** the worker raised its own crash certificate *)
+  w_quarantined : bool;
+}
+
 (* One record per worker, written only by that worker (thief-side events —
    steals, failures — are charged to the thief).  Each record is its own
    heap block, so workers do not false-share counter cache lines; reads
@@ -62,6 +84,11 @@ type wcounters = {
   mutable c_parks : int;
   mutable c_r_inserts : int;  (** R-membership inserts charged to this worker. *)
   mutable c_r_removes : int;  (** R-membership removals this worker won. *)
+  mutable c_ticks : int;
+      (** take attempts (every [try_get] entry) — the per-worker activity
+          clock wedge detection compares against: an awaiting or stealing
+          worker keeps ticking even when no task runs, while a wedged one
+          goes flat.  Internal (not part of {!type-counters}). *)
   c_sync : int ref;
       (** synchronization ops (atomic RMWs and publishing stores, CAS
           retries included) this worker executed on DFDeques scheduling
@@ -95,6 +122,9 @@ type obs = {
   o_parks : Registry.Counter.t;
   o_deques_created : Registry.Counter.t;
   o_deques_deleted : Registry.Counter.t;
+  o_quarantines : Registry.Counter.t;
+  o_requeues : Registry.Counter.t;
+  o_respawns : Registry.Counter.t;
   o_rank_error : Registry.Histogram.t;
 }
 
@@ -153,6 +183,40 @@ type t = {
       (** absolute wall-clock deadline of the current [run ~timeout]. *)
   cancelled : bool Atomic.t;
       (** the deadline passed: fork_join/await bail out cooperatively. *)
+  (* --- per-worker crash domains --------------------------------------
+     All cross-domain crash state is atomic: the dying worker publishes
+     its held task ([cur_task]) and its certificate ([stopped]) with SC
+     stores, so a quarantiner that reads the certificate also sees every
+     plain write the victim made before it (its [dfd_deque] handle in
+     particular).  Quarantine itself is a one-winner CAS on
+     [quarantined]; the held task moves through [cur_task] by atomic
+     exchange, so it is either run by its owner or requeued by the
+     quarantiner — never both. *)
+  cur_task : task option Atomic.t array;
+      (** per worker: the task it has taken but not yet started.  Filled
+          at every take, emptied by exchange either by the worker itself
+          (to run it) or by a quarantiner (to requeue it). *)
+  stopped : bool Atomic.t array;  (** crash certificates, one-way. *)
+  wedged : bool Atomic.t array;  (** diagnostic: victim entered the wedge spin. *)
+  quarantined : bool Atomic.t array;
+      (** one-winner quarantine flags; cleared only by {!respawn_worker}. *)
+  wgen : int Atomic.t array;
+      (** per-slot generation: bumped by quarantine (fences a wedged
+          spinner out of its loop) and by respawn (new incarnation). *)
+  crashed_pending : int Atomic.t;
+      (** raised certificates not yet quarantined; peers scan when > 0. *)
+  orphans : task list Atomic.t;
+      (** Treiber stack of recovered held tasks, drained by [try_get]
+          ahead of both policies' deques. *)
+  n_orphan_pushes : int Atomic.t;
+  n_orphan_pops : int Atomic.t;
+  n_quarantined : int Atomic.t;  (** currently dead slots: [degraded_p] = n_workers - this. *)
+  lineage : lineage_entry list Atomic.t;  (** newest first; lock-free prepend. *)
+  respawn_budget : int Atomic.t;
+  respawn_lock : Mutex.t;
+      (** serialises {!respawn_worker} (cold path): the budget claim, the
+          slot reset and the domain spawn must not interleave with a
+          competing respawn of the same slot. *)
 }
 
 (* Wall-clock event timestamp: microseconds since pool creation.  Only
@@ -301,7 +365,14 @@ let park pool w =
   Registry.Counter.incr pool.obs.o_parks;
   Mutex.lock pool.idle_lock;
   Atomic.incr pool.n_parked;
-  while Atomic.get pool.live_tasks = 0 && not (Atomic.get pool.shutting_down) do
+  (* a pending crash certificate also ends the nap: the crasher
+     broadcasts, and the woken worker must scan-and-quarantine (the
+     requeued task is not yet in [live_tasks]) *)
+  while
+    Atomic.get pool.live_tasks = 0
+    && (not (Atomic.get pool.shutting_down))
+    && Atomic.get pool.crashed_pending = 0
+  do
     Condition.wait pool.idle_cond pool.idle_lock
   done;
   Atomic.decr pool.n_parked;
@@ -449,6 +520,136 @@ let dfd_steal pool w =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Per-worker crash domains                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Lock-free Treiber stack of recovered held tasks.  ABA-safe because the
+   cells are immutable fresh cons blocks compared physically; the only
+   shared tail is [], and the pop for [] never reaches the CAS. *)
+let rec orphan_push pool task =
+  let old = Atomic.get pool.orphans in
+  Schedpoint.point Schedpoint.pool_orphan_push;
+  if Atomic.compare_and_set pool.orphans old (task :: old) then
+    Atomic.incr pool.n_orphan_pushes
+  else orphan_push pool task
+
+let rec orphan_pop pool =
+  match Atomic.get pool.orphans with
+  | [] -> None
+  | (task :: rest) as old ->
+    Schedpoint.point Schedpoint.pool_orphan_pop;
+    if Atomic.compare_and_set pool.orphans old rest then begin
+      Atomic.incr pool.n_orphan_pops;
+      Some task
+    end
+    else orphan_pop pool
+
+let rec lineage_add pool entry =
+  let old = Atomic.get pool.lineage in
+  if not (Atomic.compare_and_set pool.lineage old (entry :: old)) then lineage_add pool entry
+
+(* The injected crash: publish the one-way death certificate and die.
+   The held task is already in [cur_task] (SC store), so the certificate
+   read by any peer also publishes the task and every plain write this
+   worker made before it.  The broadcast wakes parked peers — the
+   certificate must be noticed even on an otherwise idle pool, and the
+   requeued task is not yet counted in [live_tasks]. *)
+let worker_crash pool w =
+  flight_emit pool ~proc:w (Event.Fault_injected { fault = "worker_crash" });
+  if Tracer.enabled pool.tracer then
+    emit_locked pool ~proc:w (Event.Fault_injected { fault = "worker_crash" });
+  Schedpoint.point Schedpoint.pool_crash_flag;
+  Atomic.set pool.stopped.(w) true;
+  Atomic.incr pool.crashed_pending;
+  Mutex.lock pool.idle_lock;
+  Condition.broadcast pool.idle_cond;
+  Mutex.unlock pool.idle_lock;
+  raise Worker_stop
+
+(* The injected wedge: spin inside the scheduler, never touching any pool
+   structure again, until a quarantiner bumps the slot generation (or the
+   pool shuts down).  The generation fence is what makes a supervisor's
+   quarantine of this worker sound: after the bump the spinner's only
+   remaining action is to unwind. *)
+let wedge_spin pool w =
+  flight_emit pool ~proc:w (Event.Fault_injected { fault = "worker_wedge" });
+  if Tracer.enabled pool.tracer then
+    emit_locked pool ~proc:w (Event.Fault_injected { fault = "worker_wedge" });
+  let g0 = Atomic.get pool.wgen.(w) in
+  Atomic.set pool.wedged.(w) true;
+  while Atomic.get pool.wgen.(w) = g0 && not (Atomic.get pool.shutting_down) do
+    Domain.cpu_relax ()
+  done;
+  raise Worker_stop
+
+(* Quarantine worker [w]: the surgical alternative to killing the whole
+   pool.  One winner (CAS on [quarantined]); the winner fences the slot
+   (generation bump), recovers the held task exactly once (atomic
+   exchange of [cur_task] — the owner's own pre-run exchange and this one
+   cannot both win), requeues it through the orphan stack, abandons the
+   dead owner's DFDeques deque via the sticky death-certificate protocol
+   (sound because the owner is certifiably fenced: crashed domains have
+   unwound, wedged ones spin without touching the pool, so no push can
+   race the abandonment — the one relaxation of the owner-only [abandon]
+   contract, audited in DESIGN.md §17), and appends the lineage-ledger
+   entry that {!verify_lineage} later audits.  Reap/abandon sync ops are
+   charged to the dead worker's own record — it is fenced, so the
+   single-writer discipline holds.  [proc] identifies the quarantining
+   peer for trace attribution (-1 for an external supervisor). *)
+let quarantine_as pool ~proc ~cause w =
+  if w <= 0 || w >= pool.n_workers then invalid_arg "Pool.quarantine: bad worker";
+  if Atomic.compare_and_set pool.quarantined.(w) false true then begin
+    Schedpoint.point Schedpoint.pool_quarantine;
+    Atomic.incr pool.n_quarantined;
+    Atomic.incr pool.wgen.(w);
+    if Atomic.get pool.stopped.(w) then Atomic.decr pool.crashed_pending;
+    let held = Atomic.exchange pool.cur_task.(w) None in
+    (match held with
+     | Some task ->
+       Atomic.incr pool.live_tasks;
+       orphan_push pool task;
+       Registry.Counter.incr pool.obs.o_requeues;
+       flight_emit pool ~proc (Event.Task_requeued { worker = w });
+       if Tracer.enabled pool.tracer then
+         emit_locked pool ~proc (Event.Task_requeued { worker = w });
+       signal_work pool
+     | None -> ());
+    let abandoned =
+      match pool.policy with
+      | Work_stealing ->
+        (* the dead worker's Chase–Lev deque stays a valid steal target in
+           place: survivors steal its leftovers back naturally *)
+        false
+      | Dfdeques _ -> (
+          match pool.dfd_deque.(w) with
+          | None -> false
+          | Some e ->
+            pool.dfd_deque.(w) <- None;
+            Lfdeque.abandon ~ops:(sync_cell pool w) (Multiq.value e).tasks;
+            reap_if_dead pool ~proc:w e;
+            true)
+    in
+    lineage_add pool { worker = w; cause; requeued = Option.is_some held; abandoned };
+    Registry.Counter.incr pool.obs.o_quarantines;
+    flight_emit pool ~proc (Event.Worker_quarantined { worker = w; cause });
+    if Tracer.enabled pool.tracer then
+      emit_locked pool ~proc (Event.Worker_quarantined { worker = w; cause });
+    true
+  end
+  else false
+
+(* Peers call this whenever [crashed_pending] is observed positive: find
+   every raised-but-unquarantined certificate and quarantine it.  Cheap
+   when idle (one atomic load at the call sites guards it). *)
+let scan_crashed pool ~proc =
+  let n = ref 0 in
+  for w = 1 to pool.n_workers - 1 do
+    if Atomic.get pool.stopped.(w) && not (Atomic.get pool.quarantined.(w)) then
+      if quarantine_as pool ~proc ~cause:"crash" w then incr n
+  done;
+  !n
+
+(* ------------------------------------------------------------------ *)
 (* Obtaining work                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -469,6 +670,15 @@ let push_local pool w task =
    callers do. *)
 let try_get pool w =
   Schedpoint.point Schedpoint.pool_get;
+  (* activity tick: single-writer; the clock wedge detection reads *)
+  let c0 = pool.per_worker.(w) in
+  c0.c_ticks <- c0.c_ticks + 1;
+  (* recovered orphans first (both policies): a task requeued from a
+     quarantined worker must not wait behind the deques.  One atomic load
+     when the stack is empty. *)
+  match orphan_pop pool with
+  | Some _ as t -> t
+  | None -> (
   match pool.policy with
   | Work_stealing -> (
       match Clev.pop pool.ws_deques.(w) with
@@ -524,7 +734,7 @@ let try_get pool w =
             (* empty own deque: retire it, then steal *)
             dfd_abandon pool w;
             dfd_steal pool w)
-      | None -> dfd_steal pool w)
+      | None -> dfd_steal pool w))
 
 let run_task t = t ()
 
@@ -533,17 +743,36 @@ let run_task t = t ()
    run it: promise-backed tasks capture exceptions themselves ([fulfill]),
    so this is the belt-and-braces path for malformed raw tasks — count it
    and carry on. *)
-let help_once pool w =
+let help_once ?(top = false) pool w =
   match try_get pool w with
   | Some t ->
     Atomic.decr pool.live_tasks;
-    note_task_start pool w;
-    (try run_task t
-     with _ ->
-       let c = pool.per_worker.(w) in
-       c.c_task_exns <- c.c_task_exns + 1;
-       Registry.Counter.incr pool.obs.o_task_exns;
-       flight_emit pool ~proc:w (Event.Fault_injected { fault = "task_exn" }));
+    (* publish the held task before anything can kill us: a quarantiner
+       that reads our certificate is guaranteed to see it *)
+    Atomic.set pool.cur_task.(w) (Some t);
+    (* seeded crash/wedge injection — top-of-loop takes by worker domains
+       only, so a dying worker holds exactly one unstarted task and
+       nothing else in flight (the caller and nested helping takes are
+       never crash-eligible: killing a worker mid-computation would
+       strand a half-run task that cannot be requeued exactly-once) *)
+    if top && w > 0 then (
+      match Fault.worker_take pool.fault ~worker:w with
+      | `None -> ()
+      | `Crash -> worker_crash pool w
+      | `Wedge -> wedge_spin pool w);
+    (match Atomic.exchange pool.cur_task.(w) None with
+     | Some t' ->
+       note_task_start pool w;
+       (try run_task t'
+        with _ ->
+          let c = pool.per_worker.(w) in
+          c.c_task_exns <- c.c_task_exns + 1;
+          Registry.Counter.incr pool.obs.o_task_exns;
+          flight_emit pool ~proc:w (Event.Fault_injected { fault = "task_exn" }))
+     | None ->
+       (* a quarantiner won the exchange: the task is requeued and this
+          worker has been declared dead — unwind without running it *)
+       raise Worker_stop);
     true
   | None -> false
 
@@ -621,6 +850,9 @@ let await pool w pr =
          spin hot *)
       if help_once pool w then go 0
       else begin
+        (* empty-handed: quarantine any crashed peer before backing off —
+           the promise we await may be fenced inside its dead holder *)
+        if Atomic.get pool.crashed_pending > 0 then ignore (scan_crashed pool ~proc:w);
         backoff_wait pool.rngs.(w) misses;
         go (misses + 1)
       end
@@ -637,9 +869,10 @@ let worker_loop pool w =
   let rec loop () =
     if Atomic.get pool.shutting_down then ()
     else begin
-      if help_once pool w then misses := 0
+      if help_once ~top:true pool w then misses := 0
       else begin
         incr misses;
+        if Atomic.get pool.crashed_pending > 0 then ignore (scan_crashed pool ~proc:w);
         if Atomic.get pool.live_tasks = 0 then begin
           (* nothing queued anywhere: bounded spin, then park until a
              push signals — no thundering herd, one signal wakes one *)
@@ -656,7 +889,10 @@ let worker_loop pool w =
       loop ()
     end
   in
-  loop ()
+  (* Worker_stop: this domain crashed (injected) or was quarantined out
+     from under a wedge — unwind quietly; the quarantine protocol has
+     already recovered (or will recover) everything it held *)
+  try loop () with Worker_stop -> ()
 
 (* Register the pool's write-side instruments (hot-path counters) and
    read-side probes (gauges over state the pool already maintains).
@@ -675,6 +911,9 @@ let make_obs registry =
     o_parks = c "dfd_pool_parks_total" "Times an idle worker parked on the condition variable.";
     o_deques_created = c "dfd_pool_deques_created_total" "Deques created (DFDeques R-list churn).";
     o_deques_deleted = c "dfd_pool_deques_deleted_total" "Deques reaped from R (DFDeques R-list churn).";
+    o_quarantines = c "dfd_pool_quarantines_total" "Workers quarantined (crash or wedge verdicts).";
+    o_requeues = c "dfd_pool_crash_requeues_total" "Held tasks recovered exactly-once from quarantined workers.";
+    o_respawns = c "dfd_pool_worker_respawns_total" "Fresh domains spawned into quarantined worker slots.";
     o_rank_error =
       Registry.histogram registry
         ~help:"Rank error per successful DFDeques steal (positions outside the exact leftmost-p window)."
@@ -691,6 +930,10 @@ let register_probes registry pool =
       Atomic.get pool.dfd_quota);
   g "dfd_pool_r_deques" "Live deques in the relaxed R-list (DFDeques)." (fun () ->
       Multiq.size pool.r);
+  g "dfd_pool_quarantined_workers" "Worker slots currently quarantined (crash domains fired)."
+    (fun () -> Atomic.get pool.n_quarantined);
+  g "dfd_pool_degraded_p" "Live processor count: workers minus quarantined slots." (fun () ->
+      pool.n_workers - Atomic.get pool.n_quarantined);
   (* a probe, not a write-side counter: mirroring every sync op into a
      registry cell would add an atomic RMW per operation just to count
      atomic RMWs.  The per-worker cells are summed lazily at scrape. *)
@@ -699,7 +942,8 @@ let register_probes registry pool =
     "dfd_pool_sync_ops"
     (fun () -> Array.fold_left (fun acc c -> acc + !(c.c_sync)) 0 pool.per_worker)
 
-let make ?(registry = Registry.disabled) ?(flight = Flight.disabled) ~n_workers ~tracer ~fault policy =
+let make ?(registry = Registry.disabled) ?(flight = Flight.disabled) ?(respawn_budget = 0)
+    ~n_workers ~tracer ~fault policy =
     {
       policy;
       n_workers;
@@ -729,6 +973,7 @@ let make ?(registry = Registry.disabled) ?(flight = Flight.disabled) ~n_workers 
               c_parks = 0;
               c_r_inserts = 0;
               c_r_removes = 0;
+              c_ticks = 0;
               c_sync = ref 0;
               c_rank_err = Stats.Histogram.create ();
             });
@@ -748,20 +993,34 @@ let make ?(registry = Registry.disabled) ?(flight = Flight.disabled) ~n_workers 
       last_active_us = Array.make n_workers 0;
       deadline = Atomic.make None;
       cancelled = Atomic.make false;
+      cur_task = Array.init n_workers (fun _ -> Atomic.make None);
+      stopped = Array.init n_workers (fun _ -> Atomic.make false);
+      wedged = Array.init n_workers (fun _ -> Atomic.make false);
+      quarantined = Array.init n_workers (fun _ -> Atomic.make false);
+      wgen = Array.init n_workers (fun _ -> Atomic.make 0);
+      crashed_pending = Atomic.make 0;
+      orphans = Atomic.make [];
+      n_orphan_pushes = Atomic.make 0;
+      n_orphan_pops = Atomic.make 0;
+      n_quarantined = Atomic.make 0;
+      lineage = Atomic.make [];
+      respawn_budget = Atomic.make (max 0 respawn_budget);
+      respawn_lock = Mutex.create ();
     }
 
-let make ?registry ?flight ~n_workers ~tracer ~fault policy =
-  let pool = make ?registry ?flight ~n_workers ~tracer ~fault policy in
+let make ?registry ?flight ?respawn_budget ~n_workers ~tracer ~fault policy =
+  let pool = make ?registry ?flight ?respawn_budget ~n_workers ~tracer ~fault policy in
   (match registry with Some r -> register_probes r pool | None -> ());
   pool
 
-let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) ?registry ?flight policy =
+let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) ?registry ?flight
+    ?respawn_budget policy =
   let extra =
     match domains with
     | Some d -> max 0 d
     | None -> max 0 (Domain.recommended_domain_count () - 1)
   in
-  let pool = make ?registry ?flight ~n_workers:(extra + 1) ~tracer ~fault policy in
+  let pool = make ?registry ?flight ?respawn_budget ~n_workers:(extra + 1) ~tracer ~fault policy in
   pool.domains <- List.init extra (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
 
@@ -770,7 +1029,10 @@ let create ?domains ?(tracer = Tracer.disabled) ?(fault = Fault.none) ?registry 
    cheap leftovers) so the pool is clean for the next [run]. *)
 let drain pool =
   let misses = ref 0 in
-  while Atomic.get pool.live_tasks > 0 do
+  (* a pending crash certificate hides a held task that [live_tasks] no
+     longer counts: quarantine first so nothing is stranded *)
+  while Atomic.get pool.live_tasks > 0 || Atomic.get pool.crashed_pending > 0 do
+    if Atomic.get pool.crashed_pending > 0 then ignore (scan_crashed pool ~proc:0);
     if help_once pool 0 then misses := 0
     else begin
       incr misses;
@@ -928,6 +1190,86 @@ let rank_error pool =
 let heartbeat pool =
   Array.fold_left (fun acc c -> acc + c.c_tasks_run) 0 pool.per_worker
 
+(* --- crash-domain surface ------------------------------------------- *)
+
+(* Per-worker progress vector (the aggregate {!val-heartbeat}, split): a
+   supervisor diffing two reads can tell which worker went flat. *)
+let heartbeats pool = Array.map (fun c -> c.c_tasks_run) pool.per_worker
+
+(* Point-in-time crash-domain view of every slot.  [w_activity] is the
+   take-attempt clock: an awaiting or stealing worker keeps ticking even
+   when no task completes, so "activity flat AND holding" is the wedge
+   signature the service's watchdog keys on. *)
+let worker_states pool =
+  Array.init pool.n_workers (fun w ->
+      {
+        w_activity = pool.per_worker.(w).c_ticks;
+        w_heartbeat = pool.per_worker.(w).c_tasks_run;
+        w_holding = Option.is_some (Atomic.get pool.cur_task.(w));
+        w_stopped = Atomic.get pool.stopped.(w);
+        w_quarantined = Atomic.get pool.quarantined.(w);
+      })
+
+(* External supervisor verdict (the service's watchdog): quarantine [w]
+   without waiting for a crash certificate.  Sound only against workers
+   that are certifiably fenced or wedged-in-scheduler; quarantining a
+   healthy worker mid-push is the caller's bug, which is why the service
+   requires the activity clock flat before issuing the verdict. *)
+let quarantine ?(cause = "wedge") pool w = quarantine_as pool ~proc:(-1) ~cause w
+
+let degraded_p pool = pool.n_workers - Atomic.get pool.n_quarantined
+
+(* Oldest first (the atomic prepend order reversed). *)
+let lineage pool = List.rev (Atomic.get pool.lineage)
+
+let quarantines pool =
+  List.fold_left (fun acc e -> if e.cause = "respawn" then acc else acc + 1) 0
+    (Atomic.get pool.lineage)
+
+(* Exactly-once recovery audit over the lineage ledger — the pool-level
+   mirror of the service's [verify_ledger].  Meaningful once the pool is
+   quiescent (after [run]/[drain] returns): every crash certificate must
+   have been quarantined, every recovered task must have drained through
+   the orphan stack, the ledger's requeue claims must match the stack's
+   push count, and each slot's quarantine/respawn history must reconcile
+   with its live flag. *)
+let verify_lineage pool =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let pending = Atomic.get pool.crashed_pending in
+  if pending <> 0 then fail "crashed_pending=%d: unquarantined crash certificates" pending
+  else
+    match Atomic.get pool.orphans with
+    | _ :: _ as orphans -> fail "orphan stack holds %d unrecovered tasks" (List.length orphans)
+    | [] ->
+      let pushes = Atomic.get pool.n_orphan_pushes and pops = Atomic.get pool.n_orphan_pops in
+      let entries = Atomic.get pool.lineage in
+      let requeued = List.fold_left (fun a e -> if e.requeued then a + 1 else a) 0 entries in
+      if pushes <> pops then
+        fail "orphan pushes=%d <> pops=%d: a recovered task was lost or duplicated" pushes pops
+      else if requeued <> pushes then
+        fail "ledger records %d requeues but the orphan stack saw %d pushes" requeued pushes
+      else begin
+        let bad = ref None in
+        for w = 1 to pool.n_workers - 1 do
+          let qs =
+            List.fold_left
+              (fun a e -> if e.worker = w && e.cause <> "respawn" then a + 1 else a)
+              0 entries
+          and rs =
+            List.fold_left
+              (fun a e -> if e.worker = w && e.cause = "respawn" then a + 1 else a)
+              0 entries
+          in
+          let live = if Atomic.get pool.quarantined.(w) then 1 else 0 in
+          if qs - rs <> live && !bad = None then
+            bad :=
+              Some
+                (Printf.sprintf "worker %d: %d quarantines - %d respawns inconsistent with live flag %d"
+                   w qs rs live)
+        done;
+        (match !bad with Some s -> Error s | None -> Ok ())
+      end
+
 (* The registry snapshot type is the one flattening of the counters
    record; [stats] (the legacy alist) and the service's counter
    passthrough both derive from it instead of hand-rolling their own. *)
@@ -973,9 +1315,26 @@ let snapshot pool =
      | Some d -> Printf.sprintf "%+.3fs" (d -. Unix.gettimeofday ()));
   List.iter (fun (k, v) -> pf "  %s=%d\n" k v) (stats pool);
   pf "  heartbeat=%d faults_injected=%d\n" (heartbeat pool) (Fault.injected_total pool.fault);
+  pf "  degraded_p=%d quarantined=%d crashed_pending=%d orphans=%d (pushes=%d pops=%d) respawn_budget=%d\n"
+    (degraded_p pool) (Atomic.get pool.n_quarantined) (Atomic.get pool.crashed_pending)
+    (List.length (Atomic.get pool.orphans))
+    (Atomic.get pool.n_orphan_pushes) (Atomic.get pool.n_orphan_pops)
+    (Atomic.get pool.respawn_budget);
   Array.iteri
-    (fun i c -> pf "  worker %d: tasks_run=%d steals=%d\n" i c.c_tasks_run c.c_steals)
+    (fun i c ->
+       pf "  worker %d: tasks_run=%d steals=%d ticks=%d%s%s%s%s\n" i c.c_tasks_run c.c_steals
+         c.c_ticks
+         (if Option.is_some (Atomic.get pool.cur_task.(i)) then " HOLDING" else "")
+         (if Atomic.get pool.stopped.(i) then " STOPPED" else "")
+         (if Atomic.get pool.wedged.(i) then " WEDGED" else "")
+         (if Atomic.get pool.quarantined.(i) then " QUARANTINED" else ""))
     pool.per_worker;
+  List.iter
+    (fun e ->
+       pf "  lineage: worker %d %s%s%s\n" e.worker e.cause
+         (if e.requeued then " (task requeued)" else "")
+         (if e.abandoned then " (deque abandoned)" else ""))
+    (lineage pool);
   (match pool.policy with
    | Work_stealing ->
      Array.iteri
@@ -1018,13 +1377,53 @@ let kill pool =
   Condition.broadcast pool.idle_cond;
   Mutex.unlock pool.idle_lock
 
+(* Spawn a fresh domain into a quarantined slot, under the respawn budget.
+   Cold path: [respawn_lock] serialises the budget claim, the slot reset
+   and the spawn, so two supervisors cannot double-fill one slot or spend
+   one budget unit twice.  Resetting the slot's owner-only state is sound
+   because quarantine certifiably fenced the previous incarnation (its
+   generation was bumped; crashed domains have unwound, wedged ones only
+   spin) — and quarantine already drained [cur_task], so no task can be
+   hiding in the slot we reset.  The dead domain stays on [domains] and
+   is reaped by the next [shutdown] join, exactly like a live one. *)
+let respawn_worker pool w =
+  if w <= 0 || w >= pool.n_workers then invalid_arg "Pool.respawn_worker: bad worker";
+  Mutex.lock pool.respawn_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pool.respawn_lock)
+    (fun () ->
+       if
+         Atomic.get pool.quarantined.(w)
+         && (not (Atomic.get pool.shutting_down))
+         && Atomic.get pool.respawn_budget > 0
+       then begin
+         Atomic.decr pool.respawn_budget;
+         assert (Option.is_none (Atomic.get pool.cur_task.(w)));
+         Atomic.set pool.stopped.(w) false;
+         Atomic.set pool.wedged.(w) false;
+         pool.quota_left.(w) <- Atomic.get pool.dfd_quota;
+         pool.dfd_deque.(w) <- None;
+         Atomic.incr pool.wgen.(w);
+         (* flags last: the slot is fully rebuilt before it reads as live *)
+         Atomic.set pool.quarantined.(w) false;
+         Atomic.decr pool.n_quarantined;
+         lineage_add pool { worker = w; cause = "respawn"; requeued = false; abandoned = false };
+         Registry.Counter.incr pool.obs.o_respawns;
+         flight_emit pool ~proc:w (Event.Worker_respawned { worker = w });
+         if Tracer.enabled pool.tracer then
+           emit_locked pool ~proc:w (Event.Worker_respawned { worker = w });
+         pool.domains <- Domain.spawn (fun () -> worker_loop pool w) :: pool.domains;
+         true
+       end
+       else false)
+
 (* Entry points for the systematic concurrency checker (lib/check): a
    pool with worker slots but no spawned domains, so every thread touching
    it is one the checker controls, plus explicit worker impersonation and
    single help steps.  Not part of the public scheduling API. *)
 module For_testing = struct
-  let create_detached ?(fault = Fault.none) ~workers policy =
-    make ~n_workers:(max 1 workers) ~tracer:Tracer.disabled ~fault policy
+  let create_detached ?(fault = Fault.none) ?respawn_budget ~workers policy =
+    make ?respawn_budget ~n_workers:(max 1 workers) ~tracer:Tracer.disabled ~fault policy
 
   let as_worker pool w f =
     if w < 0 || w >= pool.n_workers then invalid_arg "Pool.For_testing.as_worker";
@@ -1034,6 +1433,17 @@ module For_testing = struct
     Fun.protect ~finally:(fun () -> ctx := saved) f
 
   let help pool w = help_once pool w
+
+  (* One top-of-loop step as a worker domain would take it: crash/wedge
+     faults are armed and the crash path's [Worker_stop] is surfaced as a
+     verdict instead of escaping into the checker. *)
+  let help_top pool w =
+    match help_once ~top:true pool w with
+    | true -> `Ran
+    | false -> `Idle
+    | exception Worker_stop -> `Stopped
+
+  let scan pool ~proc = scan_crashed pool ~proc
 
   let live_tasks pool = Atomic.get pool.live_tasks
 end

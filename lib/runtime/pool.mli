@@ -78,6 +78,7 @@ val create :
   ?fault:Dfd_fault.Fault.t ->
   ?registry:Dfd_obs.Registry.t ->
   ?flight:Dfd_obs.Flight.t ->
+  ?respawn_budget:int ->
   policy ->
   t
 (** [create ~domains policy] starts a pool with [domains] extra worker
@@ -115,7 +116,13 @@ val create :
     forensics.  Rare events (steal successes, quota giveups, deque
     lifecycle, injected faults, task exceptions) are recorded into
     per-worker bounded rings that a supervisor dumps on [Timeout],
-    watchdog kill or give-up — without enabling full tracing. *)
+    watchdog kill or give-up — without enabling full tracing.
+
+    [respawn_budget] (default 0): how many quarantined worker slots
+    {!respawn_worker} may refill with fresh domains over the pool's
+    lifetime.  0 means quarantined slots stay dead (the pool runs
+    degraded at p-1, p-2, ...) and wholesale pool respawn remains the
+    supervisor's backstop. *)
 
 val run : ?timeout:float -> ?quota:int -> t -> (unit -> 'a) -> 'a
 (** Execute a task (and all the parallel work it forks) to completion on
@@ -236,6 +243,86 @@ val heartbeat : t -> int
     periodically) — the pool never stamps wall-clock time on the hot path
     for liveness purposes. *)
 
+(** {2 Per-worker crash domains}
+
+    The pool survives the death of an individual worker domain without
+    losing or duplicating work.  A seeded {!Dfd_fault.Fault.t} crash
+    fires inside a worker's top-of-loop take: the worker publishes a
+    one-way death certificate and unwinds.  Any peer (or the caller, or
+    an external supervisor via {!quarantine}) then {e quarantines} the
+    slot: one CAS winner fences the slot's generation, recovers the
+    taken-but-unstarted task exactly once (atomic exchange against the
+    owner), requeues it through a lock-free orphan stack that all
+    workers drain ahead of their deques, abandons the dead owner's
+    DFDeques deque through the sticky death-certificate protocol so
+    survivors steal its queued tasks back, and appends an audit record
+    to the {!lineage} ledger.  The pool then runs degraded at
+    [p - 1] — the Theorem 4.4 space bound [S1 + c·min(K,S1)·p·D]
+    shrinks gracefully with it (see [Dfd_obs.Headroom.set_p]) — until
+    {!respawn_worker} refills the slot under the [respawn_budget].
+    {!verify_lineage} audits the whole episode after the fact: no task
+    lost, none run twice.  DESIGN.md §17 gives the protocol and its
+    memory-ordering audit. *)
+
+type lineage_entry = {
+  worker : int;
+  cause : string;  (** ["crash"], ["wedge"] or ["respawn"]. *)
+  requeued : bool;  (** a held task was recovered through the orphan stack. *)
+  abandoned : bool;  (** a DFDeques deque was abandoned on the owner's behalf. *)
+}
+
+type worker_state = {
+  w_activity : int;
+      (** take-attempt clock: rises while the worker lives, even idle-stealing;
+          flat = wedged or dead.  The watchdog's per-worker liveness signal. *)
+  w_heartbeat : int;  (** tasks started by this worker. *)
+  w_holding : bool;  (** a taken-but-unstarted task sits in the slot. *)
+  w_stopped : bool;  (** the worker raised its own crash certificate. *)
+  w_quarantined : bool;
+}
+
+val heartbeats : t -> int array
+(** Per-worker split of {!heartbeat}: a supervisor diffing two reads can
+    tell {e which} worker went flat, not just that someone did. *)
+
+val worker_states : t -> worker_state array
+(** Point-in-time crash-domain view of every worker slot (lock-free
+    reads; same staleness contract as {!val-counters}). *)
+
+val quarantine : ?cause:string -> t -> int -> bool
+(** [quarantine pool w]: external supervisor verdict against worker [w]
+    (cause defaults to ["wedge"]).  Returns [true] if this call won the
+    quarantine (false: already quarantined).  Sound only against workers
+    that are certifiably fenced — crashed (certificate raised) or wedged
+    inside the scheduler with a flat {!worker_states} activity clock;
+    quarantining a healthy worker is unsound and may duplicate or lose
+    its in-flight push.  Raises [Invalid_argument] for the caller slot 0
+    or an out-of-range worker. *)
+
+val respawn_worker : t -> int -> bool
+(** Spawn a fresh domain into a quarantined slot, spending one unit of
+    the [respawn_budget].  Returns [false] (and does nothing) if the
+    slot is not quarantined, the budget is exhausted, or the pool is
+    shutting down.  Serialised internally; safe to call from any
+    thread.  Raises [Invalid_argument] for slot 0 or out-of-range. *)
+
+val degraded_p : t -> int
+(** Live processor count: [n_workers] minus currently quarantined slots —
+    the [p] the Theorem 4.4 budget should be instantiated with. *)
+
+val lineage : t -> lineage_entry list
+(** The crash-domain audit ledger, oldest first. *)
+
+val quarantines : t -> int
+(** Quarantine episodes recorded in {!lineage} (respawns excluded). *)
+
+val verify_lineage : t -> (unit, string) result
+(** Exactly-once recovery audit, meaningful once the pool is quiescent:
+    no unquarantined crash certificates, the orphan stack drained, its
+    push/pop counts balanced and equal to the ledger's requeue count,
+    and each slot's quarantine/respawn history consistent with its live
+    flag.  [Error] pinpoints the first violated invariant. *)
+
 val metrics_samples : t -> Dfd_obs.Registry.sample list
 (** {!counters} as registry snapshot samples (unlabelled names, marked
     unstable since native counters race) — the single flattening that
@@ -278,7 +365,7 @@ val kill : t -> unit
     domains and drives the worker roles from threads it serialises
     through the {!Dfd_structures.Schedpoint} yield points. *)
 module For_testing : sig
-  val create_detached : ?fault:Dfd_fault.Fault.t -> workers:int -> policy -> t
+  val create_detached : ?fault:Dfd_fault.Fault.t -> ?respawn_budget:int -> workers:int -> policy -> t
   (** A pool with [workers] worker slots and {e no} worker domains.
       Work only progresses when some thread runs {!as_worker}/{!help}. *)
 
@@ -290,6 +377,16 @@ module For_testing : sig
   val help : t -> int -> bool
   (** One attempt by worker [w] to obtain and run a single task; [false]
       if none was found. *)
+
+  val help_top : t -> int -> [ `Ran | `Idle | `Stopped ]
+  (** Like {!help} but as a worker domain's top-of-loop step: armed
+      crash/wedge faults may fire, and the crash path's internal unwind
+      is surfaced as [`Stopped] instead of escaping. *)
+
+  val scan : t -> proc:int -> int
+  (** Quarantine every raised-but-unquarantined crash certificate, as
+      peers do when they observe one pending; returns how many this call
+      won. *)
 
   val live_tasks : t -> int
   (** Tasks pushed but not yet taken (0 once a computation is quiescent —

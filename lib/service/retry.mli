@@ -50,3 +50,18 @@ val schedule : policy -> seed:int -> job:int -> int list
 (** The full delay schedule ([max_attempts - 1] delays) this stream would
     produce — what {!next_delay} returns across a job's lifetime, in
     order.  Pure; used by the property tests. *)
+
+val is_terminal : exn -> bool
+(** Is this exception class {e terminal} — deterministic, so a retry is
+    guaranteed to fail identically and would only burn the budget?
+    Built-ins: [Invalid_argument], [Assert_failure], [Match_failure],
+    [Undefined_recursive_module].  Extended by {!register_terminal};
+    the service registers its [Supervisor_giveup] this way.  The
+    executor consults this on every attempt exception so a terminal
+    failure is acknowledged [Failed] immediately instead of cycling
+    through the backoff schedule. *)
+
+val register_terminal : (exn -> bool) -> unit
+(** Register an additional terminal-exception predicate (used by layers
+    whose exception types this module cannot name).  Predicates are
+    consulted by {!is_terminal} in any order; they must be pure. *)

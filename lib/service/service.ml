@@ -30,6 +30,7 @@ type config = {
   wedge_grace : float;
   domains : int;
   max_respawns : int;
+  worker_respawn_budget : int;
   on_pool_retired : (in_flight:int option -> unit) option;
 }
 
@@ -45,10 +46,16 @@ let default_config =
     wedge_grace = 5.0;
     domains = 2;
     max_respawns = 8;
+    worker_respawn_budget = 0;
     on_pool_retired = None;
   }
 
 exception Supervisor_giveup of string
+
+(* A give-up is a typed terminal verdict: if it escapes into a job's work
+   closure (nested service, callback), retrying that job would burn its
+   whole backoff budget reaching the same verdict. *)
+let () = Retry.register_terminal (function Supervisor_giveup _ -> true | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Jobs and the executor protocol                                      *)
@@ -85,7 +92,9 @@ type exec_result =
   | R_done
   | R_timeout
   | R_cancelled_leak  (** [Pool.Cancelled] escaped [run] — a pool bug; surfaced, never swallowed. *)
-  | R_exn of string
+  | R_exn of { msg : string; retryable : bool }
+      (** [retryable] is classified at the raise site ({!Retry.is_terminal}
+          needs the live exception, not its string). *)
 
 (* The driver/executor mailbox.  Single-writer per transition:
    the driver writes [Assigned] (only over [Idle]) and [Idle] (only over
@@ -120,7 +129,8 @@ let executor_loop ep =
         | () -> R_done
         | exception Pool.Timeout -> R_timeout
         | exception Pool.Cancelled -> R_cancelled_leak
-        | exception e -> R_exn (Printexc.to_string e)
+        | exception e ->
+          R_exn { msg = Printexc.to_string e; retryable = not (Retry.is_terminal e) }
       in
       Atomic.set ep.cell (Finished { job_id = job.id; result });
       loop 0
@@ -159,6 +169,7 @@ type counters = {
   retries : int;
   timeouts : int;
   wedges : int;
+  quarantines : int;
   respawns : int;
   duplicate_acks : int;
 }
@@ -206,6 +217,10 @@ type lane = {
 type t = {
   cfg : config;
   policy : Pool.policy;
+  fault : Dfd_fault.Fault.t;
+      (** seeded injector threaded into every pool incarnation — chaos
+          campaigns arm crash/wedge triggers through it; {!Dfd_fault.Fault.none}
+          in production. *)
   tracer : Tracer.t;
   registry : Registry.t;  (** live telemetry; shared with every pool incarnation. *)
   headroom : Headroom.t;
@@ -238,6 +253,7 @@ type t = {
   mutable c_retries : int;
   mutable c_timeouts : int;
   mutable c_wedges : int;
+  mutable c_quarantines : int;
   mutable c_respawns : int;
   mutable c_dup_acks : int;
 }
@@ -263,20 +279,27 @@ let effective_policy ~policy ~k0 =
   | Pool.Dfdeques _ when k0 > 0 -> Pool.Dfdeques { quota = k0 }
   | p -> p
 
-let spawn_raw_epoch ~domains ~policy ~k0 ~registry =
+let spawn_raw_epoch ?(fault = Dfd_fault.Fault.none) ~domains ~policy ~k0 ~registry
+    ~respawn_budget () =
   let domains = max 0 domains in
   (* each incarnation gets a fresh flight ring (forensics belong to one
      pool's lifetime) but shares the registry, whose upsert registration
      keeps the dfd_pool_* series continuous across respawns *)
   let flight = Flight.create ~lanes:(domains + 1) () in
-  let pool = Pool.create ~domains ~registry ~flight (effective_policy ~policy ~k0) in
+  let pool =
+    Pool.create ~domains ~fault ~registry ~flight ~respawn_budget
+      (effective_policy ~policy ~k0)
+  in
   let ep = { pool; flight; cell = Atomic.make Idle; retired = Atomic.make false; exec = None } in
   ep.exec <- Some (Domain.spawn (fun () -> executor_loop ep));
   ep
 
 let spawn_epoch t =
   let k0 = max_lane_quota (lanes_in_order t) in
-  let ep = spawn_raw_epoch ~domains:t.cfg.domains ~policy:t.policy ~k0 ~registry:t.registry in
+  let ep =
+    spawn_raw_epoch ~fault:t.fault ~domains:t.cfg.domains ~policy:t.policy ~k0
+      ~registry:t.registry ~respawn_budget:t.cfg.worker_respawn_budget ()
+  in
   (* the fresh pool's alloc counter restarts at 0 *)
   Headroom.reset_pressure t.headroom;
   ep
@@ -305,6 +328,8 @@ let register_service_probes t =
   c "dfd_service_retries_total" "Re-attempts scheduled with backoff." (fun () -> t.c_retries);
   c "dfd_service_timeouts_total" "Attempts that hit their deadline." (fun () -> t.c_timeouts);
   c "dfd_service_wedges_total" "Pool incarnations declared wedged." (fun () -> t.c_wedges);
+  c "dfd_service_quarantines_total" "Workers surgically quarantined instead of a pool respawn."
+    (fun () -> t.c_quarantines);
   c "dfd_service_respawns_total" "Fresh pool incarnations after a wedge." (fun () -> t.c_respawns);
   c "dfd_service_duplicate_acks_total" "Terminal acks refused (0 in a correct run)." (fun () ->
       t.c_dup_acks);
@@ -345,12 +370,14 @@ let register_service_probes t =
            match lane.l_qctl with Some qc -> Quota_ctl.quota qc | None -> 0))
     t.lane_order
 
-let create ?(tracer = Tracer.disabled) ?registry ?flight_dir ?headroom_s1 ?headroom_depth
-    ?(config = default_config) policy =
+let create ?(tracer = Tracer.disabled) ?(fault = Dfd_fault.Fault.none) ?registry ?flight_dir
+    ?headroom_s1 ?headroom_depth ?(config = default_config) policy =
   Tenant.validate_all config.tenants;
   Ladder.validate config.ladder;
   if config.wedge_grace <= 0.0 then invalid_arg "Service: wedge_grace must be positive";
   if config.max_respawns < 0 then invalid_arg "Service: max_respawns must be >= 0";
+  if config.worker_respawn_budget < 0 then
+    invalid_arg "Service: worker_respawn_budget must be >= 0";
   Retry.validate config.retry;
   let registry = match registry with Some r -> r | None -> Registry.create () in
   let queue = Fair_queue.create () in
@@ -400,11 +427,14 @@ let create ?(tracer = Tracer.disabled) ?registry ?flight_dir ?headroom_s1 ?headr
     {
       cfg = config;
       policy;
+      fault;
       tracer;
       registry;
       headroom;
       flight_dir;
-      epoch = spawn_raw_epoch ~domains:config.domains ~policy ~k0 ~registry;
+      epoch =
+        spawn_raw_epoch ~fault ~domains:config.domains ~policy ~k0 ~registry
+          ~respawn_budget:config.worker_respawn_budget ();
       retired_epochs = [];
       clock = 0;
       queue;
@@ -429,6 +459,7 @@ let create ?(tracer = Tracer.disabled) ?registry ?flight_dir ?headroom_s1 ?headr
       c_retries = 0;
       c_timeouts = 0;
       c_wedges = 0;
+      c_quarantines = 0;
       c_respawns = 0;
       c_dup_acks = 0;
     }
@@ -437,14 +468,17 @@ let create ?(tracer = Tracer.disabled) ?registry ?flight_dir ?headroom_s1 ?headr
   t
 
 (* Crash forensics: serialise the current incarnation's flight ring to
-   [flight_dir].  Best-effort by design — a dump failure must never mask
-   the wedge/timeout it is trying to explain. *)
+   [flight_dir], with the pool's diagnostic snapshot embedded so the
+   post-mortem state travels with the artifact instead of living only in
+   an exception message.  Best-effort by design — a dump failure must
+   never mask the wedge/timeout it is trying to explain. *)
 let flight_dump t ~reason =
   match t.flight_dir with
   | None -> ()
   | Some dir ->
     let path = Filename.concat dir (Printf.sprintf "flight_%s_step%05d.json" reason t.clock) in
-    (try Flight.write_file ~path ~reason t.epoch.flight with Sys_error _ -> ())
+    let snapshot = try Pool.snapshot t.epoch.pool with _ -> "pool snapshot unavailable" in
+    (try Flight.write_file ~snapshot ~path ~reason t.epoch.flight with Sys_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Ledger bookkeeping                                                  *)
@@ -687,11 +721,55 @@ let cancel t h =
 
 (* Block until the executor posts this job's result, watching the pool's
    heartbeat; [None] = the pool made no progress for [wedge_grace]
-   seconds with the attempt still in flight — declared wedged. *)
+   seconds with the attempt still in flight — declared wedged.
+
+   Surgery precedes amputation: before escalating a stall to the
+   wholesale pool-wedge verdict, the driver looks for a worker it can
+   quarantine in place.  A candidate is any non-caller slot that either
+   raised its own crash certificate ([w_stopped]; normally peers reap
+   these themselves, so this is a backstop for an otherwise-idle pool)
+   or bears the wedge signature: it holds a taken-but-unstarted task
+   while its per-worker activity clock sat flat across the whole grace
+   window.  The [w_holding] requirement is what makes the verdict sound
+   — a worker stuck inside {e user} code has already started its task
+   ([w_holding] false), cannot be safely quarantined, and correctly
+   escalates to the pool respawn backstop.  A won quarantine shrinks
+   the Theorem-4.4 budget to the degraded p, optionally respawns the
+   slot under the worker respawn budget, dumps forensics, resets the
+   stall clock and keeps waiting: the pool continues at p-1. *)
 let await_result t (job : job) =
   let ep = t.epoch in
   let last_hb = ref (Pool.heartbeat ep.pool) in
+  let stall_base = ref (Pool.worker_states ep.pool) in
   let last_progress = ref (Unix.gettimeofday ()) in
+  let reset_stall () =
+    last_progress := Unix.gettimeofday ();
+    stall_base := Pool.worker_states ep.pool
+  in
+  let try_surgical () =
+    let states = Pool.worker_states ep.pool in
+    let won = ref false in
+    Array.iteri
+      (fun w (st : Pool.worker_state) ->
+         if
+           w > 0
+           && (not st.Pool.w_quarantined)
+           && (st.Pool.w_stopped
+              || (st.Pool.w_holding && st.Pool.w_activity = (!stall_base).(w).Pool.w_activity))
+         then begin
+           let cause = if st.Pool.w_stopped then "crash" else "wedge" in
+           if Pool.quarantine ~cause ep.pool w then begin
+             t.c_quarantines <- t.c_quarantines + 1;
+             Headroom.set_p t.headroom (Pool.degraded_p ep.pool);
+             flight_dump t ~reason:(Printf.sprintf "quarantine_w%d" w);
+             if Pool.respawn_worker ep.pool w then
+               Headroom.set_p t.headroom (Pool.degraded_p ep.pool);
+             won := true
+           end
+         end)
+      states;
+    !won
+  in
   let rec go spins =
     match Atomic.get ep.cell with
     | Finished { job_id; result } when job_id = job.id ->
@@ -705,9 +783,14 @@ let await_result t (job : job) =
       let hb = Pool.heartbeat ep.pool in
       if hb <> !last_hb then begin
         last_hb := hb;
-        last_progress := Unix.gettimeofday ()
+        reset_stall ()
       end;
-      if Unix.gettimeofday () -. !last_progress > t.cfg.wedge_grace then None
+      if Unix.gettimeofday () -. !last_progress > t.cfg.wedge_grace then
+        if try_surgical () then begin
+          reset_stall ();
+          go 0
+        end
+        else None
       else begin
         relax spins;
         go (spins + 1)
@@ -735,20 +818,25 @@ let respawn t ~in_flight =
    | None -> ());
   t.epoch <- spawn_epoch t
 
-(* Schedule a retry (with backoff) or acknowledge the final failure. *)
-let fail_path t (job : job) msg =
+(* Schedule a retry (with backoff) or acknowledge the final failure.
+   [retryable:false] (a terminal error class per {!Retry.is_terminal})
+   skips the backoff schedule entirely: the remaining budget would be
+   burned reaching the same deterministic failure. *)
+let fail_path ?(retryable = true) t (job : job) msg =
   let lane = lane_of t job.tenant in
   Breaker.record_failure ~gen:job.bgen (breaker_for t ~tenant:job.tenant ~class_:job.class_)
     ~now:t.clock;
-  match Retry.next_delay job.retry with
-  | Some d ->
-    t.c_retries <- t.c_retries + 1;
-    lane.pending_retries <- lane.pending_retries + 1;
-    t.pending <- (t.clock + d, job) :: t.pending
-  | None ->
-    let s = Hashtbl.find t.slots job.id in
-    s.l_attempts <- Retry.attempts job.retry;
-    settle t job s (Failed msg)
+  if not retryable then settle t job (Hashtbl.find t.slots job.id) (Failed msg)
+  else
+    match Retry.next_delay job.retry with
+    | Some d ->
+      t.c_retries <- t.c_retries + 1;
+      lane.pending_retries <- lane.pending_retries + 1;
+      t.pending <- (t.clock + d, job) :: t.pending
+    | None ->
+      let s = Hashtbl.find t.slots job.id in
+      s.l_attempts <- Retry.attempts job.retry;
+      settle t job s (Failed msg)
 
 (* Run one attempt to completion, attributing its allocation delta to
    the job's tenant.  Returns the measured delta (0 on a wedge). *)
@@ -787,9 +875,9 @@ let run_one t (job : job) =
    | Some R_cancelled_leak ->
      s.l_attempts <- Retry.attempts job.retry + 1;
      fail_path t job "internal: Pool.Cancelled leaked to the run caller"
-   | Some (R_exn msg) ->
+   | Some (R_exn { msg; retryable }) ->
      s.l_attempts <- Retry.attempts job.retry + 1;
-     fail_path t job msg
+     fail_path ~retryable t job msg
    | None ->
      (* wedged: respawn the pool, requeue the in-flight job exactly once
         at the front.  The requeue consumes a retry attempt (a job that
@@ -921,6 +1009,7 @@ let counters t =
     retries = t.c_retries;
     timeouts = t.c_timeouts;
     wedges = t.c_wedges;
+    quarantines = t.c_quarantines;
     respawns = t.c_respawns;
     duplicate_acks = t.c_dup_acks;
   }
@@ -1071,6 +1160,7 @@ let counter_samples t =
     mk "retries" t.c_retries;
     mk "timeouts" t.c_timeouts;
     mk "wedges" t.c_wedges;
+    mk "quarantines" t.c_quarantines;
     mk "respawns" t.c_respawns;
     mk "duplicate_acks" t.c_dup_acks;
   ]

@@ -28,12 +28,21 @@
       seeded full-jitter backoff policy ({!Retry}) with a per-job budget.
     - {b Supervision} — jobs execute on a dedicated executor domain; the
       driver watches {!Dfd_runtime.Pool.heartbeat} while an attempt is in
-      flight.  If the pool stops making progress for [wedge_grace]
-      seconds, the pool is declared wedged: it is killed, a fresh pool
-      and executor are spawned, and the in-flight job is requeued
-      {e exactly once} at the front — the ledger guarantees zero lost
-      jobs and zero duplicated completion acknowledgements (a late
-      result from a retired epoch is structurally ignored).
+      flight.  When the pool stalls for [wedge_grace] seconds the driver
+      tries {e surgical quarantine} first: a worker that crashed (raised
+      its certificate) or wedged inside the scheduler — holding a
+      taken-but-unstarted task with its per-worker activity clock flat —
+      is quarantined in place ({!Dfd_runtime.Pool.quarantine}); its held
+      task is recovered exactly once, the pool continues degraded at
+      [p-1] (the Theorem-4.4 budget gauge shrinks with it), and the slot
+      may be refilled under [worker_respawn_budget].  Only when no slot
+      is quarantinable — e.g. a worker stuck inside user code, which has
+      already {e started} its task — does the stall escalate to the
+      wholesale verdict: the pool is killed, a fresh pool and executor
+      are spawned, and the in-flight job is requeued {e exactly once} at
+      the front — the ledger guarantees zero lost jobs and zero
+      duplicated completion acknowledgements (a late result from a
+      retired epoch is structurally ignored).
     - {b Per-(tenant, class) circuit breakers} ({!Breaker}) —
       consecutive failures trip a breaker open; submissions are rejected
       during the cooldown; half-open probes decide recovery.  Results
@@ -101,6 +110,11 @@ type config = {
           exceed the longest fork-free stretch of any legitimate job. *)
   domains : int;  (** extra worker domains per pool incarnation. *)
   max_respawns : int;  (** hard cap on pool respawns before {!Supervisor_giveup}. *)
+  worker_respawn_budget : int;
+      (** how many quarantined worker slots each pool incarnation may
+          refill with fresh domains ([Pool.respawn_worker]); 0 (the
+          default) leaves quarantined slots dead, running degraded until
+          the wholesale respawn backstop fires. *)
   on_pool_retired : (in_flight:int option -> unit) option;
       (** called after a wedged pool is killed, with the requeued job's
           id; test harnesses use it to release their wedge tasks so the
@@ -110,7 +124,8 @@ type config = {
 val default_config : config
 (** seed 0, the single [Tenant.default] lane, {!Ladder.default_config},
     {!Retry.default}, {!Breaker.default_config}, no quota controller, no
-    default deadline, grace 5 s, 2 extra domains, 8 respawns. *)
+    default deadline, grace 5 s, 2 extra domains, 8 respawns, no worker
+    respawn budget. *)
 
 exception Supervisor_giveup of string
 (** More than [max_respawns] pool respawns: the supervisor refuses to
@@ -120,6 +135,7 @@ type t
 
 val create :
   ?tracer:Dfd_trace.Tracer.t ->
+  ?fault:Dfd_fault.Fault.t ->
   ?registry:Dfd_obs.Registry.t ->
   ?flight_dir:string ->
   ?headroom_s1:int ->
@@ -130,6 +146,11 @@ val create :
 (** Start the service: spawns the first pool incarnation and its
     executor domain.  Under [Dfdeques], enabled quota controllers
     override the policy's initial K with the largest tenant [k_init].
+
+    [fault] (default {!Dfd_fault.Fault.none}) is a seeded injector
+    threaded into every pool incarnation — chaos campaigns arm the
+    one-shot crash/wedge triggers through it to drive the supervisor's
+    surgical-quarantine path deterministically.
 
     [registry] (default: a fresh private {!Dfd_obs.Registry.t}) receives
     the service's stable [dfd_service_*] probes (including per-tenant
@@ -224,6 +245,9 @@ type counters = {
   retries : int;  (** re-attempts scheduled with backoff. *)
   timeouts : int;  (** attempts that hit their deadline. *)
   wedges : int;  (** pool incarnations declared wedged. *)
+  quarantines : int;
+      (** workers surgically quarantined inside a live pool instead of a
+          wholesale respawn. *)
   respawns : int;  (** fresh pool incarnations after a wedge. *)
   duplicate_acks : int;  (** terminal acks refused because one landed already; 0 in a correct run. *)
 }

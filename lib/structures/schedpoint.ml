@@ -78,6 +78,14 @@ let lfdeque_reap = 26
 
 let lfdeque_steal_commit = 27
 
+let pool_crash_flag = 28
+
+let pool_quarantine = 29
+
+let pool_orphan_push = 30
+
+let pool_orphan_pop = 31
+
 let names =
   [|
     "start";
@@ -108,6 +116,10 @@ let names =
     "lfdeque_abandon";
     "lfdeque_reap";
     "lfdeque_steal_commit";
+    "pool_crash_flag";
+    "pool_quarantine";
+    "pool_orphan_push";
+    "pool_orphan_pop";
   |]
 
 let name id = if id >= 0 && id < Array.length names then names.(id) else Printf.sprintf "p%d" id

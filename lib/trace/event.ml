@@ -15,6 +15,9 @@ type kind =
   | Quota_adjusted of { from_quota : int; to_quota : int; pressure : int }
   | Ladder_shift of { from_level : int; to_level : int; occupancy : int; pressure : int }
   | Steal_rank of { victim : int; rank : int; err : int }
+  | Worker_quarantined of { worker : int; cause : string }
+  | Task_requeued of { worker : int }
+  | Worker_respawned of { worker : int }
 
 type t = { ts : int; proc : int; tid : int; kind : kind }
 
@@ -35,6 +38,9 @@ let kind_index = function
   | Quota_adjusted _ -> 13
   | Ladder_shift _ -> 14
   | Steal_rank _ -> 15
+  | Worker_quarantined _ -> 16
+  | Task_requeued _ -> 17
+  | Worker_respawned _ -> 18
 
 let kind_names =
   [|
@@ -54,6 +60,9 @@ let kind_names =
     "quota_adjusted";
     "ladder_shift";
     "steal_rank";
+    "worker_quarantined";
+    "task_requeued";
+    "worker_respawned";
   |]
 
 let n_kinds = Array.length kind_names
@@ -98,6 +107,10 @@ let to_json e =
       ]
     | Steal_rank { victim; rank; err } ->
       [ ("victim", Json.Int victim); ("rank", Json.Int rank); ("err", Json.Int err) ]
+    | Worker_quarantined { worker; cause } ->
+      [ ("worker", Json.Int worker); ("cause", Json.String cause) ]
+    | Task_requeued { worker } -> [ ("worker", Json.Int worker) ]
+    | Worker_respawned { worker } -> [ ("worker", Json.Int worker) ]
   in
   Json.Assoc
     ([
@@ -139,6 +152,11 @@ let of_json j =
           pressure = int "pressure";
         }
     | "steal_rank" -> Steal_rank { victim = int "victim"; rank = int "rank"; err = int "err" }
+    | "worker_quarantined" ->
+      Worker_quarantined
+        { worker = int "worker"; cause = Json.to_string_exn (Json.member "cause" j) }
+    | "task_requeued" -> Task_requeued { worker = int "worker" }
+    | "worker_respawned" -> Worker_respawned { worker = int "worker" }
     | s -> raise (Json.Parse_error ("unknown event kind " ^ s))
   in
   { ts = int "ts"; proc = int "proc"; tid = int "tid"; kind }

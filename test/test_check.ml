@@ -175,7 +175,7 @@ let registered_points =
   go 0
 
 let test_point_ids_distinct () =
-  checkb "all known ids registered" true (registered_points >= 28);
+  checkb "all known ids registered" true (registered_points >= 32);
   let names = List.init registered_points Schedpoint.name in
   checki "names pairwise distinct" registered_points
     (List.length (List.sort_uniq compare names));
@@ -281,7 +281,49 @@ let test_points_hit () =
           in
           checki "handshake fork_join result" 3 (a + b));
       Atomic.set finished true;
-      Domain.join helper);
+      Domain.join helper;
+      (* crash-domain points: worker 1's one-shot injected crash on its
+         first take ([pool_crash_flag]), the quarantine that recovers the
+         held task ([pool_quarantine], [pool_orphan_push]) and worker 0's
+         steal-back of the orphan ([pool_orphan_pop]).  Worker 0 forks a
+         task, parks in its second branch until the helper has crashed
+         holding the first, then its await loop scans, quarantines and
+         reruns the orphan.  Spins are bounded: a wedged handshake makes
+         the coverage assertion fail rather than the test hang. *)
+      let fault =
+        Dfd_fault.Fault.create
+          ~rates:{ Dfd_fault.Fault.zero_rates with Dfd_fault.Fault.worker_crash = Some 1 }
+          ~seed:1 ()
+      in
+      let cpool = Pool.For_testing.create_detached ~fault ~workers:2 Pool.Work_stealing in
+      let crashed = Atomic.make false in
+      let chelper =
+        Domain.spawn (fun () ->
+            Pool.For_testing.as_worker cpool 1 (fun () ->
+                let spins = ref 0 in
+                let rec go () =
+                  match Pool.For_testing.help_top cpool 1 with
+                  | `Stopped -> Atomic.set crashed true
+                  | `Ran | `Idle ->
+                    incr spins;
+                    if !spins < 200_000_000 then begin
+                      Domain.cpu_relax ();
+                      go ()
+                    end
+                in
+                go ()))
+      in
+      Pool.For_testing.as_worker cpool 0 (fun () ->
+          let a, b =
+            Pool.fork_join
+              (fun () -> 10)
+              (fun () ->
+                bounded_spin (fun () -> Atomic.get crashed);
+                20)
+          in
+          checki "crash handshake fork_join result" 30 (a + b));
+      Domain.join chelper;
+      checki "crash handshake quarantined exactly one worker" 1 (Pool.quarantines cpool));
   for id = 0 to registered_points - 1 do
     if id <> Schedpoint.start then
       checkb

@@ -150,6 +150,60 @@ let qcheck_no_dup_no_loss =
        let pushed, taken = concurrent_run ~n_stealers ops in
        multiset_eq pushed taken)
 
+(* The quarantine-path property: a deque whose owner died mid-stream and
+   was abandoned on its behalf (the pool's reaper-side [abandon], the one
+   audited relaxation of the owner-only contract) must yield to its
+   drainers exactly the multiset it held at the moment of death — no
+   element lost inside the dead deque, none delivered twice.  The owner
+   phase is sequential (the owner is fenced before anyone else touches
+   the deque), the drain is concurrent. *)
+let qcheck_dead_owner_drain =
+  QCheck.Test.make ~count:40
+    ~name:"lfdeque: draining a dead owner's abandoned deque = exact pre-crash multiset"
+    QCheck.(pair (list_of_size Gen.(int_range 0 200) bool) (int_range 1 3))
+    (fun (ops, n_stealers) ->
+       let q = Lfdeque.create ~min_capacity:2 ~owner:1 () in
+       let next = ref 0 in
+       let live = Hashtbl.create 16 in
+       List.iter
+         (fun op ->
+            if op then begin
+              Lfdeque.push q !next;
+              Hashtbl.replace live !next ();
+              incr next
+            end
+            else
+              match Lfdeque.pop q with
+              | Some v -> Hashtbl.remove live v
+              | None -> ())
+         ops;
+       let remaining = Hashtbl.fold (fun k () acc -> k :: acc) live [] in
+       (* the owner crashes here; a quarantining peer abandons for it *)
+       Lfdeque.abandon q;
+       let total = List.length remaining in
+       let taken = Atomic.make 0 in
+       let thieves =
+         List.init n_stealers (fun _ ->
+             Domain.spawn (fun () ->
+                 let acc = ref [] in
+                 let misses = ref 0 in
+                 (* a lost element would strand [taken] below [total];
+                    the miss bound turns that hang into a failed multiset *)
+                 while Atomic.get taken < total && !misses < 1_000_000 do
+                   match Lfdeque.steal q with
+                   | Some v ->
+                     Atomic.incr taken;
+                     misses := 0;
+                     acc := v :: !acc
+                   | None ->
+                     incr misses;
+                     Domain.cpu_relax ()
+                 done;
+                 !acc))
+       in
+       let drained = List.concat_map Domain.join thieves in
+       multiset_eq remaining drained && Lfdeque.is_dead q && Lfdeque.steal q = None)
+
 let test_resize_under_steal_stress () =
   let n = 20_000 in
   let ops = List.init n (fun i -> i mod 11 <> 10) in
@@ -306,6 +360,7 @@ let () =
       ( "concurrent",
         [
           QCheck_alcotest.to_alcotest ~long:false qcheck_no_dup_no_loss;
+          QCheck_alcotest.to_alcotest ~long:false qcheck_dead_owner_drain;
           Alcotest.test_case "resize under steal stress" `Quick test_resize_under_steal_stress;
           Alcotest.test_case "2 owners x 2 roaming thieves" `Quick
             test_owners_vs_roaming_thieves;

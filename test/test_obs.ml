@@ -395,8 +395,9 @@ let test_service_metrics_text () =
       checkb "headroom gauges exposed" true
         (Om_util.value ~labels:[ ("policy", "service") ] om "dfd_space_budget_bytes" <> None);
       (* the counters object keeps an exact key set, in order (the
-         legacy keys plus the front-door additions: coalesced,
-         rejected_overloaded, cancelled) *)
+         legacy keys plus the front-door additions — coalesced,
+         rejected_overloaded, cancelled — and the crash-domain
+         quarantines counter) *)
       checkb "legacy counter keys preserved" true
         (List.map fst (Registry.Snapshot.to_alist (Service.counter_samples svc))
         = [
@@ -412,6 +413,7 @@ let test_service_metrics_text () =
             "retries";
             "timeouts";
             "wedges";
+            "quarantines";
             "respawns";
             "duplicate_acks";
           ]))

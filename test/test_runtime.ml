@@ -314,6 +314,47 @@ let test_injected_steal_failures_degrade_gracefully () =
             checki (name ^ " correct under steal failures") (n * (n - 1) / 2) total))
     policies
 
+(* E2E crash domain: a seeded one-shot worker crash fires mid-psort (the
+   victim dies on its first top-of-loop take, holding one unstarted
+   task).  The surviving workers quarantine it, requeue the held task
+   exactly once, and the sort still returns fully ordered at p-1; the
+   lineage ledger audits clean, and a respawn under budget restores full
+   strength for a subsequent clean run. *)
+let test_worker_crash_mid_psort () =
+  List.iter
+    (fun (policy, name) ->
+       let rates = { Fault.zero_rates with Fault.worker_crash = Some 1 } in
+       let fault = Fault.create ~rates ~seed:17 () in
+       let pool = Pool.create ~domains:3 ~fault ~respawn_budget:1 policy in
+       Fun.protect
+         ~finally:(fun () -> Pool.shutdown pool)
+         (fun () ->
+            let n = 20_000 in
+            let arr = Array.init n (fun i -> i * 7919 land 0xffff) in
+            let expect = Array.copy arr in
+            Array.sort compare expect;
+            Pool.run pool (fun () -> Dfd_runtime.Psort.sort ~cutoff:64 ~cmp:compare arr);
+            checkb (name ^ " sorted at p-1") true (arr = expect);
+            checki (name ^ " crash fired once") 1
+              (List.assoc "worker_crash" (Fault.counts fault));
+            checki (name ^ " exactly one quarantine") 1 (Pool.quarantines pool);
+            checki (name ^ " degraded to p-1") 3 (Pool.degraded_p pool);
+            checki (name ^ " held task requeued exactly once") 1
+              (List.length (List.filter (fun e -> e.Pool.requeued) (Pool.lineage pool)));
+            (match Pool.verify_lineage pool with
+             | Ok () -> ()
+             | Error m -> Alcotest.failf "%s lineage audit: %s" name m);
+            let victim = match Pool.lineage pool with e :: _ -> e.Pool.worker | [] -> 0 in
+            checkb (name ^ " respawn under budget") true (Pool.respawn_worker pool victim);
+            checkb (name ^ " budget exhausted after one respawn") false
+              (Pool.respawn_worker pool victim);
+            checki (name ^ " full strength restored") 4 (Pool.degraded_p pool);
+            checki (name ^ " clean run after respawn") 6765 (Pool.run pool (fun () -> fib 20));
+            (match Pool.verify_lineage pool with
+             | Ok () -> ()
+             | Error m -> Alcotest.failf "%s lineage after respawn: %s" name m)))
+    policies
+
 let test_timeout_fires_and_pool_reusable () =
   List.iter
     (fun (policy, name) ->
@@ -461,6 +502,8 @@ let () =
           QCheck_alcotest.to_alcotest ~long:false qcheck_injected_exn_propagates;
           Alcotest.test_case "steal failures degrade gracefully" `Quick
             test_injected_steal_failures_degrade_gracefully;
+          Alcotest.test_case "worker crash mid-psort recovers at p-1" `Quick
+            test_worker_crash_mid_psort;
           Alcotest.test_case "timeout fires, pool reusable" `Quick
             test_timeout_fires_and_pool_reusable;
           Alcotest.test_case "two consecutive timeouts" `Quick test_two_consecutive_timeouts;

@@ -376,8 +376,8 @@ let base_config =
     retry = { Retry.max_attempts = 3; base_delay = 1; max_delay = 4 };
   }
 
-let with_service ?(config = base_config) ?tracer policy f =
-  let svc = Service.create ?tracer ~config policy in
+let with_service ?(config = base_config) ?tracer ?fault policy f =
+  let svc = Service.create ?tracer ?fault ~config policy in
   (* [reap] is only safe when a test has released its wedge tasks; tests
      that wedge call shutdown themselves *)
   Fun.protect ~finally:(fun () -> try Service.shutdown svc with _ -> ()) (fun () -> f svc)
@@ -740,6 +740,83 @@ let test_supervisor_gives_up () =
   Atomic.set flag true;
   Service.shutdown svc
 
+(* The surgical alternative to the wholesale respawn above: a seeded
+   scheduler-level wedge (the victim dies holding an unstarted task, so
+   [w_holding] is visible) is quarantined in place — the job completes
+   at p-1 without retiring the pool, the slot respawns under the worker
+   budget, and the wholesale machinery never fires.  [max_respawns = 0]
+   makes that last claim load-bearing: any escalation would raise
+   [Supervisor_giveup] and fail the test. *)
+let test_surgical_quarantine_over_pool_respawn () =
+  let config =
+    {
+      base_config with
+      Service.domains = 3;
+      wedge_grace = 0.3;
+      max_respawns = 0;
+      worker_respawn_budget = 1;
+    }
+  in
+  let fault () =
+    Dfd_fault.Fault.create
+      ~rates:{ Dfd_fault.Fault.zero_rates with Dfd_fault.Fault.worker_wedge = Some 1 }
+      ~seed:11 ()
+  in
+  List.iter
+    (fun policy ->
+       with_service ~config ~fault:(fault ()) policy (fun svc ->
+           let id =
+             Result.get_ok
+               (sub svc (fun () ->
+                    ignore (Pool.parallel_reduce ~zero:0 ~op:( + ) ~lo:0 ~hi:20_000 Fun.id)))
+           in
+           Service.drive svc;
+           let e = entry svc id in
+           checkb "job completed at p-1" true (e.Service.outcome = Some Service.Completed);
+           checki "single attempt (no requeue)" 1 e.Service.attempts;
+           let c = Service.counters svc in
+           checki "one surgical quarantine" 1 c.Service.quarantines;
+           checki "no wholesale wedge" 0 c.Service.wedges;
+           checki "no pool respawn" 0 c.Service.respawns;
+           (match Service.verify_ledger svc with
+            | Ok () -> ()
+            | Error m -> Alcotest.fail ("ledger audit: " ^ m));
+           (* the slot was respawned under the worker budget, so the pool
+              serves the next job at full strength *)
+           let after = Result.get_ok (sub svc (fun () -> ())) in
+           Service.drive svc;
+           checkb "post-quarantine job completes" true
+             ((entry svc after).Service.outcome = Some Service.Completed)))
+    [ Pool.Work_stealing; Pool.Dfdeques { quota = 4096 } ]
+
+(* Terminal error classes skip the retry schedule entirely: the job
+   fails on its first attempt with zero retries scheduled.  A plain
+   [Failure] stays retryable — the budget still applies to it. *)
+let test_terminal_errors_not_retried () =
+  checkb "Invalid_argument is terminal" true (Retry.is_terminal (Invalid_argument "x"));
+  checkb "Supervisor_giveup is terminal" true
+    (Retry.is_terminal (Service.Supervisor_giveup "wedged"));
+  checkb "Failure stays retryable" false (Retry.is_terminal (Failure "boom"));
+  checkb "Not_found stays retryable" false (Retry.is_terminal Not_found);
+  with_service Pool.Work_stealing (fun svc ->
+      let runs = Atomic.make 0 in
+      let id =
+        Result.get_ok
+          (sub svc ~class_:"fatal" (fun () ->
+               Atomic.incr runs;
+               invalid_arg "schema mismatch"))
+      in
+      Service.drive svc;
+      checki "ran exactly once" 1 (Atomic.get runs);
+      let e = entry svc id in
+      checkb "failed terminally" true
+        (match e.Service.outcome with Some (Service.Failed _) -> true | _ -> false);
+      checki "single attempt recorded" 1 e.Service.attempts;
+      checki "no retries scheduled" 0 (Service.counters svc).Service.retries;
+      (match Service.verify_ledger svc with
+       | Ok () -> ()
+       | Error m -> Alcotest.fail ("ledger audit: " ^ m)))
+
 (* The ISSUE acceptance test for the control loop: an allocation spike
    observed through the pool's [alloc_bytes] counter drives K down (via
    [Pool.run ?quota], with [Quota_adjusted] trace events), and a calm
@@ -866,6 +943,10 @@ let () =
           Alcotest.test_case "wedge respawn exactly once" `Quick
             test_wedge_respawn_exactly_once;
           Alcotest.test_case "supervisor gives up" `Quick test_supervisor_gives_up;
+          Alcotest.test_case "surgical quarantine over pool respawn" `Quick
+            test_surgical_quarantine_over_pool_respawn;
+          Alcotest.test_case "terminal errors not retried" `Quick
+            test_terminal_errors_not_retried;
           Alcotest.test_case "adaptive K reacts" `Quick test_adaptive_quota_reacts;
           Alcotest.test_case "memory pressure sheds" `Quick test_memory_pressure_sheds;
         ] );

@@ -70,6 +70,9 @@ let all_kinds =
     Event.Quota_adjusted { from_quota = 50_000; to_quota = 25_000; pressure = 80_000 };
     Event.Ladder_shift { from_level = 0; to_level = 2; occupancy = 81; pressure = 40 };
     Event.Steal_rank { victim = 11; rank = 5; err = 2 };
+    Event.Worker_quarantined { worker = 2; cause = "crash" };
+    Event.Task_requeued { worker = 2 };
+    Event.Worker_respawned { worker = 2 };
   ]
 
 let test_event_roundtrip () =
@@ -112,6 +115,12 @@ let event_gen =
           (0 -- 3) (0 -- 3) (0 -- 150);
         map3 (fun victim rank err -> Event.Steal_rank { victim; rank; err }) small (0 -- 64)
           (0 -- 64);
+        map2
+          (fun worker cause -> Event.Worker_quarantined { worker; cause })
+          (0 -- 64)
+          (oneofl [ "crash"; "wedge" ]);
+        map (fun worker -> Event.Task_requeued { worker }) (0 -- 64);
+        map (fun worker -> Event.Worker_respawned { worker }) (0 -- 64);
       ]
   in
   map2

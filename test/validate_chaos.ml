@@ -34,7 +34,7 @@ let () =
              | _ -> fail "%s: campaign without outcome" name);
             (match Json.member "faults" r with
              | Json.Assoc kinds ->
-               if List.length kinds <> 5 then fail "%s: expected 5 fault kinds" name
+               if List.length kinds <> 7 then fail "%s: expected 7 fault kinds" name
              | _ -> fail "%s: campaign without fault counts" name))
          runs)
     scheds;
@@ -73,5 +73,42 @@ let () =
       | Json.Bool true -> ()
       | _ -> fail "service section present but summary service_passed is not true")
    | _ -> fail "service section is not an object");
+  (* the crash-recovery section is present only under `chaos --crash`; when
+     it is, every per-policy recovery fact must hold and the summary must
+     agree that the whole campaign passed *)
+  (match Json.member "crash" j with
+   | Json.Null -> ()
+   | Json.List policies ->
+     if policies = [] then fail "crash section is empty";
+     List.iter
+       (fun c ->
+          let policy =
+            try Json.to_string_exn (Json.member "policy" c) with _ -> fail "crash entry without policy"
+          in
+          if not (List.mem policy [ "ws"; "dfd" ]) then fail "crash: unknown policy %S" policy;
+          List.iter
+            (fun k ->
+               match Json.member k c with
+               | Json.Bool true -> ()
+               | Json.Bool false -> fail "crash %s: fact %S failed" policy k
+               | _ -> fail "crash %s: missing bool %S" policy k)
+            [
+              "sorted_at_degraded_p";
+              "crash_fired_once";
+              "exactly_one_quarantine";
+              "degraded_p_is_p_minus_1";
+              "held_task_requeued_exactly_once";
+              "lineage_audit_ok";
+              "headroom_budget_matches_degraded_p";
+              "respawn_under_budget";
+              "full_strength_restored";
+              "clean_run_after_respawn";
+              "lineage_audit_after_respawn_ok";
+            ])
+       policies;
+     (match Json.member "crash_passed" summary with
+      | Json.Bool true -> ()
+      | _ -> fail "crash section present but summary crash_passed is not true")
+   | _ -> fail "crash section is not a list");
   Printf.printf "validate_chaos: %s ok (%d campaigns, %d faults injected)\n" path !seen_outcomes
     (s_int "faults_injected")
